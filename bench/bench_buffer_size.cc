@@ -1,0 +1,85 @@
+// C5 (§3.4): "The slow speed of the processor on the EON 4000 computer
+// revealed a problem... the need to keep the pipeline full. If we use very
+// large buffers, the decompression on the ES has to wait for the entire
+// buffer to be delivered, then the decompression takes place and finally
+// the data are fed to the audio device... If the buffers are large, then
+// time delays add up, resulting in skipped audio. By reducing the buffer
+// size, each of the stages on the ES finishes faster and the audio stream
+// is processed without problems."
+//
+// Sweep: producer buffer (packet) size x ES decode speed. Fast CPUs
+// tolerate any buffer; the EON-4000-class CPU skips once buffers exceed
+// what the playout budget can absorb.
+#include "bench/bench_util.h"
+#include "src/core/system.h"
+
+namespace espk {
+namespace {
+
+struct PipelineResult {
+  uint64_t late_drops = 0;
+  uint64_t chunks_played = 0;
+  int gaps = 0;
+};
+
+PipelineResult Run(int64_t packet_frames, double decode_factor,
+                   int seconds) {
+  EthernetSpeakerSystem system;
+  RebroadcasterOptions rb;
+  rb.packet_frames = packet_frames;
+  rb.playout_delay = Milliseconds(200);
+  rb.codec_override = CodecId::kVorbix;  // Decompression is the slow stage.
+  Channel* channel = *system.CreateChannel("music", rb);
+  SpeakerOptions so;
+  so.decode_speed_factor = decode_factor;
+  EthernetSpeaker* speaker = *system.AddSpeaker(so, channel->group);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  (void)*system.StartPlayer(channel, std::make_unique<MusicLikeGenerator>(6),
+                            opts);
+  system.sim()->RunUntil(Seconds(seconds));
+  PipelineResult result;
+  result.late_drops = speaker->stats().late_drops;
+  result.chunks_played = speaker->stats().chunks_played;
+  if (speaker->ready()) {
+    result.gaps = speaker->output()->CountGaps(Milliseconds(5));
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace espk
+
+int main() {
+  using namespace espk;
+  PrintHeader("C5", "Buffer size vs slow-CPU pipeline stalls (§3.4)");
+  PrintPaperNote(
+      "large buffers + slow ES CPU -> skipped audio; small buffers keep "
+      "the pipeline full. Fast test machines never showed the problem.");
+
+  constexpr int kSeconds = 15;
+  Table table({"buffer_frames", "buffer_ms", "cpu", "played", "late_drops",
+               "gaps"});
+  const struct {
+    const char* name;
+    double factor;
+  } cpus[] = {
+      {"workstation", 0.05},  // The authors' fast test machines.
+      {"eon4000", 0.8},       // 233 MHz Geode, nearly saturated by decode.
+  };
+  for (const auto& cpu : cpus) {
+    for (int64_t frames : {1024, 4096, 16384, 32768, 65536}) {
+      PipelineResult r = Run(frames, cpu.factor, kSeconds);
+      table.Row({std::to_string(frames),
+                 Fmt(static_cast<double>(frames) / 44.1, 0), cpu.name,
+                 std::to_string(r.chunks_played),
+                 std::to_string(r.late_drops), std::to_string(r.gaps)});
+    }
+  }
+  std::printf(
+      "\nshape check: the workstation plays every buffer size; the "
+      "EON-4000-class CPU starts skipping once the buffer (accumulate + "
+      "deliver + decode) exceeds the 200 ms playout budget — and plays "
+      "cleanly again at small buffer sizes, as §3.4 reports.\n");
+  return 0;
+}

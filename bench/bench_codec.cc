@@ -1,0 +1,107 @@
+// A2: Vorbix codec characterization — the quality-index trade-off behind
+// §2.2's "we simply set the Ogg Vorbis quality index to its maximum... our
+// experience so far has not revealed any audible defects to the stream."
+//
+// google-benchmark micro-benchmarks for encode/decode throughput, plus a
+// printed quality sweep (bitrate, compression ratio, SNR) over music-like
+// and speech-like content.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/audio/analysis.h"
+#include "src/audio/generator.h"
+#include "src/codec/codec.h"
+
+namespace espk {
+namespace {
+
+std::vector<float> MusicContent(int64_t frames, const AudioConfig& config) {
+  MusicLikeGenerator gen(42);
+  std::vector<float> samples;
+  gen.Generate(frames, config.channels, config.sample_rate, &samples);
+  return samples;
+}
+
+void BM_VorbixEncode(benchmark::State& state) {
+  AudioConfig cd = AudioConfig::CdQuality();
+  auto encoder = *CreateEncoder(CodecId::kVorbix, cd,
+                                static_cast<int>(state.range(0)));
+  std::vector<float> samples = MusicContent(4096, cd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->EncodePacket(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  state.counters["audio_s_per_cpu_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 4096.0 / 44100.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VorbixEncode)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_VorbixDecode(benchmark::State& state) {
+  AudioConfig cd = AudioConfig::CdQuality();
+  auto encoder = *CreateEncoder(CodecId::kVorbix, cd,
+                                static_cast<int>(state.range(0)));
+  auto decoder = *CreateDecoder(CodecId::kVorbix, cd,
+                                static_cast<int>(state.range(0)));
+  Bytes packet = *encoder->EncodePacket(MusicContent(4096, cd));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder->DecodePacket(packet));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  state.counters["audio_s_per_cpu_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 4096.0 / 44100.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VorbixDecode)->Arg(0)->Arg(5)->Arg(10);
+
+void BM_RawEncode(benchmark::State& state) {
+  AudioConfig cd = AudioConfig::CdQuality();
+  auto encoder = *CreateEncoder(CodecId::kRaw, cd, 0);
+  std::vector<float> samples = MusicContent(4096, cd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder->EncodePacket(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RawEncode);
+
+void PrintQualitySweep() {
+  PrintHeader("A2", "Vorbix quality index sweep (CD-quality stereo)");
+  PrintPaperNote(
+      "quality index at maximum -> minimal tandem-lossy damage, 'no "
+      "audible defects'; lower quality trades fidelity for bitrate");
+  AudioConfig cd = AudioConfig::CdQuality();
+  Table table({"quality", "content", "kbps", "ratio", "snr_db"});
+  for (int quality : {0, 2, 4, 6, 8, 10}) {
+    for (const char* content : {"music", "speech"}) {
+      std::unique_ptr<SignalGenerator> gen;
+      if (std::string(content) == "music") {
+        gen = std::make_unique<MusicLikeGenerator>(42);
+      } else {
+        gen = std::make_unique<SpeechLikeGenerator>(42);
+      }
+      std::vector<float> samples;
+      gen->Generate(44100, cd.channels, cd.sample_rate, &samples);
+      auto encoder = *CreateEncoder(CodecId::kVorbix, cd, quality);
+      auto decoder = *CreateDecoder(CodecId::kVorbix, cd, quality);
+      Bytes packet = *encoder->EncodePacket(samples);
+      std::vector<float> decoded = *decoder->DecodePacket(packet);
+      double kbps = static_cast<double>(packet.size()) * 8.0 / 1000.0;
+      double ratio = static_cast<double>(samples.size() * 2) /
+                     static_cast<double>(packet.size());
+      table.Row({std::to_string(quality), content, Fmt(kbps, 0), Fmt(ratio),
+                 Fmt(SnrDb(samples, decoded), 1)});
+    }
+  }
+  std::printf("(raw CD reference: 1411 kbps)\n");
+}
+
+}  // namespace
+}  // namespace espk
+
+int main(int argc, char** argv) {
+  espk::PrintQualitySweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

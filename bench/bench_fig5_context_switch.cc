@@ -1,0 +1,130 @@
+// Figure 5 reproduction: "Comparison of context switch rate between a
+// streaming application contained with the VAD driver inside the kernel and
+// a user-level application. Data gathered by vmstat over a sixty second
+// period at one second intervals." Paper means: unloaded 4.2, kernel-
+// threaded VAD 28.716, user-level VAD 37.2.
+//
+// Three configurations on the simulated kernel:
+//   unloaded      — background daemons only
+//   kernel VAD    — player -> VAD, kthread pump streams in-kernel
+//   user VAD      — player -> VAD, kthread pump -> master device -> a
+//                   user-level streaming process (the rebroadcaster path)
+//
+// Also covers A3 (§3.3): the user-level overhead is real but modest, and
+// is swamped by compression cost (compare with bench_fig4's CPU numbers).
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/system.h"
+#include "src/lan/segment.h"
+#include "src/rebroadcast/kernel_streamer.h"
+
+namespace espk {
+namespace {
+
+enum class Config { kUnloaded, kKernelVad, kUserVad };
+
+struct RunResult {
+  std::vector<uint64_t> per_second;
+  double mean = 0.0;
+};
+
+RunResult Run(Config config, int seconds) {
+  Simulation sim;
+  SimKernel kernel(&sim);
+  kernel.StartBackgroundDaemons(4.2, /*seed=*/7);
+  EthernetSegment lan(&sim, SegmentConfig{});
+  auto producer_nic = lan.CreateNic();
+
+  // Shared stream plumbing for the two VAD configurations. Pump at 100 ms
+  // (the paper's kthread "periodically calls the interrupt routine").
+  VadOptions vad_options;
+  vad_options.pump_period = Milliseconds(150);
+  std::unique_ptr<PlayerApp> player;
+  std::unique_ptr<KernelStreamer> kernel_streamer;
+  std::unique_ptr<Rebroadcaster> rebroadcaster;
+  VadHandles vad{};
+  if (config != Config::kUnloaded) {
+    vad = *CreateVadPair(&kernel, 0, vad_options);
+    if (config == Config::kKernelVad) {
+      kernel_streamer = std::make_unique<KernelStreamer>(
+          &kernel, vad, producer_nic.get(), KernelStreamerOptions{});
+    } else {
+      RebroadcasterOptions rb;
+      rb.codec_override = CodecId::kRaw;  // Fig 5 streams uncompressed.
+      rb.packet_frames = 8192;            // ~186 ms per datagram.
+      rebroadcaster = std::make_unique<Rebroadcaster>(
+          &kernel, /*pid=*/50, "/dev/vadm0", producer_nic.get(), rb);
+      (void)rebroadcaster->Start();
+    }
+    PlayerAppOptions opts;
+    opts.config = AudioConfig::CdQuality();
+    player = std::make_unique<PlayerApp>(
+        &kernel, /*pid=*/40, "/dev/vads0",
+        std::make_unique<MusicLikeGenerator>(1), opts);
+    (void)player->Start();
+  }
+
+  VmstatSampler vmstat(&kernel, Seconds(1));
+  // Let the pipeline reach steady state before sampling.
+  sim.RunUntil(Seconds(2));
+  vmstat.Start();
+  sim.RunUntil(Seconds(2) + Seconds(seconds));
+  vmstat.Stop();
+
+  RunResult result;
+  result.per_second = vmstat.samples();
+  double acc = 0.0;
+  for (uint64_t v : result.per_second) {
+    acc += static_cast<double>(v);
+  }
+  result.mean = acc / static_cast<double>(result.per_second.size());
+  if (rebroadcaster != nullptr) {
+    rebroadcaster->Stop();
+  }
+  if (player != nullptr) {
+    player->Stop();
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace espk
+
+int main() {
+  using namespace espk;
+  PrintHeader("Figure 5",
+              "Context switch rate: unloaded vs kernel-threaded VAD vs "
+              "user-level VAD streaming");
+  PrintPaperNote(
+      "paper means over 60 s: unloaded 4.2, kernel-threaded VAD 28.716, "
+      "user-level VAD 37.2 (user/kernel ratio 1.30)");
+
+  constexpr int kSeconds = 60;
+  RunResult unloaded = Run(Config::kUnloaded, kSeconds);
+  RunResult kernel_vad = Run(Config::kKernelVad, kSeconds);
+  RunResult user_vad = Run(Config::kUserVad, kSeconds);
+
+  Table table({"time_s", "unloaded", "kernel_vad", "user_vad"});
+  for (int s = 0; s < kSeconds; ++s) {
+    table.Row({std::to_string(s + 1),
+               std::to_string(unloaded.per_second[static_cast<size_t>(s)]),
+               std::to_string(kernel_vad.per_second[static_cast<size_t>(s)]),
+               std::to_string(user_vad.per_second[static_cast<size_t>(s)])});
+  }
+  std::printf(
+      "\nmeans (switches/interval): unloaded = %.2f (paper 4.2), "
+      "kernel VAD = %.2f (paper 28.7), user VAD = %.2f (paper 37.2)\n",
+      unloaded.mean, kernel_vad.mean, user_vad.mean);
+  std::printf("user/kernel ratio = %.2fx (paper 1.30x); ordering %s\n",
+              kernel_vad.mean > 0 ? user_vad.mean / kernel_vad.mean : 0.0,
+              (unloaded.mean < kernel_vad.mean &&
+               kernel_vad.mean < user_vad.mean)
+                  ? "REPRODUCED (unloaded < kernel < user)"
+                  : "NOT reproduced");
+  std::printf(
+      "A3 note (§3.3): the user-level overhead above is scheduling only; "
+      "compare bench_fig4, where compression dwarfs it — the reason the "
+      "authors happily moved streaming out of the kernel.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// A1 (§5.1): stream authentication costs. The paper rules out per-packet
+// public-key signatures ("digitally signing every audio packet is not
+// feasible as it allows an attacker to overwhelm an ES by simply feeding it
+// garbage") and points at fast schemes: Reyzin one-time signatures, TESLA-
+// class delayed disclosure, Merkle batching. This bench measures them all:
+// sign/verify throughput and — the DoS question — how cheaply a speaker
+// rejects a flood of garbage packets.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/base/prng.h"
+#include "src/security/hmac.h"
+#include "src/security/hors.h"
+#include "src/security/merkle.h"
+#include "src/security/stream_auth.h"
+#include "src/security/tesla.h"
+
+namespace espk {
+namespace {
+
+Bytes TypicalPacket() {
+  // A CD-quality Vorbix data packet is a few KB.
+  Prng prng(1);
+  Bytes packet(4096);
+  for (auto& b : packet) {
+    b = static_cast<uint8_t>(prng.NextU64());
+  }
+  return packet;
+}
+
+void BM_HmacSign(benchmark::State& state) {
+  Bytes key(32, 0x42);
+  Bytes packet = TypicalPacket();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, packet));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(packet.size()));
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_HmacVerify(benchmark::State& state) {
+  Bytes key(32, 0x42);
+  Bytes packet = TypicalPacket();
+  Digest mac = HmacSha256(key, packet);
+  for (auto _ : state) {
+    Digest expected = HmacSha256(key, packet);
+    benchmark::DoNotOptimize(ConstantTimeEqual(expected, mac));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(packet.size()));
+}
+BENCHMARK(BM_HmacVerify);
+
+void BM_HorsSign(benchmark::State& state) {
+  Bytes packet = TypicalPacket();
+  HorsParams params;
+  params.max_signatures = 1u << 30;  // Measure cost, ignore exhaustion.
+  HorsSigner signer(params, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.Sign(packet));
+  }
+}
+BENCHMARK(BM_HorsSign);
+
+void BM_HorsVerify(benchmark::State& state) {
+  Bytes packet = TypicalPacket();
+  HorsParams params;
+  HorsSigner signer(params, 7);
+  HorsSignature signature = *signer.Sign(packet);
+  const HorsPublicKey& key = signer.public_key();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HorsVerify(key, packet, signature));
+  }
+}
+BENCHMARK(BM_HorsVerify);
+
+void BM_MerkleBatchSign(benchmark::State& state) {
+  // Batch of 64 packets: one tree + 64 proofs (the Wong-Lam style
+  // amortized signature).
+  std::vector<Bytes> batch;
+  Prng prng(2);
+  for (int i = 0; i < 64; ++i) {
+    Bytes p(1024);
+    for (auto& b : p) {
+      b = static_cast<uint8_t>(prng.NextU64());
+    }
+    batch.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    MerkleTree tree(batch);
+    for (uint32_t i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(tree.ProveLeaf(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MerkleBatchSign);
+
+void BM_MerkleVerifyLeaf(benchmark::State& state) {
+  std::vector<Bytes> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(Bytes(1024, static_cast<uint8_t>(i)));
+  }
+  MerkleTree tree(batch);
+  MerkleProof proof = tree.ProveLeaf(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MerkleTree::VerifyLeaf(tree.root(), batch[17], proof));
+  }
+}
+BENCHMARK(BM_MerkleVerifyLeaf);
+
+void BM_TeslaTag(benchmark::State& state) {
+  TeslaSigner signer(1u << 16, Seconds(1), 2, 5);
+  Bytes packet = TypicalPacket();
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer.Tag(Seconds(i % 60000), packet));
+    ++i;
+  }
+}
+BENCHMARK(BM_TeslaTag);
+
+// The DoS question: how much does rejecting garbage cost the speaker?
+void BM_GarbageFloodRejectCrcOnly(benchmark::State& state) {
+  Prng prng(3);
+  Bytes garbage(4096);
+  for (auto& b : garbage) {
+    b = static_cast<uint8_t>(prng.NextU64());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParsePacket(garbage));  // Fails at CRC.
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(garbage.size()));
+}
+BENCHMARK(BM_GarbageFloodRejectCrcOnly);
+
+void BM_GarbageFloodRejectHmac(benchmark::State& state) {
+  // Well-formed packet, wrong MAC: attacker-crafted flood that passes CRC.
+  StreamAuthOptions options;
+  options.group_key = Bytes(32, 0x11);
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(Bytes(32, 0x22),  // Different key -> reject.
+                          authenticator.root_public_key());
+  DataPacket data;
+  data.payload = TypicalPacket();
+  Bytes wire = SerializePacket(data, authenticator.Sign(SignedRegion(data)));
+  for (auto _ : state) {
+    Result<ParsedPacket> parsed = ParsePacket(wire);
+    benchmark::DoNotOptimize(verifier.Verify(*parsed));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_GarbageFloodRejectHmac);
+
+}  // namespace
+}  // namespace espk
+
+int main(int argc, char** argv) {
+  espk::PrintHeader("A1", "Stream authentication costs (§5.1)");
+  espk::PrintPaperNote(
+      "per-packet RSA-class signing is ruled out (garbage floods would "
+      "overwhelm an ES); candidates: HMAC group key, HORS one-time "
+      "signatures (Reyzin), TESLA delayed disclosure, Merkle batching. "
+      "Verify must be far cheaper than the attacker's send cost.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared output helpers for the experiment harnesses. Every bench prints
+// (a) the series/rows the paper reports, (b) the paper's reference values
+// where it gives any, so EXPERIMENTS.md can record paper-vs-measured
+// side by side.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace espk {
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintPaperNote(const std::string& note) {
+  std::printf("paper: %s\n", note.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%-14s", i == 0 ? "" : " ", columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s--------------", i == 0 ? "" : " ");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s%-14s", i == 0 ? "" : " ", cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace espk
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,97 @@
+#include "src/audio/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace espk {
+
+double Rms(const std::vector<float>& samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (float s : samples) {
+    acc += static_cast<double>(s) * s;
+  }
+  return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+double Peak(const std::vector<float>& samples) {
+  double peak = 0.0;
+  for (float s : samples) {
+    peak = std::max(peak, static_cast<double>(std::fabs(s)));
+  }
+  return peak;
+}
+
+double RmsDbfs(const std::vector<float>& samples) {
+  double rms = Rms(samples);
+  double full_scale = 1.0 / std::sqrt(2.0);
+  return 20.0 * std::log10(std::max(rms, 1e-12) / full_scale);
+}
+
+double SnrDb(const std::vector<float>& reference,
+             const std::vector<float>& test) {
+  size_t n = std::min(reference.size(), test.size());
+  if (n == 0) {
+    return 0.0;
+  }
+  double signal = 0.0;
+  double noise = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double r = reference[i];
+    double e = r - static_cast<double>(test[i]);
+    signal += r * r;
+    noise += e * e;
+  }
+  if (noise <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (signal <= 0.0) {
+    return 0.0;
+  }
+  return 10.0 * std::log10(signal / noise);
+}
+
+AlignmentResult FindAlignment(const std::vector<float>& reference,
+                              const std::vector<float>& test,
+                              int64_t max_lag) {
+  AlignmentResult best;
+  best.correlation = -2.0;
+  const auto rn = static_cast<int64_t>(reference.size());
+  const auto tn = static_cast<int64_t>(test.size());
+  if (rn == 0 || tn == 0) {
+    return AlignmentResult{};
+  }
+  for (int64_t lag = -max_lag; lag <= max_lag; ++lag) {
+    double dot = 0.0;
+    double r2 = 0.0;
+    double t2 = 0.0;
+    // test[i] aligned against reference[i - lag].
+    int64_t lo = std::max<int64_t>(0, lag);
+    int64_t hi = std::min(tn, rn + lag);
+    if (hi - lo < 16) {
+      continue;  // Too little overlap to be meaningful.
+    }
+    for (int64_t i = lo; i < hi; ++i) {
+      double t = test[static_cast<size_t>(i)];
+      double r = reference[static_cast<size_t>(i - lag)];
+      dot += t * r;
+      r2 += r * r;
+      t2 += t * t;
+    }
+    double denom = std::sqrt(r2 * t2);
+    double corr = denom > 0.0 ? dot / denom : 0.0;
+    if (corr > best.correlation) {
+      best.correlation = corr;
+      best.lag = lag;
+    }
+  }
+  if (best.correlation < -1.0) {
+    best = AlignmentResult{};  // No valid overlap found.
+  }
+  return best;
+}
+
+}  // namespace espk

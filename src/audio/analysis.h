@@ -1,0 +1,41 @@
+// Signal measurement helpers used by tests (codec fidelity, inter-speaker
+// sync skew) and the auto-volume controller (ambient level estimation).
+#ifndef SRC_AUDIO_ANALYSIS_H_
+#define SRC_AUDIO_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace espk {
+
+// Root-mean-square level of a sample block. 0 for an empty block.
+double Rms(const std::vector<float>& samples);
+
+// Peak absolute sample value.
+double Peak(const std::vector<float>& samples);
+
+// RMS expressed in dBFS (0 dBFS == full-scale sine RMS == 1/sqrt(2)).
+double RmsDbfs(const std::vector<float>& samples);
+
+// Signal-to-noise ratio in dB between a reference and a degraded copy of the
+// same length (extra trailing samples in either are ignored). Returns +inf
+// for identical signals, and is meaningful only when the two are aligned.
+double SnrDb(const std::vector<float>& reference,
+             const std::vector<float>& test);
+
+// Finds the integer lag (in samples) of `test` relative to `reference` that
+// maximizes normalized cross-correlation, searching [-max_lag, max_lag].
+// A positive result means `test` is delayed relative to `reference`.
+// This is how the experiments measure inter-speaker skew: two Ethernet
+// Speakers played the same stream; the lag between their output captures is
+// the audible synchronization error.
+struct AlignmentResult {
+  int64_t lag = 0;
+  double correlation = 0.0;  // Normalized, in [-1, 1].
+};
+AlignmentResult FindAlignment(const std::vector<float>& reference,
+                              const std::vector<float>& test, int64_t max_lag);
+
+}  // namespace espk
+
+#endif  // SRC_AUDIO_ANALYSIS_H_

@@ -1,0 +1,97 @@
+#include "src/audio/format.h"
+
+#include <sstream>
+
+namespace espk {
+
+std::string_view AudioEncodingName(AudioEncoding encoding) {
+  switch (encoding) {
+    case AudioEncoding::kMulaw:
+      return "mulaw";
+    case AudioEncoding::kAlaw:
+      return "alaw";
+    case AudioEncoding::kLinearU8:
+      return "ulinear8";
+    case AudioEncoding::kLinearS16:
+      return "slinear16";
+    case AudioEncoding::kLinearS24:
+      return "slinear24";
+  }
+  return "unknown";
+}
+
+int BytesPerSample(AudioEncoding encoding) {
+  switch (encoding) {
+    case AudioEncoding::kMulaw:
+    case AudioEncoding::kAlaw:
+    case AudioEncoding::kLinearU8:
+      return 1;
+    case AudioEncoding::kLinearS16:
+      return 2;
+    case AudioEncoding::kLinearS24:
+      return 3;
+  }
+  return 1;
+}
+
+namespace {
+bool IsKnownEncoding(uint8_t v) {
+  return v >= static_cast<uint8_t>(AudioEncoding::kMulaw) &&
+         v <= static_cast<uint8_t>(AudioEncoding::kLinearS24);
+}
+}  // namespace
+
+Status AudioConfig::Validate() const {
+  if (sample_rate < 1000 || sample_rate > 192000) {
+    return InvalidArgumentError("sample_rate out of range [1000, 192000]: " +
+                                std::to_string(sample_rate));
+  }
+  if (channels < 1 || channels > 8) {
+    return InvalidArgumentError("channels out of range [1, 8]: " +
+                                std::to_string(channels));
+  }
+  if (!IsKnownEncoding(static_cast<uint8_t>(encoding))) {
+    return InvalidArgumentError("unknown encoding");
+  }
+  return OkStatus();
+}
+
+std::string AudioConfig::ToString() const {
+  std::ostringstream os;
+  os << sample_rate << "Hz/" << channels << "ch/"
+     << AudioEncodingName(encoding);
+  return os.str();
+}
+
+void AudioConfig::Serialize(ByteWriter* w) const {
+  w->WriteU32(static_cast<uint32_t>(sample_rate));
+  w->WriteU8(static_cast<uint8_t>(channels));
+  w->WriteU8(static_cast<uint8_t>(encoding));
+}
+
+Result<AudioConfig> AudioConfig::Deserialize(ByteReader* r) {
+  Result<uint32_t> rate = r->ReadU32();
+  if (!rate.ok()) {
+    return rate.status();
+  }
+  Result<uint8_t> channels = r->ReadU8();
+  if (!channels.ok()) {
+    return channels.status();
+  }
+  Result<uint8_t> enc = r->ReadU8();
+  if (!enc.ok()) {
+    return enc.status();
+  }
+  if (!IsKnownEncoding(*enc)) {
+    return DataLossError("unknown audio encoding on the wire: " +
+                         std::to_string(*enc));
+  }
+  AudioConfig config;
+  config.sample_rate = static_cast<int>(*rate);
+  config.channels = *channels;
+  config.encoding = static_cast<AudioEncoding>(*enc);
+  ESPK_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+}  // namespace espk

@@ -1,0 +1,86 @@
+// Audio stream configuration, mirroring the small set of standardized
+// parameters that OpenBSD's audio(4) exposes through AUDIO_SETINFO /
+// AUDIO_GETINFO ioctls: sample rate, channel count, and sample encoding.
+// The paper's key observation (§2.1) is that this set is small and well
+// defined — applications convert from arbitrary external formats down to
+// this vocabulary before the kernel ever sees the data.
+#ifndef SRC_AUDIO_FORMAT_H_
+#define SRC_AUDIO_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/base/time_types.h"
+
+namespace espk {
+
+// Sample encodings supported by the virtual audio device. A subset of the
+// AUDIO_ENCODING_* list in sys/audioio.h, covering the formats real players
+// emit: toll-quality companded telephony codecs plus linear PCM.
+enum class AudioEncoding : uint8_t {
+  kMulaw = 1,      // G.711 mu-law, 8 bits/sample.
+  kAlaw = 2,       // G.711 A-law, 8 bits/sample.
+  kLinearU8 = 3,   // Unsigned 8-bit linear PCM.
+  kLinearS16 = 4,  // Signed 16-bit little-endian linear PCM.
+  kLinearS24 = 5,  // Signed 24-bit little-endian linear PCM (3 bytes/sample).
+};
+
+std::string_view AudioEncodingName(AudioEncoding encoding);
+int BytesPerSample(AudioEncoding encoding);
+
+struct AudioConfig {
+  int sample_rate = 8000;
+  int channels = 1;
+  AudioEncoding encoding = AudioEncoding::kMulaw;
+
+  int bytes_per_frame() const { return BytesPerSample(encoding) * channels; }
+  int64_t bytes_per_second() const {
+    return static_cast<int64_t>(bytes_per_frame()) * sample_rate;
+  }
+  double bits_per_second() const {
+    return static_cast<double>(bytes_per_second()) * 8.0;
+  }
+
+  // Conversions between byte counts, frame counts, and durations.
+  int64_t BytesToFrames(int64_t bytes) const {
+    return bytes / bytes_per_frame();
+  }
+  int64_t FramesToBytes(int64_t frames) const {
+    return frames * bytes_per_frame();
+  }
+  SimDuration BytesToDuration(int64_t bytes) const {
+    return FramesToDuration(BytesToFrames(bytes), sample_rate);
+  }
+  int64_t DurationToBytes(SimDuration d) const {
+    return FramesToBytes(DurationToFrames(d, sample_rate));
+  }
+
+  Status Validate() const;
+  std::string ToString() const;
+
+  bool operator==(const AudioConfig& other) const = default;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<AudioConfig> Deserialize(ByteReader* r);
+
+  // 44.1 kHz 16-bit stereo — the "CD-quality stream" of the paper's
+  // experiments (~1.41 Mbps raw, ~1.3 Mbps of payload on the wire).
+  static AudioConfig CdQuality() {
+    return AudioConfig{44100, 2, AudioEncoding::kLinearS16};
+  }
+  // 8 kHz mu-law mono — a low-bitrate voice/announcement channel (64 kbps),
+  // the kind the paper sends uncompressed (§2.2).
+  static AudioConfig PhoneQuality() {
+    return AudioConfig{8000, 1, AudioEncoding::kMulaw};
+  }
+  // 22.05 kHz 16-bit mono — a mid-rate channel for crossover experiments.
+  static AudioConfig MidQuality() {
+    return AudioConfig{22050, 1, AudioEncoding::kLinearS16};
+  }
+};
+
+}  // namespace espk
+
+#endif  // SRC_AUDIO_FORMAT_H_

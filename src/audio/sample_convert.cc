@@ -1,0 +1,171 @@
+#include "src/audio/sample_convert.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace espk {
+
+namespace {
+constexpr int kMulawBias = 0x84;  // 132
+constexpr int kMulawClip = 32635;
+}  // namespace
+
+uint8_t LinearToMulaw(int16_t sample) {
+  int sign = (sample >> 8) & 0x80;
+  int value = sample;
+  if (sign != 0) {
+    value = -value;
+  }
+  value = std::min(value, kMulawClip);
+  value += kMulawBias;
+  int exponent = 7;
+  for (int mask = 0x4000; (value & mask) == 0 && exponent > 0; mask >>= 1) {
+    --exponent;
+  }
+  int mantissa = (value >> (exponent + 3)) & 0x0F;
+  auto mulaw = static_cast<uint8_t>(~(sign | (exponent << 4) | mantissa));
+  return mulaw;
+}
+
+int16_t MulawToLinear(uint8_t mulaw) {
+  mulaw = static_cast<uint8_t>(~mulaw);
+  int sign = mulaw & 0x80;
+  int exponent = (mulaw >> 4) & 0x07;
+  int mantissa = mulaw & 0x0F;
+  int value = ((mantissa << 3) + kMulawBias) << exponent;
+  value -= kMulawBias;
+  return static_cast<int16_t>(sign != 0 ? -value : value);
+}
+
+uint8_t LinearToAlaw(int16_t sample) {
+  int sign = ((~sample) >> 8) & 0x80;  // A-law sign bit: 1 for positive.
+  int value = sample;
+  if (sign == 0) {
+    value = -value - 1;  // Negative values (two's complement safe for -32768).
+  }
+  value = std::min(value, 32635);
+  uint8_t alaw;
+  if (value >= 256) {
+    int exponent = 7;
+    for (int mask = 0x4000; (value & mask) == 0 && exponent > 1; mask >>= 1) {
+      --exponent;
+    }
+    int mantissa = (value >> (exponent + 3)) & 0x0F;
+    alaw = static_cast<uint8_t>((exponent << 4) | mantissa);
+  } else {
+    alaw = static_cast<uint8_t>(value >> 4);
+  }
+  return static_cast<uint8_t>((alaw ^ 0x55) | sign);
+}
+
+int16_t AlawToLinear(uint8_t alaw) {
+  alaw ^= 0x55;
+  int sign = alaw & 0x80;
+  int exponent = (alaw >> 4) & 0x07;
+  int mantissa = alaw & 0x0F;
+  int value;
+  if (exponent >= 1) {
+    value = ((mantissa << 4) + 0x108) << (exponent - 1);
+  } else {
+    value = (mantissa << 4) + 8;
+  }
+  return static_cast<int16_t>(sign != 0 ? value : -value);
+}
+
+int16_t FloatToS16(float x) {
+  x = std::clamp(x, -1.0f, 1.0f);
+  // Symmetric with S16ToFloat's /32768 so a round trip loses at most half an
+  // LSB (full-scale +1.0 clamps to 32767).
+  auto v = static_cast<int32_t>(std::lrintf(x * 32768.0f));
+  return static_cast<int16_t>(std::clamp(v, -32768, 32767));
+}
+
+float S16ToFloat(int16_t x) { return static_cast<float>(x) / 32768.0f; }
+
+std::vector<float> DecodeToFloat(const Bytes& data, AudioEncoding encoding) {
+  const int bps = BytesPerSample(encoding);
+  const size_t n = data.size() / static_cast<size_t>(bps);
+  std::vector<float> out(n);
+  switch (encoding) {
+    case AudioEncoding::kMulaw:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = S16ToFloat(MulawToLinear(data[i]));
+      }
+      break;
+    case AudioEncoding::kAlaw:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = S16ToFloat(AlawToLinear(data[i]));
+      }
+      break;
+    case AudioEncoding::kLinearU8:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (static_cast<float>(data[i]) - 128.0f) / 128.0f;
+      }
+      break;
+    case AudioEncoding::kLinearS16:
+      for (size_t i = 0; i < n; ++i) {
+        auto v = static_cast<int16_t>(
+            static_cast<uint16_t>(data[2 * i]) |
+            (static_cast<uint16_t>(data[2 * i + 1]) << 8));
+        out[i] = S16ToFloat(v);
+      }
+      break;
+    case AudioEncoding::kLinearS24:
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t raw = static_cast<uint32_t>(data[3 * i]) |
+                       (static_cast<uint32_t>(data[3 * i + 1]) << 8) |
+                       (static_cast<uint32_t>(data[3 * i + 2]) << 16);
+        // Sign-extend 24 -> 32 bits.
+        auto v = static_cast<int32_t>(raw << 8) >> 8;
+        out[i] = static_cast<float>(v) / 8388608.0f;
+      }
+      break;
+  }
+  return out;
+}
+
+Bytes EncodeFromFloat(const std::vector<float>& samples,
+                      AudioEncoding encoding) {
+  const int bps = BytesPerSample(encoding);
+  Bytes out;
+  out.reserve(samples.size() * static_cast<size_t>(bps));
+  switch (encoding) {
+    case AudioEncoding::kMulaw:
+      for (float s : samples) {
+        out.push_back(LinearToMulaw(FloatToS16(s)));
+      }
+      break;
+    case AudioEncoding::kAlaw:
+      for (float s : samples) {
+        out.push_back(LinearToAlaw(FloatToS16(s)));
+      }
+      break;
+    case AudioEncoding::kLinearU8:
+      for (float s : samples) {
+        float clamped = std::clamp(s, -1.0f, 1.0f);
+        auto v = static_cast<int>(std::lrintf(clamped * 128.0f)) + 128;
+        out.push_back(static_cast<uint8_t>(std::clamp(v, 0, 255)));
+      }
+      break;
+    case AudioEncoding::kLinearS16:
+      for (float s : samples) {
+        int16_t v = FloatToS16(s);
+        out.push_back(static_cast<uint8_t>(v & 0xff));
+        out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+      }
+      break;
+    case AudioEncoding::kLinearS24:
+      for (float s : samples) {
+        float clamped = std::clamp(s, -1.0f, 1.0f);
+        auto v = static_cast<int32_t>(std::lrint(clamped * 8388607.0));
+        v = std::clamp(v, -8388608, 8388607);
+        out.push_back(static_cast<uint8_t>(v & 0xff));
+        out.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+        out.push_back(static_cast<uint8_t>((v >> 16) & 0xff));
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace espk

@@ -1,0 +1,38 @@
+// Sample-level conversions between the wire encodings (audio(4) formats) and
+// the float32 [-1, 1] samples the DSP/codec layers work in. Includes G.711
+// mu-law and A-law companders implemented from the ITU-T specification.
+#ifndef SRC_AUDIO_SAMPLE_CONVERT_H_
+#define SRC_AUDIO_SAMPLE_CONVERT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/audio/format.h"
+#include "src/base/bytes.h"
+
+namespace espk {
+
+// G.711 mu-law <-> 16-bit linear.
+uint8_t LinearToMulaw(int16_t sample);
+int16_t MulawToLinear(uint8_t mulaw);
+
+// G.711 A-law <-> 16-bit linear.
+uint8_t LinearToAlaw(int16_t sample);
+int16_t AlawToLinear(uint8_t alaw);
+
+// Decodes interleaved bytes in `encoding` into float samples in [-1, 1].
+// `data.size()` must be a multiple of BytesPerSample(encoding); trailing
+// partial samples are ignored.
+std::vector<float> DecodeToFloat(const Bytes& data, AudioEncoding encoding);
+
+// Encodes float samples (clamped to [-1, 1]) into interleaved bytes.
+Bytes EncodeFromFloat(const std::vector<float>& samples,
+                      AudioEncoding encoding);
+
+// Float <-> int16 helpers used throughout the codec.
+int16_t FloatToS16(float x);
+float S16ToFloat(int16_t x);
+
+}  // namespace espk
+
+#endif  // SRC_AUDIO_SAMPLE_CONVERT_H_

@@ -1,0 +1,143 @@
+#include "src/audio/wav.h"
+
+#include <cstdio>
+
+#include "src/audio/sample_convert.h"
+#include "src/base/bytes.h"
+
+namespace espk {
+
+Bytes EncodeWav(const PcmBuffer& pcm) {
+  Bytes pcm_bytes = EncodeFromFloat(pcm.samples, AudioEncoding::kLinearS16);
+  ByteWriter w;
+  const uint32_t data_size = static_cast<uint32_t>(pcm_bytes.size());
+  const auto channels = static_cast<uint16_t>(pcm.channels);
+  const auto rate = static_cast<uint32_t>(pcm.sample_rate);
+  const uint16_t bits = 16;
+  const uint32_t byte_rate = rate * channels * (bits / 8);
+  const auto block_align = static_cast<uint16_t>(channels * (bits / 8));
+
+  w.WriteBytes(reinterpret_cast<const uint8_t*>("RIFF"), 4);
+  w.WriteU32(36 + data_size);
+  w.WriteBytes(reinterpret_cast<const uint8_t*>("WAVE"), 4);
+  w.WriteBytes(reinterpret_cast<const uint8_t*>("fmt "), 4);
+  w.WriteU32(16);          // fmt chunk size.
+  w.WriteU16(1);           // PCM.
+  w.WriteU16(channels);
+  w.WriteU32(rate);
+  w.WriteU32(byte_rate);
+  w.WriteU16(block_align);
+  w.WriteU16(bits);
+  w.WriteBytes(reinterpret_cast<const uint8_t*>("data"), 4);
+  w.WriteU32(data_size);
+  w.WriteBytes(pcm_bytes);
+  return w.TakeBytes();
+}
+
+Result<PcmBuffer> DecodeWav(const Bytes& wav) {
+  ByteReader r(wav);
+  Result<Bytes> riff = r.ReadBytes(4);
+  if (!riff.ok() || std::string(riff->begin(), riff->end()) != "RIFF") {
+    return DataLossError("not a RIFF file");
+  }
+  if (Result<uint32_t> size = r.ReadU32(); !size.ok()) {
+    return size.status();
+  }
+  Result<Bytes> wave = r.ReadBytes(4);
+  if (!wave.ok() || std::string(wave->begin(), wave->end()) != "WAVE") {
+    return DataLossError("not a WAVE file");
+  }
+
+  int channels = 0;
+  int rate = 0;
+  int bits = 0;
+  Bytes data;
+  bool have_fmt = false;
+  bool have_data = false;
+  while (!r.empty() && (!have_fmt || !have_data)) {
+    Result<Bytes> tag_bytes = r.ReadBytes(4);
+    Result<uint32_t> chunk_size =
+        tag_bytes.ok() ? r.ReadU32() : Result<uint32_t>(tag_bytes.status());
+    if (!chunk_size.ok()) {
+      return DataLossError("truncated WAV chunk header");
+    }
+    std::string tag(tag_bytes->begin(), tag_bytes->end());
+    if (tag == "fmt ") {
+      Result<uint16_t> format = r.ReadU16();
+      Result<uint16_t> ch = r.ReadU16();
+      Result<uint32_t> sr = r.ReadU32();
+      Result<uint32_t> byte_rate = r.ReadU32();
+      Result<uint16_t> block_align = r.ReadU16();
+      Result<uint16_t> bps = r.ReadU16();
+      if (!bps.ok()) {
+        return DataLossError("truncated fmt chunk");
+      }
+      (void)byte_rate;
+      (void)block_align;
+      if (*format != 1 || *bps != 16) {
+        return UnimplementedError("only 16-bit PCM WAV is supported");
+      }
+      channels = *ch;
+      rate = static_cast<int>(*sr);
+      bits = *bps;
+      have_fmt = true;
+      if (*chunk_size > 16) {
+        if (Result<Bytes> skip = r.ReadBytes(*chunk_size - 16); !skip.ok()) {
+          return skip.status();
+        }
+      }
+    } else if (tag == "data") {
+      Result<Bytes> body = r.ReadBytes(*chunk_size);
+      if (!body.ok()) {
+        return DataLossError("truncated data chunk");
+      }
+      data = std::move(*body);
+      have_data = true;
+    } else {
+      // Skip unknown chunk (word-aligned).
+      uint32_t skip = *chunk_size + (*chunk_size & 1);
+      if (Result<Bytes> skipped = r.ReadBytes(skip); !skipped.ok()) {
+        return skipped.status();
+      }
+    }
+  }
+  if (!have_fmt || !have_data || channels == 0 || bits != 16) {
+    return DataLossError("WAV missing fmt or data chunk");
+  }
+  PcmBuffer pcm;
+  pcm.channels = channels;
+  pcm.sample_rate = rate;
+  pcm.samples = DecodeToFloat(data, AudioEncoding::kLinearS16);
+  return pcm;
+}
+
+Status WriteWavFile(const std::string& path, const PcmBuffer& pcm) {
+  Bytes image = EncodeWav(pcm);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError("cannot open for writing: " + path);
+  }
+  size_t written = std::fwrite(image.data(), 1, image.size(), f);
+  std::fclose(f);
+  if (written != image.size()) {
+    return DataLossError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+Result<PcmBuffer> ReadWavFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return UnavailableError("cannot open for reading: " + path);
+  }
+  Bytes image;
+  uint8_t buf[65536];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    image.insert(image.end(), buf, buf + got);
+  }
+  std::fclose(f);
+  return DecodeWav(image);
+}
+
+}  // namespace espk

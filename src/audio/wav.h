@@ -1,0 +1,27 @@
+// Minimal RIFF/WAVE reader and writer (16-bit PCM). Used by the examples to
+// persist what a speaker actually played ("time shifting", §2.1/§3.3) and to
+// feed file-based content through the virtual audio device.
+#ifndef SRC_AUDIO_WAV_H_
+#define SRC_AUDIO_WAV_H_
+
+#include <string>
+
+#include "src/audio/pcm.h"
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+// Encodes `pcm` as a 16-bit PCM WAV image in memory.
+Bytes EncodeWav(const PcmBuffer& pcm);
+
+// Parses a 16-bit PCM WAV image.
+Result<PcmBuffer> DecodeWav(const Bytes& wav);
+
+// File convenience wrappers.
+Status WriteWavFile(const std::string& path, const PcmBuffer& pcm);
+Result<PcmBuffer> ReadWavFile(const std::string& path);
+
+}  // namespace espk
+
+#endif  // SRC_AUDIO_WAV_H_

@@ -1,0 +1,127 @@
+#include "src/base/bytes.h"
+
+namespace espk {
+
+void ByteWriter::WriteU16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<uint8_t>((v >> 8) & 0xff));
+}
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void ByteWriter::WriteF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteBytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteWriter::WriteLengthPrefixed(const Bytes& data) {
+  WriteU32(static_cast<uint32_t>(data.size()));
+  WriteBytes(data);
+}
+
+void ByteWriter::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Result<uint8_t> ByteReader::ReadU8() {
+  if (!Ensure(1)) {
+    return OutOfRangeError("ReadU8 past end of buffer");
+  }
+  return data_[pos_++];
+}
+
+Result<uint16_t> ByteReader::ReadU16() {
+  if (!Ensure(2)) {
+    return OutOfRangeError("ReadU16 past end of buffer");
+  }
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::ReadU32() {
+  if (!Ensure(4)) {
+    return OutOfRangeError("ReadU32 past end of buffer");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::ReadU64() {
+  if (!Ensure(8)) {
+    return OutOfRangeError("ReadU64 past end of buffer");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::ReadI64() {
+  Result<uint64_t> v = ReadU64();
+  if (!v.ok()) {
+    return v.status();
+  }
+  return static_cast<int64_t>(*v);
+}
+
+Result<double> ByteReader::ReadF64() {
+  Result<uint64_t> bits = ReadU64();
+  if (!bits.ok()) {
+    return bits.status();
+  }
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+Result<Bytes> ByteReader::ReadBytes(size_t len) {
+  if (!Ensure(len)) {
+    return OutOfRangeError("ReadBytes past end of buffer");
+  }
+  Bytes out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+Result<Bytes> ByteReader::ReadLengthPrefixed() {
+  Result<uint32_t> len = ReadU32();
+  if (!len.ok()) {
+    return len.status();
+  }
+  return ReadBytes(*len);
+}
+
+Result<std::string> ByteReader::ReadString() {
+  Result<Bytes> raw = ReadLengthPrefixed();
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  return std::string(raw->begin(), raw->end());
+}
+
+}  // namespace espk

@@ -1,0 +1,82 @@
+// Endian-explicit byte serialization. All Ethernet Speaker wire formats are
+// little-endian (the prototype ran on i386 thin clients; we make the choice
+// explicit so the SPARC-vs-i386 interop the paper tested is a non-issue).
+#ifndef SRC_BASE_BYTES_H_
+#define SRC_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace espk {
+
+using Bytes = std::vector<uint8_t>;
+
+// Appends fixed-width little-endian integers and length-prefixed blobs to a
+// growing buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  void WriteU16(uint16_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteF64(double v);
+
+  // Raw bytes, no length prefix.
+  void WriteBytes(const uint8_t* data, size_t len);
+  void WriteBytes(const Bytes& data) { WriteBytes(data.data(), data.size()); }
+
+  // u32 length prefix followed by the bytes.
+  void WriteLengthPrefixed(const Bytes& data);
+  void WriteString(std::string_view s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Consumes the formats ByteWriter produces. All reads are bounds-checked;
+// a read past the end returns OUT_OF_RANGE and leaves the cursor unchanged.
+class ByteReader {
+ public:
+  explicit ByteReader(const uint8_t* data, size_t len)
+      : data_(data), len_(len) {}
+  explicit ByteReader(const Bytes& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint16_t> ReadU16();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+
+  Result<Bytes> ReadBytes(size_t len);
+  Result<Bytes> ReadLengthPrefixed();
+  Result<std::string> ReadString();
+
+  size_t remaining() const { return len_ - pos_; }
+  size_t position() const { return pos_; }
+  bool empty() const { return pos_ >= len_; }
+
+ private:
+  bool Ensure(size_t n) const { return pos_ + n <= len_; }
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_BYTES_H_

@@ -1,0 +1,34 @@
+// Real (host) CPU-time measurement, used only by experiments that reproduce
+// the paper's CPU-cost figures (Figure 4): simulated time tells us *when*
+// things happen; this tells us what the codec actually costs to run.
+#ifndef SRC_BASE_CPU_CLOCK_H_
+#define SRC_BASE_CPU_CLOCK_H_
+
+#include <ctime>
+
+namespace espk {
+
+// CPU seconds consumed by this process so far.
+inline double ProcessCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// Accumulates CPU time across scoped sections.
+class CpuAccumulator {
+ public:
+  void Begin() { start_ = ProcessCpuSeconds(); }
+  void End() { total_ += ProcessCpuSeconds() - start_; }
+  double total_seconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  double start_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_CPU_CLOCK_H_

@@ -1,0 +1,49 @@
+#include "src/base/crc32.h"
+
+#include <array>
+
+namespace espk {
+
+namespace {
+
+// Table for the reflected IEEE 802.3 polynomial 0xEDB88320.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t len) {
+  const auto& table = Table();
+  for (size_t i = 0; i < len; ++i) {
+    state = table[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32Final(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  return Crc32Final(Crc32Update(Crc32Init(), data, len));
+}
+
+uint32_t Crc32(const std::vector<uint8_t>& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace espk

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Every Ethernet Speaker wire
+// packet carries a CRC so a speaker can cheaply discard corrupted or
+// truncated datagrams before any further parsing (§5.1 integrity checks).
+#ifndef SRC_BASE_CRC32_H_
+#define SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace espk {
+
+// CRC of a whole buffer.
+uint32_t Crc32(const uint8_t* data, size_t len);
+uint32_t Crc32(const std::vector<uint8_t>& data);
+
+// Incremental interface: crc = Crc32Update(crc, chunk) chained over chunks,
+// starting from Crc32Init() and finished with Crc32Final().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t len);
+uint32_t Crc32Final(uint32_t state);
+
+}  // namespace espk
+
+#endif  // SRC_BASE_CRC32_H_

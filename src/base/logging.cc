@@ -1,0 +1,51 @@
+#include "src/base/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+
+namespace espk {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
+LogLevel GetLogThreshold() { return g_threshold.load(); }
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_threshold.load() && level != LogLevel::kNone),
+      level_(level),
+      file_(file),
+      line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) {
+    return;
+  }
+  std::cerr << "[" << LogLevelName(level_) << " " << Basename(file_) << ":"
+            << line_ << "] " << stream_.str() << "\n";
+}
+
+}  // namespace espk

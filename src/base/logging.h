@@ -1,0 +1,57 @@
+// Minimal leveled logger. Log lines go to stderr; the threshold is a process
+// global so tests can silence info spew. Usage:
+//   ESPK_LOG(kInfo) << "speaker " << id << " joined channel " << ch;
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace espk {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  // Setting the threshold to kNone silences all logging.
+  kNone = 4,
+};
+
+// Process-wide minimum level that will be emitted. Defaults to kWarning so
+// tests and benches stay quiet unless something is wrong.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+std::string_view LogLevelName(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace espk
+
+#define ESPK_LOG(severity) \
+  ::espk::LogMessage(::espk::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // SRC_BASE_LOGGING_H_

@@ -1,0 +1,36 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed —
+// network loss/jitter models, noise generators, security key material in
+// tests. Seeded explicitly so every experiment is reproducible.
+#ifndef SRC_BASE_PRNG_H_
+#define SRC_BASE_PRNG_H_
+
+#include <cstdint>
+
+namespace espk {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed);
+
+  // Uniform on [0, 2^64).
+  uint64_t NextU64();
+  // Uniform on [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform on [0.0, 1.0).
+  double NextDouble();
+  // Uniform on [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi);
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+  // True with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_PRNG_H_

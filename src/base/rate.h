@@ -1,0 +1,55 @@
+// Rate accounting helpers. TokenBucket models link bandwidth in the LAN
+// simulation; RateMeter turns byte counts into bits-per-second readings for
+// the bandwidth experiments (C1, C6).
+#ifndef SRC_BASE_RATE_H_
+#define SRC_BASE_RATE_H_
+
+#include <cstdint>
+
+#include "src/base/time_types.h"
+
+namespace espk {
+
+// Classic token bucket: `rate_bytes_per_sec` sustained, `burst_bytes` depth.
+// Used to model a link's transmit capacity on the simulated clock.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes);
+
+  // True if `bytes` tokens are available at time `now` (and consumes them).
+  bool TryConsume(SimTime now, double bytes);
+
+  // Earliest time at which `bytes` tokens will be available, assuming no
+  // intervening consumption. Never earlier than `now`.
+  SimTime NextAvailable(SimTime now, double bytes) const;
+
+  double rate_bytes_per_sec() const { return rate_; }
+
+ private:
+  void Refill(SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+};
+
+// Accumulates byte counts over a window and reports average bits/second.
+class RateMeter {
+ public:
+  void Record(SimTime now, uint64_t bytes);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  // Average over [first_record, last_record]; 0 if fewer than 2 records.
+  double average_bps() const;
+
+ private:
+  uint64_t total_bytes_ = 0;
+  SimTime first_ = 0;
+  SimTime last_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_RATE_H_

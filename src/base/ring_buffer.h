@@ -1,0 +1,63 @@
+// Fixed-capacity byte ring buffer. This is the same structure OpenBSD's
+// hardware-independent audio driver keeps between the writing process and the
+// low-level driver (audio(9)); the simulated kernel, the jitter buffer, and
+// the playback device all build on it. Not thread-safe: the simulation is
+// single-threaded by design, and the real-transport paths guard it
+// externally.
+#ifndef SRC_BASE_RING_BUFFER_H_
+#define SRC_BASE_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace espk {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity);
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const { return size_; }
+  size_t free_space() const { return capacity() - size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity(); }
+
+  // Copies up to `len` bytes in; returns the number actually written
+  // (short write when the buffer fills).
+  size_t Write(const uint8_t* data, size_t len);
+  size_t Write(const std::vector<uint8_t>& data) {
+    return Write(data.data(), data.size());
+  }
+
+  // Copies up to `len` bytes out; returns the number actually read.
+  size_t Read(uint8_t* out, size_t len);
+  // Convenience: reads up to `len` bytes into a fresh vector.
+  std::vector<uint8_t> ReadUpTo(size_t len);
+
+  // Reads without consuming.
+  size_t Peek(uint8_t* out, size_t len) const;
+
+  // Discards up to `len` bytes from the front; returns the number discarded.
+  size_t Drop(size_t len);
+
+  void Clear();
+
+  // Resizes the buffer, preserving as much of the newest data as fits.
+  void SetCapacity(size_t capacity);
+
+  // Lifetime counters, for overflow/underflow accounting in experiments.
+  uint64_t total_written() const { return total_written_; }
+  uint64_t total_read() const { return total_read_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t head_ = 0;  // Next byte to read.
+  size_t size_ = 0;
+  uint64_t total_written_ = 0;
+  uint64_t total_read_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_RING_BUFFER_H_

@@ -1,0 +1,103 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace espk {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+std::string RunningStats::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo),
+      hi_(hi),
+      bucket_width_((hi - lo) / buckets),
+      buckets_(static_cast<size_t>(buckets), 0) {
+  assert(hi > lo && buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, buckets_.size() - 1);
+  ++buckets_[idx];
+}
+
+double Histogram::Percentile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) {
+    return lo_;
+  }
+  double target = q * static_cast<double>(count_);
+  double seen = static_cast<double>(underflow_);
+  if (seen >= target) {
+    return lo_;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double next = seen + static_cast<double>(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      double frac = (target - seen) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+    }
+    seen = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::Render(int max_width) const {
+  int64_t peak = 1;
+  for (int64_t b : buckets_) {
+    peak = std::max(peak, b);
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    double lo = lo_ + static_cast<double>(i) * bucket_width_;
+    auto width = static_cast<int>(buckets_[i] * max_width / peak);
+    os << lo << "\t" << std::string(static_cast<size_t>(width), '#') << " "
+       << buckets_[i] << "\n";
+  }
+  if (underflow_ > 0) {
+    os << "(underflow " << underflow_ << ")\n";
+  }
+  if (overflow_ > 0) {
+    os << "(overflow " << overflow_ << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace espk

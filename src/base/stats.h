@@ -1,0 +1,68 @@
+// Streaming statistics helpers used by tests and the benchmark harness:
+// RunningStats (Welford mean/variance, min/max) and a fixed-bucket Histogram
+// with percentile queries.
+#ifndef SRC_BASE_STATS_H_
+#define SRC_BASE_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace espk {
+
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+  // "n=42 mean=1.23 sd=0.4 min=0.9 max=2.1"
+  std::string Summary() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over [lo, hi) with uniform buckets; out-of-range samples land in
+// saturating under/overflow buckets and still count toward percentiles.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+  int64_t count() const { return count_; }
+
+  // Value at quantile q in [0,1], linearly interpolated within the bucket.
+  double Percentile(double q) const;
+
+  // One bar per line, for quick terminal inspection.
+  std::string Render(int max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<int64_t> buckets_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_STATS_H_

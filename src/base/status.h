@@ -1,0 +1,136 @@
+// Lightweight Status / Result error-handling vocabulary used across the
+// Ethernet Speaker codebase. Modeled after absl::Status but self-contained:
+// a Status carries a code and a message; Result<T> carries either a value or
+// a non-OK Status.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace espk {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kResourceExhausted,
+  kUnavailable,
+  kDataLoss,
+  kPermissionDenied,
+  kDeadlineExceeded,
+  kInternal,
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: why it failed".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T>: value-or-error. Accessing value() on an error aborts (assert),
+// so callers must check ok() first or use value_or().
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return InvalidArgumentError(...)`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error Result");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error Result");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error Result");
+    return std::get<T>(std::move(data_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// RETURN_IF_ERROR(expr): early-return the Status if expr is non-OK.
+#define ESPK_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::espk::Status espk_status__ = (expr);  \
+    if (!espk_status__.ok()) {              \
+      return espk_status__;                 \
+    }                                       \
+  } while (false)
+
+}  // namespace espk
+
+#endif  // SRC_BASE_STATUS_H_

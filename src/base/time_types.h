@@ -1,0 +1,48 @@
+// Time vocabulary shared by the simulation engine, the audio stack, and the
+// wire protocol. Simulated time is a 64-bit count of nanoseconds since the
+// start of the simulation; durations use the same unit. Keeping these as
+// strong-ish typedefs (distinct helper functions rather than raw arithmetic
+// at call sites) avoids unit mistakes between samples, bytes, and time.
+#ifndef SRC_BASE_TIME_TYPES_H_
+#define SRC_BASE_TIME_TYPES_H_
+
+#include <cstdint>
+
+namespace espk {
+
+// Nanoseconds since simulation start.
+using SimTime = int64_t;
+// Nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr SimDuration Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSecondsF(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillisecondsF(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+// Duration of `frames` audio frames at `sample_rate` Hz, rounded to the
+// nearest nanosecond.
+constexpr SimDuration FramesToDuration(int64_t frames, int sample_rate) {
+  return (frames * kSecond + sample_rate / 2) / sample_rate;
+}
+
+// Number of whole audio frames that fit in `d` at `sample_rate` Hz.
+constexpr int64_t DurationToFrames(SimDuration d, int sample_rate) {
+  return d * sample_rate / kSecond;
+}
+
+}  // namespace espk
+
+#endif  // SRC_BASE_TIME_TYPES_H_

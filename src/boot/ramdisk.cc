@@ -1,0 +1,150 @@
+#include "src/boot/ramdisk.h"
+
+#include <sstream>
+
+namespace espk {
+
+void RamdiskFs::WriteFile(const std::string& path, Bytes contents) {
+  files_[path] = std::move(contents);
+}
+
+void RamdiskFs::WriteTextFile(const std::string& path,
+                              const std::string& text) {
+  files_[path] = Bytes(text.begin(), text.end());
+}
+
+Result<Bytes> RamdiskFs::ReadFile(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError("no such file: " + path);
+  }
+  return it->second;
+}
+
+Result<std::string> RamdiskFs::ReadTextFile(const std::string& path) const {
+  Result<Bytes> contents = ReadFile(path);
+  if (!contents.ok()) {
+    return contents.status();
+  }
+  return std::string(contents->begin(), contents->end());
+}
+
+bool RamdiskFs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> RamdiskFs::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, contents] : files_) {
+    if (path.rfind(prefix, 0) == 0) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+Status RamdiskFs::OverlayTar(const Bytes& tar_archive) {
+  Result<FileMap> extracted = ExtractTar(tar_archive);
+  if (!extracted.ok()) {
+    return extracted.status();
+  }
+  for (auto& [path, contents] : *extracted) {
+    files_[path] = std::move(contents);
+  }
+  return OkStatus();
+}
+
+Bytes RamdiskImage::Serialize() const {
+  ByteWriter w;
+  w.WriteU32(version);
+  w.WriteU32(static_cast<uint32_t>(root_fs.size()));
+  for (const auto& [path, contents] : root_fs) {
+    w.WriteString(path);
+    w.WriteLengthPrefixed(contents);
+  }
+  return w.TakeBytes();
+}
+
+Result<RamdiskImage> RamdiskImage::Deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  Result<uint32_t> version = r.ReadU32();
+  Result<uint32_t> count =
+      version.ok() ? r.ReadU32() : Result<uint32_t>(version.status());
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > 100000) {
+    return DataLossError("implausible ramdisk file count");
+  }
+  RamdiskImage image;
+  image.version = *version;
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<std::string> path = r.ReadString();
+    if (!path.ok()) {
+      return path.status();
+    }
+    Result<Bytes> contents = r.ReadLengthPrefixed();
+    if (!contents.ok()) {
+      return contents.status();
+    }
+    image.root_fs[*path] = std::move(*contents);
+  }
+  return image;
+}
+
+RamdiskImage BuildStandardEsImage(const Bytes& boot_server_key_fingerprint) {
+  RamdiskImage image;
+  image.version = 1;
+  RamdiskFs fs;
+  // Programs common to every ES (contents are placeholders standing in for
+  // the binaries in the real ramdisk).
+  fs.WriteTextFile("bin/es-play", "#!/bin/sh\n# Ethernet Speaker player\n");
+  fs.WriteTextFile("bin/es-mgmtd", "#!/bin/sh\n# SNMP-ish agent\n");
+  fs.WriteTextFile("etc/rc",
+                   "#!/bin/sh\nfetch-config && es-mgmtd && es-play\n");
+  // Skeleton /etc: common defaults every machine starts from (§2.4).
+  fs.WriteTextFile("etc/espk.conf",
+                   "# skeleton defaults\n"
+                   "channel_group=16\n"
+                   "volume=1.0\n"
+                   "sync_epsilon_ms=20\n"
+                   "decode_speed_factor=0.25\n");
+  fs.WriteTextFile("etc/hostname", "es-unnamed\n");
+  // The boot server's key, baked into the image so the config fetch can be
+  // verified ("the boot server's ssh public keys are stored in the
+  // ramdisk").
+  fs.WriteFile("etc/ssh/boot_server_key.pub", boot_server_key_fingerprint);
+  image.root_fs = fs.files();
+  return image;
+}
+
+std::map<std::string, std::string> ParseConfigFile(const std::string& text) {
+  std::map<std::string, std::string> config;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    // Strip comments and surrounding whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    auto trim = [](std::string s) {
+      size_t begin = s.find_first_not_of(" \t\r");
+      size_t end = s.find_last_not_of(" \t\r");
+      return begin == std::string::npos ? std::string()
+                                        : s.substr(begin, end - begin + 1);
+    };
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (!key.empty()) {
+      config[key] = value;
+    }
+  }
+  return config;
+}
+
+}  // namespace espk

@@ -1,0 +1,154 @@
+#include "src/boot/tar.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace espk {
+
+namespace {
+
+constexpr size_t kBlockSize = 512;
+
+struct TarHeader {
+  char name[100];
+  char mode[8];
+  char uid[8];
+  char gid[8];
+  char size[12];
+  char mtime[12];
+  char chksum[8];
+  char typeflag;
+  char linkname[100];
+  char magic[6];
+  char version[2];
+  char uname[32];
+  char gname[32];
+  char devmajor[8];
+  char devminor[8];
+  char prefix[155];
+  char padding[12];
+};
+static_assert(sizeof(TarHeader) == kBlockSize, "tar header must be 512B");
+
+void WriteOctal(char* field, size_t width, uint64_t value) {
+  // width-1 octal digits + NUL.
+  std::snprintf(field, width, "%0*llo", static_cast<int>(width - 1),
+                static_cast<unsigned long long>(value));
+}
+
+uint32_t HeaderChecksum(const TarHeader& header) {
+  // Sum of all bytes with the checksum field treated as spaces.
+  TarHeader copy = header;
+  std::memset(copy.chksum, ' ', sizeof(copy.chksum));
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&copy);
+  uint32_t sum = 0;
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    sum += bytes[i];
+  }
+  return sum;
+}
+
+Result<uint64_t> ParseOctal(const char* field, size_t width) {
+  uint64_t value = 0;
+  bool any = false;
+  for (size_t i = 0; i < width; ++i) {
+    char c = field[i];
+    if (c == '\0' || c == ' ') {
+      if (any) {
+        break;
+      }
+      continue;
+    }
+    if (c < '0' || c > '7') {
+      return DataLossError("bad octal digit in tar header");
+    }
+    value = value * 8 + static_cast<uint64_t>(c - '0');
+    any = true;
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Bytes> CreateTar(const FileMap& files) {
+  Bytes archive;
+  for (const auto& [path, contents] : files) {
+    if (path.empty() || path.size() > 99) {
+      return InvalidArgumentError("tar path length unsupported: " + path);
+    }
+    TarHeader header;
+    std::memset(&header, 0, sizeof(header));
+    std::memcpy(header.name, path.data(), path.size());
+    WriteOctal(header.mode, sizeof(header.mode), 0644);
+    WriteOctal(header.uid, sizeof(header.uid), 0);
+    WriteOctal(header.gid, sizeof(header.gid), 0);
+    WriteOctal(header.size, sizeof(header.size), contents.size());
+    WriteOctal(header.mtime, sizeof(header.mtime), 0);
+    header.typeflag = '0';  // Regular file.
+    std::memcpy(header.magic, "ustar", 6);
+    std::memcpy(header.version, "00", 2);
+    uint32_t checksum = HeaderChecksum(header);
+    // Checksum: 6 octal digits, NUL, space.
+    std::snprintf(header.chksum, sizeof(header.chksum), "%06o",
+                  checksum);
+    header.chksum[6] = '\0';
+    header.chksum[7] = ' ';
+
+    const auto* header_bytes = reinterpret_cast<const uint8_t*>(&header);
+    archive.insert(archive.end(), header_bytes, header_bytes + kBlockSize);
+    archive.insert(archive.end(), contents.begin(), contents.end());
+    size_t remainder = contents.size() % kBlockSize;
+    if (remainder != 0) {
+      archive.insert(archive.end(), kBlockSize - remainder, 0);
+    }
+  }
+  // Two zero blocks terminate the archive.
+  archive.insert(archive.end(), 2 * kBlockSize, 0);
+  return archive;
+}
+
+Result<FileMap> ExtractTar(const Bytes& archive) {
+  FileMap files;
+  size_t pos = 0;
+  while (pos + kBlockSize <= archive.size()) {
+    TarHeader header;
+    std::memcpy(&header, archive.data() + pos, kBlockSize);
+    // All-zero block: end of archive.
+    bool all_zero = true;
+    for (size_t i = 0; i < kBlockSize; ++i) {
+      if (archive[pos + i] != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      return files;
+    }
+    if (std::memcmp(header.magic, "ustar", 5) != 0) {
+      return DataLossError("bad tar magic");
+    }
+    Result<uint64_t> stored_sum =
+        ParseOctal(header.chksum, sizeof(header.chksum));
+    if (!stored_sum.ok() || *stored_sum != HeaderChecksum(header)) {
+      return DataLossError("tar header checksum mismatch");
+    }
+    Result<uint64_t> size = ParseOctal(header.size, sizeof(header.size));
+    if (!size.ok()) {
+      return size.status();
+    }
+    pos += kBlockSize;
+    if (pos + *size > archive.size()) {
+      return DataLossError("tar file body truncated");
+    }
+    if (header.typeflag == '0' || header.typeflag == '\0') {
+      std::string name(header.name,
+                       strnlen(header.name, sizeof(header.name)));
+      files[name] = Bytes(archive.begin() + static_cast<long>(pos),
+                          archive.begin() + static_cast<long>(pos + *size));
+    }
+    pos += (*size + kBlockSize - 1) / kBlockSize * kBlockSize;
+  }
+  return DataLossError("tar archive missing end-of-archive blocks");
+}
+
+}  // namespace espk

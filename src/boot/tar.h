@@ -1,0 +1,28 @@
+// Minimal ustar (POSIX.1-1988 tar) archive reader/writer. The Ethernet
+// Speaker's machine-specific configuration travels as "a tar file that is
+// scp'd from a boot server" and is "expanded over the skeleton /etc
+// directory" (§2.4); this implements that format for the netboot
+// simulation, with header checksum validation on extraction.
+#ifndef SRC_BOOT_TAR_H_
+#define SRC_BOOT_TAR_H_
+
+#include <map>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+using FileMap = std::map<std::string, Bytes>;
+
+// Builds a ustar archive from path -> contents (regular files only; paths
+// up to 99 characters).
+Result<Bytes> CreateTar(const FileMap& files);
+
+// Parses a ustar archive; rejects bad magic, bad checksums, truncation.
+Result<FileMap> ExtractTar(const Bytes& archive);
+
+}  // namespace espk
+
+#endif  // SRC_BOOT_TAR_H_

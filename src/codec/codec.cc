@@ -1,0 +1,44 @@
+#include "src/codec/codec.h"
+
+#include "src/codec/raw_codec.h"
+#include "src/codec/vorbix.h"
+
+namespace espk {
+
+std::string_view CodecIdName(CodecId id) {
+  switch (id) {
+    case CodecId::kRaw:
+      return "raw";
+    case CodecId::kVorbix:
+      return "vorbix";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<AudioEncoder>> CreateEncoder(CodecId id,
+                                                    const AudioConfig& config,
+                                                    int quality) {
+  ESPK_RETURN_IF_ERROR(config.Validate());
+  switch (id) {
+    case CodecId::kRaw:
+      return std::unique_ptr<AudioEncoder>(new RawEncoder(config));
+    case CodecId::kVorbix:
+      return std::unique_ptr<AudioEncoder>(new VorbixEncoder(config, quality));
+  }
+  return InvalidArgumentError("unknown codec id");
+}
+
+Result<std::unique_ptr<AudioDecoder>> CreateDecoder(CodecId id,
+                                                    const AudioConfig& config,
+                                                    int quality) {
+  ESPK_RETURN_IF_ERROR(config.Validate());
+  switch (id) {
+    case CodecId::kRaw:
+      return std::unique_ptr<AudioDecoder>(new RawDecoder(config));
+    case CodecId::kVorbix:
+      return std::unique_ptr<AudioDecoder>(new VorbixDecoder(config, quality));
+  }
+  return InvalidArgumentError("unknown codec id");
+}
+
+}  // namespace espk

@@ -1,0 +1,68 @@
+// Codec abstraction for the audio payload of Ethernet Speaker data packets.
+//
+// The paper compresses high-bitrate channels with Ogg Vorbis and leaves
+// low-bitrate channels raw (§2.2). Vorbis itself is replaced here by
+// "Vorbix" (src/codec/vorbix_*), a from-scratch lossy MDCT transform codec
+// with the same architectural role: a psychoacoustic quality index, real
+// encoder CPU cost, and lossy quality/bitrate trade-off.
+//
+// Every encoded packet is self-contained: a speaker that tunes in mid-stream
+// (or loses a datagram) can decode any packet in isolation, which is what
+// makes the receive-only "radio" model of §2.3 work with a lossy codec.
+#ifndef SRC_CODEC_CODEC_H_
+#define SRC_CODEC_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/audio/format.h"
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+enum class CodecId : uint8_t {
+  kRaw = 0,     // Passthrough: wire bytes are the audio(4) encoding itself.
+  kVorbix = 1,  // Lossy MDCT transform codec.
+};
+
+std::string_view CodecIdName(CodecId id);
+
+class AudioEncoder {
+ public:
+  virtual ~AudioEncoder() = default;
+
+  // Encodes one packet's worth of interleaved float samples (any frame
+  // count >= 1) into a self-contained payload.
+  virtual Result<Bytes> EncodePacket(
+      const std::vector<float>& interleaved) = 0;
+
+  virtual CodecId id() const = 0;
+};
+
+class AudioDecoder {
+ public:
+  virtual ~AudioDecoder() = default;
+
+  // Decodes a self-contained payload back to interleaved float samples.
+  // Must tolerate corrupt input by returning an error, never by crashing
+  // (speakers feed network bytes straight in; §5.1).
+  virtual Result<std::vector<float>> DecodePacket(const Bytes& payload) = 0;
+
+  virtual CodecId id() const = 0;
+};
+
+// Factory functions. `quality` is the Vorbix quality index (0..10) and is
+// ignored by the raw codec.
+Result<std::unique_ptr<AudioEncoder>> CreateEncoder(CodecId id,
+                                                    const AudioConfig& config,
+                                                    int quality);
+Result<std::unique_ptr<AudioDecoder>> CreateDecoder(CodecId id,
+                                                    const AudioConfig& config,
+                                                    int quality);
+
+}  // namespace espk
+
+#endif  // SRC_CODEC_CODEC_H_

@@ -1,0 +1,24 @@
+#include "src/codec/raw_codec.h"
+
+#include "src/audio/sample_convert.h"
+
+namespace espk {
+
+Result<Bytes> RawEncoder::EncodePacket(const std::vector<float>& interleaved) {
+  if (interleaved.empty() ||
+      interleaved.size() % static_cast<size_t>(config_.channels) != 0) {
+    return InvalidArgumentError(
+        "raw encode: sample count not a multiple of channel count");
+  }
+  return EncodeFromFloat(interleaved, config_.encoding);
+}
+
+Result<std::vector<float>> RawDecoder::DecodePacket(const Bytes& payload) {
+  const auto frame_bytes = static_cast<size_t>(config_.bytes_per_frame());
+  if (payload.empty() || payload.size() % frame_bytes != 0) {
+    return DataLossError("raw decode: payload not a whole number of frames");
+  }
+  return DecodeToFloat(payload, config_.encoding);
+}
+
+}  // namespace espk

@@ -1,0 +1,36 @@
+// Passthrough codec: the wire payload is the stream's native audio(4)
+// encoding. This is the path the paper uses for low-bitrate channels, where
+// compression would add latency and sender CPU for little bandwidth gain
+// (§2.2, Figure 4 discussion).
+#ifndef SRC_CODEC_RAW_CODEC_H_
+#define SRC_CODEC_RAW_CODEC_H_
+
+#include "src/codec/codec.h"
+
+namespace espk {
+
+class RawEncoder : public AudioEncoder {
+ public:
+  explicit RawEncoder(const AudioConfig& config) : config_(config) {}
+
+  Result<Bytes> EncodePacket(const std::vector<float>& interleaved) override;
+  CodecId id() const override { return CodecId::kRaw; }
+
+ private:
+  AudioConfig config_;
+};
+
+class RawDecoder : public AudioDecoder {
+ public:
+  explicit RawDecoder(const AudioConfig& config) : config_(config) {}
+
+  Result<std::vector<float>> DecodePacket(const Bytes& payload) override;
+  CodecId id() const override { return CodecId::kRaw; }
+
+ private:
+  AudioConfig config_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_CODEC_RAW_CODEC_H_

@@ -1,0 +1,237 @@
+#include "src/codec/vorbix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/dsp/bitstream.h"
+#include "src/dsp/rice.h"
+
+namespace espk {
+
+namespace {
+// Quantized coefficients are clamped to 25 bits; in practice psychoacoustic
+// steps keep them far smaller, but corrupt/adversarial packets must not be
+// able to force huge unary runs (DoS resistance, §5.1).
+constexpr int32_t kMaxQuantMagnitude = 1 << 24;
+
+size_t Log2Exact(size_t v) {
+  size_t log = 0;
+  while ((size_t{1} << log) < v) {
+    ++log;
+  }
+  return log;
+}
+}  // namespace
+
+uint8_t QuantStepToIndex(double step) {
+  step = std::max(step, 1e-9);
+  double idx = std::round(std::log2(step) * 4.0) + 128.0;
+  return static_cast<uint8_t>(std::clamp(idx, 0.0, 255.0));
+}
+
+double IndexToQuantStep(uint8_t index) {
+  return std::exp2((static_cast<double>(index) - 128.0) / 4.0);
+}
+
+VorbixEncoder::VorbixEncoder(const AudioConfig& config, int quality)
+    : config_(config),
+      quality_(std::clamp(quality, kMinQuality, kMaxQuality)),
+      mdct_(kVorbixHalfLength),
+      layout_(MakeBandLayout(config.sample_rate, kVorbixHalfLength)) {}
+
+Result<Bytes> VorbixEncoder::EncodePacket(
+    const std::vector<float>& interleaved) {
+  const auto channels = static_cast<size_t>(config_.channels);
+  if (interleaved.empty() || interleaved.size() % channels != 0) {
+    return InvalidArgumentError(
+        "vorbix encode: sample count not a multiple of channel count");
+  }
+  const size_t frames = interleaved.size() / channels;
+  const size_t m = kVorbixHalfLength;
+  // Zero-pad so the TDAC chain reconstructs the packet exactly:
+  // [M zeros][signal, rounded up to a multiple of M][M zeros].
+  const size_t padded_frames = (frames + m - 1) / m * m;
+  const size_t total = padded_frames + 2 * m;
+  const size_t blocks = padded_frames / m + 1;
+  const bool use_ms = mid_side_ && channels == 2;
+
+  ByteWriter header;
+  header.WriteU16(kVorbixMagic);
+  header.WriteU8(kVorbixVersion);
+  header.WriteU8(static_cast<uint8_t>(quality_));
+  header.WriteU8(use_ms ? kVorbixFlagMidSide : 0);
+  header.WriteU8(static_cast<uint8_t>(channels));
+  header.WriteU8(static_cast<uint8_t>(Log2Exact(m)));
+  header.WriteU32(static_cast<uint32_t>(frames));
+
+  BitWriter bits;
+  std::vector<double> padded(total);
+  std::vector<double> slice(2 * m);
+  std::vector<int32_t> band_values;
+  for (size_t ch = 0; ch < channels; ++ch) {
+    std::fill(padded.begin(), padded.end(), 0.0);
+    if (use_ms) {
+      // Channel 0 carries mid=(L+R)/2, channel 1 side=(L-R)/2.
+      for (size_t f = 0; f < frames; ++f) {
+        double left = interleaved[f * 2];
+        double right = interleaved[f * 2 + 1];
+        padded[m + f] =
+            ch == 0 ? (left + right) * 0.5 : (left - right) * 0.5;
+      }
+    } else {
+      for (size_t f = 0; f < frames; ++f) {
+        padded[m + f] = interleaved[f * channels + ch];
+      }
+    }
+    for (size_t b = 0; b < blocks; ++b) {
+      std::copy(padded.begin() + static_cast<long>(b * m),
+                padded.begin() + static_cast<long>(b * m + 2 * m),
+                slice.begin());
+      std::vector<double> coeffs = mdct_.Forward(slice);
+      std::vector<double> steps = ComputeQuantSteps(
+          coeffs, layout_, config_.sample_rate, quality_);
+      for (size_t band = 0; band < layout_.num_bands(); ++band) {
+        uint8_t idx = QuantStepToIndex(steps[band]);
+        // Quantize with the step the decoder will reconstruct, not the
+        // ideal one, so round-trips are consistent.
+        double step = IndexToQuantStep(idx);
+        band_values.clear();
+        bool all_zero = true;
+        for (size_t i = layout_.band_begin[band];
+             i < layout_.band_begin[band + 1]; ++i) {
+          auto q = static_cast<int64_t>(std::llround(coeffs[i] / step));
+          q = std::clamp<int64_t>(q, -kMaxQuantMagnitude, kMaxQuantMagnitude);
+          all_zero = all_zero && q == 0;
+          band_values.push_back(static_cast<int32_t>(q));
+        }
+        // Bands quantized entirely to zero (masked or silent) cost one bit.
+        if (all_zero) {
+          bits.WriteBit(false);
+          continue;
+        }
+        bits.WriteBit(true);
+        bits.WriteBits(idx, 8);
+        RiceEncodeBlock(&bits, band_values);
+      }
+    }
+  }
+
+  Bytes out = header.TakeBytes();
+  Bytes payload = bits.Finish();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+VorbixDecoder::VorbixDecoder(const AudioConfig& config, int /*quality*/)
+    : config_(config),
+      mdct_(kVorbixHalfLength),
+      layout_(MakeBandLayout(config.sample_rate, kVorbixHalfLength)) {}
+
+Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
+  ByteReader header(payload);
+  Result<uint16_t> magic = header.ReadU16();
+  if (!magic.ok() || *magic != kVorbixMagic) {
+    return DataLossError("vorbix: bad magic");
+  }
+  Result<uint8_t> version = header.ReadU8();
+  if (!version.ok() || *version != kVorbixVersion) {
+    return DataLossError("vorbix: unsupported version");
+  }
+  Result<uint8_t> quality = header.ReadU8();
+  Result<uint8_t> flags = header.ReadU8();
+  Result<uint8_t> channels = header.ReadU8();
+  Result<uint8_t> log2m = header.ReadU8();
+  Result<uint32_t> frames32 = header.ReadU32();
+  if (!frames32.ok()) {
+    return DataLossError("vorbix: truncated header");
+  }
+  (void)quality;
+  const bool use_ms =
+      flags.ok() && (*flags & kVorbixFlagMidSide) != 0;
+  if (use_ms && *channels != 2) {
+    return DataLossError("vorbix: mid/side flag on non-stereo stream");
+  }
+  if (*channels != config_.channels) {
+    return DataLossError("vorbix: channel count mismatch");
+  }
+  const size_t m = kVorbixHalfLength;
+  if ((size_t{1} << *log2m) != m) {
+    return DataLossError("vorbix: unsupported block size");
+  }
+  const size_t frames = *frames32;
+  // Defensive cap: 16 s of CD audio per packet is far beyond what the
+  // rebroadcaster ever sends; anything larger is a corrupt/hostile packet.
+  if (frames == 0 || frames > (1u << 20)) {
+    return DataLossError("vorbix: implausible frame count");
+  }
+  const size_t padded_frames = (frames + m - 1) / m * m;
+  const size_t total = padded_frames + 2 * m;
+  const size_t blocks = padded_frames / m + 1;
+
+  Bytes bitstream(payload.begin() + static_cast<long>(header.position()),
+                  payload.end());
+  BitReader bits(bitstream);
+
+  std::vector<float> interleaved(frames * *channels, 0.0f);
+  std::vector<double> coeffs(m);
+  std::vector<double> recon(total);
+  std::vector<double> mid_saved;  // Mid channel when M/S is in use.
+  for (size_t ch = 0; ch < *channels; ++ch) {
+    std::fill(recon.begin(), recon.end(), 0.0);
+    for (size_t b = 0; b < blocks; ++b) {
+      for (size_t band = 0; band < layout_.num_bands(); ++band) {
+        size_t count =
+            layout_.band_begin[band + 1] - layout_.band_begin[band];
+        Result<bool> present = bits.ReadBit();
+        if (!present.ok()) {
+          return DataLossError("vorbix: truncated band flag");
+        }
+        if (!*present) {
+          std::fill(coeffs.begin() + static_cast<long>(layout_.band_begin[band]),
+                    coeffs.begin() +
+                        static_cast<long>(layout_.band_begin[band + 1]),
+                    0.0);
+          continue;
+        }
+        Result<uint64_t> idx = bits.ReadBits(8);
+        if (!idx.ok()) {
+          return DataLossError("vorbix: truncated scalefactor");
+        }
+        double step = IndexToQuantStep(static_cast<uint8_t>(*idx));
+        Result<std::vector<int32_t>> values = RiceDecodeBlock(&bits, count);
+        if (!values.ok()) {
+          return values.status();
+        }
+        for (size_t i = 0; i < count; ++i) {
+          coeffs[layout_.band_begin[band] + i] =
+              static_cast<double>((*values)[i]) * step;
+        }
+      }
+      std::vector<double> block = mdct_.Inverse(coeffs);
+      for (size_t n = 0; n < 2 * m; ++n) {
+        recon[b * m + n] += block[n];
+      }
+    }
+    if (use_ms) {
+      if (ch == 0) {
+        mid_saved.assign(recon.begin() + static_cast<long>(m),
+                         recon.begin() + static_cast<long>(m + frames));
+      } else {
+        for (size_t f = 0; f < frames; ++f) {
+          double mid = mid_saved[f];
+          double side = recon[m + f];
+          interleaved[f * 2] = static_cast<float>(mid + side);
+          interleaved[f * 2 + 1] = static_cast<float>(mid - side);
+        }
+      }
+    } else {
+      for (size_t f = 0; f < frames; ++f) {
+        interleaved[f * *channels + ch] = static_cast<float>(recon[m + f]);
+      }
+    }
+  }
+  return interleaved;
+}
+
+}  // namespace espk

@@ -1,0 +1,85 @@
+// Vorbix: a from-scratch lossy psychoacoustic transform codec standing in
+// for Ogg Vorbis (see DESIGN.md substitution table). Pipeline per channel:
+//
+//   PCM -> zero-padded MDCT block chain (sine window, TDAC)
+//       -> Bark-band masking thresholds -> per-band uniform quantization
+//       -> Rice entropy coding
+//
+// Every packet is fully self-contained (its own block chain with zero-padded
+// edges), so packet loss never corrupts neighbouring packets and a speaker
+// can start decoding from any packet — the property §2.3's receive-only
+// design requires.
+//
+// Packet layout (little-endian):
+//   u16 magic 'VX'   u8 version   u8 quality   u8 flags
+//   u8 channels      u8 log2(M)   u32 frames_per_channel
+//   per (possibly M/S-transformed) channel, bit-packed: per block: per
+//   band: 1-bit present flag, then u8 scalefactor index and Rice-coded
+//   quantized coefficients when present.
+//
+// flags bit 0 = mid/side joint stereo: stereo input is coded as
+// mid=(L+R)/2 and side=(L-R)/2. Correlated channels (most real stereo
+// material; all of the paper's test content) make `side` nearly silent,
+// which the empty-band flag then compresses to almost nothing.
+#ifndef SRC_CODEC_VORBIX_H_
+#define SRC_CODEC_VORBIX_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/codec/codec.h"
+#include "src/dsp/mdct.h"
+#include "src/dsp/psymodel.h"
+
+namespace espk {
+
+inline constexpr uint16_t kVorbixMagic = 0x5856;  // "VX" little-endian.
+inline constexpr uint8_t kVorbixVersion = 2;
+inline constexpr uint8_t kVorbixFlagMidSide = 0x01;
+// MDCT half-length: 512 bins per block (~11.6 ms at 44.1 kHz), a typical
+// transform size for music codecs.
+inline constexpr size_t kVorbixHalfLength = 512;
+
+// Scalefactor <-> 8-bit log index. Quarter-power-of-two resolution covers
+// steps from 2^-32 to 2^31.75.
+uint8_t QuantStepToIndex(double step);
+double IndexToQuantStep(uint8_t index);
+
+class VorbixEncoder : public AudioEncoder {
+ public:
+  VorbixEncoder(const AudioConfig& config, int quality);
+
+  Result<Bytes> EncodePacket(const std::vector<float>& interleaved) override;
+  CodecId id() const override { return CodecId::kVorbix; }
+
+  int quality() const { return quality_; }
+
+  // Joint stereo is on by default for 2-channel streams; the A2 ablation
+  // bench switches it off to measure what it buys.
+  void set_mid_side(bool enabled) { mid_side_ = enabled; }
+  bool mid_side() const { return mid_side_; }
+
+ private:
+  AudioConfig config_;
+  int quality_;
+  bool mid_side_ = true;
+  Mdct mdct_;
+  BandLayout layout_;
+};
+
+class VorbixDecoder : public AudioDecoder {
+ public:
+  VorbixDecoder(const AudioConfig& config, int quality);
+
+  Result<std::vector<float>> DecodePacket(const Bytes& payload) override;
+  CodecId id() const override { return CodecId::kVorbix; }
+
+ private:
+  AudioConfig config_;
+  Mdct mdct_;
+  BandLayout layout_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_CODEC_VORBIX_H_

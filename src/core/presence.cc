@@ -1,0 +1,42 @@
+#include "src/core/presence.h"
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+PresenceMonitor::PresenceMonitor(EthernetSpeakerSystem* system,
+                                 const PresenceMonitorOptions& options)
+    : system_(system),
+      options_(options),
+      task_(system->sim(), options.poll_interval,
+            [this](SimTime now) { Poll(now); }) {}
+
+void PresenceMonitor::Poll(SimTime /*now*/) {
+  for (const auto& channel : system_->channels()) {
+    size_t members = system_->lan()->GroupMemberCount(channel->group);
+    Rebroadcaster* rb = channel->rebroadcaster.get();
+    if (rb == nullptr) {
+      continue;
+    }
+    if (members == 0) {
+      int& polls = absent_polls_[channel->group];
+      ++polls;
+      if (!rb->suspended() && polls >= options_.absent_polls_before_suspend) {
+        rb->set_suspended(true);
+        ++suspensions_;
+        ESPK_LOG(kInfo) << "channel '" << channel->name
+                        << "' suspended: no listeners";
+      }
+    } else {
+      absent_polls_[channel->group] = 0;
+      if (rb->suspended()) {
+        rb->set_suspended(false);
+        ++resumptions_;
+        ESPK_LOG(kInfo) << "channel '" << channel->name
+                        << "' resumed: " << members << " listener(s)";
+      }
+    }
+  }
+}
+
+}  // namespace espk

@@ -1,0 +1,51 @@
+// MSNIP-style listener presence (§4.3, planned feature implemented): "it
+// enables the server to suspend transmission of a particular channel, if it
+// notices that there are no listeners. ... MSNIP allows the audio server to
+// contact the first hop routers asking whether there are listeners on the
+// other side." The authors were waiting for MSNIP to ship on their campus
+// routers; in the simulation the segment IS the first-hop router and can
+// answer the membership query directly.
+//
+// The monitor polls every channel's group membership; a channel with no
+// members for `absent_polls_before_suspend` consecutive polls is suspended
+// (control packets continue so it stays joinable), and the first member to
+// join resumes it on the next poll.
+#ifndef SRC_CORE_PRESENCE_H_
+#define SRC_CORE_PRESENCE_H_
+
+#include <map>
+
+#include "src/core/system.h"
+
+namespace espk {
+
+struct PresenceMonitorOptions {
+  SimDuration poll_interval = Seconds(1);
+  int absent_polls_before_suspend = 3;
+};
+
+class PresenceMonitor {
+ public:
+  PresenceMonitor(EthernetSpeakerSystem* system,
+                  const PresenceMonitorOptions& options = {});
+
+  void Start() { task_.Start(); }
+  void Stop() { task_.Stop(); }
+
+  uint64_t suspensions() const { return suspensions_; }
+  uint64_t resumptions() const { return resumptions_; }
+
+ private:
+  void Poll(SimTime now);
+
+  EthernetSpeakerSystem* system_;
+  PresenceMonitorOptions options_;
+  std::map<GroupId, int> absent_polls_;
+  uint64_t suspensions_ = 0;
+  uint64_t resumptions_ = 0;
+  PeriodicTask task_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_CORE_PRESENCE_H_

@@ -1,0 +1,127 @@
+#include "src/core/system.h"
+
+#include <algorithm>
+
+#include "src/audio/analysis.h"
+
+namespace espk {
+
+EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
+    : options_(options), kernel_(&sim_), lan_(&sim_, options.lan) {
+  if (options_.background_daemon_rate > 0.0) {
+    kernel_.StartBackgroundDaemons(options_.background_daemon_rate);
+  }
+}
+
+EthernetSpeakerSystem::~EthernetSpeakerSystem() {
+  // Producers and players hold kernel fds; stop them before the kernel's
+  // device table unwinds.
+  for (auto& channel : channels_) {
+    if (channel->rebroadcaster != nullptr) {
+      channel->rebroadcaster->Stop();
+    }
+  }
+  for (auto& player : players_) {
+    player->Stop();
+  }
+}
+
+Result<Channel*> EthernetSpeakerSystem::CreateChannel(
+    const std::string& name, RebroadcasterOptions rb_options,
+    VadOptions vad_options) {
+  auto channel = std::make_unique<Channel>();
+  channel->name = name;
+  channel->stream_id = next_stream_id_++;
+  channel->group = next_group_++;
+  int index = static_cast<int>(channel->stream_id) - 1;
+  channel->slave_path = "/dev/vads" + std::to_string(index);
+
+  Result<VadHandles> vad = CreateVadPair(&kernel_, index, vad_options);
+  if (!vad.ok()) {
+    return vad.status();
+  }
+  channel->vad = *vad;
+  channel->producer_nic = lan_.CreateNic();
+
+  rb_options.stream_id = channel->stream_id;
+  rb_options.group = channel->group;
+  rb_options.channel_name = name;
+  channel->rebroadcaster = std::make_unique<Rebroadcaster>(
+      &kernel_, NewPid(), "/dev/vadm" + std::to_string(index),
+      channel->producer_nic.get(), rb_options);
+  ESPK_RETURN_IF_ERROR(channel->rebroadcaster->Start());
+
+  channels_.push_back(std::move(channel));
+  return channels_.back().get();
+}
+
+Result<PlayerApp*> EthernetSpeakerSystem::StartPlayer(
+    Channel* channel, std::unique_ptr<SignalGenerator> generator,
+    PlayerAppOptions options) {
+  auto player = std::make_unique<PlayerApp>(&kernel_, NewPid(),
+                                            channel->slave_path,
+                                            std::move(generator), options);
+  ESPK_RETURN_IF_ERROR(player->Start());
+  players_.push_back(std::move(player));
+  return players_.back().get();
+}
+
+Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
+    SpeakerOptions options, GroupId group) {
+  auto nic = lan_.CreateNic();
+  auto speaker =
+      std::make_unique<EthernetSpeaker>(&sim_, nic.get(), options);
+  if (group != 0) {
+    ESPK_RETURN_IF_ERROR(speaker->Tune(group));
+  }
+  speaker_nics_.push_back(std::move(nic));
+  speakers_.push_back(std::move(speaker));
+  return speakers_.back().get();
+}
+
+SimNic* EthernetSpeakerSystem::NicOf(const EthernetSpeaker* speaker) {
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    if (speakers_[i].get() == speaker) {
+      return speaker_nics_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+EthernetSpeakerSystem::SyncReport EthernetSpeakerSystem::MeasureSync(
+    SimTime from, SimDuration window, SimDuration max_skew_search,
+    bool all_pairs) {
+  SyncReport report;
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    if (!all_pairs && i > 0) {
+      break;  // Compare everyone against speaker 0 only.
+    }
+    for (size_t j = i + 1; j < speakers_.size(); ++j) {
+      EthernetSpeaker* a = speakers_[i].get();
+      EthernetSpeaker* b = speakers_[j].get();
+      if (!a->ready() || !b->ready() ||
+          a->config()->sample_rate != b->config()->sample_rate) {
+        continue;
+      }
+      std::vector<float> wa = a->output()->Render(from, window);
+      std::vector<float> wb = b->output()->Render(from, window);
+      if (Rms(wa) < 1e-5 || Rms(wb) < 1e-5) {
+        continue;  // One of them played nothing in the window.
+      }
+      int64_t max_lag =
+          DurationToFrames(max_skew_search, a->config()->sample_rate) *
+          a->config()->channels;
+      AlignmentResult alignment = FindAlignment(wa, wb, max_lag);
+      double skew = std::abs(static_cast<double>(alignment.lag)) /
+                    a->config()->channels /
+                    static_cast<double>(a->config()->sample_rate);
+      report.max_skew_seconds = std::max(report.max_skew_seconds, skew);
+      report.min_correlation =
+          std::min(report.min_correlation, alignment.correlation);
+      ++report.speaker_pairs;
+    }
+  }
+  return report;
+}
+
+}  // namespace espk

@@ -1,0 +1,117 @@
+// EthernetSpeakerSystem: assembles the full paper system on one simulation —
+// a kernel with VAD pairs, player applications, rebroadcasters, a simulated
+// Ethernet segment, and any number of Ethernet Speakers — and provides the
+// measurements the experiments need (inter-speaker skew, dropouts, wire
+// load). This is the top of the public API: examples, tests, and benches
+// all drive the system through it.
+#ifndef SRC_CORE_SYSTEM_H_
+#define SRC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/audio/generator.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/vad.h"
+#include "src/lan/segment.h"
+#include "src/rebroadcast/player_app.h"
+#include "src/rebroadcast/rebroadcaster.h"
+#include "src/sim/simulation.h"
+#include "src/speaker/speaker.h"
+
+namespace espk {
+
+struct SystemOptions {
+  SegmentConfig lan;
+  // Unloaded-machine context-switch noise (Figure 5 baseline); 0 = off.
+  double background_daemon_rate = 0.0;
+};
+
+// One audio channel: a VAD pair on the producer host, the rebroadcaster
+// process reading its master side, and the multicast group it feeds.
+struct Channel {
+  std::string name;
+  uint32_t stream_id = 0;
+  GroupId group = 0;
+  std::string slave_path;   // Device the player application opens.
+  VadHandles vad{};
+  std::unique_ptr<SimNic> producer_nic;
+  std::unique_ptr<Rebroadcaster> rebroadcaster;
+};
+
+class EthernetSpeakerSystem {
+ public:
+  explicit EthernetSpeakerSystem(const SystemOptions& options = {});
+  ~EthernetSpeakerSystem();
+
+  EthernetSpeakerSystem(const EthernetSpeakerSystem&) = delete;
+  EthernetSpeakerSystem& operator=(const EthernetSpeakerSystem&) = delete;
+
+  Simulation* sim() { return &sim_; }
+  SimKernel* kernel() { return &kernel_; }
+  EthernetSegment* lan() { return &lan_; }
+
+  // Allocates a fresh simulated process id.
+  Pid NewPid() { return next_pid_++; }
+
+  // Creates a channel: registers /dev/vadsN + /dev/vadmN, attaches a NIC
+  // for the producer, and starts a rebroadcaster. Overrides of stream_id /
+  // group / channel_name in `rb_options` are ignored (assigned here).
+  Result<Channel*> CreateChannel(const std::string& name,
+                                 RebroadcasterOptions rb_options = {},
+                                 VadOptions vad_options = {});
+
+  // Starts an "unmodified audio application" playing into the channel's
+  // slave device. The returned player is owned by the system.
+  Result<PlayerApp*> StartPlayer(Channel* channel,
+                                 std::unique_ptr<SignalGenerator> generator,
+                                 PlayerAppOptions options);
+
+  // Adds a speaker with its own NIC, tuned to `group` (pass 0 to leave it
+  // untuned). Owned by the system.
+  Result<EthernetSpeaker*> AddSpeaker(SpeakerOptions options, GroupId group);
+
+  const std::vector<std::unique_ptr<Channel>>& channels() const {
+    return channels_;
+  }
+  const std::vector<std::unique_ptr<EthernetSpeaker>>& speakers() const {
+    return speakers_;
+  }
+
+  // The NIC a speaker was created with (management agents and catalog
+  // browsers share it with the speaker). Null for unknown speakers.
+  SimNic* NicOf(const EthernetSpeaker* speaker);
+
+  // ------------------------------------------------------- measurements --
+  struct SyncReport {
+    double max_skew_seconds = 0.0;       // Worst pairwise misalignment.
+    double min_correlation = 1.0;        // Weakest pairwise correlation.
+    int speaker_pairs = 0;
+  };
+  // Cross-correlates ready speakers' rendered output over [from,
+  // from+window] — the measured inter-speaker skew of §3.2. Only speakers
+  // with matching sample rates are compared. With `all_pairs` false, each
+  // speaker is compared against the first ready one only (O(n) — for large
+  // fleets; pairwise skew is then bounded by twice the reported maximum).
+  SyncReport MeasureSync(SimTime from, SimDuration window,
+                         SimDuration max_skew_search = Milliseconds(250),
+                         bool all_pairs = true);
+
+ private:
+  SystemOptions options_;
+  Simulation sim_;
+  SimKernel kernel_;
+  EthernetSegment lan_;
+  Pid next_pid_ = 1000;
+  uint32_t next_stream_id_ = 1;
+  GroupId next_group_ = kFirstChannelGroup;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<PlayerApp>> players_;
+  std::vector<std::unique_ptr<SimNic>> speaker_nics_;
+  std::vector<std::unique_ptr<EthernetSpeaker>> speakers_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_CORE_SYSTEM_H_

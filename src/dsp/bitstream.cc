@@ -1,0 +1,78 @@
+#include "src/dsp/bitstream.h"
+
+#include <cassert>
+
+namespace espk {
+
+void BitWriter::WriteBits(uint64_t value, int bits) {
+  assert(bits >= 0 && bits <= 64);
+  for (int i = bits - 1; i >= 0; --i) {
+    uint8_t bit = (value >> i) & 1;
+    current_ = static_cast<uint8_t>((current_ << 1) | bit);
+    ++used_;
+    ++bit_count_;
+    if (used_ == 8) {
+      buf_.push_back(current_);
+      current_ = 0;
+      used_ = 0;
+    }
+  }
+}
+
+void BitWriter::WriteUnary(uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    WriteBit(true);
+  }
+  WriteBit(false);
+}
+
+Bytes BitWriter::Finish() {
+  if (used_ > 0) {
+    current_ = static_cast<uint8_t>(current_ << (8 - used_));
+    buf_.push_back(current_);
+    current_ = 0;
+    used_ = 0;
+  }
+  return std::move(buf_);
+}
+
+Result<uint64_t> BitReader::ReadBits(int bits) {
+  assert(bits >= 0 && bits <= 64);
+  if (pos_ + static_cast<size_t>(bits) > data_.size() * 8) {
+    return OutOfRangeError("bitstream exhausted");
+  }
+  uint64_t value = 0;
+  for (int i = 0; i < bits; ++i) {
+    size_t byte = pos_ >> 3;
+    int shift = 7 - static_cast<int>(pos_ & 7);
+    value = (value << 1) | ((data_[byte] >> shift) & 1);
+    ++pos_;
+  }
+  return value;
+}
+
+Result<bool> BitReader::ReadBit() {
+  Result<uint64_t> bit = ReadBits(1);
+  if (!bit.ok()) {
+    return bit.status();
+  }
+  return *bit != 0;
+}
+
+Result<uint32_t> BitReader::ReadUnary(uint32_t max_run) {
+  uint32_t count = 0;
+  for (;;) {
+    Result<bool> bit = ReadBit();
+    if (!bit.ok()) {
+      return bit.status();
+    }
+    if (!*bit) {
+      return count;
+    }
+    if (++count > max_run) {
+      return DataLossError("unary run exceeds limit (corrupt bitstream)");
+    }
+  }
+}
+
+}  // namespace espk

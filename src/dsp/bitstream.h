@@ -1,0 +1,56 @@
+// Bit-granular I/O for the Vorbix codec's entropy-coded payload. Bits are
+// packed MSB-first within each byte.
+#ifndef SRC_DSP_BITSTREAM_H_
+#define SRC_DSP_BITSTREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+class BitWriter {
+ public:
+  // Writes the low `bits` bits of `value`, MSB first. bits in [0, 64].
+  void WriteBits(uint64_t value, int bits);
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  // Writes `count` one-bits followed by a zero (unary code).
+  void WriteUnary(uint32_t count);
+
+  // Pads the final partial byte with zeros and returns the buffer.
+  Bytes Finish();
+
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  Bytes buf_;
+  uint8_t current_ = 0;
+  int used_ = 0;  // Bits used in current_.
+  size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const Bytes& data) : data_(data) {}
+
+  // Reads `bits` bits MSB-first. Fails with OUT_OF_RANGE past the end.
+  Result<uint64_t> ReadBits(int bits);
+  Result<bool> ReadBit();
+
+  // Reads ones until a zero; returns the count of ones. Bounded by
+  // `max_run` to stop adversarial input from spinning (DoS hardening, §5.1).
+  Result<uint32_t> ReadUnary(uint32_t max_run = 1 << 20);
+
+  size_t bits_remaining() const { return data_.size() * 8 - pos_; }
+
+ private:
+  const Bytes& data_;
+  size_t pos_ = 0;  // Bit position.
+};
+
+}  // namespace espk
+
+#endif  // SRC_DSP_BITSTREAM_H_

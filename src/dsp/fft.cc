@@ -1,0 +1,61 @@
+#include "src/dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace espk {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void BitReversePermute(std::vector<std::complex<double>>* data) {
+  const size_t n = data->size();
+  size_t j = 0;
+  for (size_t i = 1; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap((*data)[i], (*data)[j]);
+    }
+  }
+}
+
+void FftImpl(std::vector<std::complex<double>>* data, bool inverse) {
+  const size_t n = data->size();
+  assert(IsPowerOfTwo(n) && "FFT size must be a power of two");
+  BitReversePermute(data);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = (*data)[i + k];
+        std::complex<double> v = (*data)[i + k + len / 2] * w;
+        (*data)[i + k] = u + v;
+        (*data)[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>* data) { FftImpl(data, false); }
+
+void Ifft(std::vector<std::complex<double>>* data) {
+  FftImpl(data, true);
+  const double scale = 1.0 / static_cast<double>(data->size());
+  for (auto& c : *data) {
+    c *= scale;
+  }
+}
+
+}  // namespace espk

@@ -1,0 +1,22 @@
+// Iterative radix-2 complex FFT. The fast MDCT in mdct.cc rides on this; no
+// external DSP library is used anywhere in the codebase.
+#ifndef SRC_DSP_FFT_H_
+#define SRC_DSP_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace espk {
+
+// In-place forward DFT: X[k] = sum_n x[n] e^{-2*pi*i*n*k/N}.
+// `data.size()` must be a power of two.
+void Fft(std::vector<std::complex<double>>* data);
+
+// In-place inverse DFT including the 1/N scale.
+void Ifft(std::vector<std::complex<double>>* data);
+
+bool IsPowerOfTwo(size_t n);
+
+}  // namespace espk
+
+#endif  // SRC_DSP_FFT_H_

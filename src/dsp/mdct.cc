@@ -1,0 +1,130 @@
+#include "src/dsp/mdct.h"
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "src/dsp/fft.h"
+
+namespace espk {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+// DCT-IV of length M (a power of two) via one zero-padded 2M-point FFT:
+//   DCT4[k] = Re( W^{2k+1} * FFT_{2M}(v[j] W^{2j})[k] ),  W = e^{-i pi/(4M)}
+std::vector<double> Dct4(const std::vector<double>& v) {
+  const size_t m = v.size();
+  assert(IsPowerOfTwo(m) && "DCT-IV length must be a power of two");
+  std::vector<std::complex<double>> work(2 * m, {0.0, 0.0});
+  const double base = -kPi / (4.0 * static_cast<double>(m));
+  for (size_t j = 0; j < m; ++j) {
+    double angle = base * (2.0 * static_cast<double>(j));
+    work[j] = v[j] * std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  Fft(&work);
+  std::vector<double> out(m);
+  for (size_t k = 0; k < m; ++k) {
+    double angle = base * (2.0 * static_cast<double>(k) + 1.0);
+    std::complex<double> tw(std::cos(angle), std::sin(angle));
+    out[k] = (tw * work[k]).real();
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<double> SineWindow(size_t two_m) {
+  std::vector<double> w(two_m);
+  for (size_t n = 0; n < two_m; ++n) {
+    w[n] = std::sin(kPi / static_cast<double>(two_m) *
+                    (static_cast<double>(n) + 0.5));
+  }
+  return w;
+}
+
+Mdct::Mdct(size_t half_length) : m_(half_length), window_(SineWindow(2 * m_)) {
+  assert(IsPowerOfTwo(m_) && m_ >= 8 && "MDCT half-length must be 2^k >= 8");
+}
+
+std::vector<double> Mdct::Forward(const std::vector<double>& input) const {
+  assert(input.size() == 2 * m_);
+  const size_t m = m_;
+  // Window.
+  std::vector<double> z(2 * m);
+  for (size_t n = 0; n < 2 * m; ++n) {
+    z[n] = input[n] * window_[n];
+  }
+  // Fold 2M windowed samples to M (TDAC fold, derivation in header).
+  std::vector<double> v(m);
+  for (size_t j = 0; j < m / 2; ++j) {
+    v[j] = -z[3 * m / 2 - 1 - j] - z[3 * m / 2 + j];
+  }
+  for (size_t j = m / 2; j < m; ++j) {
+    v[j] = z[j - m / 2] - z[3 * m / 2 - 1 - j];
+  }
+  return Dct4(v);
+}
+
+std::vector<double> Mdct::Inverse(const std::vector<double>& coeffs) const {
+  assert(coeffs.size() == m_);
+  const size_t m = m_;
+  std::vector<double> u = Dct4(coeffs);
+  std::vector<double> y(2 * m);
+  // Unfold (transpose of the forward fold).
+  for (size_t n = 0; n < m / 2; ++n) {
+    y[n] = u[n + m / 2];
+  }
+  for (size_t n = m / 2; n < 3 * m / 2; ++n) {
+    y[n] = -u[3 * m / 2 - 1 - n];
+  }
+  for (size_t n = 3 * m / 2; n < 2 * m; ++n) {
+    y[n] = -u[n - 3 * m / 2];
+  }
+  const double scale = 2.0 / static_cast<double>(m);
+  for (size_t n = 0; n < 2 * m; ++n) {
+    y[n] *= scale * window_[n];
+  }
+  return y;
+}
+
+std::vector<double> MdctForwardDirect(const std::vector<double>& input,
+                                      const std::vector<double>& window) {
+  const size_t two_m = input.size();
+  const size_t m = two_m / 2;
+  assert(window.size() == two_m);
+  std::vector<double> out(m, 0.0);
+  for (size_t k = 0; k < m; ++k) {
+    double acc = 0.0;
+    for (size_t n = 0; n < two_m; ++n) {
+      acc += input[n] * window[n] *
+             std::cos(kPi / static_cast<double>(m) *
+                      (static_cast<double>(n) + 0.5 +
+                       static_cast<double>(m) / 2.0) *
+                      (static_cast<double>(k) + 0.5));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> MdctInverseDirect(const std::vector<double>& coeffs,
+                                      const std::vector<double>& window) {
+  const size_t m = coeffs.size();
+  const size_t two_m = 2 * m;
+  assert(window.size() == two_m);
+  std::vector<double> out(two_m, 0.0);
+  for (size_t n = 0; n < two_m; ++n) {
+    double acc = 0.0;
+    for (size_t k = 0; k < m; ++k) {
+      acc += coeffs[k] * std::cos(kPi / static_cast<double>(m) *
+                                  (static_cast<double>(n) + 0.5 +
+                                   static_cast<double>(m) / 2.0) *
+                                  (static_cast<double>(k) + 0.5));
+    }
+    out[n] = acc * 2.0 / static_cast<double>(m) * window[n];
+  }
+  return out;
+}
+
+}  // namespace espk

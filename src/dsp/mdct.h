@@ -1,0 +1,55 @@
+// Modified Discrete Cosine Transform with Princen-Bradley TDAC, the heart of
+// the Vorbix codec (our from-scratch stand-in for Ogg Vorbis). Conventions:
+//
+//   forward:  X[k] = sum_{n=0}^{2M-1} x[n] w[n]
+//                    cos(pi/M (n + 0.5 + M/2)(k + 0.5)),  k in [0, M)
+//   inverse:  y[n] = (2/M) w[n] sum_{k=0}^{M-1} X[k]
+//                    cos(pi/M (n + 0.5 + M/2)(k + 0.5)),  n in [0, 2M)
+//
+// where w is the sine window. Overlap-adding the second half of block t with
+// the first half of block t+1 reconstructs the input exactly.
+//
+// Two implementations are provided: a fast one (fold to DCT-IV, DCT-IV via a
+// zero-padded complex FFT) used by the codec, and a direct O(N^2) reference
+// used in tests to pin the fast path down.
+#ifndef SRC_DSP_MDCT_H_
+#define SRC_DSP_MDCT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace espk {
+
+// Sine window of length 2M: w[n] = sin(pi/(2M) (n + 0.5)). Satisfies the
+// Princen-Bradley condition w[n]^2 + w[n+M]^2 = 1.
+std::vector<double> SineWindow(size_t two_m);
+
+// Precomputed transform for half-length M (a power of two). The window is
+// applied inside Forward/Inverse.
+class Mdct {
+ public:
+  explicit Mdct(size_t half_length);
+
+  size_t half_length() const { return m_; }
+
+  // input.size() == 2M, returns M coefficients.
+  std::vector<double> Forward(const std::vector<double>& input) const;
+
+  // coeffs.size() == M, returns 2M windowed output samples; adjacent blocks
+  // overlap-add to reconstruct.
+  std::vector<double> Inverse(const std::vector<double>& coeffs) const;
+
+ private:
+  size_t m_;
+  std::vector<double> window_;  // length 2M
+};
+
+// Direct-formula reference implementations (slow; tests only).
+std::vector<double> MdctForwardDirect(const std::vector<double>& input,
+                                      const std::vector<double>& window);
+std::vector<double> MdctInverseDirect(const std::vector<double>& coeffs,
+                                      const std::vector<double>& window);
+
+}  // namespace espk
+
+#endif  // SRC_DSP_MDCT_H_

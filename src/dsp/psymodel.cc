@@ -1,0 +1,102 @@
+#include "src/dsp/psymodel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace espk {
+
+double HzToBark(double hz) {
+  return 13.0 * std::atan(0.00076 * hz) +
+         3.5 * std::atan((hz / 7500.0) * (hz / 7500.0));
+}
+
+BandLayout MakeBandLayout(int sample_rate, size_t num_bins) {
+  BandLayout layout;
+  layout.band_begin.push_back(0);
+  const double nyquist = sample_rate / 2.0;
+  const double hz_per_bin = nyquist / static_cast<double>(num_bins);
+  double band_top_bark = 1.0;
+  for (size_t bin = 1; bin < num_bins; ++bin) {
+    double bark = HzToBark(static_cast<double>(bin) * hz_per_bin);
+    if (bark >= band_top_bark) {
+      layout.band_begin.push_back(bin);
+      band_top_bark = std::floor(bark) + 1.0;
+    }
+  }
+  layout.band_begin.push_back(num_bins);
+  return layout;
+}
+
+namespace {
+
+// Absolute threshold of hearing (approximation, Terhardt), as signal power
+// relative to our float full scale. We map 0 dB SPL-ish to a very small
+// power; the exact calibration only shifts the quality knob.
+double AbsoluteThresholdPower(double hz) {
+  hz = std::max(hz, 20.0);
+  double f = hz / 1000.0;
+  double db_spl = 3.64 * std::pow(f, -0.8) -
+                  6.5 * std::exp(-0.6 * (f - 3.3) * (f - 3.3)) +
+                  1e-3 * std::pow(f, 4.0);
+  // Map SPL dB to power with full scale at ~96 dB SPL.
+  double dbfs = db_spl - 96.0;
+  return std::pow(10.0, dbfs / 10.0);
+}
+
+}  // namespace
+
+std::vector<double> ComputeQuantSteps(const std::vector<double>& coeffs,
+                                      const BandLayout& layout,
+                                      int sample_rate, int quality) {
+  assert(quality >= kMinQuality && quality <= kMaxQuality);
+  const size_t bands = layout.num_bands();
+  const size_t num_bins = coeffs.size();
+  const double hz_per_bin =
+      sample_rate / 2.0 / static_cast<double>(std::max<size_t>(num_bins, 1));
+
+  // Mean power per bin in each band.
+  std::vector<double> band_power(bands, 0.0);
+  for (size_t b = 0; b < bands; ++b) {
+    size_t begin = layout.band_begin[b];
+    size_t end = layout.band_begin[b + 1];
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      acc += coeffs[i] * coeffs[i];
+    }
+    band_power[b] = acc / static_cast<double>(std::max<size_t>(end - begin, 1));
+  }
+
+  // Signal-to-mask ratio: quality 10 allows noise ~34 dB below band power,
+  // quality 0 only ~10 dB below (coarse, audible, cheap).
+  const double smr_db = 10.0 + 2.4 * static_cast<double>(quality);
+  const double smr = std::pow(10.0, -smr_db / 10.0);
+
+  // Spreading: a loud band masks its neighbours with ~15 dB/band rolloff.
+  const double spread = std::pow(10.0, -15.0 / 10.0);
+  std::vector<double> threshold(bands, 0.0);
+  for (size_t b = 0; b < bands; ++b) {
+    double t = band_power[b] * smr;
+    if (b > 0) {
+      t = std::max(t, band_power[b - 1] * smr * spread);
+    }
+    if (b + 1 < bands) {
+      t = std::max(t, band_power[b + 1] * smr * spread);
+    }
+    // The ear cannot hear below the absolute threshold regardless of
+    // masking; the codec may always leave at least that much noise.
+    size_t mid = (layout.band_begin[b] + layout.band_begin[b + 1]) / 2;
+    t = std::max(t, AbsoluteThresholdPower(static_cast<double>(mid) *
+                                           hz_per_bin));
+    threshold[b] = t;
+  }
+
+  // Uniform quantizer noise power is step^2 / 12 per bin; solve for step.
+  std::vector<double> steps(bands);
+  for (size_t b = 0; b < bands; ++b) {
+    steps[b] = std::sqrt(12.0 * threshold[b]);
+  }
+  return steps;
+}
+
+}  // namespace espk

@@ -1,0 +1,39 @@
+// Simplified psychoacoustic model for the Vorbix codec. Partitions MDCT bins
+// into Bark-scale critical bands, estimates a masking threshold per band from
+// band energy with inter-band spreading plus the absolute threshold of
+// hearing, and converts the allowed noise into per-band quantizer steps.
+// The quality index (0..10, paper §2.2 sets it "to its maximum") scales the
+// allowed noise down as quality rises.
+#ifndef SRC_DSP_PSYMODEL_H_
+#define SRC_DSP_PSYMODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace espk {
+
+// Bark frequency scale (Zwicker's approximation).
+double HzToBark(double hz);
+
+// Bin index ranges [begin, end) for each critical band over `num_bins` MDCT
+// coefficients at `sample_rate`. Bands are ~1 Bark wide; every bin belongs
+// to exactly one band and each band is non-empty.
+struct BandLayout {
+  std::vector<size_t> band_begin;  // band_begin[b]..band_begin[b+1] are bins
+                                   // of band b; size = bands + 1.
+  size_t num_bands() const { return band_begin.size() - 1; }
+};
+BandLayout MakeBandLayout(int sample_rate, size_t num_bins);
+
+// Per-band quantizer step sizes for one block of MDCT coefficients.
+// Larger step = coarser quantization = fewer bits = more (masked) noise.
+std::vector<double> ComputeQuantSteps(const std::vector<double>& coeffs,
+                                      const BandLayout& layout,
+                                      int sample_rate, int quality);
+
+inline constexpr int kMinQuality = 0;
+inline constexpr int kMaxQuality = 10;
+
+}  // namespace espk
+
+#endif  // SRC_DSP_PSYMODEL_H_

@@ -1,0 +1,79 @@
+#include "src/dsp/rice.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace espk {
+
+uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void RiceEncode(BitWriter* w, int64_t value, int k) {
+  uint64_t u = ZigzagEncode(value);
+  uint64_t quotient = u >> k;
+  w->WriteUnary(static_cast<uint32_t>(quotient));
+  w->WriteBits(u & ((1ull << k) - 1), k);
+}
+
+Result<int64_t> RiceDecode(BitReader* r, int k) {
+  Result<uint32_t> quotient = r->ReadUnary();
+  if (!quotient.ok()) {
+    return quotient.status();
+  }
+  Result<uint64_t> remainder = r->ReadBits(k);
+  if (!remainder.ok()) {
+    return remainder.status();
+  }
+  uint64_t u = (static_cast<uint64_t>(*quotient) << k) | *remainder;
+  return ZigzagDecode(u);
+}
+
+int EstimateRiceParameter(const std::vector<int32_t>& values, int max_k) {
+  if (values.empty()) {
+    return 0;
+  }
+  uint64_t sum = 0;
+  for (int32_t v : values) {
+    sum += ZigzagEncode(v);
+  }
+  double mean = static_cast<double>(sum) / static_cast<double>(values.size());
+  // Optimal k ~= log2(mean) for geometric sources.
+  int k = 0;
+  while (k < max_k && (1ull << (k + 1)) < static_cast<uint64_t>(mean) + 1) {
+    ++k;
+  }
+  return k;
+}
+
+void RiceEncodeBlock(BitWriter* w, const std::vector<int32_t>& values) {
+  int k = EstimateRiceParameter(values);
+  w->WriteBits(static_cast<uint64_t>(k), 5);
+  for (int32_t v : values) {
+    RiceEncode(w, v, k);
+  }
+}
+
+Result<std::vector<int32_t>> RiceDecodeBlock(BitReader* r, size_t count) {
+  Result<uint64_t> k = r->ReadBits(5);
+  if (!k.ok()) {
+    return k.status();
+  }
+  std::vector<int32_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Result<int64_t> v = RiceDecode(r, static_cast<int>(*k));
+    if (!v.ok()) {
+      return v.status();
+    }
+    out.push_back(static_cast<int32_t>(*v));
+  }
+  return out;
+}
+
+}  // namespace espk

@@ -1,0 +1,32 @@
+// Rice/Golomb entropy coding of signed integers (zigzag-mapped), the
+// residual coder of the Vorbix codec. Includes a parameter estimator that
+// picks the Rice order from the block's mean magnitude.
+#ifndef SRC_DSP_RICE_H_
+#define SRC_DSP_RICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/dsp/bitstream.h"
+
+namespace espk {
+
+// Zigzag: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+uint64_t ZigzagEncode(int64_t v);
+int64_t ZigzagDecode(uint64_t v);
+
+// Writes one value with Rice parameter k: quotient unary, remainder k bits.
+void RiceEncode(BitWriter* w, int64_t value, int k);
+Result<int64_t> RiceDecode(BitReader* r, int k);
+
+// Picks the k (in [0, max_k]) minimizing expected code length for the block.
+int EstimateRiceParameter(const std::vector<int32_t>& values, int max_k = 30);
+
+// Block forms used by the codec: a 5-bit k header then the values.
+void RiceEncodeBlock(BitWriter* w, const std::vector<int32_t>& values);
+Result<std::vector<int32_t>> RiceDecodeBlock(BitReader* r, size_t count);
+
+}  // namespace espk
+
+#endif  // SRC_DSP_RICE_H_

@@ -1,0 +1,246 @@
+#include "src/kernel/audio_hld.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/kernel/kernel.h"
+
+namespace espk {
+
+namespace {
+// Default block: ~100 ms of audio at the current config, frame-aligned.
+size_t DefaultBlockSize(const AudioConfig& config) {
+  auto bytes = static_cast<size_t>(config.DurationToBytes(Milliseconds(100)));
+  size_t frame = static_cast<size_t>(config.bytes_per_frame());
+  bytes = std::max(bytes, frame);
+  return bytes - bytes % frame;
+}
+}  // namespace
+
+AudioHighLevel::AudioHighLevel(SimKernel* kernel, std::string name,
+                               std::unique_ptr<AudioLowLevel> lld,
+                               size_t ring_capacity)
+    : kernel_(kernel),
+      name_(std::move(name)),
+      lld_(std::move(lld)),
+      ring_(ring_capacity),
+      config_(AudioConfig::PhoneQuality()),  // audio(4) default: 8kHz mulaw.
+      block_size_(DefaultBlockSize(config_)) {
+  lld_->Attach(this);
+}
+
+AudioHighLevel::~AudioHighLevel() {
+  if (playing_) {
+    lld_->HaltOutput();
+  }
+}
+
+Status AudioHighLevel::OnOpen(Pid pid) {
+  if (owner_.has_value()) {
+    return UnavailableError(name_ + " is busy (exclusive open)");
+  }
+  owner_ = pid;
+  return OkStatus();
+}
+
+void AudioHighLevel::OnClose(Pid pid) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    return;
+  }
+  owner_.reset();
+  if (playing_) {
+    lld_->HaltOutput();
+    playing_ = false;
+  }
+  ring_.Clear();
+  if (pending_write_.has_value()) {
+    auto done = std::move(pending_write_->done);
+    pending_write_.reset();
+    done(DataLossError("device closed with write outstanding"));
+  }
+  if (pending_drain_.has_value()) {
+    auto done = std::move(pending_drain_->second);
+    pending_drain_.reset();
+    done(OkStatus());
+  }
+}
+
+void AudioHighLevel::Write(Pid pid, const Bytes& data, WriteCallback done) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    done(PermissionDeniedError("write from non-owner pid"));
+    return;
+  }
+  if (pending_write_.has_value()) {
+    done(FailedPreconditionError(
+        "concurrent writes to an audio device are not supported"));
+    return;
+  }
+  if (data.empty()) {
+    done(size_t{0});
+    return;
+  }
+  size_t accepted = ring_.Write(data);
+  bytes_written_ += accepted;
+  StartPlaybackIfNeeded();
+  lld_->OnDataAvailable();
+  if (accepted == data.size()) {
+    done(data.size());
+    return;
+  }
+  // Buffer full: the writing process sleeps until the consumer frees space —
+  // this is the implicit rate limiting real hardware provides (§3.1).
+  kernel_->CountBlock();
+  pending_write_ = PendingWrite{pid, data, accepted, data.size(),
+                                std::move(done)};
+}
+
+void AudioHighLevel::Read(Pid /*pid*/, size_t /*max_bytes*/,
+                          ReadCallback done) {
+  // Playback-only device (the prototype VAD "currently supports only audio
+  // output"); recording would attach a capture ring here.
+  done(UnimplementedError(name_ + " does not support reading"));
+}
+
+Status AudioHighLevel::Ioctl(Pid pid, IoctlCmd cmd, Bytes* inout) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    return PermissionDeniedError("ioctl from non-owner pid");
+  }
+  switch (cmd) {
+    case IoctlCmd::kAudioSetInfo: {
+      ByteReader r(*inout);
+      Result<AudioConfig> config = AudioConfig::Deserialize(&r);
+      if (!config.ok()) {
+        return config.status();
+      }
+      config_ = *config;
+      block_size_ = DefaultBlockSize(config_);
+      // Propagate to the low-level driver; the VAD forwards this to its
+      // master side so the consumer "can always decode the audio stream
+      // correctly" (§2.1).
+      lld_->OnConfigChange(config_);
+      return OkStatus();
+    }
+    case IoctlCmd::kAudioGetInfo: {
+      ByteWriter w;
+      config_.Serialize(&w);
+      *inout = w.TakeBytes();
+      return OkStatus();
+    }
+    case IoctlCmd::kAudioGetBufferInfo: {
+      ByteWriter w;
+      w.WriteU32(static_cast<uint32_t>(ring_.capacity()));
+      w.WriteU32(static_cast<uint32_t>(ring_.size()));
+      *inout = w.TakeBytes();
+      return OkStatus();
+    }
+    case IoctlCmd::kAudioSetBlockSize: {
+      ByteReader r(*inout);
+      Result<uint32_t> size = r.ReadU32();
+      if (!size.ok()) {
+        return size.status();
+      }
+      if (*size == 0 || *size > ring_.capacity()) {
+        return InvalidArgumentError("block size out of range");
+      }
+      size_t frame = static_cast<size_t>(config_.bytes_per_frame());
+      block_size_ = std::max<size_t>(*size - *size % frame, frame);
+      return OkStatus();
+    }
+  }
+  return UnimplementedError("unknown ioctl");
+}
+
+void AudioHighLevel::Drain(Pid pid, DrainCallback done) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    done(PermissionDeniedError("drain from non-owner pid"));
+    return;
+  }
+  if (ring_.empty() && !pending_write_.has_value()) {
+    done(OkStatus());
+    return;
+  }
+  if (pending_drain_.has_value()) {
+    done(FailedPreconditionError("drain already in progress"));
+    return;
+  }
+  kernel_->CountBlock();
+  pending_drain_ = {pid, std::move(done)};
+}
+
+Bytes AudioHighLevel::PullBlock() {
+  Bytes block = ring_.ReadUpTo(block_size_);
+  if (block.size() < block_size_) {
+    // Hardware keeps consuming; the driver feeds it silence (§2.1.1).
+    size_t missing = block_size_ - block.size();
+    uint8_t silence =
+        config_.encoding == AudioEncoding::kMulaw
+            ? 0xFF  // mu-law zero
+            : (config_.encoding == AudioEncoding::kLinearU8 ? 0x80 : 0x00);
+    block.insert(block.end(), missing, silence);
+    silence_bytes_ += missing;
+    kernel_->CountSilence(missing);
+  }
+  ServiceBlockedWriter();
+  MaybeCompleteDrain();
+  return block;
+}
+
+Bytes AudioHighLevel::PullData(size_t max) {
+  Bytes data = ring_.ReadUpTo(max);
+  if (!data.empty()) {
+    ServiceBlockedWriter();
+    MaybeCompleteDrain();
+  }
+  return data;
+}
+
+void AudioHighLevel::ServiceBlockedWriter() {
+  if (!pending_write_.has_value() || ring_.free_space() == 0) {
+    return;
+  }
+  PendingWrite& pw = *pending_write_;
+  size_t accepted =
+      ring_.Write(pw.data.data() + pw.offset, pw.data.size() - pw.offset);
+  bytes_written_ += accepted;
+  pw.offset += accepted;
+  if (pw.offset == pw.data.size()) {
+    // Whole request buffered: wake the writer.
+    kernel_->CountWakeup();
+    auto done = std::move(pw.done);
+    size_t total = pw.total;
+    pending_write_.reset();
+    kernel_->sim()->ScheduleAfter(0, [done = std::move(done), total] {
+      done(total);
+    });
+  }
+}
+
+void AudioHighLevel::MaybeCompleteDrain() {
+  if (!pending_drain_.has_value() || !ring_.empty() ||
+      pending_write_.has_value()) {
+    return;
+  }
+  kernel_->CountWakeup();
+  auto done = std::move(pending_drain_->second);
+  pending_drain_.reset();
+  kernel_->sim()->ScheduleAfter(0, [done = std::move(done)] {
+    done(OkStatus());
+  });
+}
+
+void AudioHighLevel::StartPlaybackIfNeeded() {
+  if (playing_ || ring_.empty()) {
+    return;
+  }
+  // The one and only TriggerOutput call of this playback run (§3.3): from
+  // here on the high-level driver expects the "hardware" to keep pulling.
+  playing_ = true;
+  Status status = lld_->TriggerOutput();
+  if (!status.ok()) {
+    ESPK_LOG(kError) << name_ << ": TriggerOutput failed: " << status;
+    playing_ = false;
+  }
+}
+
+}  // namespace espk

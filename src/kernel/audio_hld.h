@@ -1,0 +1,100 @@
+// The hardware-independent ("high level") audio driver — the half of
+// OpenBSD's audio subsystem that user processes talk to (§2.1.1): it owns
+// the ring buffer, blocks writers when the buffer is full, inserts silence
+// when the hardware outruns the writer, handles AUDIO_SETINFO/GETINFO
+// ioctls, and calls the attached low-level driver's TriggerOutput() exactly
+// once when the first block of a playback run is buffered.
+//
+// That single TriggerOutput call is the architectural detail the whole VAD
+// story turns on: the high-level driver assumes hardware will keep the
+// interrupt chain alive from then on (§3.3).
+#ifndef SRC_KERNEL_AUDIO_HLD_H_
+#define SRC_KERNEL_AUDIO_HLD_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/audio/format.h"
+#include "src/base/ring_buffer.h"
+#include "src/kernel/audio_lld.h"
+#include "src/kernel/device.h"
+
+namespace espk {
+
+class SimKernel;
+
+class AudioHighLevel : public Device {
+ public:
+  // `ring_capacity` is the play buffer size in bytes (the paper's §3.4
+  // pipeline experiments sweep the block size against slow consumers).
+  AudioHighLevel(SimKernel* kernel, std::string name,
+                 std::unique_ptr<AudioLowLevel> lld, size_t ring_capacity);
+  ~AudioHighLevel() override;
+
+  // ------------------------------------------------------------ Device --
+  std::string name() const override { return name_; }
+  Status OnOpen(Pid pid) override;
+  void OnClose(Pid pid) override;
+  void Write(Pid pid, const Bytes& data, WriteCallback done) override;
+  void Read(Pid pid, size_t max_bytes, ReadCallback done) override;
+  Status Ioctl(Pid pid, IoctlCmd cmd, Bytes* inout) override;
+  void Drain(Pid pid, DrainCallback done) override;
+
+  // ------------------------------------- interface for low-level driver --
+  // Pulls exactly block_size() bytes, padding with silence on underrun
+  // (hardware consumes at a fixed rate whether or not data is there).
+  Bytes PullBlock();
+
+  // Pulls up to `max` buffered bytes with NO silence padding; returns empty
+  // if the ring is empty. Pseudo devices use this: the VAD only ever
+  // produces what was actually written.
+  Bytes PullData(size_t max);
+
+  // ---------------------------------------------------------- plumbing --
+  SimKernel* kernel() { return kernel_; }
+  const AudioConfig& config() const { return config_; }
+  size_t block_size() const { return block_size_; }
+  size_t buffered() const { return ring_.size(); }
+  size_t ring_capacity() const { return ring_.capacity(); }
+  bool playing() const { return playing_; }
+  AudioLowLevel* lld() { return lld_.get(); }
+
+  // Lifetime counters for experiments.
+  uint64_t silence_bytes_inserted() const { return silence_bytes_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  void ServiceBlockedWriter();
+  void MaybeCompleteDrain();
+  void StartPlaybackIfNeeded();
+
+  SimKernel* kernel_;
+  std::string name_;
+  std::unique_ptr<AudioLowLevel> lld_;
+  RingBuffer ring_;
+  AudioConfig config_;
+  size_t block_size_;
+  bool playing_ = false;
+  std::optional<Pid> owner_;  // Exclusive open.
+
+  // At most one outstanding blocked write (one process owns the fd and
+  // write(2) is synchronous in that process).
+  struct PendingWrite {
+    Pid pid;
+    Bytes data;
+    size_t offset;
+    size_t total;  // Original request size, reported on completion.
+    WriteCallback done;
+  };
+  std::optional<PendingWrite> pending_write_;
+  std::optional<std::pair<Pid, DrainCallback>> pending_drain_;
+
+  uint64_t silence_bytes_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_KERNEL_AUDIO_HLD_H_

@@ -1,0 +1,61 @@
+// The interface between the hardware-independent audio driver and the
+// hardware-specific low-level drivers — the audio(9) contract the paper
+// leans on: "the interface between the two levels of the audio device driver
+// is well documented so adding a new audio device is fairly straightforward"
+// (§2.1.1).
+//
+// The crucial (and, for the VAD, problematic) part of the contract is
+// TriggerOutput: the high-level driver calls it ONCE when the first block of
+// data is ready. A real driver starts a DMA engine whose completion
+// interrupt repeatedly calls `intr`, establishing a producer-consumer loop
+// that never involves the low-level driver again. A pseudo device has no
+// hardware to do that — the trap described in §3.3.
+#ifndef SRC_KERNEL_AUDIO_LLD_H_
+#define SRC_KERNEL_AUDIO_LLD_H_
+
+#include <functional>
+#include <string>
+
+#include "src/audio/format.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+class AudioHighLevel;  // The device-independent layer (audio_hld.h).
+
+class AudioLowLevel {
+ public:
+  virtual ~AudioLowLevel() = default;
+
+  virtual std::string name() const = 0;
+
+  // True for devices with no hardware behind them (the VAD). The modified-
+  // HLD pump policy keys off this.
+  virtual bool is_pseudo() const = 0;
+
+  // Called when the high-level driver is attached/detached.
+  virtual void Attach(AudioHighLevel* hld) = 0;
+
+  // Configuration changed via AUDIO_SETINFO. Pseudo devices forward this to
+  // their master side; hardware reprograms the codec.
+  virtual void OnConfigChange(const AudioConfig& config) = 0;
+
+  // Starts the output engine. Called exactly once per playback run, when
+  // the first block is buffered. The driver must arrange for the high-level
+  // driver's interrupt path (AudioHighLevel::OutputBlockDone) to be invoked
+  // each time a block is consumed.
+  virtual Status TriggerOutput() = 0;
+
+  // Stops the output engine.
+  virtual void HaltOutput() = 0;
+
+  // Hint that more data was buffered in the high-level driver. Real
+  // hardware ignores this (its DMA engine paces itself); the modified-HLD
+  // variant of the VAD pump (§3.3, "modifying the independent audio
+  // driver") uses it to keep the pseudo-device interrupt chain alive.
+  virtual void OnDataAvailable() {}
+};
+
+}  // namespace espk
+
+#endif  // SRC_KERNEL_AUDIO_LLD_H_

@@ -1,0 +1,61 @@
+// Character-device interface of the simulated kernel — the system-call
+// surface an audio application sees: open/close/read/write/ioctl plus drain.
+// Blocking calls are modeled with completion callbacks on the simulated
+// clock (the event-driven analogue of tsleep/wakeup).
+#ifndef SRC_KERNEL_DEVICE_H_
+#define SRC_KERNEL_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+using Pid = int32_t;
+
+// Ioctl commands understood by the audio devices, mirroring audioio.h.
+enum class IoctlCmd : uint32_t {
+  kAudioSetInfo = 1,  // Payload: serialized AudioConfig.
+  kAudioGetInfo = 2,  // Returns: serialized AudioConfig.
+  kAudioGetBufferInfo = 3,  // Returns: u32 ring size, u32 ring used.
+  kAudioSetBlockSize = 4,   // Payload: u32 block size in bytes.
+};
+
+class Device {
+ public:
+  using WriteCallback = std::function<void(Result<size_t>)>;
+  using ReadCallback = std::function<void(Result<Bytes>)>;
+  using DrainCallback = std::function<void(Status)>;
+
+  virtual ~Device() = default;
+
+  virtual std::string name() const = 0;
+
+  // Open/close bookkeeping. Audio devices are exclusive-open like the real
+  // audio(4): a second concurrent open fails.
+  virtual Status OnOpen(Pid pid) = 0;
+  virtual void OnClose(Pid pid) = 0;
+
+  // Writes `data`, invoking `done` exactly once with the number of bytes
+  // accepted. May complete synchronously; blocks (defers `done`) while the
+  // device buffer is full, like a write(2) to a busy audio device.
+  virtual void Write(Pid pid, const Bytes& data, WriteCallback done) = 0;
+
+  // Reads up to `max_bytes`. Blocks (defers `done`) until data is
+  // available; devices that do not support reading fail immediately.
+  virtual void Read(Pid pid, size_t max_bytes, ReadCallback done) = 0;
+
+  // Synchronous control path. `inout` carries the payload in and the
+  // response out.
+  virtual Status Ioctl(Pid pid, IoctlCmd cmd, Bytes* inout) = 0;
+
+  // Completes once all buffered output has been consumed.
+  virtual void Drain(Pid pid, DrainCallback done) = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_KERNEL_DEVICE_H_

@@ -1,0 +1,144 @@
+#include "src/kernel/kernel.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+SimKernel::SimKernel(Simulation* sim) : sim_(sim) {}
+
+Status SimKernel::RegisterDevice(const std::string& path,
+                                 std::unique_ptr<Device> dev) {
+  if (devices_.count(path) > 0) {
+    return AlreadyExistsError("device already registered: " + path);
+  }
+  devices_[path] = std::move(dev);
+  return OkStatus();
+}
+
+Device* SimKernel::FindDevice(const std::string& path) {
+  auto it = devices_.find(path);
+  return it == devices_.end() ? nullptr : it->second.get();
+}
+
+Result<int> SimKernel::Open(Pid pid, const std::string& path) {
+  CountSyscall();
+  Device* dev = FindDevice(path);
+  if (dev == nullptr) {
+    return NotFoundError("no such device: " + path);
+  }
+  ESPK_RETURN_IF_ERROR(dev->OnOpen(pid));
+  int fd = next_fd_++;
+  fds_[fd] = FdEntry{dev, pid};
+  return fd;
+}
+
+Status SimKernel::Close(Pid pid, int fd) {
+  CountSyscall();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.pid != pid) {
+    return NotFoundError("bad file descriptor");
+  }
+  // Remove the descriptor BEFORE notifying the device: OnClose may complete
+  // pending I/O whose callbacks re-enter Close (and must find the fd gone,
+  // not a dangling iterator).
+  Device* dev = it->second.dev;
+  fds_.erase(it);
+  dev->OnClose(pid);
+  return OkStatus();
+}
+
+void SimKernel::Write(Pid pid, int fd, const Bytes& data,
+                      Device::WriteCallback done) {
+  CountSyscall();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.pid != pid) {
+    done(NotFoundError("bad file descriptor"));
+    return;
+  }
+  it->second.dev->Write(pid, data, std::move(done));
+}
+
+void SimKernel::Read(Pid pid, int fd, size_t max_bytes,
+                     Device::ReadCallback done) {
+  CountSyscall();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.pid != pid) {
+    done(NotFoundError("bad file descriptor"));
+    return;
+  }
+  it->second.dev->Read(pid, max_bytes, std::move(done));
+}
+
+Status SimKernel::Ioctl(Pid pid, int fd, IoctlCmd cmd, Bytes* inout) {
+  CountSyscall();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.pid != pid) {
+    return NotFoundError("bad file descriptor");
+  }
+  return it->second.dev->Ioctl(pid, cmd, inout);
+}
+
+void SimKernel::Drain(Pid pid, int fd, Device::DrainCallback done) {
+  CountSyscall();
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.pid != pid) {
+    done(NotFoundError("bad file descriptor"));
+    return;
+  }
+  it->second.dev->Drain(pid, std::move(done));
+}
+
+void SimKernel::StartBackgroundDaemons(double switches_per_second,
+                                       uint64_t seed) {
+  daemon_rate_ = switches_per_second;
+  daemon_prng_ = std::make_unique<Prng>(seed);
+  ScheduleNextDaemonSwitch();
+}
+
+void SimKernel::StopBackgroundDaemons() {
+  daemon_rate_ = 0.0;
+  sim_->Cancel(daemon_event_);
+}
+
+void SimKernel::ScheduleNextDaemonSwitch() {
+  if (daemon_rate_ <= 0.0) {
+    return;
+  }
+  // Exponential inter-arrival times: a Poisson process with the given rate.
+  double u = daemon_prng_->NextDouble();
+  double wait_s = -std::log(1.0 - u) / daemon_rate_;
+  auto wait = static_cast<SimDuration>(wait_s * static_cast<double>(kSecond));
+  daemon_event_ = sim_->ScheduleAfter(std::max<SimDuration>(wait, 1), [this] {
+    ++stats_.context_switches;
+    ScheduleNextDaemonSwitch();
+  });
+}
+
+VmstatSampler::VmstatSampler(SimKernel* kernel, SimDuration interval)
+    : kernel_(kernel), task_(kernel->sim(), interval, [this](SimTime) {
+        uint64_t total = kernel_->stats().context_switches;
+        samples_.push_back(total - last_total_);
+        last_total_ = total;
+      }) {}
+
+void VmstatSampler::Start() {
+  last_total_ = kernel_->stats().context_switches;
+  task_.Start();
+}
+
+void VmstatSampler::Stop() { task_.Stop(); }
+
+double VmstatSampler::MeanPerInterval() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (uint64_t s : samples_) {
+    acc += static_cast<double>(s);
+  }
+  return acc / static_cast<double>(samples_.size());
+}
+
+}  // namespace espk

@@ -1,0 +1,108 @@
+// SimKernel: the simulated operating-system substrate. It provides what the
+// Ethernet Speaker system needed from OpenBSD 3.4: a character-device table
+// with open/read/write/ioctl syscalls, blocking I/O semantics (tsleep/wakeup
+// modeled as deferred callbacks on the simulated clock), kernel threads, and
+// the context-switch accounting that Figure 5 measures via vmstat.
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/base/prng.h"
+#include "src/base/status.h"
+#include "src/kernel/device.h"
+#include "src/kernel/stats.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+
+class SimKernel {
+ public:
+  explicit SimKernel(Simulation* sim);
+
+  Simulation* sim() { return sim_; }
+  const KernelStats& stats() const { return stats_; }
+
+  // ----------------------------------------------------------- devices --
+  Status RegisterDevice(const std::string& path, std::unique_ptr<Device> dev);
+  Device* FindDevice(const std::string& path);
+
+  // ---------------------------------------------------------- syscalls --
+  // Returns a file descriptor. Fails if the path is unknown or the device
+  // refuses the open (audio devices are exclusive).
+  Result<int> Open(Pid pid, const std::string& path);
+  Status Close(Pid pid, int fd);
+  void Write(Pid pid, int fd, const Bytes& data, Device::WriteCallback done);
+  void Read(Pid pid, int fd, size_t max_bytes, Device::ReadCallback done);
+  Status Ioctl(Pid pid, int fd, IoctlCmd cmd, Bytes* inout);
+  void Drain(Pid pid, int fd, Device::DrainCallback done);
+
+  // -------------------------------------------------------- accounting --
+  // Called by drivers to record scheduling activity (see stats.h).
+  void CountSyscall() { ++stats_.syscalls; }
+  void CountBlock() {
+    ++stats_.process_blocks;
+    ++stats_.context_switches;
+  }
+  void CountWakeup() {
+    ++stats_.process_wakeups;
+    ++stats_.context_switches;
+  }
+  void CountKthreadActivation() {
+    ++stats_.kthread_activations;
+    stats_.context_switches += 2;  // Switch to the kthread and back.
+  }
+  void CountInterrupt() { ++stats_.interrupts; }
+  void CountSilence(size_t bytes) { stats_.silence_insertions += bytes; }
+
+  // Models the idle machine's background scheduling noise (cron, network
+  // daemons, ...) as a Poisson process of context switches — the "Unloaded
+  // Machine, mean 4.2" baseline of Figure 5.
+  void StartBackgroundDaemons(double switches_per_second, uint64_t seed = 1);
+  void StopBackgroundDaemons();
+
+ private:
+  void ScheduleNextDaemonSwitch();
+
+  Simulation* sim_;
+  KernelStats stats_;
+  std::map<std::string, std::unique_ptr<Device>> devices_;
+
+  struct FdEntry {
+    Device* dev;
+    Pid pid;
+  };
+  std::map<int, FdEntry> fds_;
+  int next_fd_ = 3;
+
+  double daemon_rate_ = 0.0;
+  std::unique_ptr<Prng> daemon_prng_;
+  Simulation::EventHandle daemon_event_;
+};
+
+// Samples context switches per fixed interval — the vmstat emulation used
+// by the Figure 5 experiment ("data gathered by vmstat over a sixty second
+// period at one second intervals").
+class VmstatSampler {
+ public:
+  VmstatSampler(SimKernel* kernel, SimDuration interval);
+
+  void Start();
+  void Stop();
+
+  // One entry per completed interval: context switches in that interval.
+  const std::vector<uint64_t>& samples() const { return samples_; }
+  double MeanPerInterval() const;
+
+ private:
+  SimKernel* kernel_;
+  uint64_t last_total_ = 0;
+  std::vector<uint64_t> samples_;
+  PeriodicTask task_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,319 @@
+#include "src/kernel/vad.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/kernel/kernel.h"
+
+namespace espk {
+
+// ----------------------------------------------------------- VadRecord --
+
+Bytes VadRecord::Serialize() const {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type));
+  if (type == Type::kConfig) {
+    config.Serialize(&w);
+  } else {
+    w.WriteLengthPrefixed(audio);
+  }
+  return w.TakeBytes();
+}
+
+Result<VadRecord> VadRecord::Deserialize(const Bytes& frame) {
+  ByteReader r(frame);
+  Result<uint8_t> type = r.ReadU8();
+  if (!type.ok()) {
+    return type.status();
+  }
+  VadRecord record;
+  switch (*type) {
+    case static_cast<uint8_t>(Type::kConfig): {
+      record.type = Type::kConfig;
+      Result<AudioConfig> config = AudioConfig::Deserialize(&r);
+      if (!config.ok()) {
+        return config.status();
+      }
+      record.config = *config;
+      return record;
+    }
+    case static_cast<uint8_t>(Type::kAudio): {
+      record.type = Type::kAudio;
+      Result<Bytes> audio = r.ReadLengthPrefixed();
+      if (!audio.ok()) {
+        return audio.status();
+      }
+      record.audio = std::move(*audio);
+      return record;
+    }
+    default:
+      return DataLossError("unknown VAD record type");
+  }
+}
+
+// ---------------------------------------------------- VadMasterDevice --
+
+VadMasterDevice::VadMasterDevice(SimKernel* kernel, std::string name,
+                                 size_t capacity_bytes)
+    : kernel_(kernel), name_(std::move(name)), capacity_bytes_(capacity_bytes) {}
+
+Status VadMasterDevice::OnOpen(Pid pid) {
+  if (owner_.has_value()) {
+    return UnavailableError(name_ + " is busy (exclusive open)");
+  }
+  owner_ = pid;
+  return OkStatus();
+}
+
+void VadMasterDevice::OnClose(Pid pid) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    return;
+  }
+  owner_.reset();
+  if (pending_read_.has_value()) {
+    auto done = std::move(pending_read_->second);
+    pending_read_.reset();
+    done(DataLossError("master device closed with read outstanding"));
+  }
+}
+
+void VadMasterDevice::Write(Pid /*pid*/, const Bytes& /*data*/,
+                            WriteCallback done) {
+  // The master is the listening end of the pair; writing back toward the
+  // slave (full-duplex audio) is future work in the paper too.
+  done(UnimplementedError(name_ + " is read-only"));
+}
+
+void VadMasterDevice::Read(Pid pid, size_t /*max_bytes*/, ReadCallback done) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    done(PermissionDeniedError("read from non-owner pid"));
+    return;
+  }
+  if (pending_read_.has_value()) {
+    done(FailedPreconditionError("concurrent master reads not supported"));
+    return;
+  }
+  if (queue_.empty()) {
+    // Block like a read(2) on an empty device.
+    kernel_->CountBlock();
+    pending_read_ = {pid, std::move(done)};
+    return;
+  }
+  VadRecord record = std::move(queue_.front());
+  queue_.pop_front();
+  if (record.type == VadRecord::Type::kAudio) {
+    queued_audio_bytes_ -= record.audio.size();
+    if (pump_ != nullptr) {
+      pump_->OnMasterDrained();
+    }
+  }
+  done(record.Serialize());
+}
+
+Status VadMasterDevice::Ioctl(Pid pid, IoctlCmd cmd, Bytes* inout) {
+  if (!owner_.has_value() || *owner_ != pid) {
+    return PermissionDeniedError("ioctl from non-owner pid");
+  }
+  if (cmd == IoctlCmd::kAudioGetInfo) {
+    if (!last_config_.has_value()) {
+      return UnavailableError("slave has not been configured yet");
+    }
+    ByteWriter w;
+    last_config_->Serialize(&w);
+    *inout = w.TakeBytes();
+    return OkStatus();
+  }
+  return UnimplementedError("master supports only AUDIO_GETINFO");
+}
+
+void VadMasterDevice::Drain(Pid /*pid*/, DrainCallback done) {
+  done(UnimplementedError(name_ + " does not support drain"));
+}
+
+void VadMasterDevice::EnqueueAudio(Bytes block) {
+  queued_audio_bytes_ += block.size();
+  VadRecord record;
+  record.type = VadRecord::Type::kAudio;
+  record.audio = std::move(block);
+  queue_.push_back(std::move(record));
+  ServeReaderIfPossible();
+}
+
+void VadMasterDevice::EnqueueConfig(const AudioConfig& config) {
+  last_config_ = config;
+  VadRecord record;
+  record.type = VadRecord::Type::kConfig;
+  record.config = config;
+  queue_.push_back(std::move(record));
+  ServeReaderIfPossible();
+}
+
+void VadMasterDevice::ServeReaderIfPossible() {
+  if (!pending_read_.has_value() || queue_.empty()) {
+    return;
+  }
+  kernel_->CountWakeup();
+  VadRecord record = std::move(queue_.front());
+  queue_.pop_front();
+  if (record.type == VadRecord::Type::kAudio) {
+    queued_audio_bytes_ -= record.audio.size();
+    if (pump_ != nullptr) {
+      pump_->OnMasterDrained();
+    }
+  }
+  auto done = std::move(pending_read_->second);
+  pending_read_.reset();
+  Bytes frame = record.Serialize();
+  kernel_->sim()->ScheduleAfter(0, [done = std::move(done),
+                                    frame = std::move(frame)]() mutable {
+    done(std::move(frame));
+  });
+}
+
+// --------------------------------------------------- VadSlaveLowLevel --
+
+VadSlaveLowLevel::VadSlaveLowLevel(SimKernel* kernel, std::string name,
+                                   VadMasterDevice* master,
+                                   VadPumpPolicy policy,
+                                   SimDuration pump_period)
+    : kernel_(kernel),
+      name_(std::move(name)),
+      master_(master),
+      policy_(policy),
+      pump_period_(pump_period) {}
+
+void VadSlaveLowLevel::OnConfigChange(const AudioConfig& config) {
+  // Control information flows to the master side (§2.1) — and to the
+  // in-kernel sink via the config argument of each delivered block.
+  if (kernel_sink_ == nullptr) {
+    master_->EnqueueConfig(config);
+  }
+}
+
+Status VadSlaveLowLevel::TriggerOutput() {
+  if (hld_ == nullptr) {
+    return FailedPreconditionError("VAD low-level driver not attached");
+  }
+  if (running_) {
+    return OkStatus();
+  }
+  running_ = true;
+  switch (policy_) {
+    case VadPumpPolicy::kKernelThread:
+      // Spawn the pump thread; it ticks forever until output halts.
+      pump_event_ = kernel_->sim()->ScheduleAfter(pump_period_,
+                                                  [this] { KthreadTick(); });
+      break;
+    case VadPumpPolicy::kModifiedHld:
+      OnDataAvailable();
+      break;
+    case VadPumpPolicy::kNone:
+      // Faithful reproduction of the §3.3 trap: TriggerOutput is called
+      // once, nothing ever pulls, the ring fills, the writer sleeps
+      // forever. kernel_test.cc:VadWithNoPumpStalls demonstrates it.
+      ESPK_LOG(kDebug) << name_
+                       << ": pseudo device triggered with no pump policy — "
+                          "playback will stall";
+      break;
+  }
+  return OkStatus();
+}
+
+void VadSlaveLowLevel::HaltOutput() {
+  running_ = false;
+  kernel_->sim()->Cancel(pump_event_);
+  softclock_armed_ = false;
+}
+
+void VadSlaveLowLevel::OnDataAvailable() {
+  if (!running_ || policy_ != VadPumpPolicy::kModifiedHld ||
+      softclock_armed_) {
+    return;
+  }
+  softclock_armed_ = true;
+  pump_event_ = kernel_->sim()->ScheduleAfter(pump_period_,
+                                              [this] { SoftclockPump(); });
+}
+
+void VadSlaveLowLevel::OnMasterDrained() {
+  // The kthread polls on its own; the softclock variant re-arms when the
+  // consumer frees space.
+  if (policy_ == VadPumpPolicy::kModifiedHld && running_ &&
+      hld_ != nullptr && hld_->buffered() > 0) {
+    OnDataAvailable();
+  }
+}
+
+void VadSlaveLowLevel::KthreadTick() {
+  if (!running_) {
+    return;
+  }
+  // Each activation is a real scheduling event: switch in, work, switch out.
+  kernel_->CountKthreadActivation();
+  DrainAvailable();
+  pump_event_ = kernel_->sim()->ScheduleAfter(pump_period_,
+                                              [this] { KthreadTick(); });
+}
+
+void VadSlaveLowLevel::SoftclockPump() {
+  softclock_armed_ = false;
+  if (!running_) {
+    return;
+  }
+  // Softclock callouts run in interrupt context: no thread switch.
+  kernel_->CountInterrupt();
+  DrainAvailable();
+  if (hld_->buffered() > 0 && SinkHasRoom()) {
+    OnDataAvailable();
+  }
+}
+
+bool VadSlaveLowLevel::SinkHasRoom() const {
+  return kernel_sink_ != nullptr || master_->HasRoom();
+}
+
+void VadSlaveLowLevel::DrainAvailable() {
+  // No hardware clock, hence no rate limit (§3.1): move everything the
+  // consumer has room for, at "wire speed".
+  while (hld_->buffered() > 0 && SinkHasRoom()) {
+    Bytes block = hld_->PullData(hld_->block_size());
+    if (block.empty()) {
+      break;
+    }
+    ++blocks_pumped_;
+    if (kernel_sink_ != nullptr) {
+      kernel_sink_(block, hld_->config());
+    } else {
+      master_->EnqueueAudio(std::move(block));
+    }
+  }
+}
+
+// ---------------------------------------------------------- factory --
+
+Result<VadHandles> CreateVadPair(SimKernel* kernel, int index,
+                                 const VadOptions& options) {
+  std::string slave_name = "vads" + std::to_string(index);
+  std::string master_name = "vadm" + std::to_string(index);
+
+  auto master = std::make_unique<VadMasterDevice>(kernel, master_name,
+                                                  options.master_capacity);
+  VadMasterDevice* master_ptr = master.get();
+
+  auto lld = std::make_unique<VadSlaveLowLevel>(
+      kernel, slave_name, master_ptr, options.policy, options.pump_period);
+  VadSlaveLowLevel* lld_ptr = lld.get();
+  master_ptr->set_pump(lld_ptr);
+
+  auto slave = std::make_unique<AudioHighLevel>(
+      kernel, slave_name, std::move(lld), options.slave_ring_capacity);
+  AudioHighLevel* slave_ptr = slave.get();
+
+  ESPK_RETURN_IF_ERROR(
+      kernel->RegisterDevice("/dev/" + slave_name, std::move(slave)));
+  ESPK_RETURN_IF_ERROR(
+      kernel->RegisterDevice("/dev/" + master_name, std::move(master)));
+  return VadHandles{slave_ptr, master_ptr, lld_ptr};
+}
+
+}  // namespace espk

@@ -1,0 +1,144 @@
+#include "src/lan/segment.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+EthernetSegment::EthernetSegment(Simulation* sim, const SegmentConfig& config)
+    : sim_(sim), config_(config), prng_(config.seed) {}
+
+std::unique_ptr<SimNic> EthernetSegment::CreateNic() {
+  auto nic = std::make_unique<SimNic>(this, next_node_++);
+  nics_.push_back(nic.get());
+  return nic;
+}
+
+void EthernetSegment::Detach(SimNic* nic) {
+  nics_.erase(std::remove(nics_.begin(), nics_.end(), nic), nics_.end());
+}
+
+size_t EthernetSegment::GroupMemberCount(GroupId group) const {
+  size_t count = 0;
+  for (const SimNic* nic : nics_) {
+    if (nic->IsJoined(group)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void EthernetSegment::Transmit(const Datagram& datagram) {
+  ++stats_.packets_offered;
+  const size_t wire_bytes = datagram.payload.size() + config_.overhead_bytes;
+  const auto tx_time = static_cast<SimDuration>(
+      static_cast<double>(wire_bytes) * 8.0 / config_.bandwidth_bps *
+      static_cast<double>(kSecond));
+
+  SimTime now = sim_->now();
+  SimTime start = std::max(now, medium_free_at_);
+  // Tail drop: refuse packets that would queue too far behind.
+  const auto queued_bytes = static_cast<double>(start - now) *
+                            config_.bandwidth_bps / 8.0 /
+                            static_cast<double>(kSecond);
+  if (queued_bytes > static_cast<double>(config_.tx_queue_limit)) {
+    ++stats_.packets_dropped_queue;
+    return;
+  }
+  medium_free_at_ = start + tx_time;
+  ++stats_.packets_sent;
+  stats_.bytes_on_wire += wire_bytes;
+  wire_meter_.Record(now, wire_bytes);
+
+  const SimTime wire_done = medium_free_at_;
+  for (SimNic* nic : nics_) {
+    if (nic->node_id() == datagram.source) {
+      continue;  // No local loopback; the sender knows what it sent.
+    }
+    bool wants = false;
+    if (datagram.group != 0) {
+      wants = nic->IsJoined(datagram.group);
+    } else {
+      wants = datagram.destination == nic->node_id() ||
+              datagram.destination == kBroadcastNode;
+    }
+    if (!wants) {
+      continue;
+    }
+    ++stats_.deliveries;
+    if (config_.loss_probability > 0.0 &&
+        prng_.NextBool(config_.loss_probability)) {
+      ++stats_.deliveries_lost;
+      continue;
+    }
+    SimTime arrival = wire_done + config_.base_delay;
+    if (config_.jitter > 0) {
+      arrival += static_cast<SimDuration>(
+          prng_.NextBelow(static_cast<uint64_t>(config_.jitter)));
+    }
+    DeliverTo(nic, datagram, arrival);
+  }
+}
+
+void EthernetSegment::DeliverTo(SimNic* nic, const Datagram& datagram,
+                                SimTime arrival) {
+  sim_->ScheduleAt(arrival, [nic, datagram] { nic->HandleArrival(datagram); });
+}
+
+SimNic::SimNic(EthernetSegment* segment, NodeId node)
+    : segment_(segment), node_(node) {}
+
+SimNic::~SimNic() { segment_->Detach(this); }
+
+Status SimNic::JoinGroup(GroupId group) {
+  if (group == 0) {
+    return InvalidArgumentError("group 0 is reserved for unicast");
+  }
+  groups_.insert(group);
+  return OkStatus();
+}
+
+Status SimNic::LeaveGroup(GroupId group) {
+  if (groups_.erase(group) == 0) {
+    return NotFoundError("not a member of group " + std::to_string(group));
+  }
+  return OkStatus();
+}
+
+Status SimNic::SendMulticast(GroupId group, const Bytes& payload) {
+  if (group == 0) {
+    return InvalidArgumentError("group 0 is reserved for unicast");
+  }
+  Datagram d;
+  d.group = group;
+  d.source = node_;
+  d.payload = payload;
+  segment_->Transmit(d);
+  return OkStatus();
+}
+
+Status SimNic::SendUnicast(NodeId destination, const Bytes& payload) {
+  Datagram d;
+  d.group = 0;
+  d.source = node_;
+  d.destination = destination;
+  d.payload = payload;
+  segment_->Transmit(d);
+  return OkStatus();
+}
+
+void SimNic::SetReceiveHandler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void SimNic::HandleArrival(const Datagram& datagram) {
+  ++packets_received_;
+  bytes_received_ += datagram.payload.size();
+  if (handler_) {
+    handler_(datagram);
+  }
+}
+
+}  // namespace espk

@@ -1,0 +1,128 @@
+// Simulated Ethernet segment: a shared medium with finite bandwidth, wire
+// overhead, and configurable impairments (loss, jitter, reordering). The
+// paper's protocol assumes a "friendly" LAN — low error rates, ample
+// bandwidth, well-behaved packet arrival (§2.3) and uniform multicast
+// delivery (§3.2). The simulation makes those assumptions explicit and
+// violable: experiments can degrade the segment far beyond anything the
+// authors saw on the Drexel campus network and watch where the design
+// bends.
+#ifndef SRC_LAN_SEGMENT_H_
+#define SRC_LAN_SEGMENT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/rate.h"
+#include "src/lan/transport.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+
+struct SegmentConfig {
+  // 100 Mbps fast Ethernet by default; the paper's problem case is a legacy
+  // 10 Mbps or wireless link (§2.2).
+  double bandwidth_bps = 100e6;
+  // Per-packet wire overhead: Ethernet framing + preamble/IFG + IP + UDP.
+  size_t overhead_bytes = 66;
+  // One-way propagation + switch latency.
+  SimDuration base_delay = Microseconds(50);
+  // Random extra delivery delay, uniform in [0, jitter]. Per receiver, so
+  // it can violate the "everyone hears a multicast at the same instant"
+  // assumption when set high.
+  SimDuration jitter = 0;
+  // Independent per-receiver packet loss probability.
+  double loss_probability = 0.0;
+  // Transmit queue cap: packets that would queue more than this many bytes
+  // behind the current transmission are dropped (tail drop).
+  size_t tx_queue_limit = 256 * 1024;
+  uint64_t seed = 12345;
+};
+
+struct SegmentStats {
+  uint64_t packets_offered = 0;
+  uint64_t packets_sent = 0;        // Made it onto the wire.
+  uint64_t packets_dropped_queue = 0;
+  uint64_t deliveries = 0;          // Per-receiver handoffs.
+  uint64_t deliveries_lost = 0;     // Per-receiver random loss.
+  uint64_t bytes_on_wire = 0;       // Payload + overhead, sent packets.
+};
+
+class SimNic;
+
+class EthernetSegment {
+ public:
+  EthernetSegment(Simulation* sim, const SegmentConfig& config);
+
+  // Creates a station attached to this segment. NodeIds are assigned
+  // sequentially starting at 1.
+  std::unique_ptr<SimNic> CreateNic();
+
+  Simulation* sim() { return sim_; }
+  const SegmentConfig& config() const { return config_; }
+  const SegmentStats& stats() const { return stats_; }
+
+  // Average offered load on the wire since the first packet, bits/second.
+  double average_utilization_bps() const { return wire_meter_.average_bps(); }
+
+  // Runtime impairment control (tests flip these mid-run).
+  void set_loss_probability(double p) { config_.loss_probability = p; }
+  void set_jitter(SimDuration j) { config_.jitter = j; }
+
+  // How many stations have joined `group` — what a first-hop router knows
+  // from IGMP, and what MSNIP would let a server ask for (§4.3).
+  size_t GroupMemberCount(GroupId group) const;
+
+ private:
+  friend class SimNic;
+
+  void Transmit(const Datagram& datagram);
+  void DeliverTo(SimNic* nic, const Datagram& datagram, SimTime arrival);
+  void Detach(SimNic* nic);
+
+  Simulation* sim_;
+  SegmentConfig config_;
+  SegmentStats stats_;
+  RateMeter wire_meter_;
+  Prng prng_;
+  NodeId next_node_ = 1;
+  SimTime medium_free_at_ = 0;  // CSMA-free abstraction: FIFO serialization.
+  std::vector<SimNic*> nics_;
+};
+
+class SimNic : public Transport {
+ public:
+  SimNic(EthernetSegment* segment, NodeId node);
+  ~SimNic() override;
+
+  NodeId node_id() const override { return node_; }
+  Status JoinGroup(GroupId group) override;
+  Status LeaveGroup(GroupId group) override;
+  Status SendMulticast(GroupId group, const Bytes& payload) override;
+  Status SendUnicast(NodeId destination, const Bytes& payload) override;
+  void SetReceiveHandler(ReceiveHandler handler) override;
+
+  bool IsJoined(GroupId group) const { return groups_.count(group) > 0; }
+
+  // Receive-side accounting for experiments.
+  uint64_t packets_received() const { return packets_received_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class EthernetSegment;
+
+  void HandleArrival(const Datagram& datagram);
+
+  EthernetSegment* segment_;
+  NodeId node_;
+  std::set<GroupId> groups_;
+  ReceiveHandler handler_;
+  uint64_t packets_received_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_LAN_SEGMENT_H_

@@ -1,0 +1,61 @@
+// Transport abstraction for Ethernet Speaker endpoints. The protocol layer
+// (src/proto) and everything above it only see this interface; beneath it
+// sits either the deterministic simulated Ethernet segment (src/lan/segment)
+// or a real UDP-multicast socket backend (src/lan/udp_transport).
+//
+// The design assumption from §2.3 is baked in here: communication is
+// restricted to one LAN, multicast is available by default, and receivers
+// never talk back — there is no connection setup of any kind.
+#ifndef SRC_LAN_TRANSPORT_H_
+#define SRC_LAN_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+// A multicast group — one audio channel plus control/catalog groups.
+using GroupId = uint32_t;
+// A station on the segment (NIC index / last octet of its address).
+using NodeId = uint32_t;
+
+inline constexpr NodeId kBroadcastNode = 0xFFFFFFFF;
+
+struct Datagram {
+  GroupId group = 0;       // 0 for unicast traffic.
+  NodeId source = 0;
+  NodeId destination = kBroadcastNode;  // Meaningful for unicast only.
+  Bytes payload;
+};
+
+class Transport {
+ public:
+  using ReceiveHandler = std::function<void(const Datagram&)>;
+
+  virtual ~Transport() = default;
+
+  virtual NodeId node_id() const = 0;
+
+  // IGMP-ish group membership. A speaker "tunes" a channel by joining its
+  // group (§2.3); leaving stops delivery.
+  virtual Status JoinGroup(GroupId group) = 0;
+  virtual Status LeaveGroup(GroupId group) = 0;
+
+  // Fire-and-forget multicast send to a group.
+  virtual Status SendMulticast(GroupId group, const Bytes& payload) = 0;
+
+  // Unicast to one station (used by the WAN-proxy path and the baseline
+  // per-listener streaming server, not by the ES protocol itself).
+  virtual Status SendUnicast(NodeId destination, const Bytes& payload) = 0;
+
+  // All received datagrams (joined multicast + unicast to this node) are
+  // delivered here.
+  virtual void SetReceiveHandler(ReceiveHandler handler) = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_LAN_TRANSPORT_H_

@@ -1,0 +1,186 @@
+#include "src/lan/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace espk {
+
+namespace {
+
+std::string GroupAddress(GroupId group) {
+  return "239.255." + std::to_string((group >> 8) & 0xFF) + "." +
+         std::to_string(group & 0xFF);
+}
+
+Status Errno(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+Result<int> MakeNonblockingUdpSocket(uint16_t port, bool reuse) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  if (reuse) {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+#endif
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Errno("bind port " + std::to_string(port));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+}  // namespace
+
+UdpMulticastTransport::UdpMulticastTransport(NodeId node,
+                                             const UdpTransportConfig& config)
+    : node_(node), config_(config) {
+  status_ = Setup();
+}
+
+Status UdpMulticastTransport::Setup() {
+  Result<int> mcast = MakeNonblockingUdpSocket(config_.port, /*reuse=*/true);
+  if (!mcast.ok()) {
+    return mcast.status();
+  }
+  mcast_fd_ = *mcast;
+
+  Result<int> unicast = MakeNonblockingUdpSocket(
+      static_cast<uint16_t>(config_.port + node_), /*reuse=*/false);
+  if (!unicast.ok()) {
+    return unicast.status();
+  }
+  unicast_fd_ = *unicast;
+
+  uint8_t loop = config_.multicast_loop ? 1 : 0;
+  ::setsockopt(mcast_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+  ::setsockopt(unicast_fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop,
+               sizeof(loop));
+  in_addr iface{};
+  iface.s_addr = inet_addr(config_.interface_ip.c_str());
+  ::setsockopt(unicast_fd_, IPPROTO_IP, IP_MULTICAST_IF, &iface,
+               sizeof(iface));
+  return OkStatus();
+}
+
+UdpMulticastTransport::~UdpMulticastTransport() {
+  if (mcast_fd_ >= 0) {
+    ::close(mcast_fd_);
+  }
+  if (unicast_fd_ >= 0) {
+    ::close(unicast_fd_);
+  }
+}
+
+Status UdpMulticastTransport::JoinGroup(GroupId group) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  ip_mreq mreq{};
+  mreq.imr_multiaddr.s_addr = inet_addr(GroupAddress(group).c_str());
+  mreq.imr_interface.s_addr = inet_addr(config_.interface_ip.c_str());
+  if (::setsockopt(mcast_fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                   sizeof(mreq)) < 0) {
+    return Errno("IP_ADD_MEMBERSHIP " + GroupAddress(group));
+  }
+  groups_.insert(group);
+  return OkStatus();
+}
+
+Status UdpMulticastTransport::LeaveGroup(GroupId group) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (groups_.erase(group) == 0) {
+    return NotFoundError("not joined to group " + std::to_string(group));
+  }
+  ip_mreq mreq{};
+  mreq.imr_multiaddr.s_addr = inet_addr(GroupAddress(group).c_str());
+  mreq.imr_interface.s_addr = inet_addr(config_.interface_ip.c_str());
+  ::setsockopt(mcast_fd_, IPPROTO_IP, IP_DROP_MEMBERSHIP, &mreq,
+               sizeof(mreq));
+  return OkStatus();
+}
+
+Status UdpMulticastTransport::SendMulticast(GroupId group,
+                                            const Bytes& payload) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_addr.s_addr = inet_addr(GroupAddress(group).c_str());
+  dest.sin_port = htons(config_.port);
+  ssize_t sent =
+      ::sendto(unicast_fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+  if (sent < 0) {
+    return Errno("sendto multicast");
+  }
+  return OkStatus();
+}
+
+Status UdpMulticastTransport::SendUnicast(NodeId destination,
+                                          const Bytes& payload) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_addr.s_addr = inet_addr("127.0.0.1");
+  dest.sin_port = htons(static_cast<uint16_t>(config_.port + destination));
+  ssize_t sent =
+      ::sendto(unicast_fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<sockaddr*>(&dest), sizeof(dest));
+  if (sent < 0) {
+    return Errno("sendto unicast");
+  }
+  return OkStatus();
+}
+
+void UdpMulticastTransport::SetReceiveHandler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+int UdpMulticastTransport::Poll() {
+  if (!status_.ok()) {
+    return 0;
+  }
+  int delivered = 0;
+  uint8_t buf[65536];
+  for (int fd : {mcast_fd_, unicast_fd_}) {
+    for (;;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      Datagram d;
+      d.destination = node_;
+      d.payload.assign(buf, buf + n);
+      if (handler_) {
+        handler_(d);
+        ++delivered;
+      }
+    }
+  }
+  return delivered;
+}
+
+}  // namespace espk

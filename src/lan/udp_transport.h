@@ -1,0 +1,65 @@
+// Real-socket Transport backend: UDP multicast on 239.255.0.0/16, the same
+// administrative-scope addressing the prototype used on the Drexel LAN.
+// Deterministic experiments run on the simulated segment; this backend
+// exists so the examples can also run the identical protocol stack over a
+// real kernel's sockets (loopback multicast by default).
+//
+// Receive is poll-driven: call Poll() from your run loop; each pending
+// datagram is handed to the receive handler.
+#ifndef SRC_LAN_UDP_TRANSPORT_H_
+#define SRC_LAN_UDP_TRANSPORT_H_
+
+#include <set>
+#include <string>
+
+#include "src/lan/transport.h"
+
+namespace espk {
+
+struct UdpTransportConfig {
+  // Multicast groups become 239.255.(g>>8).(g&255), all on `port`.
+  uint16_t port = 47000;
+  // Unicast peers are 127.0.0.1:(port + node_id).
+  std::string interface_ip = "127.0.0.1";
+  bool multicast_loop = true;  // Deliver to local listeners.
+};
+
+class UdpMulticastTransport : public Transport {
+ public:
+  // `node` must be unique per process on this host (it selects the unicast
+  // port). Binds immediately; check status() before use.
+  UdpMulticastTransport(NodeId node, const UdpTransportConfig& config);
+  ~UdpMulticastTransport() override;
+
+  UdpMulticastTransport(const UdpMulticastTransport&) = delete;
+  UdpMulticastTransport& operator=(const UdpMulticastTransport&) = delete;
+
+  // Non-OK if socket setup failed.
+  const Status& status() const { return status_; }
+
+  NodeId node_id() const override { return node_; }
+  Status JoinGroup(GroupId group) override;
+  Status LeaveGroup(GroupId group) override;
+  Status SendMulticast(GroupId group, const Bytes& payload) override;
+  Status SendUnicast(NodeId destination, const Bytes& payload) override;
+  void SetReceiveHandler(ReceiveHandler handler) override;
+
+  // Drains all pending datagrams into the receive handler; returns the
+  // number delivered. Non-blocking.
+  int Poll();
+
+ private:
+  Status Setup();
+
+  NodeId node_;
+  UdpTransportConfig config_;
+  Status status_;
+  int mcast_fd_ = -1;    // Bound to `port`, receives multicast.
+  int unicast_fd_ = -1;  // Bound to port+node, receives unicast.
+  std::set<GroupId> groups_;
+  ReceiveHandler handler_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_LAN_UDP_TRANSPORT_H_

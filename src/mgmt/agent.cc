@@ -1,0 +1,339 @@
+#include "src/mgmt/agent.h"
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+namespace {
+
+void WriteOid(ByteWriter* w, const Oid& oid) {
+  w->WriteU16(static_cast<uint16_t>(oid.size()));
+  for (uint32_t component : oid) {
+    w->WriteU32(component);
+  }
+}
+
+Result<Oid> ReadOid(ByteReader* r) {
+  Result<uint16_t> count = r->ReadU16();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > 64) {
+    return DataLossError("implausible OID length");
+  }
+  Oid oid;
+  for (uint16_t i = 0; i < *count; ++i) {
+    Result<uint32_t> component = r->ReadU32();
+    if (!component.ok()) {
+      return component.status();
+    }
+    oid.push_back(*component);
+  }
+  return oid;
+}
+
+}  // namespace
+
+Bytes MgmtRequest::Serialize() const {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteU32(request_id);
+  w.WriteU32(target);
+  WriteOid(&w, oid);
+  w.WriteString(value);
+  return w.TakeBytes();
+}
+
+Result<MgmtRequest> MgmtRequest::Deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  Result<uint8_t> op = r.ReadU8();
+  Result<uint32_t> request_id =
+      op.ok() ? r.ReadU32() : Result<uint32_t>(op.status());
+  Result<uint32_t> target =
+      request_id.ok() ? r.ReadU32() : Result<uint32_t>(request_id.status());
+  if (!target.ok()) {
+    return target.status();
+  }
+  if (*op < 1 || *op > 3) {
+    return DataLossError("bad mgmt op");
+  }
+  Result<Oid> oid = ReadOid(&r);
+  if (!oid.ok()) {
+    return oid.status();
+  }
+  Result<std::string> value = r.ReadString();
+  if (!value.ok()) {
+    return value.status();
+  }
+  MgmtRequest request;
+  request.op = static_cast<MgmtOp>(*op);
+  request.request_id = *request_id;
+  request.target = *target;
+  request.oid = std::move(*oid);
+  request.value = std::move(*value);
+  return request;
+}
+
+Bytes MgmtResponse::Serialize() const {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MgmtOp::kResponse));
+  w.WriteU32(request_id);
+  w.WriteU32(responder);
+  w.WriteU8(ok ? 1 : 0);
+  WriteOid(&w, oid);
+  w.WriteString(value);
+  return w.TakeBytes();
+}
+
+Result<MgmtResponse> MgmtResponse::Deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  Result<uint8_t> op = r.ReadU8();
+  if (!op.ok() || *op != static_cast<uint8_t>(MgmtOp::kResponse)) {
+    return DataLossError("not a mgmt response");
+  }
+  Result<uint32_t> request_id = r.ReadU32();
+  Result<uint32_t> responder =
+      request_id.ok() ? r.ReadU32() : Result<uint32_t>(request_id.status());
+  Result<uint8_t> ok_flag =
+      responder.ok() ? r.ReadU8() : Result<uint8_t>(responder.status());
+  if (!ok_flag.ok()) {
+    return ok_flag.status();
+  }
+  Result<Oid> oid = ReadOid(&r);
+  if (!oid.ok()) {
+    return oid.status();
+  }
+  Result<std::string> value = r.ReadString();
+  if (!value.ok()) {
+    return value.status();
+  }
+  MgmtResponse response;
+  response.request_id = *request_id;
+  response.responder = *responder;
+  response.ok = *ok_flag != 0;
+  response.oid = std::move(*oid);
+  response.value = std::move(*value);
+  return response;
+}
+
+// ---------------------------------------------------------- SpeakerAgent --
+
+Oid MibOidName() { return EspkOid({1, 1}); }
+Oid MibOidVolume() { return EspkOid({1, 2}); }
+Oid MibOidChannel() { return EspkOid({1, 3}); }
+Oid MibOidOverride() { return EspkOid({1, 4}); }
+Oid MibOidChunksPlayed() { return EspkOid({2, 1}); }
+Oid MibOidLateDrops() { return EspkOid({2, 2}); }
+Oid MibOidPacketsReceived() { return EspkOid({2, 3}); }
+
+SpeakerAgent::SpeakerAgent(Simulation* sim, Transport* nic,
+                           EthernetSpeaker* speaker)
+    : sim_(sim), nic_(nic), speaker_(speaker) {
+  (void)sim_;
+  BuildMib();
+  (void)nic_->JoinGroup(kMgmtGroup);
+  // The NIC is shared with the speaker; chain the handlers so both see
+  // arriving datagrams (the speaker ignores mgmt frames — they fail packet
+  // parse — and the agent ignores audio groups).
+  nic_->SetReceiveHandler([this](const Datagram& d) {
+    if (d.group == kMgmtGroup) {
+      OnDatagram(d);
+    } else {
+      speaker_->HandleDatagram(d);
+    }
+  });
+}
+
+void SpeakerAgent::BuildMib() {
+  mib_.Register(MibOidName(),
+                {"speaker name", [this] { return speaker_->name(); },
+                 nullptr});
+  mib_.Register(
+      MibOidVolume(),
+      {"playback gain",
+       [this] { return std::to_string(speaker_->gain()); },
+       [this](const std::string& v) {
+         try {
+           float gain = std::stof(v);
+           if (gain < 0.0f || gain > 16.0f) {
+             return OutOfRangeError("gain out of [0,16]");
+           }
+           speaker_->set_gain(gain);
+           return OkStatus();
+         } catch (const std::exception&) {
+           return InvalidArgumentError("not a number: " + v);
+         }
+       }});
+  mib_.Register(
+      MibOidChannel(),
+      {"tuned multicast group (0 = untuned)",
+       [this] {
+         return std::to_string(speaker_->tuned_group().value_or(0));
+       },
+       [this](const std::string& v) {
+         try {
+           auto group = static_cast<GroupId>(std::stoul(v));
+           if (group == 0) {
+             return speaker_->tuned_group().has_value() ? speaker_->Untune()
+                                                        : OkStatus();
+           }
+           return speaker_->Tune(group);
+         } catch (const std::exception&) {
+           return InvalidArgumentError("not a group id: " + v);
+         }
+       }});
+  mib_.Register(
+      MibOidOverride(),
+      {"central override group (set 0 to restore previous channel)",
+       [this] {
+         return std::to_string(pre_override_group_.has_value() ? 1 : 0);
+       },
+       [this](const std::string& v) {
+         try {
+           auto group = static_cast<GroupId>(std::stoul(v));
+           if (group != 0) {
+             if (!pre_override_group_.has_value()) {
+               pre_override_group_ = speaker_->tuned_group().value_or(0);
+             }
+             return speaker_->Tune(group);
+           }
+           if (!pre_override_group_.has_value()) {
+             return OkStatus();  // Nothing to restore.
+           }
+           GroupId previous = *pre_override_group_;
+           pre_override_group_.reset();
+           if (previous == 0) {
+             return speaker_->Untune();
+           }
+           return speaker_->Tune(previous);
+         } catch (const std::exception&) {
+           return InvalidArgumentError("not a group id: " + v);
+         }
+       }});
+  mib_.Register(MibOidChunksPlayed(),
+                {"chunks played",
+                 [this] {
+                   return std::to_string(speaker_->stats().chunks_played);
+                 },
+                 nullptr});
+  mib_.Register(MibOidLateDrops(),
+                {"chunks dropped for lateness",
+                 [this] {
+                   return std::to_string(speaker_->stats().late_drops);
+                 },
+                 nullptr});
+  mib_.Register(MibOidPacketsReceived(),
+                {"datagrams received",
+                 [this] {
+                   return std::to_string(speaker_->stats().packets_received);
+                 },
+                 nullptr});
+}
+
+void SpeakerAgent::OnDatagram(const Datagram& datagram) {
+  Result<MgmtRequest> request = MgmtRequest::Deserialize(datagram.payload);
+  if (!request.ok()) {
+    return;  // Response frames and noise also land here; ignore.
+  }
+  if (request->target != 0 && request->target != nic_->node_id()) {
+    return;
+  }
+  ++requests_handled_;
+  MgmtResponse response;
+  response.request_id = request->request_id;
+  response.responder = nic_->node_id();
+  switch (request->op) {
+    case MgmtOp::kGet: {
+      Result<std::string> value = mib_.Get(request->oid);
+      response.ok = value.ok();
+      response.oid = request->oid;
+      response.value = value.ok() ? *value : value.status().ToString();
+      break;
+    }
+    case MgmtOp::kSet: {
+      Status status = mib_.Set(request->oid, request->value);
+      response.ok = status.ok();
+      response.oid = request->oid;
+      response.value = status.ok() ? request->value : status.ToString();
+      break;
+    }
+    case MgmtOp::kGetNext: {
+      Result<Oid> next = mib_.GetNext(request->oid);
+      if (next.ok()) {
+        Result<std::string> value = mib_.Get(*next);
+        response.ok = value.ok();
+        response.oid = *next;
+        response.value = value.ok() ? *value : value.status().ToString();
+      } else {
+        response.ok = false;
+        response.value = "end of MIB";
+      }
+      break;
+    }
+    case MgmtOp::kResponse:
+      return;
+  }
+  (void)nic_->SendMulticast(kMgmtGroup, response.Serialize());
+}
+
+// ----------------------------------------------------------- MgmtConsole --
+
+MgmtConsole::MgmtConsole(Simulation* sim, Transport* nic)
+    : sim_(sim), nic_(nic) {
+  (void)sim_;
+  (void)nic_->JoinGroup(kMgmtGroup);
+  nic_->SetReceiveHandler([this](const Datagram& d) { OnDatagram(d); });
+}
+
+void MgmtConsole::Send(MgmtOp op, NodeId target, const Oid& oid,
+                       const std::string& value,
+                       ResponseCallback on_response) {
+  MgmtRequest request;
+  request.op = op;
+  request.request_id = next_request_id_++;
+  request.target = target;
+  request.oid = oid;
+  request.value = value;
+  if (on_response) {
+    outstanding_[request.request_id] = std::move(on_response);
+  }
+  (void)nic_->SendMulticast(kMgmtGroup, request.Serialize());
+}
+
+void MgmtConsole::Get(NodeId target, const Oid& oid,
+                      ResponseCallback on_response) {
+  Send(MgmtOp::kGet, target, oid, "", std::move(on_response));
+}
+
+void MgmtConsole::Set(NodeId target, const Oid& oid, const std::string& value,
+                      ResponseCallback on_response) {
+  Send(MgmtOp::kSet, target, oid, value, std::move(on_response));
+}
+
+void MgmtConsole::GetNext(NodeId target, const Oid& oid,
+                          ResponseCallback on_response) {
+  Send(MgmtOp::kGetNext, target, oid, "", std::move(on_response));
+}
+
+void MgmtConsole::OverrideAll(GroupId announcement_group) {
+  Set(0, MibOidOverride(), std::to_string(announcement_group), nullptr);
+}
+
+void MgmtConsole::RestoreAll() { Set(0, MibOidOverride(), "0", nullptr); }
+
+void MgmtConsole::OnDatagram(const Datagram& datagram) {
+  if (datagram.group != kMgmtGroup) {
+    return;
+  }
+  Result<MgmtResponse> response =
+      MgmtResponse::Deserialize(datagram.payload);
+  if (!response.ok()) {
+    return;  // Requests echoed on the group; ignore.
+  }
+  auto it = outstanding_.find(response->request_id);
+  if (it != outstanding_.end()) {
+    it->second(*response);
+  }
+}
+
+}  // namespace espk

@@ -1,0 +1,120 @@
+// The Ethernet Speaker's management agent and the NMS console that drives
+// it (§5.3). The agent exposes the speaker through a MIB — volume, tuned
+// channel, playback statistics — over a trivial SNMP-ish request/response
+// protocol on a dedicated multicast group (requests carry the target node,
+// or 0 to address every agent at once: the paper's "all ESs within an
+// administrative domain may need to be controlled centrally").
+#ifndef SRC_MGMT_AGENT_H_
+#define SRC_MGMT_AGENT_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/lan/transport.h"
+#include "src/mgmt/mib.h"
+#include "src/sim/simulation.h"
+#include "src/speaker/speaker.h"
+
+namespace espk {
+
+// Management traffic rides its own well-known group.
+inline constexpr GroupId kMgmtGroup = 2;
+
+enum class MgmtOp : uint8_t {
+  kGet = 1,
+  kSet = 2,
+  kGetNext = 3,
+  kResponse = 4,
+};
+
+struct MgmtRequest {
+  uint32_t request_id = 0;
+  NodeId target = 0;  // 0 = every agent.
+  MgmtOp op = MgmtOp::kGet;
+  Oid oid;
+  std::string value;  // For kSet.
+
+  Bytes Serialize() const;
+  static Result<MgmtRequest> Deserialize(const Bytes& wire);
+};
+
+struct MgmtResponse {
+  uint32_t request_id = 0;
+  NodeId responder = 0;
+  bool ok = false;
+  Oid oid;             // For kGetNext: the next OID.
+  std::string value;   // Get result or error message.
+
+  Bytes Serialize() const;
+  static Result<MgmtResponse> Deserialize(const Bytes& wire);
+};
+
+// Binds a speaker to the management group and answers requests against its
+// MIB. Also implements the channel-override behaviour: setting the
+// `override` OID retunes the speaker and remembers where it was.
+class SpeakerAgent {
+ public:
+  SpeakerAgent(Simulation* sim, Transport* nic, EthernetSpeaker* speaker);
+
+  Mib* mib() { return &mib_; }
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  void BuildMib();
+  void OnDatagram(const Datagram& datagram);
+
+  Simulation* sim_;
+  Transport* nic_;
+  EthernetSpeaker* speaker_;
+  Mib mib_;
+  std::optional<GroupId> pre_override_group_;
+  uint64_t requests_handled_ = 0;
+};
+
+// The central console: issues requests and collects responses. Since the
+// simulation is event-driven, results arrive via callback after RunFor.
+class MgmtConsole {
+ public:
+  MgmtConsole(Simulation* sim, Transport* nic);
+
+  using ResponseCallback = std::function<void(const MgmtResponse&)>;
+
+  // Sends a request; `on_response` fires per responding agent.
+  void Get(NodeId target, const Oid& oid, ResponseCallback on_response);
+  void Set(NodeId target, const Oid& oid, const std::string& value,
+           ResponseCallback on_response);
+  void GetNext(NodeId target, const Oid& oid, ResponseCallback on_response);
+
+  // Broadcast override: every speaker saves its channel and tunes to
+  // `announcement_group`; Restore sends them back (§5.3's cabin-crew
+  // scenario).
+  void OverrideAll(GroupId announcement_group);
+  void RestoreAll();
+
+ private:
+  void Send(MgmtOp op, NodeId target, const Oid& oid,
+            const std::string& value, ResponseCallback on_response);
+  void OnDatagram(const Datagram& datagram);
+
+  Simulation* sim_;
+  Transport* nic_;
+  uint32_t next_request_id_ = 1;
+  std::map<uint32_t, ResponseCallback> outstanding_;
+};
+
+// OIDs of the speaker MIB (under the espk enterprise arc).
+Oid MibOidName();            // .1.1  name (ro)
+Oid MibOidVolume();          // .1.2  volume gain (rw)
+Oid MibOidChannel();         // .1.3  tuned group (rw; 0 = untuned)
+Oid MibOidOverride();        // .1.4  override group (rw; 0 = restore)
+Oid MibOidChunksPlayed();    // .2.1  (ro)
+Oid MibOidLateDrops();       // .2.2  (ro)
+Oid MibOidPacketsReceived(); // .2.3  (ro)
+
+}  // namespace espk
+
+#endif  // SRC_MGMT_AGENT_H_

@@ -1,0 +1,81 @@
+#include "src/mgmt/mib.h"
+
+#include <sstream>
+
+namespace espk {
+
+std::string OidToString(const Oid& oid) {
+  std::ostringstream os;
+  for (size_t i = 0; i < oid.size(); ++i) {
+    if (i > 0) {
+      os << '.';
+    }
+    os << oid[i];
+  }
+  return os.str();
+}
+
+Result<Oid> OidFromString(const std::string& text) {
+  Oid oid;
+  std::istringstream stream(text);
+  std::string part;
+  while (std::getline(stream, part, '.')) {
+    if (part.empty()) {
+      return InvalidArgumentError("empty OID component in: " + text);
+    }
+    for (char c : part) {
+      if (c < '0' || c > '9') {
+        return InvalidArgumentError("non-numeric OID component: " + part);
+      }
+    }
+    oid.push_back(static_cast<uint32_t>(std::stoul(part)));
+  }
+  if (oid.empty()) {
+    return InvalidArgumentError("empty OID");
+  }
+  return oid;
+}
+
+void Mib::Register(const Oid& oid, MibVariable variable) {
+  variables_[oid] = std::move(variable);
+}
+
+Result<std::string> Mib::Get(const Oid& oid) const {
+  auto it = variables_.find(oid);
+  if (it == variables_.end()) {
+    return NotFoundError("no such OID: " + OidToString(oid));
+  }
+  return it->second.get();
+}
+
+Status Mib::Set(const Oid& oid, const std::string& value) {
+  auto it = variables_.find(oid);
+  if (it == variables_.end()) {
+    return NotFoundError("no such OID: " + OidToString(oid));
+  }
+  if (!it->second.set) {
+    return PermissionDeniedError("read-only OID: " + OidToString(oid));
+  }
+  return it->second.set(value);
+}
+
+Result<Oid> Mib::GetNext(const Oid& oid) const {
+  auto it = variables_.upper_bound(oid);
+  if (it == variables_.end()) {
+    return NotFoundError("end of MIB");
+  }
+  return it->first;
+}
+
+const std::string* Mib::Describe(const Oid& oid) const {
+  auto it = variables_.find(oid);
+  return it == variables_.end() ? nullptr : &it->second.description;
+}
+
+Oid EspkOid(std::initializer_list<uint32_t> suffix) {
+  Oid oid = {1, 3, 6, 1, 4, 1, 9999};
+  oid.insert(oid.end(), suffix.begin(), suffix.end());
+  return oid;
+}
+
+}  // namespace espk

@@ -1,0 +1,58 @@
+// A miniature SNMP-style Management Information Base (§5.3): OID-addressed
+// variables with get/set handlers and lexicographic get-next traversal, so
+// "any NMS console" can manage an Ethernet Speaker. The paper plans "an
+// SNMP MIB to allow any NMS console to manage ESs"; this is that MIB plus
+// the protocol plumbing in agent.h.
+#ifndef SRC_MGMT_MIB_H_
+#define SRC_MGMT_MIB_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+
+namespace espk {
+
+// Object identifier, e.g. {1,3,6,1,4,1,9999,1,2} — rendered "1.3.6...".
+using Oid = std::vector<uint32_t>;
+
+std::string OidToString(const Oid& oid);
+Result<Oid> OidFromString(const std::string& text);
+
+// MIB values are strings on the wire (integer semantics live in handlers),
+// which keeps the protocol trivial and the console generic.
+struct MibVariable {
+  std::string description;
+  std::function<std::string()> get;
+  // Null for read-only variables. Returns non-OK to reject a value.
+  std::function<Status(const std::string&)> set;
+};
+
+class Mib {
+ public:
+  void Register(const Oid& oid, MibVariable variable);
+
+  Result<std::string> Get(const Oid& oid) const;
+  Status Set(const Oid& oid, const std::string& value);
+
+  // Lexicographically next OID after `oid` (SNMP walk); NOT_FOUND at end.
+  // Pass an empty OID to get the first.
+  Result<Oid> GetNext(const Oid& oid) const;
+
+  size_t size() const { return variables_.size(); }
+  const std::string* Describe(const Oid& oid) const;
+
+ private:
+  std::map<Oid, MibVariable> variables_;
+};
+
+// The well-known OID prefix for the Ethernet Speaker enterprise MIB.
+// (1.3.6.1.4.1.9999 = iso.org.dod.internet.private.enterprise.<espk>)
+Oid EspkOid(std::initializer_list<uint32_t> suffix);
+
+}  // namespace espk
+
+#endif  // SRC_MGMT_MIB_H_

@@ -1,0 +1,265 @@
+#include "src/proto/wire.h"
+
+#include "src/base/crc32.h"
+
+namespace espk {
+
+namespace {
+
+void WriteControl(ByteWriter* w, const ControlPacket& p) {
+  w->WriteU32(p.stream_id);
+  w->WriteU32(p.control_seq);
+  w->WriteI64(p.producer_clock);
+  p.config.Serialize(w);
+  w->WriteU8(static_cast<uint8_t>(p.codec));
+  w->WriteU8(p.quality);
+}
+
+Result<ControlPacket> ReadControl(ByteReader* r) {
+  ControlPacket p;
+  Result<uint32_t> stream_id = r->ReadU32();
+  Result<uint32_t> control_seq =
+      stream_id.ok() ? r->ReadU32() : Result<uint32_t>(stream_id.status());
+  Result<int64_t> clock =
+      control_seq.ok() ? r->ReadI64() : Result<int64_t>(control_seq.status());
+  if (!clock.ok()) {
+    return clock.status();
+  }
+  Result<AudioConfig> config = AudioConfig::Deserialize(r);
+  if (!config.ok()) {
+    return config.status();
+  }
+  Result<uint8_t> codec = r->ReadU8();
+  Result<uint8_t> quality =
+      codec.ok() ? r->ReadU8() : Result<uint8_t>(codec.status());
+  if (!quality.ok()) {
+    return quality.status();
+  }
+  if (*codec > static_cast<uint8_t>(CodecId::kVorbix)) {
+    return DataLossError("unknown codec id in control packet");
+  }
+  p.stream_id = *stream_id;
+  p.control_seq = *control_seq;
+  p.producer_clock = *clock;
+  p.config = *config;
+  p.codec = static_cast<CodecId>(*codec);
+  p.quality = *quality;
+  return p;
+}
+
+void WriteData(ByteWriter* w, const DataPacket& p) {
+  w->WriteU32(p.stream_id);
+  w->WriteU32(p.seq);
+  w->WriteI64(p.play_deadline);
+  w->WriteU32(p.frame_count);
+  w->WriteLengthPrefixed(p.payload);
+}
+
+Result<DataPacket> ReadData(ByteReader* r) {
+  DataPacket p;
+  Result<uint32_t> stream_id = r->ReadU32();
+  Result<uint32_t> seq =
+      stream_id.ok() ? r->ReadU32() : Result<uint32_t>(stream_id.status());
+  Result<int64_t> deadline =
+      seq.ok() ? r->ReadI64() : Result<int64_t>(seq.status());
+  Result<uint32_t> frames =
+      deadline.ok() ? r->ReadU32() : Result<uint32_t>(deadline.status());
+  if (!frames.ok()) {
+    return frames.status();
+  }
+  Result<Bytes> payload = r->ReadLengthPrefixed();
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  p.stream_id = *stream_id;
+  p.seq = *seq;
+  p.play_deadline = *deadline;
+  p.frame_count = *frames;
+  p.payload = std::move(*payload);
+  return p;
+}
+
+void WriteAnnounce(ByteWriter* w, const AnnouncePacket& p) {
+  w->WriteI64(p.producer_clock);
+  w->WriteU16(static_cast<uint16_t>(p.entries.size()));
+  for (const AnnounceEntry& e : p.entries) {
+    w->WriteU32(e.stream_id);
+    w->WriteU32(e.group);
+    w->WriteString(e.name);
+    e.config.Serialize(w);
+    w->WriteU8(static_cast<uint8_t>(e.codec));
+  }
+}
+
+Result<AnnouncePacket> ReadAnnounce(ByteReader* r) {
+  AnnouncePacket p;
+  Result<int64_t> clock = r->ReadI64();
+  Result<uint16_t> count =
+      clock.ok() ? r->ReadU16() : Result<uint16_t>(clock.status());
+  if (!count.ok()) {
+    return count.status();
+  }
+  p.producer_clock = *clock;
+  for (uint16_t i = 0; i < *count; ++i) {
+    AnnounceEntry e;
+    Result<uint32_t> stream_id = r->ReadU32();
+    Result<uint32_t> group =
+        stream_id.ok() ? r->ReadU32() : Result<uint32_t>(stream_id.status());
+    Result<std::string> name =
+        group.ok() ? r->ReadString() : Result<std::string>(group.status());
+    if (!name.ok()) {
+      return name.status();
+    }
+    Result<AudioConfig> config = AudioConfig::Deserialize(r);
+    if (!config.ok()) {
+      return config.status();
+    }
+    Result<uint8_t> codec = r->ReadU8();
+    if (!codec.ok()) {
+      return codec.status();
+    }
+    if (*codec > static_cast<uint8_t>(CodecId::kVorbix)) {
+      return DataLossError("unknown codec id in announce entry");
+    }
+    e.stream_id = *stream_id;
+    e.group = *group;
+    e.name = std::move(*name);
+    e.config = *config;
+    e.codec = static_cast<CodecId>(*codec);
+    p.entries.push_back(std::move(e));
+  }
+  return p;
+}
+
+}  // namespace
+
+PacketType TypeOf(const Packet& packet) {
+  if (std::holds_alternative<ControlPacket>(packet)) {
+    return PacketType::kControl;
+  }
+  if (std::holds_alternative<DataPacket>(packet)) {
+    return PacketType::kData;
+  }
+  return PacketType::kAnnounce;
+}
+
+namespace {
+// Header + body, with the auth flag pre-set if a trailer will follow.
+Bytes SerializeEnvelope(const Packet& packet, bool auth_flag) {
+  ByteWriter w;
+  w.WriteU16(kWireMagic);
+  w.WriteU8(kWireVersion);
+  w.WriteU8(static_cast<uint8_t>(TypeOf(packet)));
+  w.WriteU8(auth_flag ? kFlagAuth : 0);
+  std::visit(
+      [&w](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, ControlPacket>) {
+          WriteControl(&w, p);
+        } else if constexpr (std::is_same_v<T, DataPacket>) {
+          WriteData(&w, p);
+        } else {
+          WriteAnnounce(&w, p);
+        }
+      },
+      packet);
+  return w.TakeBytes();
+}
+}  // namespace
+
+Bytes SignedRegion(const Packet& packet) {
+  return SerializeEnvelope(packet, /*auth_flag=*/true);
+}
+
+Bytes SerializePacket(const Packet& packet, const Bytes& auth) {
+  Bytes out = SerializeEnvelope(packet, !auth.empty());
+  if (!auth.empty()) {
+    ByteWriter trailer;
+    trailer.WriteLengthPrefixed(auth);
+    Bytes trailer_bytes = trailer.TakeBytes();
+    out.insert(out.end(), trailer_bytes.begin(), trailer_bytes.end());
+  }
+  uint32_t crc = Crc32(out);
+  ByteWriter crc_writer;
+  crc_writer.WriteU32(crc);
+  Bytes crc_bytes = crc_writer.TakeBytes();
+  out.insert(out.end(), crc_bytes.begin(), crc_bytes.end());
+  return out;
+}
+
+Result<ParsedPacket> ParsePacket(const Bytes& wire) {
+  if (wire.size() < 9) {  // Header (5) + CRC (4).
+    return DataLossError("packet too short");
+  }
+  // CRC first: reject damage before parsing anything (§5.1).
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(wire[wire.size() - 4 + i]) << (8 * i);
+  }
+  if (Crc32(wire.data(), wire.size() - 4) != stored_crc) {
+    return DataLossError("CRC mismatch");
+  }
+
+  ByteReader r(wire.data(), wire.size() - 4);
+  Result<uint16_t> magic = r.ReadU16();
+  if (!magic.ok() || *magic != kWireMagic) {
+    return DataLossError("bad magic");
+  }
+  Result<uint8_t> version = r.ReadU8();
+  if (!version.ok() || *version != kWireVersion) {
+    return DataLossError("unsupported protocol version");
+  }
+  Result<uint8_t> type = r.ReadU8();
+  Result<uint8_t> flags =
+      type.ok() ? r.ReadU8() : Result<uint8_t>(type.status());
+  if (!flags.ok()) {
+    return flags.status();
+  }
+
+  ParsedPacket parsed;
+  switch (*type) {
+    case static_cast<uint8_t>(PacketType::kControl): {
+      Result<ControlPacket> p = ReadControl(&r);
+      if (!p.ok()) {
+        return p.status();
+      }
+      parsed.packet = std::move(*p);
+      break;
+    }
+    case static_cast<uint8_t>(PacketType::kData): {
+      Result<DataPacket> p = ReadData(&r);
+      if (!p.ok()) {
+        return p.status();
+      }
+      parsed.packet = std::move(*p);
+      break;
+    }
+    case static_cast<uint8_t>(PacketType::kAnnounce): {
+      Result<AnnouncePacket> p = ReadAnnounce(&r);
+      if (!p.ok()) {
+        return p.status();
+      }
+      parsed.packet = std::move(*p);
+      break;
+    }
+    default:
+      return DataLossError("unknown packet type");
+  }
+
+  size_t body_end = r.position();
+  if ((*flags & kFlagAuth) != 0) {
+    Result<Bytes> auth = r.ReadLengthPrefixed();
+    if (!auth.ok()) {
+      return auth.status();
+    }
+    parsed.auth = std::move(*auth);
+  }
+  if (r.remaining() != 0) {
+    return DataLossError("trailing bytes after packet body");
+  }
+  parsed.signed_region.assign(wire.begin(),
+                              wire.begin() + static_cast<long>(body_end));
+  return parsed;
+}
+
+}  // namespace espk

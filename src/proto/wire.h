@@ -1,0 +1,126 @@
+// The Ethernet Speaker communication protocol (§2.3, §3.2).
+//
+// Three packet types ride the LAN as multicast datagrams:
+//
+//  * ControlPacket — sent at regular intervals on each channel's group. It
+//    carries the audio configuration (so a speaker can start decoding
+//    mid-stream without ever contacting the producer) and the producer's
+//    wall clock, which every speaker adopts as the shared timebase. The
+//    producer keeps NO per-listener state; speakers are receive-only
+//    "radios".
+//
+//  * DataPacket — a self-contained codec payload plus the producer-relative
+//    deadline at which its first frame should leave the speaker. Speakers
+//    sleep if early and discard if later than deadline + epsilon (§3.2).
+//
+//  * AnnouncePacket — an out-of-band catalog on a well-known group, adopted
+//    from StarBurst MFTP (§4.3): it lists the channels currently being
+//    multicast so a speaker can browse programs without joining every
+//    group.
+//
+// Envelope: u16 magic, u8 version, u8 type, u8 flags, body,
+// [u32-length auth trailer if flags&kFlagAuth], u32 CRC-32 of everything
+// before the CRC. The CRC lets a speaker cheaply reject damaged datagrams;
+// the auth trailer carries the §5.1 stream-authentication data.
+#ifndef SRC_PROTO_WIRE_H_
+#define SRC_PROTO_WIRE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/audio/format.h"
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/base/time_types.h"
+#include "src/codec/codec.h"
+#include "src/lan/transport.h"
+
+namespace espk {
+
+inline constexpr uint16_t kWireMagic = 0x4553;  // "ES".
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kFlagAuth = 0x01;
+
+// The well-known group carrying channel announcements.
+inline constexpr GroupId kAnnounceGroup = 1;
+// Audio channel groups are allocated from here upward.
+inline constexpr GroupId kFirstChannelGroup = 16;
+
+enum class PacketType : uint8_t {
+  kControl = 1,
+  kData = 2,
+  kAnnounce = 3,
+};
+
+struct ControlPacket {
+  uint32_t stream_id = 0;
+  uint32_t control_seq = 0;
+  // Producer wall clock at send time — the shared timebase (§3.2).
+  SimTime producer_clock = 0;
+  AudioConfig config;
+  CodecId codec = CodecId::kRaw;
+  uint8_t quality = 10;
+
+  bool operator==(const ControlPacket&) const = default;
+};
+
+struct DataPacket {
+  uint32_t stream_id = 0;
+  uint32_t seq = 0;
+  // Producer-clock time at which payload frame 0 should be played.
+  SimTime play_deadline = 0;
+  // Frames per channel encoded in the payload (for pacing/accounting).
+  uint32_t frame_count = 0;
+  Bytes payload;
+
+  bool operator==(const DataPacket&) const = default;
+};
+
+struct AnnounceEntry {
+  uint32_t stream_id = 0;
+  GroupId group = 0;
+  std::string name;
+  AudioConfig config;
+  CodecId codec = CodecId::kRaw;
+
+  bool operator==(const AnnounceEntry&) const = default;
+};
+
+struct AnnouncePacket {
+  SimTime producer_clock = 0;
+  std::vector<AnnounceEntry> entries;
+
+  bool operator==(const AnnouncePacket&) const = default;
+};
+
+using Packet = std::variant<ControlPacket, DataPacket, AnnouncePacket>;
+
+PacketType TypeOf(const Packet& packet);
+
+// Serializes with envelope + CRC. `auth` (if nonempty) is embedded as the
+// authentication trailer and covered by the CRC.
+Bytes SerializePacket(const Packet& packet, const Bytes& auth = {});
+
+struct ParsedPacket {
+  Packet packet;
+  Bytes auth;  // Empty when the packet carried no trailer.
+  // The exact bytes an authenticator signed: envelope header + body
+  // (everything before the auth trailer). Verification recomputes the MAC /
+  // signature over this region.
+  Bytes signed_region;
+};
+
+// Validates magic, version, CRC, and structure. Any deviation is an error —
+// speakers feed raw network datagrams straight in (§5.1 integrity checks).
+Result<ParsedPacket> ParsePacket(const Bytes& wire);
+
+// The exact bytes an authenticator must sign when an auth trailer will be
+// attached to `packet`: the envelope header (with kFlagAuth set) plus the
+// body. ParsePacket returns the same region in ParsedPacket::signed_region,
+// so signer and verifier agree byte-for-byte.
+Bytes SignedRegion(const Packet& packet);
+
+}  // namespace espk
+
+#endif  // SRC_PROTO_WIRE_H_

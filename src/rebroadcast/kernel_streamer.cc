@@ -1,0 +1,73 @@
+#include "src/rebroadcast/kernel_streamer.h"
+
+#include "src/base/logging.h"
+#include "src/kernel/kernel.h"
+
+namespace espk {
+
+KernelStreamer::KernelStreamer(SimKernel* kernel, const VadHandles& vad,
+                               Transport* transport,
+                               const KernelStreamerOptions& options)
+    : kernel_(kernel),
+      lld_(vad.lld),
+      transport_(transport),
+      options_(options) {
+  lld_->set_kernel_sink([this](const Bytes& block, const AudioConfig& config) {
+    OnBlock(block, config);
+  });
+  control_task_ = std::make_unique<PeriodicTask>(
+      kernel_->sim(), options_.control_interval, [this](SimTime now) {
+        if (have_config_) {
+          SendControl(now);
+        }
+      });
+  control_task_->Start();
+}
+
+KernelStreamer::~KernelStreamer() {
+  lld_->set_kernel_sink(nullptr);
+  control_task_.reset();
+}
+
+void KernelStreamer::OnBlock(const Bytes& block, const AudioConfig& config) {
+  SimTime now = kernel_->sim()->now();
+  if (!have_config_ || !(config == config_)) {
+    config_ = config;
+    have_config_ = true;
+    ++control_seq_;
+    next_deadline_ = now + options_.playout_delay;
+    SendControl(now);
+  }
+  if (next_deadline_ < now) {
+    next_deadline_ = now + options_.playout_delay;
+  }
+  DataPacket packet;
+  packet.stream_id = options_.stream_id;
+  packet.seq = next_seq_++;
+  packet.play_deadline = next_deadline_;
+  packet.frame_count = static_cast<uint32_t>(config_.BytesToFrames(
+      static_cast<int64_t>(block.size())));
+  packet.payload = block;
+  next_deadline_ +=
+      config_.BytesToDuration(static_cast<int64_t>(block.size()));
+  ++data_packets_;
+  Status status = transport_->SendMulticast(options_.group,
+                                            SerializePacket(packet));
+  if (!status.ok()) {
+    ESPK_LOG(kWarning) << "kernel streamer send failed: " << status;
+  }
+}
+
+void KernelStreamer::SendControl(SimTime now) {
+  ControlPacket packet;
+  packet.stream_id = options_.stream_id;
+  packet.control_seq = control_seq_;
+  packet.producer_clock = now;
+  packet.config = config_;
+  packet.codec = CodecId::kRaw;  // No off-the-shelf compression in kernel.
+  packet.quality = 0;
+  ++control_packets_;
+  (void)transport_->SendMulticast(options_.group, SerializePacket(packet));
+}
+
+}  // namespace espk

@@ -1,0 +1,61 @@
+// In-kernel streaming — the paper's first VAD design (§3.3): "with full
+// access to this raw audio data, the driver would then send it directly out
+// onto the LAN from within the kernel".
+//
+// The authors abandoned it (kernel code must stay simple; no off-the-shelf
+// compression or security in kernel space) but measured it for Figure 5's
+// "Kernel Threaded VAD" line. This class reproduces that configuration: it
+// hangs a sink off the VAD's pump kernel thread and multicasts raw data
+// packets straight from the block callbacks — no master device, no user
+// process, no codec.
+#ifndef SRC_REBROADCAST_KERNEL_STREAMER_H_
+#define SRC_REBROADCAST_KERNEL_STREAMER_H_
+
+#include <memory>
+
+#include "src/kernel/vad.h"
+#include "src/lan/transport.h"
+#include "src/proto/wire.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+
+struct KernelStreamerOptions {
+  uint32_t stream_id = 1;
+  GroupId group = kFirstChannelGroup;
+  SimDuration control_interval = Seconds(1);
+  SimDuration playout_delay = Milliseconds(200);
+};
+
+class KernelStreamer {
+ public:
+  // Installs itself as the kernel sink of `vad`. The VAD pump (and thus
+  // the writing application) paces the stream; payloads are always raw.
+  KernelStreamer(SimKernel* kernel, const VadHandles& vad,
+                 Transport* transport, const KernelStreamerOptions& options);
+  ~KernelStreamer();
+
+  uint64_t data_packets() const { return data_packets_; }
+  uint64_t control_packets() const { return control_packets_; }
+
+ private:
+  void OnBlock(const Bytes& block, const AudioConfig& config);
+  void SendControl(SimTime now);
+
+  SimKernel* kernel_;
+  VadSlaveLowLevel* lld_;
+  Transport* transport_;
+  KernelStreamerOptions options_;
+  AudioConfig config_;
+  bool have_config_ = false;
+  uint32_t next_seq_ = 0;
+  uint32_t control_seq_ = 0;
+  SimTime next_deadline_ = 0;
+  uint64_t data_packets_ = 0;
+  uint64_t control_packets_ = 0;
+  std::unique_ptr<PeriodicTask> control_task_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_REBROADCAST_KERNEL_STREAMER_H_

@@ -1,0 +1,90 @@
+#include "src/rebroadcast/player_app.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+PlayerApp::PlayerApp(SimKernel* kernel, Pid pid, std::string device_path,
+                     std::unique_ptr<SignalGenerator> generator,
+                     const PlayerAppOptions& options)
+    : kernel_(kernel),
+      pid_(pid),
+      device_path_(std::move(device_path)),
+      generator_(std::move(generator)),
+      options_(options) {}
+
+PlayerApp::~PlayerApp() { Stop(); }
+
+Status PlayerApp::Start() {
+  if (running_) {
+    return FailedPreconditionError("player already running");
+  }
+  Result<int> fd = kernel_->Open(pid_, device_path_);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  fd_ = *fd;
+  ByteWriter w;
+  options_.config.Serialize(&w);
+  Bytes cfg = w.TakeBytes();
+  Status status = kernel_->Ioctl(pid_, fd_, IoctlCmd::kAudioSetInfo, &cfg);
+  if (!status.ok()) {
+    (void)kernel_->Close(pid_, fd_);
+    fd_ = -1;
+    return status;
+  }
+  running_ = true;
+  WriteNext();
+  return OkStatus();
+}
+
+void PlayerApp::Stop() {
+  // Mark stopped first: closing the device fails any outstanding write,
+  // and that callback must not log or rearm.
+  running_ = false;
+  if (fd_ >= 0) {
+    (void)kernel_->Close(pid_, fd_);
+    fd_ = -1;
+  }
+}
+
+void PlayerApp::WriteNext() {
+  if (!running_) {
+    return;
+  }
+  int64_t frames = options_.chunk_frames;
+  if (options_.total_frames.has_value()) {
+    frames = std::min(frames, *options_.total_frames - frames_written_);
+    if (frames <= 0) {
+      // End of the song: wait for the device to finish, then close it so
+      // the next player can open the (exclusive) device. The drain can
+      // also complete from inside Stop()/Close(); don't re-close then.
+      kernel_->Drain(pid_, fd_, [this](Status /*status*/) {
+        finished_ = true;
+        if (running_) {
+          Stop();
+        }
+        if (on_finished_) {
+          on_finished_();
+        }
+      });
+      return;
+    }
+  }
+  Bytes chunk = generator_->GenerateBytes(frames, options_.config);
+  kernel_->Write(pid_, fd_, chunk, [this, frames](Result<size_t> accepted) {
+    if (!accepted.ok()) {
+      if (running_) {
+        ESPK_LOG(kWarning) << "player write failed: " << accepted.status();
+        running_ = false;
+      }
+      return;
+    }
+    frames_written_ += frames;
+    WriteNext();
+  });
+}
+
+}  // namespace espk

@@ -1,0 +1,71 @@
+// PlayerApp: stands in for the paper's "off-the-shelf audio application"
+// (mpg123, Real Audio player, ...). It opens an audio device — real or
+// virtual, it cannot tell the difference, which is the whole point of the
+// VAD (§2.1) — configures it with AUDIO_SETINFO, and then writes decoded
+// PCM as fast as the device accepts it. Rate control comes from the device:
+// a hardware device blocks it at playback speed; a VAD accepts data at wire
+// speed (§3.1).
+#ifndef SRC_REBROADCAST_PLAYER_APP_H_
+#define SRC_REBROADCAST_PLAYER_APP_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/audio/format.h"
+#include "src/audio/generator.h"
+#include "src/kernel/kernel.h"
+
+namespace espk {
+
+struct PlayerAppOptions {
+  AudioConfig config = AudioConfig::CdQuality();
+  // Frames handed to write(2) per call.
+  int64_t chunk_frames = 4410;
+  // Total frames to play; nullopt = endless stream (internet radio).
+  std::optional<int64_t> total_frames;
+};
+
+class PlayerApp {
+ public:
+  PlayerApp(SimKernel* kernel, Pid pid, std::string device_path,
+            std::unique_ptr<SignalGenerator> generator,
+            const PlayerAppOptions& options);
+  ~PlayerApp();
+
+  PlayerApp(const PlayerApp&) = delete;
+  PlayerApp& operator=(const PlayerApp&) = delete;
+
+  // Opens the device, configures it, starts writing.
+  Status Start();
+  // Stops writing and closes the device.
+  void Stop();
+
+  // Fires once after the final write of a finite stream has been accepted
+  // and the device has drained.
+  void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
+
+  int64_t frames_written() const { return frames_written_; }
+  bool finished() const { return finished_; }
+  const AudioConfig& config() const { return options_.config; }
+
+ private:
+  void WriteNext();
+
+  SimKernel* kernel_;
+  Pid pid_;
+  std::string device_path_;
+  std::unique_ptr<SignalGenerator> generator_;
+  PlayerAppOptions options_;
+  std::function<void()> on_finished_;
+
+  int fd_ = -1;
+  bool running_ = false;
+  bool finished_ = false;
+  int64_t frames_written_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_REBROADCAST_PLAYER_APP_H_

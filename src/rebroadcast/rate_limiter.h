@@ -1,0 +1,77 @@
+// The rate limiter of §3.1: "instruct the rebroadcaster to sleep for the
+// exact duration of time that it would take to actually play the data".
+//
+// The VAD deliberately imposes no rate limit (it has no hardware clock), so
+// an MP3 player can shove a five-minute song through it in milliseconds.
+// Without this limiter the producer would blast the whole file onto the LAN
+// at wire speed, overflow every speaker's buffer, and "you will only hear
+// the first few seconds of the song". The sleep duration is computed from
+// the encoding parameters (sample rate, channels, precision), exactly as
+// the paper describes. Bench C3 (bench_rate_limiter) shows both worlds.
+#ifndef SRC_REBROADCAST_RATE_LIMITER_H_
+#define SRC_REBROADCAST_RATE_LIMITER_H_
+
+#include "src/base/time_types.h"
+
+namespace espk {
+
+class RateLimiter {
+ public:
+  // `max_lead` is how much audio may be in flight ahead of real time —
+  // enough to ride out scheduling hiccups, small enough that speakers'
+  // buffers never overflow.
+  explicit RateLimiter(SimDuration max_lead) : max_lead_(max_lead) {}
+
+  // (Re)starts the playback clock at `now`. Called when a stream begins or
+  // after a configuration change flushes the pipeline.
+  void Reset(SimTime now) {
+    stream_start_ = now;
+    stream_position_ = 0;
+    started_ = true;
+  }
+
+  bool started() const { return started_; }
+
+  // Earliest time a chunk of `chunk_duration` of audio may be sent; never
+  // before `now`. Call Advance() after actually sending it.
+  SimTime EarliestSendTime(SimTime now, SimDuration chunk_duration) const {
+    (void)chunk_duration;
+    if (!started_) {
+      return now;
+    }
+    // The chunk may go out once its start position is within max_lead of
+    // real playback time.
+    SimTime real_time_position = stream_start_ + stream_position_;
+    SimTime allowed = real_time_position - max_lead_;
+    return allowed > now ? allowed : now;
+  }
+
+  // Records that a chunk of audio covering `chunk_duration` was sent.
+  void Advance(SimDuration chunk_duration) { stream_position_ += chunk_duration; }
+
+  // If the source stalled for a long time (e.g. the user paused the
+  // player), snap the clock forward so we do not accumulate artificial
+  // lead. Call when new data arrives after an idle gap.
+  void CatchUp(SimTime now) {
+    if (!started_) {
+      return;
+    }
+    SimTime position_time = stream_start_ + stream_position_;
+    if (now > position_time) {
+      // Real time overtook the stream: restart the clock from here.
+      stream_start_ = now - stream_position_;
+    }
+  }
+
+  SimDuration max_lead() const { return max_lead_; }
+
+ private:
+  SimDuration max_lead_;
+  SimTime stream_start_ = 0;
+  SimDuration stream_position_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace espk
+
+#endif  // SRC_REBROADCAST_RATE_LIMITER_H_

@@ -1,0 +1,47 @@
+#include "src/security/hmac.h"
+
+namespace espk {
+
+Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len) {
+  constexpr size_t kBlockSize = 64;
+  Bytes key_block(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    Digest key_digest = Sha256::Hash(key);
+    std::copy(key_digest.begin(), key_digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+  Bytes ipad(kBlockSize);
+  Bytes opad(kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message, len);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+Digest HmacSha256(const Bytes& key, const Bytes& message) {
+  return HmacSha256(key, message.data(), message.size());
+}
+
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len) {
+  uint8_t acc = 0;
+  for (size_t i = 0; i < len; ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+bool ConstantTimeEqual(const Digest& a, const Digest& b) {
+  return ConstantTimeEqual(a.data(), b.data(), a.size());
+}
+
+}  // namespace espk

@@ -1,0 +1,22 @@
+// HMAC-SHA256 (RFC 2104) and constant-time comparison. The workhorse of the
+// practical §5.1 deployment: speakers sharing a group key can verify stream
+// integrity at line rate, and forged packets cost the attacker more to send
+// than the speaker to reject.
+#ifndef SRC_SECURITY_HMAC_H_
+#define SRC_SECURITY_HMAC_H_
+
+#include "src/security/sha256.h"
+
+namespace espk {
+
+Digest HmacSha256(const Bytes& key, const Bytes& message);
+Digest HmacSha256(const Bytes& key, const uint8_t* message, size_t len);
+
+// Constant-time equality, so verification cannot leak how many prefix bytes
+// of a forged MAC were correct.
+bool ConstantTimeEqual(const uint8_t* a, const uint8_t* b, size_t len);
+bool ConstantTimeEqual(const Digest& a, const Digest& b);
+
+}  // namespace espk
+
+#endif  // SRC_SECURITY_HMAC_H_

@@ -1,0 +1,173 @@
+#include "src/security/hors.h"
+
+#include <cassert>
+
+#include "src/security/hmac.h"
+
+namespace espk {
+
+namespace {
+constexpr size_t kSecretLen = 16;
+
+int Log2Exact(uint32_t v) {
+  int log = 0;
+  while ((1u << log) < v) {
+    ++log;
+  }
+  return log;
+}
+}  // namespace
+
+std::vector<uint32_t> HorsIndices(const HorsParams& params,
+                                  const Bytes& message) {
+  Digest digest = Sha256::Hash(message);
+  const int bits = Log2Exact(params.t);
+  std::vector<uint32_t> indices;
+  indices.reserve(params.k);
+  // Consume the digest as a bit stream, `bits` bits per index; expand with
+  // counter-mode re-hashing if k*bits exceeds 256 bits.
+  size_t bit_pos = 0;
+  Bytes pool(digest.begin(), digest.end());
+  uint8_t counter = 1;
+  for (uint32_t i = 0; i < params.k; ++i) {
+    if ((bit_pos + static_cast<size_t>(bits)) > pool.size() * 8) {
+      Sha256 h;
+      h.Update(digest.data(), digest.size());
+      h.Update(&counter, 1);
+      ++counter;
+      Digest more = h.Finish();
+      pool.insert(pool.end(), more.begin(), more.end());
+    }
+    uint32_t idx = 0;
+    for (int b = 0; b < bits; ++b) {
+      size_t byte = (bit_pos + static_cast<size_t>(b)) / 8;
+      int shift = 7 - static_cast<int>((bit_pos + static_cast<size_t>(b)) % 8);
+      idx = (idx << 1) | ((pool[byte] >> shift) & 1);
+    }
+    bit_pos += static_cast<size_t>(bits);
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
+Bytes HorsPublicKey::Serialize() const {
+  ByteWriter w;
+  w.WriteU32(params.t);
+  w.WriteU32(params.k);
+  w.WriteU32(params.max_signatures);
+  for (const Digest& d : v) {
+    w.WriteBytes(d.data(), d.size());
+  }
+  return w.TakeBytes();
+}
+
+Result<HorsPublicKey> HorsPublicKey::Deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  Result<uint32_t> t = r.ReadU32();
+  Result<uint32_t> k = t.ok() ? r.ReadU32() : Result<uint32_t>(t.status());
+  Result<uint32_t> max_sigs =
+      k.ok() ? r.ReadU32() : Result<uint32_t>(k.status());
+  if (!max_sigs.ok()) {
+    return max_sigs.status();
+  }
+  if (*t == 0 || *t > 65536 || (*t & (*t - 1)) != 0 || *k == 0 || *k > 64) {
+    return DataLossError("implausible HORS parameters");
+  }
+  HorsPublicKey key;
+  key.params.t = *t;
+  key.params.k = *k;
+  key.params.max_signatures = *max_sigs;
+  key.v.reserve(*t);
+  for (uint32_t i = 0; i < *t; ++i) {
+    Result<Bytes> raw = r.ReadBytes(32);
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    Digest d;
+    std::copy(raw->begin(), raw->end(), d.begin());
+    key.v.push_back(d);
+  }
+  return key;
+}
+
+Bytes HorsSignature::Serialize() const {
+  ByteWriter w;
+  w.WriteU16(static_cast<uint16_t>(revealed.size()));
+  for (const Bytes& secret : revealed) {
+    w.WriteLengthPrefixed(secret);
+  }
+  return w.TakeBytes();
+}
+
+Result<HorsSignature> HorsSignature::Deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  Result<uint16_t> count = r.ReadU16();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count == 0 || *count > 64) {
+    return DataLossError("implausible HORS signature size");
+  }
+  HorsSignature sig;
+  for (uint16_t i = 0; i < *count; ++i) {
+    Result<Bytes> secret = r.ReadLengthPrefixed();
+    if (!secret.ok()) {
+      return secret.status();
+    }
+    if (secret->size() > 64) {
+      return DataLossError("implausible HORS secret size");
+    }
+    sig.revealed.push_back(std::move(*secret));
+  }
+  return sig;
+}
+
+HorsSigner::HorsSigner(const HorsParams& params, uint64_t seed)
+    : params_(params) {
+  assert((params.t & (params.t - 1)) == 0 && "t must be a power of two");
+  Prng prng(seed);
+  secrets_.reserve(params.t);
+  public_key_.params = params;
+  public_key_.v.reserve(params.t);
+  for (uint32_t i = 0; i < params.t; ++i) {
+    Bytes secret(kSecretLen);
+    for (auto& b : secret) {
+      b = static_cast<uint8_t>(prng.NextU64());
+    }
+    public_key_.v.push_back(Sha256::Hash(secret));
+    secrets_.push_back(std::move(secret));
+  }
+}
+
+Result<HorsSignature> HorsSigner::Sign(const Bytes& message) {
+  if (signatures_issued_ >= params_.max_signatures) {
+    return ResourceExhaustedError(
+        "HORS key exhausted after " +
+        std::to_string(signatures_issued_) +
+        " signatures; rotate the key");
+  }
+  ++signatures_issued_;
+  HorsSignature sig;
+  for (uint32_t idx : HorsIndices(params_, message)) {
+    sig.revealed.push_back(secrets_[idx]);
+  }
+  return sig;
+}
+
+bool HorsVerify(const HorsPublicKey& public_key, const Bytes& message,
+                const HorsSignature& signature) {
+  if (signature.revealed.size() != public_key.params.k) {
+    return false;
+  }
+  std::vector<uint32_t> indices = HorsIndices(public_key.params, message);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    Digest expected = public_key.v[indices[i]];
+    Digest actual = Sha256::Hash(signature.revealed[i]);
+    if (!ConstantTimeEqual(expected, actual)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace espk

@@ -1,0 +1,81 @@
+// HORS few-time signatures — "Better than BiBa: short one-time signatures
+// with fast signing and verifying" (Reyzin & Reyzin), the exact scheme §5.1
+// cites as the candidate for fast audio-stream authentication.
+//
+// Key generation: t random secrets s_0..s_{t-1}; public key is their hashes
+// v_i = H(s_i). Signing: hash the message, carve the digest into k indices
+// of log2(t) bits each, and reveal the k corresponding secrets. Verifying:
+// k hash evaluations — trivially cheap for an embedded speaker, which is
+// the property the paper is after (a flood of garbage packets must cost the
+// speaker almost nothing to reject).
+//
+// Each signature reveals up to k secrets, so a key supports only a few
+// signatures before forgery becomes feasible; the signer tracks usage and
+// refuses to overuse a key. Stream usage pairs HORS (control packets, key
+// rotation) with HMAC (bulk data) — see stream_auth.h.
+#ifndef SRC_SECURITY_HORS_H_
+#define SRC_SECURITY_HORS_H_
+
+#include <vector>
+
+#include "src/base/prng.h"
+#include "src/base/status.h"
+#include "src/security/sha256.h"
+
+namespace espk {
+
+struct HorsParams {
+  // t secrets of which k are revealed per signature. t must be a power of
+  // two; defaults are the paper's suggested ballpark (t=1024, k=16 gives
+  // >80-bit one-time security).
+  uint32_t t = 1024;
+  uint32_t k = 16;
+  // How many signatures the signer will issue before refusing (security
+  // decays roughly with k*uses revealed secrets).
+  uint32_t max_signatures = 4;
+};
+
+struct HorsPublicKey {
+  HorsParams params;
+  std::vector<Digest> v;  // t hashed secrets.
+
+  Bytes Serialize() const;
+  static Result<HorsPublicKey> Deserialize(const Bytes& wire);
+};
+
+struct HorsSignature {
+  std::vector<Bytes> revealed;  // k secrets, in index order of the digest.
+
+  Bytes Serialize() const;
+  static Result<HorsSignature> Deserialize(const Bytes& wire);
+};
+
+class HorsSigner {
+ public:
+  HorsSigner(const HorsParams& params, uint64_t seed);
+
+  const HorsPublicKey& public_key() const { return public_key_; }
+
+  // Fails with RESOURCE_EXHAUSTED once max_signatures is reached.
+  Result<HorsSignature> Sign(const Bytes& message);
+
+  uint32_t signatures_issued() const { return signatures_issued_; }
+
+ private:
+  HorsParams params_;
+  std::vector<Bytes> secrets_;
+  HorsPublicKey public_key_;
+  uint32_t signatures_issued_ = 0;
+};
+
+// Stateless verification against a public key.
+bool HorsVerify(const HorsPublicKey& public_key, const Bytes& message,
+                const HorsSignature& signature);
+
+// The digest-to-indices split shared by signer and verifier.
+std::vector<uint32_t> HorsIndices(const HorsParams& params,
+                                  const Bytes& message);
+
+}  // namespace espk
+
+#endif  // SRC_SECURITY_HORS_H_

@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from the specification. Foundation for
+// the §5.1 stream-authentication schemes: HMAC, HORS one-time signatures,
+// TESLA key chains, and Merkle batching.
+#ifndef SRC_SECURITY_SHA256_H_
+#define SRC_SECURITY_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace espk {
+
+using Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  Digest Finish();
+
+  static Digest Hash(const Bytes& data);
+  static Digest Hash(const uint8_t* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+Bytes DigestToBytes(const Digest& digest);
+std::string DigestToHex(const Digest& digest);
+
+}  // namespace espk
+
+#endif  // SRC_SECURITY_SHA256_H_

@@ -1,0 +1,172 @@
+#include "src/security/stream_auth.h"
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+namespace {
+
+// Offset of the packet-type byte inside a signed region (after u16 magic +
+// u8 version).
+constexpr size_t kTypeOffset = 3;
+
+// The HORS signature covers the packet region AND the next epoch's public
+// key, chaining trust forward.
+Bytes SignedMessage(const Bytes& region, const Bytes& next_pubkey) {
+  Bytes message = region;
+  message.insert(message.end(), next_pubkey.begin(), next_pubkey.end());
+  return message;
+}
+
+}  // namespace
+
+StreamAuthenticator::StreamAuthenticator(const StreamAuthOptions& options)
+    : options_(options), next_seed_(options.seed) {
+  current_ = std::make_unique<HorsSigner>(options_.hors, next_seed_++);
+  next_ = std::make_unique<HorsSigner>(options_.hors, next_seed_++);
+  root_public_key_ = current_->public_key();
+}
+
+void StreamAuthenticator::RotateIfNeeded() {
+  if (current_->signatures_issued() + 1 <
+      current_->public_key().params.max_signatures) {
+    return;
+  }
+  // The outgoing key's last signature has certified next_'s public key, so
+  // verifiers can follow the hop.
+  current_ = std::move(next_);
+  next_ = std::make_unique<HorsSigner>(options_.hors, next_seed_++);
+  ++epoch_;
+}
+
+Bytes StreamAuthenticator::Sign(const Bytes& signed_region) {
+  ByteWriter w;
+  if (signed_region.size() > kTypeOffset &&
+      signed_region[kTypeOffset] ==
+          static_cast<uint8_t>(PacketType::kData)) {
+    Digest mac = HmacSha256(options_.group_key, signed_region);
+    w.WriteU8(static_cast<uint8_t>(AuthScheme::kHmac));
+    w.WriteBytes(mac.data(), mac.size());
+    return w.TakeBytes();
+  }
+  // Control (and announce) packets: HORS over region + next public key.
+  Bytes next_pubkey = next_->public_key().Serialize();
+  Result<HorsSignature> signature =
+      current_->Sign(SignedMessage(signed_region, next_pubkey));
+  if (!signature.ok()) {
+    // Defensive: rotation below should prevent exhaustion, but never send
+    // an unsigned packet silently.
+    ESPK_LOG(kError) << "HORS signing failed: " << signature.status();
+    return {};
+  }
+  w.WriteU8(static_cast<uint8_t>(AuthScheme::kHors));
+  w.WriteU32(epoch_);
+  w.WriteLengthPrefixed(signature->Serialize());
+  w.WriteLengthPrefixed(next_pubkey);
+  Bytes trailer = w.TakeBytes();
+  RotateIfNeeded();
+  return trailer;
+}
+
+std::function<Bytes(const Bytes&)> StreamAuthenticator::MakeCallback() {
+  return [this](const Bytes& region) { return Sign(region); };
+}
+
+StreamVerifier::StreamVerifier(Bytes group_key, HorsPublicKey root_key)
+    : group_key_(std::move(group_key)) {
+  keys_by_epoch_[0] = std::move(root_key);
+}
+
+bool StreamVerifier::Verify(const ParsedPacket& packet) {
+  if (packet.auth.empty()) {
+    ++stats_.rejected_no_auth;
+    return false;
+  }
+  bool ok = TypeOf(packet.packet) == PacketType::kData
+                ? VerifyData(packet)
+                : VerifyControl(packet);
+  if (ok) {
+    ++stats_.accepted;
+  }
+  return ok;
+}
+
+bool StreamVerifier::VerifyData(const ParsedPacket& packet) {
+  ByteReader r(packet.auth);
+  Result<uint8_t> scheme = r.ReadU8();
+  if (!scheme.ok() ||
+      *scheme != static_cast<uint8_t>(AuthScheme::kHmac)) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  Result<Bytes> mac = r.ReadBytes(32);
+  if (!mac.ok()) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  Digest expected = HmacSha256(group_key_, packet.signed_region);
+  if (!ConstantTimeEqual(expected.data(), mac->data(), 32)) {
+    ++stats_.rejected_bad_mac;
+    return false;
+  }
+  return true;
+}
+
+bool StreamVerifier::VerifyControl(const ParsedPacket& packet) {
+  ByteReader r(packet.auth);
+  Result<uint8_t> scheme = r.ReadU8();
+  if (!scheme.ok() ||
+      *scheme != static_cast<uint8_t>(AuthScheme::kHors)) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  Result<uint32_t> epoch = r.ReadU32();
+  Result<Bytes> sig_bytes =
+      epoch.ok() ? r.ReadLengthPrefixed() : Result<Bytes>(epoch.status());
+  Result<Bytes> next_pubkey_bytes =
+      sig_bytes.ok() ? r.ReadLengthPrefixed()
+                     : Result<Bytes>(sig_bytes.status());
+  if (!next_pubkey_bytes.ok()) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  auto key_it = keys_by_epoch_.find(*epoch);
+  if (key_it == keys_by_epoch_.end()) {
+    ++stats_.rejected_unknown_epoch;
+    return false;
+  }
+  Result<HorsSignature> signature = HorsSignature::Deserialize(*sig_bytes);
+  if (!signature.ok()) {
+    ++stats_.rejected_malformed;
+    return false;
+  }
+  Bytes message = packet.signed_region;
+  message.insert(message.end(), next_pubkey_bytes->begin(),
+                 next_pubkey_bytes->end());
+  if (!HorsVerify(key_it->second, message, *signature)) {
+    ++stats_.rejected_bad_signature;
+    return false;
+  }
+  // Learn the certified next-epoch key.
+  if (*epoch == newest_epoch_) {
+    Result<HorsPublicKey> next_key =
+        HorsPublicKey::Deserialize(*next_pubkey_bytes);
+    if (next_key.ok() && keys_by_epoch_.count(*epoch + 1) == 0) {
+      keys_by_epoch_[*epoch + 1] = std::move(*next_key);
+      newest_epoch_ = *epoch + 1;
+      ++stats_.key_rotations;
+      // Old epochs can no longer sign anything new; keep a small window
+      // for in-flight packets.
+      while (keys_by_epoch_.size() > 3) {
+        keys_by_epoch_.erase(keys_by_epoch_.begin());
+      }
+    }
+  }
+  return true;
+}
+
+std::function<bool(const ParsedPacket&)> StreamVerifier::MakeCallback() {
+  return [this](const ParsedPacket& packet) { return Verify(packet); };
+}
+
+}  // namespace espk

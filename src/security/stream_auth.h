@@ -1,0 +1,102 @@
+// Stream authentication policy for the Ethernet Speaker protocol (§5.1):
+//
+//  * Data packets carry an HMAC-SHA256 under a LAN group key — per-packet
+//    asymmetric signatures "would allow an attacker to overwhelm an ES by
+//    simply feeding it garbage", and the CRC+HMAC check is nearly free.
+//  * Control packets carry a HORS few-time signature. Control packets are
+//    rare (one per second), define everything a speaker trusts (codec,
+//    config, clock), and HORS verification is just k hash evaluations.
+//    Each signature also covers the *next* HORS public key, building a
+//    rolling chain from one out-of-band provisioned root key — stored in
+//    the speaker's non-volatile RAM like the CA key the paper proposes.
+//
+// The producer installs StreamAuthenticator::MakeCallback() as the
+// rebroadcaster's authenticator; speakers install StreamVerifier::
+// MakeCallback() as their auth_verifier.
+#ifndef SRC_SECURITY_STREAM_AUTH_H_
+#define SRC_SECURITY_STREAM_AUTH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/proto/wire.h"
+#include "src/security/hmac.h"
+#include "src/security/hors.h"
+
+namespace espk {
+
+enum class AuthScheme : uint8_t {
+  kHmac = 1,
+  kHors = 2,
+};
+
+struct StreamAuthOptions {
+  Bytes group_key;            // Shared LAN key for data-packet MACs.
+  HorsParams hors;            // Few-time signature parameters.
+  uint64_t seed = 1;          // Key-generation randomness (tests/sim).
+};
+
+class StreamAuthenticator {
+ public:
+  explicit StreamAuthenticator(const StreamAuthOptions& options);
+
+  // The root public key a speaker must be provisioned with out of band.
+  const HorsPublicKey& root_public_key() const { return root_public_key_; }
+
+  // Produces the auth trailer for a packet's signed region. The packet
+  // type is read from the region's envelope header.
+  Bytes Sign(const Bytes& signed_region);
+
+  // Adapter for RebroadcasterOptions::authenticator.
+  std::function<Bytes(const Bytes&)> MakeCallback();
+
+  uint32_t hors_epoch() const { return epoch_; }
+
+ private:
+  void RotateIfNeeded();
+
+  StreamAuthOptions options_;
+  uint64_t next_seed_;
+  std::unique_ptr<HorsSigner> current_;
+  std::unique_ptr<HorsSigner> next_;
+  HorsPublicKey root_public_key_;
+  uint32_t epoch_ = 0;
+};
+
+struct StreamVerifyStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_no_auth = 0;
+  uint64_t rejected_bad_mac = 0;
+  uint64_t rejected_bad_signature = 0;
+  uint64_t rejected_malformed = 0;
+  uint64_t rejected_unknown_epoch = 0;
+  uint64_t key_rotations = 0;
+};
+
+class StreamVerifier {
+ public:
+  // `group_key` and `root_key` are provisioned out of band (§2.4's config
+  // tar / non-volatile RAM).
+  StreamVerifier(Bytes group_key, HorsPublicKey root_key);
+
+  bool Verify(const ParsedPacket& packet);
+
+  // Adapter for SpeakerOptions::auth_verifier.
+  std::function<bool(const ParsedPacket&)> MakeCallback();
+
+  const StreamVerifyStats& stats() const { return stats_; }
+
+ private:
+  bool VerifyData(const ParsedPacket& packet);
+  bool VerifyControl(const ParsedPacket& packet);
+
+  Bytes group_key_;
+  std::map<uint32_t, HorsPublicKey> keys_by_epoch_;
+  uint32_t newest_epoch_ = 0;
+  StreamVerifyStats stats_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SECURITY_STREAM_AUTH_H_

@@ -1,0 +1,135 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace espk {
+
+Simulation::EventHandle Simulation::ScheduleAt(SimTime at, Callback cb) {
+  assert(cb && "scheduling a null callback");
+  Event ev;
+  ev.time = std::max(at, now_);
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.cb = std::move(cb);
+  EventHandle handle{ev.id};
+  pending_ids_.insert(ev.id);
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+Simulation::EventHandle Simulation::ScheduleAfter(SimDuration delay,
+                                                  Callback cb) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(cb));
+}
+
+bool Simulation::Cancel(EventHandle handle) {
+  if (!handle.valid() || pending_ids_.erase(handle.id) == 0) {
+    return false;  // Never scheduled, already run, or already cancelled.
+  }
+  // Lazy cancellation: the event stays queued but is skipped when popped.
+  cancelled_.insert(handle.id);
+  return true;
+}
+
+bool Simulation::RunOne() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      continue;  // Skip cancelled events.
+    }
+    pending_ids_.erase(ev.id);
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (RunOne()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime t) {
+  assert(t >= now_ && "cannot run the clock backwards");
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) {
+      break;
+    }
+    RunOne();
+  }
+  now_ = t;
+}
+
+void Simulation::RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+PeriodicTask::PeriodicTask(Simulation* sim, SimDuration period,
+                           TickCallback cb)
+    : sim_(sim), period_(period), cb_(std::move(cb)) {
+  assert(period > 0 && "periodic task needs positive period");
+}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start(bool fire_immediately) {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Arm(fire_immediately ? 0 : period_);
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  sim_->Cancel(pending_);
+  pending_ = Simulation::EventHandle{};
+}
+
+void PeriodicTask::Arm(SimDuration delay) {
+  pending_ = sim_->ScheduleAfter(delay, [this] {
+    if (!running_) {
+      return;
+    }
+    cb_(sim_->now());
+    if (running_) {  // The callback may have called Stop().
+      Arm(period_);
+    }
+  });
+}
+
+void WaitQueue::Wait(Simulation::Callback resume) {
+  waiters_.push_back(std::move(resume));
+}
+
+void WaitQueue::NotifyOne() {
+  if (waiters_.empty()) {
+    return;
+  }
+  auto resume = std::move(waiters_.front());
+  waiters_.erase(waiters_.begin());
+  sim_->ScheduleAfter(0, std::move(resume));
+}
+
+void WaitQueue::NotifyAll() {
+  std::vector<Simulation::Callback> all = std::move(waiters_);
+  waiters_.clear();
+  for (auto& resume : all) {
+    sim_->ScheduleAfter(0, std::move(resume));
+  }
+}
+
+}  // namespace espk

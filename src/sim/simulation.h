@@ -1,0 +1,143 @@
+// Discrete-event simulation engine. Everything in the Ethernet Speaker
+// reproduction that the paper ran in real time — the kernel's audio clock,
+// packet transmission on the LAN, speaker playback — runs on this virtual
+// clock instead, so experiments are deterministic and a "60 second" run
+// finishes in milliseconds.
+//
+// The engine is intentionally minimal: a time-ordered queue of callbacks.
+// Events scheduled at the same instant run in scheduling order (stable FIFO),
+// which the protocol relies on ("everybody receives a multicast packet at the
+// same time", §3.2).
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time_types.h"
+
+namespace espk {
+
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  // Identifies a scheduled event so it can be cancelled. Id 0 is never used.
+  struct EventHandle {
+    uint64_t id = 0;
+    bool valid() const { return id != 0; }
+  };
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `at` (clamped to now).
+  EventHandle ScheduleAt(SimTime at, Callback cb);
+  // Schedules `cb` to run `delay` after now (negative delays clamp to now).
+  EventHandle ScheduleAfter(SimDuration delay, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-run or already-cancelled
+  // event is a harmless no-op. Returns true if the event was still pending.
+  bool Cancel(EventHandle handle);
+
+  // Runs the single earliest event; returns false if the queue is empty.
+  bool RunOne();
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs all events with time <= t, then advances the clock to exactly t.
+  void RunUntil(SimTime t);
+
+  // RunUntil(now() + d).
+  void RunFor(SimDuration d);
+
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // Tie-breaker: FIFO among same-time events.
+    uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<uint64_t> pending_ids_;  // Scheduled, not yet run.
+  std::unordered_set<uint64_t> cancelled_;    // Scheduled, then cancelled.
+};
+
+// Repeats a callback with a fixed period until stopped. The callback receives
+// the current simulated time. The first firing is one period after Start (or
+// at Start time if `fire_immediately`).
+class PeriodicTask {
+ public:
+  using TickCallback = std::function<void(SimTime)>;
+
+  PeriodicTask(Simulation* sim, SimDuration period, TickCallback cb);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start(bool fire_immediately = false);
+  void Stop();
+  bool running() const { return running_; }
+
+  void set_period(SimDuration period) { period_ = period; }
+  SimDuration period() const { return period_; }
+
+ private:
+  void Arm(SimDuration delay);
+
+  Simulation* sim_;
+  SimDuration period_;
+  TickCallback cb_;
+  bool running_ = false;
+  Simulation::EventHandle pending_;
+};
+
+// A list of parked continuations — the simulation-world analogue of a kernel
+// sleep queue / condition variable. The kernel uses these for blocking
+// audio writes (tsleep/wakeup in OpenBSD terms).
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulation* sim) : sim_(sim) {}
+
+  // Parks `resume` until a Notify; resumptions run as fresh events at the
+  // notification time (never synchronously inside Notify).
+  void Wait(Simulation::Callback resume);
+
+  // Wakes the oldest waiter / all waiters.
+  void NotifyOne();
+  void NotifyAll();
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulation* sim_;
+  std::vector<Simulation::Callback> waiters_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SIM_SIMULATION_H_

@@ -1,0 +1,67 @@
+// Simulated speaker output stage: records exactly which samples left the
+// speaker at which simulated instant. Experiments reconstruct each
+// speaker's acoustic timeline from this and measure inter-speaker skew,
+// gaps (underruns), and content fidelity — the things a listener standing
+// between two Ethernet Speakers would hear (§3.2).
+#ifndef SRC_SPEAKER_PLAYBACK_H_
+#define SRC_SPEAKER_PLAYBACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/audio/format.h"
+#include "src/base/time_types.h"
+
+namespace espk {
+
+class OutputRecorder {
+ public:
+  OutputRecorder(int sample_rate, int channels)
+      : sample_rate_(sample_rate), channels_(channels) {}
+
+  // Plays `samples` (interleaved) starting at `start`, scaled by `gain`.
+  // Segments are expected in nondecreasing start order (chunks are played
+  // by deadline); overlapping audio is overwritten by the newer segment at
+  // Render time.
+  void Play(SimTime start, std::vector<float> samples, float gain);
+
+  // Renders the continuous waveform in [from, from+duration): silence where
+  // nothing was playing.
+  std::vector<float> Render(SimTime from, SimDuration duration) const;
+
+  struct Segment {
+    SimTime start;
+    std::vector<float> samples;  // Interleaved, gain applied.
+    SimDuration duration(int sample_rate, int channels) const {
+      return FramesToDuration(
+          static_cast<int64_t>(samples.size()) / channels, sample_rate);
+    }
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  int sample_rate() const { return sample_rate_; }
+  int channels() const { return channels_; }
+
+  SimTime first_start() const {
+    return segments_.empty() ? -1 : segments_.front().start;
+  }
+  SimTime last_end() const;
+
+  // Gaps between consecutive segments longer than `threshold` — audible
+  // dropouts.
+  int CountGaps(SimDuration threshold) const;
+  SimDuration TotalGapTime() const;
+
+  // Average absolute output level over the most recent `window` ending at
+  // `now` (used by the §5.2 auto-volume loop's self-monitoring microphone).
+  double RecentRms(SimTime now, SimDuration window) const;
+
+ private:
+  int sample_rate_;
+  int channels_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SPEAKER_PLAYBACK_H_

@@ -1,0 +1,110 @@
+#include "src/speaker/recorder.h"
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+StreamRecorder::StreamRecorder(Simulation* sim, Transport* nic)
+    : sim_(sim), nic_(nic) {
+  (void)sim_;
+  nic_->SetReceiveHandler([this](const Datagram& d) { OnDatagram(d); });
+}
+
+Status StreamRecorder::StartRecording(GroupId group) {
+  if (group_.has_value()) {
+    return FailedPreconditionError("already recording");
+  }
+  ESPK_RETURN_IF_ERROR(nic_->JoinGroup(group));
+  group_ = group;
+  return OkStatus();
+}
+
+Status StreamRecorder::StopRecording() {
+  if (!group_.has_value()) {
+    return FailedPreconditionError("not recording");
+  }
+  ESPK_RETURN_IF_ERROR(nic_->LeaveGroup(*group_));
+  group_.reset();
+  return OkStatus();
+}
+
+void StreamRecorder::OnDatagram(const Datagram& datagram) {
+  if (!group_.has_value() || datagram.group != *group_) {
+    return;
+  }
+  Result<ParsedPacket> parsed = ParsePacket(datagram.payload);
+  if (!parsed.ok()) {
+    return;
+  }
+  if (const auto* control = std::get_if<ControlPacket>(&parsed->packet)) {
+    if (!config_.has_value() || *config_ != control->config) {
+      Result<std::unique_ptr<AudioDecoder>> decoder =
+          CreateDecoder(control->codec, control->config, control->quality);
+      if (!decoder.ok()) {
+        return;
+      }
+      // A config change starts a new program; recorders keep it simple and
+      // restart the take (the old chunks no longer share a sample grid).
+      config_ = control->config;
+      decoder_ = std::move(*decoder);
+      chunks_.clear();
+    }
+    return;
+  }
+  const auto* data = std::get_if<DataPacket>(&parsed->packet);
+  if (data == nullptr || decoder_ == nullptr) {
+    return;
+  }
+  if (chunks_.count(data->seq) > 0) {
+    ++stats_.duplicate_chunks;
+    return;
+  }
+  Result<std::vector<float>> samples = decoder_->DecodePacket(data->payload);
+  if (!samples.ok()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  ++stats_.chunks_recorded;
+  chunks_[data->seq] = Chunk{std::move(*samples), data->frame_count};
+}
+
+PcmBuffer StreamRecorder::Assemble() const {
+  PcmBuffer out;
+  if (!config_.has_value() || chunks_.empty()) {
+    return out;
+  }
+  out.channels = config_->channels;
+  out.sample_rate = config_->sample_rate;
+  uint32_t expected_seq = chunks_.begin()->first;
+  uint32_t typical_frames = chunks_.begin()->second.frame_count;
+  auto* mutable_stats = const_cast<RecorderStats*>(&stats_);
+  mutable_stats->gaps_filled = 0;
+  mutable_stats->frames_recorded = 0;
+  for (const auto& [seq, chunk] : chunks_) {
+    // Fill lost packets with silence so later audio keeps its place.
+    while (expected_seq < seq) {
+      out.samples.insert(out.samples.end(),
+                         static_cast<size_t>(typical_frames) *
+                             static_cast<size_t>(out.channels),
+                         0.0f);
+      mutable_stats->frames_recorded += typical_frames;
+      ++mutable_stats->gaps_filled;
+      ++expected_seq;
+    }
+    out.samples.insert(out.samples.end(), chunk.samples.begin(),
+                       chunk.samples.end());
+    mutable_stats->frames_recorded += chunk.frame_count;
+    expected_seq = seq + 1;
+  }
+  return out;
+}
+
+Status StreamRecorder::ExportWav(const std::string& path) const {
+  PcmBuffer pcm = Assemble();
+  if (pcm.samples.empty()) {
+    return FailedPreconditionError("nothing recorded yet");
+  }
+  return WriteWavFile(path, pcm);
+}
+
+}  // namespace espk

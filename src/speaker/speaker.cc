@@ -1,0 +1,208 @@
+#include "src/speaker/speaker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace espk {
+
+EthernetSpeaker::EthernetSpeaker(Simulation* sim, Transport* nic,
+                                 const SpeakerOptions& options)
+    : sim_(sim), nic_(nic), options_(options) {
+  nic_->SetReceiveHandler(
+      [this](const Datagram& datagram) { OnDatagram(datagram); });
+}
+
+Status EthernetSpeaker::Tune(GroupId group) {
+  if (group_.has_value()) {
+    ESPK_RETURN_IF_ERROR(Untune());
+  }
+  ESPK_RETURN_IF_ERROR(nic_->JoinGroup(group));
+  group_ = group;
+  ResetChannelState();
+  return OkStatus();
+}
+
+Status EthernetSpeaker::Untune() {
+  if (!group_.has_value()) {
+    return FailedPreconditionError("not tuned to any channel");
+  }
+  ESPK_RETURN_IF_ERROR(nic_->LeaveGroup(*group_));
+  group_.reset();
+  ResetChannelState();
+  return OkStatus();
+}
+
+void EthernetSpeaker::ResetChannelState() {
+  config_.reset();
+  decoder_.reset();
+  recorder_.reset();
+  control_seq_ = 0;
+  decode_busy_until_ = sim_->now();
+  queued_pcm_bytes_ = 0;
+  highest_seq_seen_ = 0;
+  any_data_seen_ = false;
+}
+
+void EthernetSpeaker::OnDatagram(const Datagram& datagram) {
+  ++stats_.packets_received;
+  Result<ParsedPacket> parsed = ParsePacket(datagram.payload);
+  if (!parsed.ok()) {
+    // Damaged or non-protocol datagram: integrity check failed (§5.1).
+    ++stats_.bad_packets;
+    return;
+  }
+  if (options_.auth_verifier && !options_.auth_verifier(*parsed)) {
+    ++stats_.auth_rejected;
+    return;
+  }
+  if (const auto* control = std::get_if<ControlPacket>(&parsed->packet)) {
+    HandleControl(*control);
+  } else if (const auto* data = std::get_if<DataPacket>(&parsed->packet)) {
+    HandleData(*data);
+  }
+  // Announce packets are handled by the catalog browser (src/mgmt), not by
+  // the playback path.
+}
+
+void EthernetSpeaker::HandleControl(const ControlPacket& packet) {
+  ++stats_.control_packets;
+  SimTime now = sim_->now();
+  // Adopt the producer's wall clock. Transmission latency is deliberately
+  // ignored — the §3.2 uniform-delivery assumption. With smoothing enabled
+  // (an extension), jittered control arrivals average out instead of each
+  // one yanking the timeline.
+  SimDuration sample = now - packet.producer_clock;
+  if (!config_.has_value() || options_.clock_smoothing_alpha >= 1.0) {
+    clock_offset_ = sample;
+  } else {
+    double alpha = options_.clock_smoothing_alpha;
+    clock_offset_ = static_cast<SimDuration>(
+        alpha * static_cast<double>(sample) +
+        (1.0 - alpha) * static_cast<double>(clock_offset_));
+  }
+
+  bool config_changed = !config_.has_value() || *config_ != packet.config ||
+                        codec_ != packet.codec ||
+                        control_seq_ != packet.control_seq;
+  if (!config_changed) {
+    return;
+  }
+  Result<std::unique_ptr<AudioDecoder>> decoder =
+      CreateDecoder(packet.codec, packet.config, packet.quality);
+  if (!decoder.ok()) {
+    ESPK_LOG(kWarning) << options_.name
+                       << ": unusable control packet: " << decoder.status();
+    return;
+  }
+  config_ = packet.config;
+  codec_ = packet.codec;
+  quality_ = packet.quality;
+  control_seq_ = packet.control_seq;
+  decoder_ = std::move(*decoder);
+  // A genuine config change restarts the output epoch; periodic control
+  // repeats (same control_seq) never get here.
+  recorder_ = std::make_unique<OutputRecorder>(config_->sample_rate,
+                                               config_->channels);
+  ESPK_LOG(kDebug) << options_.name << ": tuned, config "
+                   << config_->ToString();
+}
+
+void EthernetSpeaker::HandleData(const DataPacket& packet) {
+  ++stats_.data_packets;
+  if (!config_.has_value()) {
+    // §2.3: "The Ethernet Speaker has to wait till it receives a control
+    // packet before it can start playing the audio stream."
+    ++stats_.waiting_drops;
+    return;
+  }
+  if (any_data_seen_ && packet.seq <= highest_seq_seen_ &&
+      highest_seq_seen_ - packet.seq < 1000) {
+    ++stats_.duplicate_drops;
+    return;
+  }
+  any_data_seen_ = true;
+  highest_seq_seen_ = std::max(highest_seq_seen_, packet.seq);
+
+  // Buffer accounting uses the decoded size; refuse when full (§3.1 — this
+  // is the buffer a non-rate-limited producer overflows).
+  const size_t decoded_bytes = static_cast<size_t>(packet.frame_count) *
+                               static_cast<size_t>(config_->channels) *
+                               sizeof(float);
+  if (queued_pcm_bytes_ + decoded_bytes > options_.jitter_buffer_bytes) {
+    ++stats_.overflow_drops;
+    return;
+  }
+
+  SimTime now = sim_->now();
+  SimTime local_deadline = packet.play_deadline + clock_offset_;
+
+  // Serialized decode pipeline with CPU cost proportional to audio
+  // duration (§3.4: the slow EON 4000 decode stage).
+  SimDuration audio_duration =
+      FramesToDuration(packet.frame_count, config_->sample_rate);
+  auto decode_time = static_cast<SimDuration>(
+      static_cast<double>(audio_duration) * options_.decode_speed_factor);
+  SimTime decode_start = std::max(now, decode_busy_until_);
+  SimTime decode_done = decode_start + decode_time;
+  decode_busy_until_ = decode_done;
+
+  Result<std::vector<float>> samples = decoder_->DecodePacket(packet.payload);
+  if (!samples.ok()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  queued_pcm_bytes_ += decoded_bytes;
+  uint32_t seq = packet.seq;
+  sim_->ScheduleAt(decode_done,
+                   [this, seq, local_deadline,
+                    samples = std::move(*samples), decoded_bytes]() mutable {
+                     OnDecodeComplete(seq, local_deadline, std::move(samples),
+                                      decoded_bytes);
+                   });
+}
+
+void EthernetSpeaker::OnDecodeComplete(uint32_t /*seq*/,
+                                       SimTime local_deadline,
+                                       std::vector<float> samples,
+                                       size_t decoded_bytes) {
+  if (recorder_ == nullptr) {
+    queued_pcm_bytes_ -= decoded_bytes;
+    return;  // Channel was re-tuned while the chunk was in the pipeline.
+  }
+  SimTime now = sim_->now();
+  SimDuration lateness = now - local_deadline;
+  if (lateness > options_.sync_epsilon) {
+    // §3.2: throw away data up until the current wall time.
+    queued_pcm_bytes_ -= decoded_bytes;
+    ++stats_.late_drops;
+    return;
+  }
+  if (lateness > 0) {
+    // Within epsilon: play immediately, slightly late. Without this leeway
+    // "data will be unnecessarily thrown out and skipping in playback will
+    // be noticeable" (§3.2).
+    queued_pcm_bytes_ -= decoded_bytes;
+    stats_.total_lateness_ns += lateness;
+    ++stats_.chunks_played;
+    recorder_->Play(now, std::move(samples), options_.gain);
+    return;
+  }
+  // Early: sleep until it is time to play. The chunk keeps occupying the
+  // jitter buffer until it leaves the speaker.
+  sim_->ScheduleAt(local_deadline,
+                   [this, local_deadline, samples = std::move(samples),
+                    decoded_bytes]() mutable {
+                     queued_pcm_bytes_ -= decoded_bytes;
+                     if (recorder_ == nullptr) {
+                       return;
+                     }
+                     ++stats_.chunks_played;
+                     recorder_->Play(local_deadline, std::move(samples),
+                                     options_.gain);
+                   });
+}
+
+}  // namespace espk

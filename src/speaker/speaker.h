@@ -1,0 +1,146 @@
+// The Ethernet Speaker (§2.4, §3.2): a receive-only device — "our Ethernet
+// Speakers function like radios". It joins a channel's multicast group,
+// waits for a control packet (it cannot decode anything before one arrives),
+// adopts the producer's wall clock, and then plays each data packet at its
+// deadline:
+//
+//   * packet early            -> sleep until deadline, then play
+//   * packet within epsilon   -> play immediately (slightly late, inaudible)
+//   * packet past epsilon     -> throw it away (§3.2: "throwing away data up
+//                                until the current wall time")
+//
+// An epsilon of zero would discard data unnecessarily and make "skipping in
+// playback noticeable" — bench C4 sweeps it.
+//
+// The decode stage is serialized and costs simulated time proportional to
+// the audio duration (decode_speed_factor models the 233 MHz Geode of the
+// Neoware EON 4000); large producer buffers therefore stall the pipeline
+// exactly as §3.4 describes — bench C5 sweeps that.
+#ifndef SRC_SPEAKER_SPEAKER_H_
+#define SRC_SPEAKER_SPEAKER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/audio/format.h"
+#include "src/codec/codec.h"
+#include "src/lan/transport.h"
+#include "src/proto/wire.h"
+#include "src/sim/simulation.h"
+#include "src/speaker/playback.h"
+
+namespace espk {
+
+struct SpeakerOptions {
+  std::string name = "es";
+  // §3.2 leeway: how late a chunk may be and still be played.
+  SimDuration sync_epsilon = Milliseconds(20);
+  // Cap on decoded-but-not-yet-played PCM. When a producer floods the LAN
+  // (rate limiter off), this is the buffer that overflows (§3.1).
+  size_t jitter_buffer_bytes = 2 * 1024 * 1024;
+  // Decode time as a fraction of audio duration. ~0.25 models the EON
+  // 4000's 233 MHz Geode on compressed CD audio; ~0.02 a workstation.
+  double decode_speed_factor = 0.25;
+  float gain = 1.0f;
+  // §5.1 hook: return false to reject a packet (failed authentication).
+  std::function<bool(const ParsedPacket&)> auth_verifier;
+  // Extension beyond the paper: exponential smoothing of the producer-clock
+  // offset across control packets. The paper adopts each control packet's
+  // clock outright ("latest wins"), which is exact on a jitter-free LAN but
+  // lets one delayed control packet shift the whole playout timeline. With
+  // alpha in (0,1], offset_new = alpha*sample + (1-alpha)*offset. 1.0
+  // reproduces the paper's behaviour exactly.
+  double clock_smoothing_alpha = 1.0;
+};
+
+struct SpeakerStats {
+  uint64_t packets_received = 0;
+  uint64_t control_packets = 0;
+  uint64_t data_packets = 0;
+  uint64_t bad_packets = 0;        // CRC/parse failures.
+  uint64_t auth_rejected = 0;      // §5.1 verifier said no.
+  uint64_t waiting_drops = 0;      // Data before the first control packet.
+  uint64_t late_drops = 0;         // Past deadline + epsilon.
+  uint64_t overflow_drops = 0;     // Jitter buffer full.
+  uint64_t duplicate_drops = 0;    // Replayed/duplicated sequence numbers.
+  uint64_t chunks_played = 0;
+  uint64_t decode_errors = 0;
+  // How late (ns) chunks that played within epsilon actually were.
+  int64_t total_lateness_ns = 0;
+};
+
+class EthernetSpeaker {
+ public:
+  EthernetSpeaker(Simulation* sim, Transport* nic,
+                  const SpeakerOptions& options);
+
+  // Joins a channel group and starts listening ("tunes in", §2.3). Any
+  // previous channel is left and playback state reset.
+  Status Tune(GroupId group);
+  Status Untune();
+  std::optional<GroupId> tuned_group() const { return group_; }
+
+  const SpeakerStats& stats() const { return stats_; }
+  const SpeakerOptions& options() const { return options_; }
+  const std::string& name() const { return options_.name; }
+
+  // Null until the first control packet of the current tune.
+  OutputRecorder* output() { return recorder_.get(); }
+  const std::optional<AudioConfig>& config() const { return config_; }
+  bool ready() const { return config_.has_value(); }
+
+  // Volume control (§5.2 auto-volume adjusts this).
+  void set_gain(float gain) { options_.gain = gain; }
+  float gain() const { return options_.gain; }
+
+  Simulation* sim() { return sim_; }
+
+  // Feeds a datagram as if it arrived on the NIC. The speaker installs
+  // itself as the NIC's receive handler at construction; components that
+  // share the NIC (e.g. the management agent) take the handler over and
+  // forward non-management traffic here.
+  void HandleDatagram(const Datagram& datagram) { OnDatagram(datagram); }
+
+ private:
+  void OnDatagram(const Datagram& datagram);
+  void HandleControl(const ControlPacket& packet);
+  void HandleData(const DataPacket& packet);
+  void OnDecodeComplete(uint32_t seq, SimTime local_deadline,
+                        std::vector<float> samples, size_t decoded_bytes);
+  void ResetChannelState();
+
+  Simulation* sim_;
+  Transport* nic_;
+  SpeakerOptions options_;
+  std::optional<GroupId> group_;
+
+  // Channel state, valid once a control packet has arrived.
+  std::optional<AudioConfig> config_;
+  CodecId codec_ = CodecId::kRaw;
+  uint8_t quality_ = 10;
+  std::unique_ptr<AudioDecoder> decoder_;
+  std::unique_ptr<OutputRecorder> recorder_;
+  uint32_t control_seq_ = 0;
+
+  // Producer-clock to local-clock offset: local = producer + offset. The
+  // protocol assumes uniform multicast delivery, so the offset is taken
+  // directly from the latest control packet (§3.2).
+  SimDuration clock_offset_ = 0;
+
+  // Decode pipeline: serialized, busy until this instant.
+  SimTime decode_busy_until_ = 0;
+
+  // Decoded PCM scheduled for playback but not yet played, in bytes.
+  size_t queued_pcm_bytes_ = 0;
+  uint32_t highest_seq_seen_ = 0;
+  bool any_data_seen_ = false;
+
+  SpeakerStats stats_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SPEAKER_SPEAKER_H_

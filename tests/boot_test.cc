@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "src/base/prng.h"
+#include "src/boot/netboot.h"
+#include "src/boot/ramdisk.h"
+#include "src/boot/tar.h"
+#include "src/lan/segment.h"
+
+namespace espk {
+namespace {
+
+Bytes Str(const char* s) {
+  return Bytes(reinterpret_cast<const uint8_t*>(s),
+               reinterpret_cast<const uint8_t*>(s) + strlen(s));
+}
+
+// -------------------------------------------------------------------- tar --
+
+TEST(TarTest, RoundTrip) {
+  FileMap files;
+  files["etc/espk.conf"] = Str("channel_group=17\n");
+  files["etc/hostname"] = Str("es-lobby\n");
+  files["bin/payload"] = Bytes(2000, 0x5A);  // Multi-block body.
+  Result<Bytes> archive = CreateTar(files);
+  ASSERT_TRUE(archive.ok());
+  Result<FileMap> back = ExtractTar(*archive);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, files);
+}
+
+TEST(TarTest, EmptyArchiveRoundTrip) {
+  Result<Bytes> archive = CreateTar({});
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->size(), 1024u);  // Two terminating zero blocks.
+  Result<FileMap> back = ExtractTar(*archive);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(TarTest, ArchiveIsBlockAligned) {
+  FileMap files;
+  files["a"] = Bytes(1, 0x01);
+  Result<Bytes> archive = CreateTar(files);
+  ASSERT_TRUE(archive.ok());
+  EXPECT_EQ(archive->size() % 512, 0u);
+}
+
+TEST(TarTest, ChecksumDetectsCorruption) {
+  FileMap files;
+  files["etc/x"] = Str("data");
+  Bytes archive = *CreateTar(files);
+  archive[10] ^= 0xFF;  // Inside the header.
+  EXPECT_FALSE(ExtractTar(archive).ok());
+}
+
+TEST(TarTest, TruncatedBodyRejected) {
+  FileMap files;
+  files["big"] = Bytes(5000, 0x22);
+  Bytes archive = *CreateTar(files);
+  archive.resize(512 + 1000);  // Header + partial body.
+  EXPECT_FALSE(ExtractTar(archive).ok());
+}
+
+TEST(TarTest, MissingTerminatorRejected) {
+  FileMap files;
+  files["x"] = Str("y");
+  Bytes archive = *CreateTar(files);
+  archive.resize(archive.size() - 1024);  // Drop the two zero blocks.
+  EXPECT_FALSE(ExtractTar(archive).ok());
+}
+
+TEST(TarTest, OverlongPathRejected) {
+  FileMap files;
+  files[std::string(150, 'x')] = Str("y");
+  EXPECT_FALSE(CreateTar(files).ok());
+}
+
+TEST(TarTest, GarbageRejected) {
+  Prng prng(5);
+  Bytes garbage(2048);
+  for (auto& b : garbage) {
+    b = static_cast<uint8_t>(prng.NextU64());
+  }
+  EXPECT_FALSE(ExtractTar(garbage).ok());
+}
+
+// ---------------------------------------------------------------- ramdisk --
+
+TEST(RamdiskTest, FileOperations) {
+  RamdiskFs fs;
+  fs.WriteTextFile("etc/hostname", "es-1\n");
+  EXPECT_TRUE(fs.Exists("etc/hostname"));
+  EXPECT_FALSE(fs.Exists("etc/nothing"));
+  EXPECT_EQ(*fs.ReadTextFile("etc/hostname"), "es-1\n");
+  EXPECT_FALSE(fs.ReadFile("etc/nothing").ok());
+}
+
+TEST(RamdiskTest, ListByPrefix) {
+  RamdiskFs fs;
+  fs.WriteTextFile("etc/a", "1");
+  fs.WriteTextFile("etc/b", "2");
+  fs.WriteTextFile("bin/c", "3");
+  EXPECT_EQ(fs.List("etc/").size(), 2u);
+  EXPECT_EQ(fs.List("").size(), 3u);
+}
+
+TEST(RamdiskTest, OverlayTarOverwritesSkeleton) {
+  // §2.4: "the machine-specific information overwrites the common
+  // configuration".
+  RamdiskFs fs;
+  fs.WriteTextFile("etc/espk.conf", "channel_group=16\nvolume=1.0\n");
+  fs.WriteTextFile("etc/motd", "common\n");
+  FileMap overlay;
+  overlay["etc/espk.conf"] = Str("channel_group=17\nvolume=0.5\n");
+  overlay["etc/local"] = Str("machine-specific\n");
+  ASSERT_TRUE(fs.OverlayTar(*CreateTar(overlay)).ok());
+  EXPECT_EQ(*fs.ReadTextFile("etc/espk.conf"),
+            "channel_group=17\nvolume=0.5\n");
+  EXPECT_EQ(*fs.ReadTextFile("etc/motd"), "common\n");  // Untouched.
+  EXPECT_TRUE(fs.Exists("etc/local"));
+}
+
+TEST(RamdiskTest, ImageSerializationRoundTrip) {
+  RamdiskImage image = BuildStandardEsImage(Str("fingerprint"));
+  Result<RamdiskImage> back = RamdiskImage::Deserialize(image.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->version, image.version);
+  EXPECT_EQ(back->root_fs, image.root_fs);
+}
+
+TEST(RamdiskTest, StandardImageHasTheEssentials) {
+  RamdiskImage image = BuildStandardEsImage(Str("fp"));
+  RamdiskFs fs(image.root_fs);
+  EXPECT_TRUE(fs.Exists("etc/espk.conf"));
+  EXPECT_TRUE(fs.Exists("etc/ssh/boot_server_key.pub"));
+  EXPECT_TRUE(fs.Exists("etc/rc"));
+}
+
+TEST(RamdiskTest, ConfigFileParsing) {
+  auto config = ParseConfigFile(
+      "# comment line\n"
+      "channel_group = 17\n"
+      "volume=0.8   # trailing comment\n"
+      "\n"
+      "malformed line without equals\n"
+      "name=es lobby\n");
+  EXPECT_EQ(config.size(), 3u);
+  EXPECT_EQ(config["channel_group"], "17");
+  EXPECT_EQ(config["volume"], "0.8");
+  EXPECT_EQ(config["name"], "es lobby");
+}
+
+// ---------------------------------------------------------------- netboot --
+
+class NetbootFixture : public ::testing::Test {
+ protected:
+  NetbootFixture()
+      : segment_(&sim_, SegmentConfig{}),
+        server_nic_(segment_.CreateNic()),
+        dhcp_nic_(segment_.CreateNic()),
+        server_key_(Str("the boot server's host key")),
+        image_(BuildStandardEsImage(
+            DigestToBytes(Sha256::Hash(server_key_)))),
+        boot_server_(&sim_, server_nic_.get(), image_, server_key_),
+        dhcp_server_(&sim_, dhcp_nic_.get(), server_nic_->node_id()) {}
+
+  Simulation sim_;
+  EthernetSegment segment_;
+  std::unique_ptr<SimNic> server_nic_;
+  std::unique_ptr<SimNic> dhcp_nic_;
+  Bytes server_key_;
+  RamdiskImage image_;
+  BootServer boot_server_;
+  DhcpServer dhcp_server_;
+};
+
+TEST_F(NetbootFixture, FullBootSequence) {
+  auto client_nic = segment_.CreateNic();
+  dhcp_server_.AddHost(client_nic->node_id(), "es-lobby");
+  FileMap overlay;
+  overlay["etc/espk.conf"] = Str("channel_group=20\nvolume=0.7\n");
+  overlay["etc/hostname"] = Str("es-lobby\n");
+  boot_server_.SetConfigTar("es-lobby", *CreateTar(overlay));
+
+  NetbootClient client(&sim_, client_nic.get());
+  Result<NetbootClient::BootResult> outcome =
+      InternalError("boot never completed");
+  client.Boot([&](Result<NetbootClient::BootResult> r) {
+    outcome = std::move(r);
+  });
+  sim_.RunUntil(Seconds(5));
+
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(client.phase(), NetbootClient::Phase::kDone);
+  EXPECT_EQ(outcome->lease.hostname, "es-lobby");
+  // The overlay beat the skeleton (file-granularity replacement, §2.4).
+  EXPECT_EQ(outcome->config.at("channel_group"), "20");
+  EXPECT_EQ(outcome->config.at("volume"), "0.7");
+  EXPECT_EQ(outcome->config.count("sync_epsilon_ms"), 0u);
+  // Skeleton files the overlay did not touch survive.
+  EXPECT_TRUE(outcome->root_fs.Exists("etc/rc"));
+  EXPECT_EQ(*outcome->root_fs.ReadTextFile("etc/hostname"), "es-lobby\n");
+  EXPECT_GT(boot_server_.image_chunks_served(), 0u);
+  EXPECT_EQ(boot_server_.configs_served(), 1u);
+}
+
+TEST_F(NetbootFixture, UnknownHostGetsSkeletonDefaults) {
+  auto client_nic = segment_.CreateNic();
+  // No AddHost, no config tar: the machine boots with the skeleton.
+  NetbootClient client(&sim_, client_nic.get());
+  Result<NetbootClient::BootResult> outcome =
+      InternalError("boot never completed");
+  client.Boot([&](Result<NetbootClient::BootResult> r) {
+    outcome = std::move(r);
+  });
+  sim_.RunUntil(Seconds(5));
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome->config.at("channel_group"), "16");  // Skeleton value.
+}
+
+TEST_F(NetbootFixture, ManyClientsBootConcurrently) {
+  std::vector<std::unique_ptr<SimNic>> nics;
+  std::vector<std::unique_ptr<NetbootClient>> clients;
+  int booted = 0;
+  for (int i = 0; i < 5; ++i) {
+    nics.push_back(segment_.CreateNic());
+    clients.push_back(
+        std::make_unique<NetbootClient>(&sim_, nics.back().get()));
+    clients.back()->Boot([&](Result<NetbootClient::BootResult> r) {
+      if (r.ok()) {
+        ++booted;
+      }
+    });
+  }
+  sim_.RunUntil(Seconds(10));
+  EXPECT_EQ(booted, 5);
+  EXPECT_EQ(dhcp_server_.discovers_seen(), 5u);
+}
+
+TEST_F(NetbootFixture, ImposterBootServerRejected) {
+  // A rogue server with a different key answers the config request; the
+  // client must reject it because the fingerprint in the ramdisk does not
+  // match (the paper's stored-ssh-key defence).
+  auto rogue_nic = segment_.CreateNic();
+  Bytes rogue_key = Str("rogue key");
+  BootServer rogue(&sim_, rogue_nic.get(), image_, rogue_key);
+  FileMap evil;
+  evil["etc/espk.conf"] = Str("channel_group=666\n");
+  rogue.SetConfigTar("es-victim", *CreateTar(evil));
+
+  // Point DHCP at the rogue server.
+  auto dhcp2_nic = segment_.CreateNic();
+  DhcpServer evil_dhcp(&sim_, dhcp2_nic.get(), rogue_nic->node_id());
+  // Two DHCP servers race; to make the test deterministic, use a fresh
+  // segment-local client that only the rogue path will answer for: mark it
+  // in the legit server's host table as unknown but direct the lease to the
+  // rogue. Simplest: stop the legit DHCP by detaching its handler.
+  dhcp_nic_->SetReceiveHandler(nullptr);
+  evil_dhcp.AddHost(0, "unused");
+
+  auto client_nic = segment_.CreateNic();
+  NetbootClient client(&sim_, client_nic.get());
+  Result<NetbootClient::BootResult> outcome =
+      InternalError("boot never completed");
+  client.Boot([&](Result<NetbootClient::BootResult> r) {
+    outcome = std::move(r);
+  });
+  sim_.RunUntil(Seconds(15));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(NetbootFixture, BootTimesOutWithoutServers) {
+  Simulation lonely_sim;
+  EthernetSegment lonely(&lonely_sim, SegmentConfig{});
+  auto nic = lonely.CreateNic();
+  NetbootClient client(&lonely_sim, nic.get());
+  Result<NetbootClient::BootResult> outcome =
+      InternalError("boot never completed");
+  client.Boot(
+      [&](Result<NetbootClient::BootResult> r) { outcome = std::move(r); },
+      Seconds(3));
+  lonely_sim.RunUntil(Seconds(10));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(client.phase(), NetbootClient::Phase::kFailed);
+}
+
+}  // namespace
+}  // namespace espk

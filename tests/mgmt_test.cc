@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "src/core/system.h"
+#include "src/mgmt/agent.h"
+#include "src/mgmt/catalog.h"
+
+namespace espk {
+namespace {
+
+// ------------------------------------------------------------------- MIB --
+
+TEST(MibTest, OidStringRoundTrip) {
+  Oid oid = {1, 3, 6, 1, 4, 1, 9999, 1, 2};
+  EXPECT_EQ(OidToString(oid), "1.3.6.1.4.1.9999.1.2");
+  Result<Oid> back = OidFromString("1.3.6.1.4.1.9999.1.2");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, oid);
+  EXPECT_FALSE(OidFromString("").ok());
+  EXPECT_FALSE(OidFromString("1.2.x").ok());
+}
+
+TEST(MibTest, GetSetAndReadOnly) {
+  Mib mib;
+  int stored = 5;
+  mib.Register(EspkOid({1}),
+               {"rw", [&] { return std::to_string(stored); },
+                [&](const std::string& v) {
+                  stored = std::stoi(v);
+                  return OkStatus();
+                }});
+  mib.Register(EspkOid({2}), {"ro", [] { return std::string("fixed"); },
+                              nullptr});
+  EXPECT_EQ(*mib.Get(EspkOid({1})), "5");
+  ASSERT_TRUE(mib.Set(EspkOid({1}), "9").ok());
+  EXPECT_EQ(stored, 9);
+  Status ro = mib.Set(EspkOid({2}), "nope");
+  EXPECT_EQ(ro.code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE(mib.Get(EspkOid({3})).ok());
+}
+
+TEST(MibTest, WalkVisitsEverythingInOrder) {
+  Mib mib;
+  mib.Register(EspkOid({1, 1}), {"a", [] { return std::string("1"); }, nullptr});
+  mib.Register(EspkOid({1, 2}), {"b", [] { return std::string("2"); }, nullptr});
+  mib.Register(EspkOid({2, 1}), {"c", [] { return std::string("3"); }, nullptr});
+  std::vector<Oid> visited;
+  Oid cursor;  // Empty = start of MIB.
+  for (;;) {
+    Result<Oid> next = mib.GetNext(cursor);
+    if (!next.ok()) {
+      break;
+    }
+    visited.push_back(*next);
+    cursor = *next;
+  }
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0], EspkOid({1, 1}));
+  EXPECT_EQ(visited[1], EspkOid({1, 2}));
+  EXPECT_EQ(visited[2], EspkOid({2, 1}));
+}
+
+// ------------------------------------------------- Agent + console + sim --
+
+class MgmtFixture : public ::testing::Test {
+ protected:
+  MgmtFixture() {
+    channel_ = *system_.CreateChannel("music");
+    PlayerAppOptions opts;
+    opts.config = AudioConfig::CdQuality();
+    EXPECT_TRUE(system_
+                    .StartPlayer(channel_,
+                                 std::make_unique<MusicLikeGenerator>(1), opts)
+                    .ok());
+    SpeakerOptions so;
+    so.name = "es-lobby";
+    so.decode_speed_factor = 0.05;
+    speaker_ = *system_.AddSpeaker(so, channel_->group);
+    agent_ = std::make_unique<SpeakerAgent>(
+        system_.sim(), system_.NicOf(speaker_), speaker_);
+    console_nic_ = system_.lan()->CreateNic();
+    console_ = std::make_unique<MgmtConsole>(system_.sim(),
+                                             console_nic_.get());
+  }
+
+  EthernetSpeakerSystem system_;
+  Channel* channel_ = nullptr;
+  EthernetSpeaker* speaker_ = nullptr;
+  std::unique_ptr<SpeakerAgent> agent_;
+  std::unique_ptr<SimNic> console_nic_;
+  std::unique_ptr<MgmtConsole> console_;
+};
+
+TEST_F(MgmtFixture, GetNameAndStats) {
+  system_.sim()->RunUntil(Seconds(3));
+  std::vector<MgmtResponse> responses;
+  console_->Get(0, MibOidName(),
+                [&](const MgmtResponse& r) { responses.push_back(r); });
+  system_.sim()->RunFor(Milliseconds(100));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].value, "es-lobby");
+
+  responses.clear();
+  console_->Get(0, MibOidChunksPlayed(),
+                [&](const MgmtResponse& r) { responses.push_back(r); });
+  system_.sim()->RunFor(Milliseconds(100));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_GT(std::stoul(responses[0].value), 0u);
+}
+
+TEST_F(MgmtFixture, SetVolumeTakesEffect) {
+  system_.sim()->RunUntil(Seconds(1));
+  bool ok = false;
+  console_->Set(0, MibOidVolume(), "0.25",
+                [&](const MgmtResponse& r) { ok = r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(ok);
+  EXPECT_FLOAT_EQ(speaker_->gain(), 0.25f);
+
+  // Reject nonsense and out-of-range.
+  bool rejected = true;
+  console_->Set(0, MibOidVolume(), "loud",
+                [&](const MgmtResponse& r) { rejected = !r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(rejected);
+  console_->Set(0, MibOidVolume(), "100",
+                [&](const MgmtResponse& r) { rejected = !r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(rejected);
+  EXPECT_FLOAT_EQ(speaker_->gain(), 0.25f);
+}
+
+TEST_F(MgmtFixture, TargetedRequestIgnoredByOthers) {
+  system_.sim()->RunUntil(Seconds(1));
+  int responses = 0;
+  // Address a node id that is not the speaker's.
+  console_->Get(99999, MibOidName(),
+                [&](const MgmtResponse&) { ++responses; });
+  system_.sim()->RunFor(Milliseconds(200));
+  EXPECT_EQ(responses, 0);
+}
+
+TEST_F(MgmtFixture, RemoteChannelSwitch) {
+  // §5.3 "remote playback channel selection".
+  Channel* voice = *system_.CreateChannel("voice");
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::PhoneQuality();
+  opts.chunk_frames = 800;
+  ASSERT_TRUE(system_
+                  .StartPlayer(voice,
+                               std::make_unique<SpeechLikeGenerator>(2), opts)
+                  .ok());
+  system_.sim()->RunUntil(Seconds(2));
+  EXPECT_EQ(speaker_->tuned_group().value_or(0), channel_->group);
+
+  console_->Set(0, MibOidChannel(), std::to_string(voice->group), nullptr);
+  system_.sim()->RunFor(Seconds(2));
+  EXPECT_EQ(speaker_->tuned_group().value_or(0), voice->group);
+  ASSERT_TRUE(speaker_->ready());
+  EXPECT_EQ(speaker_->config()->sample_rate, 8000);
+}
+
+TEST_F(MgmtFixture, OverrideAndRestore) {
+  // §5.3: "movies shown on TV sets on airplane seats can be overridden by
+  // crew announcements".
+  Channel* announcements = *system_.CreateChannel("crew");
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::PhoneQuality();
+  opts.chunk_frames = 800;
+  ASSERT_TRUE(system_
+                  .StartPlayer(announcements,
+                               std::make_unique<SpeechLikeGenerator>(3), opts)
+                  .ok());
+  system_.sim()->RunUntil(Seconds(2));
+  GroupId original = speaker_->tuned_group().value_or(0);
+
+  console_->OverrideAll(announcements->group);
+  system_.sim()->RunFor(Seconds(2));
+  EXPECT_EQ(speaker_->tuned_group().value_or(0), announcements->group);
+
+  console_->RestoreAll();
+  system_.sim()->RunFor(Seconds(2));
+  EXPECT_EQ(speaker_->tuned_group().value_or(0), original);
+}
+
+TEST_F(MgmtFixture, WalkTheWholeMib) {
+  system_.sim()->RunUntil(Seconds(1));
+  std::vector<Oid> walked;
+  std::function<void(Oid)> step = [&](Oid cursor) {
+    console_->GetNext(0, cursor, [&, cursor](const MgmtResponse& r) {
+      if (!r.ok) {
+        return;  // End of MIB.
+      }
+      walked.push_back(r.oid);
+      step(r.oid);
+    });
+  };
+  step({});
+  system_.sim()->RunFor(Seconds(1));
+  EXPECT_EQ(walked.size(), 7u);  // All registered speaker OIDs.
+}
+
+TEST(MgmtRequestTest, SerializationRoundTrip) {
+  MgmtRequest request;
+  request.request_id = 7;
+  request.target = 3;
+  request.op = MgmtOp::kSet;
+  request.oid = MibOidVolume();
+  request.value = "0.5";
+  Result<MgmtRequest> back = MgmtRequest::Deserialize(request.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, 7u);
+  EXPECT_EQ(back->target, 3u);
+  EXPECT_EQ(back->op, MgmtOp::kSet);
+  EXPECT_EQ(back->oid, MibOidVolume());
+  EXPECT_EQ(back->value, "0.5");
+}
+
+TEST(MgmtResponseTest, SerializationRoundTrip) {
+  MgmtResponse response;
+  response.request_id = 9;
+  response.responder = 4;
+  response.ok = true;
+  response.oid = MibOidChannel();
+  response.value = "16";
+  Result<MgmtResponse> back =
+      MgmtResponse::Deserialize(response.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->value, "16");
+}
+
+TEST(MgmtResponseTest, RejectsGarbage) {
+  EXPECT_FALSE(MgmtResponse::Deserialize({1, 2, 3}).ok());
+  EXPECT_FALSE(MgmtRequest::Deserialize({}).ok());
+}
+
+// ----------------------------------------------------------- Catalog ----
+
+TEST(CatalogTest, BrowserLearnsAnnouncedChannels) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto producer_nic = segment.CreateNic();
+  auto browser_nic = segment.CreateNic();
+
+  AnnounceService service(&sim, producer_nic.get(), Seconds(1));
+  AnnounceEntry music;
+  music.stream_id = 1;
+  music.group = kFirstChannelGroup;
+  music.name = "campus radio";
+  music.config = AudioConfig::CdQuality();
+  music.codec = CodecId::kVorbix;
+  service.SetEntries({music});
+  service.Start();
+
+  CatalogBrowser browser(&sim, browser_nic.get());
+  sim.RunUntil(Seconds(3));
+
+  auto channels = browser.Channels();
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0].name, "campus radio");
+  EXPECT_EQ(channels[0].group, kFirstChannelGroup);
+  Result<AnnounceEntry> found = browser.Find("campus radio");
+  ASSERT_TRUE(found.ok());
+  EXPECT_FALSE(browser.Find("no such channel").ok());
+}
+
+TEST(CatalogTest, StaleChannelsExpire) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto producer_nic = segment.CreateNic();
+  auto browser_nic = segment.CreateNic();
+  AnnounceService service(&sim, producer_nic.get(), Seconds(1));
+  AnnounceEntry entry;
+  entry.stream_id = 1;
+  entry.group = 20;
+  entry.name = "ephemeral";
+  entry.config = AudioConfig::PhoneQuality();
+  service.SetEntries({entry});
+  service.Start();
+  CatalogBrowser browser(&sim, browser_nic.get());
+  sim.RunUntil(Seconds(3));
+  ASSERT_EQ(browser.Channels().size(), 1u);
+  // The producer stops announcing; after max_age the channel disappears.
+  service.Stop();
+  sim.RunUntil(Seconds(20));
+  EXPECT_TRUE(browser.Channels(Seconds(10)).empty());
+}
+
+TEST(CatalogTest, UpdatedEntryReplacesOld) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto producer_nic = segment.CreateNic();
+  auto browser_nic = segment.CreateNic();
+  AnnounceService service(&sim, producer_nic.get(), Seconds(1));
+  AnnounceEntry entry;
+  entry.stream_id = 1;
+  entry.group = 20;
+  entry.name = "before";
+  entry.config = AudioConfig::PhoneQuality();
+  service.SetEntries({entry});
+  service.Start();
+  CatalogBrowser browser(&sim, browser_nic.get());
+  sim.RunUntil(Seconds(2));
+  entry.name = "after";
+  service.SetEntries({entry});
+  sim.RunUntil(Seconds(4));
+  auto channels = browser.Channels();
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0].name, "after");
+}
+
+}  // namespace
+}  // namespace espk

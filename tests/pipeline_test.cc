@@ -1,0 +1,402 @@
+// End-to-end tests of the full Ethernet Speaker pipeline: unmodified player
+// application -> VAD slave -> kernel pump -> VAD master -> rebroadcaster
+// (rate limit, selective compression, control packets) -> multicast LAN ->
+// N Ethernet Speakers (sync engine, jitter buffer, playback).
+#include <gtest/gtest.h>
+
+#include "src/audio/analysis.h"
+#include "src/core/system.h"
+
+namespace espk {
+namespace {
+
+SpeakerOptions FastSpeaker(const std::string& name) {
+  SpeakerOptions options;
+  options.name = name;
+  options.decode_speed_factor = 0.05;
+  return options;
+}
+
+TEST(PipelineTest, OneProducerThreeSpeakersPlayTheSameAudio) {
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("music");
+  EthernetSpeaker* s1 = *system.AddSpeaker(FastSpeaker("es1"), channel->group);
+  EthernetSpeaker* s2 = *system.AddSpeaker(FastSpeaker("es2"), channel->group);
+  EthernetSpeaker* s3 = *system.AddSpeaker(FastSpeaker("es3"), channel->group);
+
+  PlayerAppOptions player_options;
+  player_options.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(1),
+                               player_options)
+                  .ok());
+  system.sim()->RunUntil(Seconds(10));
+
+  for (EthernetSpeaker* s : {s1, s2, s3}) {
+    ASSERT_TRUE(s->ready()) << s->name();
+    EXPECT_GT(s->stats().chunks_played, 50u) << s->name();
+    EXPECT_EQ(s->stats().late_drops, 0u) << s->name();
+    EXPECT_EQ(s->stats().bad_packets, 0u) << s->name();
+    // Continuous playback: no audible gaps after the stream starts.
+    EXPECT_EQ(s->output()->CountGaps(Milliseconds(5)), 0) << s->name();
+  }
+}
+
+TEST(PipelineTest, SpeakersArePerfectlySynchronized) {
+  // §3.2: with uniform multicast delivery, the wall-clock scheme keeps all
+  // speakers sample-aligned.
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("music");
+  (void)*system.AddSpeaker(FastSpeaker("es1"), channel->group);
+  (void)*system.AddSpeaker(FastSpeaker("es2"), channel->group);
+  (void)*system.AddSpeaker(FastSpeaker("es3"), channel->group);
+  (void)*system.AddSpeaker(FastSpeaker("es4"), channel->group);
+
+  PlayerAppOptions player_options;
+  player_options.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(2),
+                               player_options)
+                  .ok());
+  system.sim()->RunUntil(Seconds(8));
+
+  auto report = system.MeasureSync(Seconds(3), Seconds(1), Milliseconds(50));
+  EXPECT_EQ(report.speaker_pairs, 6);
+  EXPECT_EQ(report.max_skew_seconds, 0.0);
+  EXPECT_GT(report.min_correlation, 0.99);
+}
+
+TEST(PipelineTest, LateJoinerStartsAfterNextControlPacket) {
+  // §2.3: a speaker that tunes in mid-stream waits for a control packet,
+  // then plays — no producer involvement.
+  EthernetSpeakerSystem system;
+  RebroadcasterOptions rb;
+  rb.control_interval = Seconds(1);
+  Channel* channel = *system.CreateChannel("music", rb);
+  (void)*system.AddSpeaker(FastSpeaker("early"), channel->group);
+  PlayerAppOptions player_options;
+  player_options.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(3),
+                               player_options)
+                  .ok());
+  system.sim()->RunUntil(Seconds(5));
+
+  EthernetSpeaker* late =
+      *system.AddSpeaker(FastSpeaker("late"), channel->group);
+  EXPECT_FALSE(late->ready());
+  system.sim()->RunUntil(Seconds(5) + Milliseconds(1100));
+  EXPECT_TRUE(late->ready());  // Control packets come every second.
+  EXPECT_GT(late->stats().waiting_drops, 0u);  // Data before control: dropped.
+
+  system.sim()->RunUntil(Seconds(12));
+  EXPECT_GT(late->stats().chunks_played, 20u);
+  // Once playing, the late joiner is in sync with the early speaker.
+  auto report = system.MeasureSync(Seconds(8), Seconds(1), Milliseconds(50));
+  EXPECT_EQ(report.speaker_pairs, 1);
+  EXPECT_EQ(report.max_skew_seconds, 0.0);
+  EXPECT_GT(report.min_correlation, 0.99);
+}
+
+TEST(PipelineTest, PlayedAudioIsFaithfulToSource) {
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("tone");
+  EthernetSpeaker* speaker =
+      *system.AddSpeaker(FastSpeaker("es"), channel->group);
+  PlayerAppOptions player_options;
+  player_options.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel, std::make_unique<SineGenerator>(440.0),
+                               player_options)
+                  .ok());
+  system.sim()->RunUntil(Seconds(6));
+
+  ASSERT_TRUE(speaker->ready());
+  std::vector<float> played = speaker->output()->Render(Seconds(2), Seconds(2));
+  // Compare against a reference 440 Hz tone (alignment-corrected).
+  SineGenerator ref(440.0);
+  std::vector<float> reference;
+  ref.Generate(2 * 44100, 2, 44100, &reference);
+  AlignmentResult alignment = FindAlignment(reference, played, 44100);
+  EXPECT_GT(alignment.correlation, 0.98);
+}
+
+TEST(PipelineTest, SelectiveCompressionByBitrate) {
+  // §2.2: CD-quality gets Vorbix; 64 kbps phone audio goes raw.
+  EthernetSpeakerSystem system;
+  Channel* cd_channel = *system.CreateChannel("music");
+  Channel* phone_channel = *system.CreateChannel("announcements");
+
+  PlayerAppOptions cd_opts;
+  cd_opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(cd_channel,
+                               std::make_unique<MusicLikeGenerator>(4), cd_opts)
+                  .ok());
+  PlayerAppOptions phone_opts;
+  phone_opts.config = AudioConfig::PhoneQuality();
+  phone_opts.chunk_frames = 800;
+  ASSERT_TRUE(system
+                  .StartPlayer(phone_channel,
+                               std::make_unique<SpeechLikeGenerator>(5),
+                               phone_opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(3));
+
+  EXPECT_TRUE(cd_channel->rebroadcaster->compressing());
+  EXPECT_FALSE(phone_channel->rebroadcaster->compressing());
+}
+
+TEST(PipelineTest, CompressionReducesWireLoadSubstantially) {
+  // C1 shape: raw CD is ~1.4 Mbps payload; Vorbix cuts it by 2x or more.
+  auto run = [](bool compress) {
+    EthernetSpeakerSystem system;
+    RebroadcasterOptions rb;
+    rb.codec_override = compress ? CodecId::kVorbix : CodecId::kRaw;
+    Channel* channel = *system.CreateChannel("music", rb);
+    PlayerAppOptions opts;
+    opts.config = AudioConfig::CdQuality();
+    EXPECT_TRUE(system
+                    .StartPlayer(channel,
+                                 std::make_unique<MusicLikeGenerator>(6), opts)
+                    .ok());
+    system.sim()->RunUntil(Seconds(10));
+    return channel->rebroadcaster->stats();
+  };
+  RebroadcasterStats raw = run(false);
+  RebroadcasterStats vorbix = run(true);
+  double raw_bps = static_cast<double>(raw.payload_bytes) * 8.0 / 10.0;
+  double vorbix_bps = static_cast<double>(vorbix.payload_bytes) * 8.0 / 10.0;
+  EXPECT_NEAR(raw_bps, 1.41e6, 0.15e6);  // "around 1.3Mbps" §2.2.
+  EXPECT_LT(vorbix_bps, raw_bps / 2.0);
+}
+
+TEST(PipelineTest, RateLimiterKeepsProducerAtRealTime) {
+  // §3.1: the producer must not outrun playback even though the VAD allows
+  // it. Over 10 s, bytes read from the VAD ~= 10 s of audio.
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("music");
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(7), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(10));
+  const RebroadcasterStats& stats = channel->rebroadcaster->stats();
+  double seconds_sent =
+      static_cast<double>(stats.pcm_bytes_in) /
+      static_cast<double>(AudioConfig::CdQuality().bytes_per_second());
+  // Bounded lead: real time plus the limiter lead and staging buffer
+  // (~1.1 s), never the whole stream at wire speed.
+  EXPECT_NEAR(seconds_sent, 10.0, 1.6);
+  EXPECT_GT(stats.rate_limit_sleeps, 0u);
+}
+
+TEST(PipelineTest, WithoutRateLimiterTheSongBlastsAndSpeakersLoseMost) {
+  // §3.1's failure mode: a 60-second "song" is multicast at drain speed;
+  // the speaker's buffer overflows and only the first seconds survive.
+  EthernetSpeakerSystem system;
+  RebroadcasterOptions rb;
+  rb.rate_limiter_enabled = false;
+  Channel* channel = *system.CreateChannel("music", rb);
+  SpeakerOptions speaker_options = FastSpeaker("es");
+  speaker_options.jitter_buffer_bytes = 512 * 1024;
+  EthernetSpeaker* speaker =
+      *system.AddSpeaker(speaker_options, channel->group);
+
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  opts.total_frames = 60 * 44100;  // A one-minute song.
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(8), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(70));
+
+  const RebroadcasterStats& pstats = channel->rebroadcaster->stats();
+  // The whole song left the producer long before 60 s of real time.
+  EXPECT_EQ(pstats.pcm_bytes_in, 60ull * 176400ull);
+  EXPECT_EQ(pstats.rate_limit_sleeps, 0u);
+  // The speaker dropped most of it on the floor.
+  EXPECT_GT(speaker->stats().overflow_drops, 0u);
+  double played_seconds =
+      static_cast<double>(speaker->stats().chunks_played) * 4096.0 / 44100.0;
+  EXPECT_LT(played_seconds, 20.0);  // "only the first few seconds".
+}
+
+TEST(PipelineTest, PacketLossCausesGapsButPlaybackContinues) {
+  SystemOptions sys_options;
+  sys_options.lan.loss_probability = 0.05;
+  EthernetSpeakerSystem system(sys_options);
+  Channel* channel = *system.CreateChannel("music");
+  EthernetSpeaker* speaker =
+      *system.AddSpeaker(FastSpeaker("es"), channel->group);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(9), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(20));
+  ASSERT_TRUE(speaker->ready());
+  // Lost packets leave gaps, but the stream keeps going: played chunks plus
+  // network losses account for everything sent.
+  EXPECT_GT(speaker->stats().chunks_played, 150u);
+  EXPECT_GT(speaker->output()->CountGaps(Milliseconds(10)), 0);
+  EXPECT_EQ(speaker->stats().late_drops, 0u);
+}
+
+TEST(PipelineTest, JitterWithinEpsilonStaysInaudible) {
+  // Moderate delivery jitter is absorbed by the playout buffer + epsilon.
+  SystemOptions sys_options;
+  sys_options.lan.jitter = Milliseconds(5);
+  EthernetSpeakerSystem system(sys_options);
+  Channel* channel = *system.CreateChannel("music");
+  EthernetSpeaker* s1 = *system.AddSpeaker(FastSpeaker("es1"), channel->group);
+  EthernetSpeaker* s2 = *system.AddSpeaker(FastSpeaker("es2"), channel->group);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(10), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(10));
+  EXPECT_EQ(s1->stats().late_drops, 0u);
+  EXPECT_EQ(s2->stats().late_drops, 0u);
+  // Skew between speakers is bounded by the clock-offset error the jitter
+  // induces (control packets arrive at different times), small vs epsilon.
+  // Measure within one control-packet epoch: each control packet re-adopts
+  // the producer clock with a fresh jitter draw, so offsets drift between
+  // epochs (a property of the paper's latest-wins clock scheme).
+  auto report = system.MeasureSync(Seconds(4) + Milliseconds(100),
+                                   Milliseconds(700), Milliseconds(50));
+  EXPECT_EQ(report.speaker_pairs, 1);
+  EXPECT_LE(report.max_skew_seconds, 0.012);
+}
+
+TEST(PipelineTest, SourceGapResyncsDeadlines) {
+  // The player finishes a song; a new one starts 3 s later. The speaker
+  // must resume cleanly (deadline timeline restarts).
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("music");
+  EthernetSpeaker* speaker =
+      *system.AddSpeaker(FastSpeaker("es"), channel->group);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  opts.total_frames = 3 * 44100;
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(11), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(6));
+  uint64_t played_after_first = speaker->stats().chunks_played;
+  EXPECT_GT(played_after_first, 20u);
+
+  // Second song on the same channel.
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(12), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(12));
+  EXPECT_GT(speaker->stats().chunks_played, played_after_first + 20u);
+  EXPECT_EQ(speaker->stats().late_drops, 0u);
+}
+
+TEST(PipelineTest, SpeakerSwitchesChannels) {
+  EthernetSpeakerSystem system;
+  Channel* music = *system.CreateChannel("music");
+  Channel* voice = *system.CreateChannel("voice");
+  PlayerAppOptions music_opts;
+  music_opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(music, std::make_unique<MusicLikeGenerator>(13),
+                               music_opts)
+                  .ok());
+  PlayerAppOptions voice_opts;
+  voice_opts.config = AudioConfig::PhoneQuality();
+  voice_opts.chunk_frames = 800;
+  ASSERT_TRUE(system
+                  .StartPlayer(voice,
+                               std::make_unique<SpeechLikeGenerator>(14),
+                               voice_opts)
+                  .ok());
+
+  EthernetSpeaker* speaker = *system.AddSpeaker(FastSpeaker("es"), music->group);
+  system.sim()->RunUntil(Seconds(5));
+  ASSERT_TRUE(speaker->ready());
+  EXPECT_EQ(speaker->config()->sample_rate, 44100);
+  uint64_t music_chunks = speaker->stats().chunks_played;
+  EXPECT_GT(music_chunks, 10u);
+
+  // Tune to the voice channel ("clients can tune in or out of a
+  // transmission without the server's knowledge or cooperation", §6).
+  ASSERT_TRUE(speaker->Tune(voice->group).ok());
+  EXPECT_FALSE(speaker->ready());  // Must wait for a control packet again.
+  system.sim()->RunUntil(Seconds(10));
+  ASSERT_TRUE(speaker->ready());
+  EXPECT_EQ(speaker->config()->sample_rate, 8000);
+  EXPECT_GT(speaker->stats().chunks_played, music_chunks);
+}
+
+TEST(PipelineTest, EightSimultaneousStreams) {
+  // Figure 4's setup: eight separate CD-quality stereo streams through one
+  // producer machine, all compressed, all played correctly.
+  EthernetSpeakerSystem system;
+  std::vector<EthernetSpeaker*> speakers;
+  for (int i = 0; i < 8; ++i) {
+    Channel* channel = *system.CreateChannel("stream" + std::to_string(i));
+    PlayerAppOptions opts;
+    opts.config = AudioConfig::CdQuality();
+    ASSERT_TRUE(system
+                    .StartPlayer(channel,
+                                 std::make_unique<MusicLikeGenerator>(
+                                     100 + static_cast<uint64_t>(i)),
+                                 opts)
+                    .ok());
+    speakers.push_back(
+        *system.AddSpeaker(FastSpeaker("es" + std::to_string(i)),
+                           channel->group));
+  }
+  system.sim()->RunUntil(Seconds(5));
+  for (EthernetSpeaker* s : speakers) {
+    ASSERT_TRUE(s->ready()) << s->name();
+    EXPECT_GT(s->stats().chunks_played, 30u) << s->name();
+    EXPECT_EQ(s->stats().late_drops, 0u) << s->name();
+  }
+}
+
+TEST(PipelineTest, SlowDecoderWithLargeBuffersSkips) {
+  // §3.4: large buffers + slow CPU stall the pipeline ("time delays add up,
+  // resulting in skipped audio"); small buffers fix it.
+  auto run = [](int64_t packet_frames) {
+    EthernetSpeakerSystem system;
+    RebroadcasterOptions rb;
+    rb.packet_frames = packet_frames;
+    rb.playout_delay = Milliseconds(200);
+    Channel* channel = *system.CreateChannel("music", rb);
+    SpeakerOptions slow;
+    slow.name = "eon4000";
+    slow.decode_speed_factor = 0.8;  // A 233 MHz Geode, nearly maxed out.
+    EthernetSpeaker* speaker = *system.AddSpeaker(slow, channel->group);
+    PlayerAppOptions opts;
+    opts.config = AudioConfig::CdQuality();
+    EXPECT_TRUE(system
+                    .StartPlayer(channel,
+                                 std::make_unique<MusicLikeGenerator>(15),
+                                 opts)
+                    .ok());
+    system.sim()->RunUntil(Seconds(15));
+    return speaker->stats();
+  };
+  SpeakerStats small_buffers = run(2048);   // ~46 ms chunks.
+  SpeakerStats large_buffers = run(65536);  // ~1.5 s chunks.
+  EXPECT_EQ(small_buffers.late_drops, 0u);
+  EXPECT_GT(large_buffers.late_drops, 0u);
+}
+
+}  // namespace
+}  // namespace espk

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "src/base/crc32.h"
+#include "src/base/prng.h"
+#include "src/proto/wire.h"
+
+namespace espk {
+namespace {
+
+ControlPacket MakeControl() {
+  ControlPacket p;
+  p.stream_id = 3;
+  p.control_seq = 17;
+  p.producer_clock = Seconds(42) + Nanoseconds(13);
+  p.config = AudioConfig::CdQuality();
+  p.codec = CodecId::kVorbix;
+  p.quality = 10;
+  return p;
+}
+
+DataPacket MakeData() {
+  DataPacket p;
+  p.stream_id = 3;
+  p.seq = 999;
+  p.play_deadline = Seconds(43);
+  p.frame_count = 4096;
+  p.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  return p;
+}
+
+AnnouncePacket MakeAnnounce() {
+  AnnouncePacket p;
+  p.producer_clock = Seconds(7);
+  AnnounceEntry music;
+  music.stream_id = 1;
+  music.group = kFirstChannelGroup;
+  music.name = "campus radio";
+  music.config = AudioConfig::CdQuality();
+  music.codec = CodecId::kVorbix;
+  AnnounceEntry pa;
+  pa.stream_id = 2;
+  pa.group = kFirstChannelGroup + 1;
+  pa.name = "announcements";
+  pa.config = AudioConfig::PhoneQuality();
+  pa.codec = CodecId::kRaw;
+  p.entries = {music, pa};
+  return p;
+}
+
+TEST(WireTest, ControlRoundTrip) {
+  ControlPacket p = MakeControl();
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(p));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_TRUE(std::holds_alternative<ControlPacket>(parsed->packet));
+  EXPECT_EQ(std::get<ControlPacket>(parsed->packet), p);
+  EXPECT_TRUE(parsed->auth.empty());
+}
+
+TEST(WireTest, DataRoundTrip) {
+  DataPacket p = MakeData();
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<DataPacket>(parsed->packet), p);
+}
+
+TEST(WireTest, AnnounceRoundTrip) {
+  AnnouncePacket p = MakeAnnounce();
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(std::get<AnnouncePacket>(parsed->packet), p);
+}
+
+TEST(WireTest, EmptyAnnounceIsValid) {
+  AnnouncePacket p;
+  p.producer_clock = 1;
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(std::get<AnnouncePacket>(parsed->packet).entries.empty());
+}
+
+TEST(WireTest, CrcCatchesEverySingleBitFlip) {
+  Bytes wire = SerializePacket(MakeData());
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes corrupt = wire;
+      corrupt[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_FALSE(ParsePacket(corrupt).ok())
+          << "flip at byte " << byte << " bit " << bit << " undetected";
+    }
+  }
+}
+
+TEST(WireTest, TruncationRejected) {
+  Bytes wire = SerializePacket(MakeControl());
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<long>(len));
+    EXPECT_FALSE(ParsePacket(truncated).ok()) << "length " << len;
+  }
+}
+
+TEST(WireTest, RandomGarbageRejected) {
+  Prng prng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes garbage(prng.NextBelow(200) + 1);
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(prng.NextU64());
+    }
+    EXPECT_FALSE(ParsePacket(garbage).ok());
+  }
+}
+
+TEST(WireTest, AuthTrailerRoundTrip) {
+  DataPacket p = MakeData();
+  Bytes auth = {0xAA, 0xBB, 0xCC, 0xDD};
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(p, auth));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->auth, auth);
+  EXPECT_EQ(std::get<DataPacket>(parsed->packet), p);
+}
+
+TEST(WireTest, SignedRegionMatchesParserView) {
+  // What the producer signs must be byte-identical to what the speaker
+  // extracts, or verification can never succeed.
+  DataPacket p = MakeData();
+  Bytes region_at_signing = SignedRegion(p);
+  Bytes auth = {1, 2, 3};
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(p, auth));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->signed_region, region_at_signing);
+}
+
+TEST(WireTest, TamperingWithSignedFieldChangesSignedRegion) {
+  DataPacket p = MakeData();
+  Bytes before = SignedRegion(p);
+  p.play_deadline += 1;
+  EXPECT_NE(SignedRegion(p), before);
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  // Append garbage then fix up the CRC: structure check must still fail.
+  DataPacket p = MakeData();
+  Bytes wire = SerializePacket(p);
+  Bytes inner(wire.begin(), wire.end() - 4);
+  inner.push_back(0x77);  // Trailing junk inside the CRC'd region.
+  uint32_t crc = Crc32(inner);
+  for (int i = 0; i < 4; ++i) {
+    inner.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  EXPECT_FALSE(ParsePacket(inner).ok());
+}
+
+TEST(WireTest, UnknownTypeRejected) {
+  DataPacket p = MakeData();
+  Bytes wire = SerializePacket(p);
+  Bytes inner(wire.begin(), wire.end() - 4);
+  inner[3] = 99;  // Type byte.
+  uint32_t crc = Crc32(inner);
+  for (int i = 0; i < 4; ++i) {
+    inner.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  EXPECT_FALSE(ParsePacket(inner).ok());
+}
+
+TEST(WireTest, WrongVersionRejected) {
+  DataPacket p = MakeData();
+  Bytes wire = SerializePacket(p);
+  Bytes inner(wire.begin(), wire.end() - 4);
+  inner[2] = kWireVersion + 1;
+  uint32_t crc = Crc32(inner);
+  for (int i = 0; i < 4; ++i) {
+    inner.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+  }
+  EXPECT_FALSE(ParsePacket(inner).ok());
+}
+
+TEST(WireTest, TypeOfReportsCorrectly) {
+  EXPECT_EQ(TypeOf(Packet(MakeControl())), PacketType::kControl);
+  EXPECT_EQ(TypeOf(Packet(MakeData())), PacketType::kData);
+  EXPECT_EQ(TypeOf(Packet(MakeAnnounce())), PacketType::kAnnounce);
+}
+
+TEST(WireTest, DataPacketOverheadIsSmall) {
+  // Wire overhead (envelope + data header + CRC) over the payload must stay
+  // small — the paper's bandwidth numbers assume payload dominates.
+  DataPacket p = MakeData();
+  p.payload = Bytes(16384, 0x42);
+  Bytes wire = SerializePacket(p);
+  EXPECT_LE(wire.size() - p.payload.size(), 40u);
+}
+
+}  // namespace
+}  // namespace espk

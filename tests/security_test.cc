@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "src/base/prng.h"
+#include "src/security/hmac.h"
+#include "src/security/hors.h"
+#include "src/security/merkle.h"
+#include "src/security/sha256.h"
+#include "src/security/stream_auth.h"
+#include "src/security/tesla.h"
+
+namespace espk {
+namespace {
+
+Bytes Str(const char* s) {
+  return Bytes(reinterpret_cast<const uint8_t*>(s),
+               reinterpret_cast<const uint8_t*>(s) + strlen(s));
+}
+
+// ---------------------------------------------------------------- SHA-256 --
+
+TEST(Sha256Test, Fips180KnownVectors) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(Str("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestToHex(Sha256::Hash(Str(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(DigestToHex(Sha256::Hash(Str(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    hasher.Update(chunk);
+  }
+  EXPECT_EQ(DigestToHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Prng prng(1);
+  Bytes data(1789);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(prng.NextU64());
+  }
+  Sha256 hasher;
+  hasher.Update(data.data(), 100);
+  hasher.Update(data.data() + 100, 689);
+  hasher.Update(data.data() + 789, 1000);
+  EXPECT_EQ(hasher.Finish(), Sha256::Hash(data));
+}
+
+// ------------------------------------------------------------------- HMAC --
+
+TEST(HmacTest, Rfc4231Case2) {
+  // Key = "Jefe", Data = "what do ya want for nothing?".
+  Digest mac = HmacSha256(Str("Jefe"), Str("what do ya want for nothing?"));
+  EXPECT_EQ(DigestToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Digest mac = HmacSha256(key, Str("Hi There"));
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes key(131, 0xaa);  // > block size.
+  Digest mac = HmacSha256(
+      key, Str("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(DigestToHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, ConstantTimeEqualBehaves) {
+  Digest a = Sha256::Hash(Str("x"));
+  Digest b = a;
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(ConstantTimeEqual(a, b));
+}
+
+// ----------------------------------------------------------------- Merkle --
+
+TEST(MerkleTest, ProofVerifiesForEveryLeaf) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 13; ++i) {  // Non-power-of-two.
+    leaves.push_back(Str(("packet " + std::to_string(i)).c_str()));
+  }
+  MerkleTree tree(leaves);
+  for (uint32_t i = 0; i < leaves.size(); ++i) {
+    MerkleProof proof = tree.ProveLeaf(i);
+    EXPECT_TRUE(MerkleTree::VerifyLeaf(tree.root(), leaves[i], proof)) << i;
+  }
+}
+
+TEST(MerkleTest, WrongPayloadFails) {
+  std::vector<Bytes> leaves = {Str("a"), Str("b"), Str("c"), Str("d")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.ProveLeaf(2);
+  EXPECT_FALSE(MerkleTree::VerifyLeaf(tree.root(), Str("x"), proof));
+}
+
+TEST(MerkleTest, WrongIndexFails) {
+  std::vector<Bytes> leaves = {Str("a"), Str("b"), Str("c"), Str("d")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.ProveLeaf(2);
+  proof.leaf_index = 1;
+  EXPECT_FALSE(MerkleTree::VerifyLeaf(tree.root(), Str("c"), proof));
+}
+
+TEST(MerkleTest, ProofSerializationRoundTrip) {
+  std::vector<Bytes> leaves = {Str("a"), Str("b"), Str("c"), Str("d"),
+                               Str("e")};
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.ProveLeaf(4);
+  Result<MerkleProof> back = MerkleProof::Deserialize(proof.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(MerkleTree::VerifyLeaf(tree.root(), Str("e"), *back));
+}
+
+TEST(MerkleTest, SingleLeafTree) {
+  std::vector<Bytes> leaves = {Str("only")};
+  MerkleTree tree(leaves);
+  EXPECT_TRUE(
+      MerkleTree::VerifyLeaf(tree.root(), Str("only"), tree.ProveLeaf(0)));
+}
+
+// ------------------------------------------------------------------- HORS --
+
+TEST(HorsTest, SignVerifyRoundTrip) {
+  HorsSigner signer(HorsParams{}, /*seed=*/42);
+  Bytes message = Str("control packet contents");
+  Result<HorsSignature> sig = signer.Sign(message);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(HorsVerify(signer.public_key(), message, *sig));
+}
+
+TEST(HorsTest, WrongMessageFails) {
+  HorsSigner signer(HorsParams{}, 42);
+  Bytes message = Str("authentic");
+  Result<HorsSignature> sig = signer.Sign(message);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(HorsVerify(signer.public_key(), Str("forged"), *sig));
+}
+
+TEST(HorsTest, TamperedSignatureFails) {
+  HorsSigner signer(HorsParams{}, 42);
+  Bytes message = Str("authentic");
+  HorsSignature sig = *signer.Sign(message);
+  sig.revealed[3][0] ^= 1;
+  EXPECT_FALSE(HorsVerify(signer.public_key(), message, sig));
+}
+
+TEST(HorsTest, KeyExhaustsAfterMaxSignatures) {
+  HorsParams params;
+  params.max_signatures = 2;
+  HorsSigner signer(params, 42);
+  EXPECT_TRUE(signer.Sign(Str("one")).ok());
+  EXPECT_TRUE(signer.Sign(Str("two")).ok());
+  Result<HorsSignature> third = signer.Sign(Str("three"));
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(HorsTest, PublicKeySerializationRoundTrip) {
+  HorsSigner signer(HorsParams{}, 7);
+  Bytes wire = signer.public_key().Serialize();
+  Result<HorsPublicKey> back = HorsPublicKey::Deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  Bytes message = Str("msg");
+  HorsSignature sig = *signer.Sign(message);
+  EXPECT_TRUE(HorsVerify(*back, message, sig));
+}
+
+TEST(HorsTest, IndicesAreDeterministicAndInRange) {
+  HorsParams params;
+  auto indices1 = HorsIndices(params, Str("hello"));
+  auto indices2 = HorsIndices(params, Str("hello"));
+  EXPECT_EQ(indices1, indices2);
+  EXPECT_EQ(indices1.size(), params.k);
+  for (uint32_t idx : indices1) {
+    EXPECT_LT(idx, params.t);
+  }
+  EXPECT_NE(indices1, HorsIndices(params, Str("world")));
+}
+
+TEST(HorsTest, MalformedSignatureRejectedNotCrashed) {
+  EXPECT_FALSE(HorsSignature::Deserialize({}).ok());
+  EXPECT_FALSE(HorsSignature::Deserialize({0xFF, 0xFF}).ok());
+  EXPECT_FALSE(HorsPublicKey::Deserialize({1, 2, 3}).ok());
+}
+
+// ------------------------------------------------------------------ TESLA --
+
+TEST(TeslaTest, AuthenticPacketsReleaseAsAuthentic) {
+  TeslaSigner signer(/*chain_length=*/32, Seconds(1), /*delay=*/2, 11);
+  int authentic = 0;
+  int forged = 0;
+  TeslaVerifier verifier(signer.commitment(), Seconds(1), 2,
+                         [&](const Bytes&, bool ok) {
+                           (ok ? authentic : forged)++;
+                         });
+  // One packet per interval for 10 intervals.
+  for (int i = 0; i < 10; ++i) {
+    Bytes message = Str(("audio " + std::to_string(i)).c_str());
+    TeslaTag tag = *signer.Tag(Seconds(i), message);
+    verifier.Ingest(message, tag);
+  }
+  // Keys for intervals 0..7 have been disclosed by packets 2..9.
+  EXPECT_EQ(authentic, 8);
+  EXPECT_EQ(forged, 0);
+  EXPECT_EQ(verifier.buffered(), 2u);  // Intervals 8 and 9 still sealed.
+}
+
+TEST(TeslaTest, TamperedPacketReleasesAsForged) {
+  TeslaSigner signer(32, Seconds(1), 1, 11);
+  int forged = 0;
+  TeslaVerifier verifier(signer.commitment(), Seconds(1), 1,
+                         [&](const Bytes&, bool ok) {
+                           if (!ok) {
+                             ++forged;
+                           }
+                         });
+  Bytes message = Str("original");
+  TeslaTag tag = *signer.Tag(Seconds(0), message);
+  verifier.Ingest(Str("tampered"), tag);  // Body replaced in flight.
+  // Key for interval 0 arrives with an interval-1 packet.
+  Bytes m1 = Str("next");
+  verifier.Ingest(m1, *signer.Tag(Seconds(1), m1));
+  EXPECT_EQ(forged, 1);
+}
+
+TEST(TeslaTest, ForgedKeyDisclosureIgnored) {
+  TeslaSigner signer(32, Seconds(1), 1, 11);
+  int released = 0;
+  TeslaVerifier verifier(signer.commitment(), Seconds(1), 1,
+                         [&](const Bytes&, bool) { ++released; });
+  Bytes message = Str("audio");
+  TeslaTag tag = *signer.Tag(Seconds(0), message);
+  verifier.Ingest(message, tag);
+  // Attacker discloses a bogus key for interval 0.
+  TeslaTag forged_tag;
+  forged_tag.interval = 1;
+  forged_tag.mac = Sha256::Hash(Str("whatever"));
+  forged_tag.disclosed_interval = 0;
+  forged_tag.disclosed_key = Bytes(32, 0x41);
+  verifier.Ingest(Str("attacker"), forged_tag);
+  // The genuine interval-0 packet must still be sealed (bogus key rejected).
+  EXPECT_EQ(released, 0);
+  EXPECT_GE(verifier.buffered(), 1u);
+}
+
+TEST(TeslaTest, LatePacketAfterDisclosureRejected) {
+  // A packet for an interval whose key is already public is unsafe: anyone
+  // could have forged it.
+  TeslaSigner signer(32, Seconds(1), 1, 11);
+  int forged = 0;
+  TeslaVerifier verifier(signer.commitment(), Seconds(1), 1,
+                         [&](const Bytes&, bool ok) {
+                           if (!ok) {
+                             ++forged;
+                           }
+                         });
+  Bytes m0 = Str("zero");
+  TeslaTag t0 = *signer.Tag(Seconds(0), m0);
+  Bytes m1 = Str("one");
+  TeslaTag t1 = *signer.Tag(Seconds(1), m1);  // Discloses K_0.
+  verifier.Ingest(m1, t1);
+  verifier.Ingest(m0, t0);  // Arrives after K_0 went public.
+  EXPECT_EQ(forged, 1);
+}
+
+TEST(TeslaTest, ChainExhaustionReported) {
+  TeslaSigner signer(4, Seconds(1), 1, 11);
+  EXPECT_TRUE(signer.Tag(Seconds(3), Str("x")).ok());
+  EXPECT_FALSE(signer.Tag(Seconds(4), Str("x")).ok());
+}
+
+TEST(TeslaTest, TagSerializationRoundTrip) {
+  TeslaSigner signer(16, Seconds(1), 2, 5);
+  TeslaTag tag = *signer.Tag(Seconds(5), Str("payload"));
+  Result<TeslaTag> back = TeslaTag::Deserialize(tag.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->interval, tag.interval);
+  EXPECT_EQ(back->mac, tag.mac);
+  EXPECT_EQ(back->disclosed_interval, tag.disclosed_interval);
+  EXPECT_EQ(back->disclosed_key, tag.disclosed_key);
+}
+
+// ------------------------------------------------------------ Stream auth --
+
+TEST(StreamAuthTest, DataPacketHmacRoundTrip) {
+  StreamAuthOptions options;
+  options.group_key = Str("lan group key");
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(options.group_key,
+                          authenticator.root_public_key());
+
+  DataPacket data;
+  data.stream_id = 1;
+  data.seq = 5;
+  data.payload = {1, 2, 3};
+  Bytes auth = authenticator.Sign(SignedRegion(data));
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(data, auth));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(verifier.Verify(*parsed));
+}
+
+TEST(StreamAuthTest, ControlPacketHorsRoundTrip) {
+  StreamAuthOptions options;
+  options.group_key = Str("lan group key");
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(options.group_key,
+                          authenticator.root_public_key());
+
+  ControlPacket control;
+  control.stream_id = 1;
+  control.config = AudioConfig::CdQuality();
+  Bytes auth = authenticator.Sign(SignedRegion(control));
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(control, auth));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(verifier.Verify(*parsed));
+}
+
+TEST(StreamAuthTest, UnsignedPacketRejected) {
+  StreamAuthOptions options;
+  options.group_key = Str("k");
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(options.group_key,
+                          authenticator.root_public_key());
+  DataPacket data;
+  data.payload = {1};
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(data));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(verifier.Verify(*parsed));
+  EXPECT_EQ(verifier.stats().rejected_no_auth, 1u);
+}
+
+TEST(StreamAuthTest, WrongGroupKeyRejected) {
+  StreamAuthOptions options;
+  options.group_key = Str("producer key");
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(Str("different key"),
+                          authenticator.root_public_key());
+  DataPacket data;
+  data.payload = {1, 2};
+  Bytes auth = authenticator.Sign(SignedRegion(data));
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(data, auth));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(verifier.Verify(*parsed));
+  EXPECT_EQ(verifier.stats().rejected_bad_mac, 1u);
+}
+
+TEST(StreamAuthTest, AttackerWithoutKeysCannotForge) {
+  StreamAuthOptions options;
+  options.group_key = Str("secret");
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(options.group_key,
+                          authenticator.root_public_key());
+  // Attacker crafts a data packet and guesses a MAC.
+  DataPacket evil;
+  evil.stream_id = 1;
+  evil.seq = 100;
+  evil.payload = Str("injected noise");
+  ByteWriter fake;
+  fake.WriteU8(static_cast<uint8_t>(AuthScheme::kHmac));
+  Prng prng(3);
+  for (int i = 0; i < 32; ++i) {
+    fake.WriteU8(static_cast<uint8_t>(prng.NextU64()));
+  }
+  Result<ParsedPacket> parsed =
+      ParsePacket(SerializePacket(evil, fake.TakeBytes()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(verifier.Verify(*parsed));
+}
+
+TEST(StreamAuthTest, KeyRotationFollowsTheChain) {
+  StreamAuthOptions options;
+  options.group_key = Str("k");
+  options.hors.max_signatures = 2;  // Rotate quickly.
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(options.group_key,
+                          authenticator.root_public_key());
+
+  // Sign enough control packets to force several rotations; the verifier
+  // must follow via the certified next-keys.
+  for (uint32_t i = 0; i < 10; ++i) {
+    ControlPacket control;
+    control.stream_id = 1;
+    control.control_seq = i;
+    control.config = AudioConfig::CdQuality();
+    Bytes auth = authenticator.Sign(SignedRegion(control));
+    ASSERT_FALSE(auth.empty()) << "signer exhausted at " << i;
+    Result<ParsedPacket> parsed =
+        ParsePacket(SerializePacket(control, auth));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(verifier.Verify(*parsed)) << "packet " << i;
+  }
+  EXPECT_GE(authenticator.hors_epoch(), 4u);
+  EXPECT_GE(verifier.stats().key_rotations, 4u);
+}
+
+TEST(StreamAuthTest, TamperedControlPacketRejected) {
+  StreamAuthOptions options;
+  options.group_key = Str("k");
+  StreamAuthenticator authenticator(options);
+  StreamVerifier verifier(options.group_key,
+                          authenticator.root_public_key());
+  ControlPacket control;
+  control.stream_id = 1;
+  control.config = AudioConfig::CdQuality();
+  Bytes auth = authenticator.Sign(SignedRegion(control));
+  // Attacker changes the advertised config, recomputes CRC (ParsePacket
+  // would otherwise reject), keeps the old signature.
+  control.config = AudioConfig::PhoneQuality();
+  Result<ParsedPacket> parsed = ParsePacket(SerializePacket(control, auth));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(verifier.Verify(*parsed));
+  EXPECT_EQ(verifier.stats().rejected_bad_signature, 1u);
+}
+
+}  // namespace
+}  // namespace espk

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace espk {
+namespace {
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Milliseconds(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Milliseconds(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, std::vector<int>({1, 2, 3}));
+  EXPECT_EQ(sim.now(), Milliseconds(30));
+}
+
+TEST(SimulationTest, SameTimeEventsRunFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelative) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(Seconds(1), [&] {
+    sim.ScheduleAfter(Milliseconds(500), [&] { fired = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, Seconds(1) + Milliseconds(500));
+}
+
+TEST(SimulationTest, PastTimesClampToNow) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.ScheduleAt(Seconds(2), [&] {
+    sim.ScheduleAt(Seconds(1), [&] { fired = sim.now(); });  // In the past.
+  });
+  sim.Run();
+  EXPECT_EQ(fired, Seconds(2));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  auto handle = sim.ScheduleAt(Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(handle));
+  sim.Run();
+  EXPECT_FALSE(ran);
+  // Double-cancel is a no-op.
+  EXPECT_FALSE(sim.Cancel(handle));
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation sim;
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(SimulationTest, RunUntilDoesNotRunLaterEvents) {
+  Simulation sim;
+  bool early = false;
+  bool late = false;
+  sim.ScheduleAt(Seconds(1), [&] { early = true; });
+  sim.ScheduleAt(Seconds(10), [&] { late = true; });
+  sim.RunUntil(Seconds(5));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), Seconds(5));
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulationTest, RunForIsRelative) {
+  Simulation sim;
+  sim.RunUntil(Seconds(2));
+  sim.RunFor(Seconds(3));
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(SimulationTest, EventsProcessedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.ScheduleAfter(Milliseconds(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(SimulationTest, CascadingEventsAtSameInstant) {
+  // An event scheduling another event at the same instant must run it in the
+  // same Run() — the LAN delivery path depends on this.
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(0, recurse);
+    }
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(&sim, Milliseconds(100),
+                    [&](SimTime t) { fires.push_back(t); });
+  task.Start();
+  sim.RunUntil(Milliseconds(350));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], Milliseconds(100));
+  EXPECT_EQ(fires[1], Milliseconds(200));
+  EXPECT_EQ(fires[2], Milliseconds(300));
+}
+
+TEST(PeriodicTaskTest, FireImmediatelyOption) {
+  Simulation sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(&sim, Milliseconds(100),
+                    [&](SimTime t) { fires.push_back(t); });
+  task.Start(/*fire_immediately=*/true);
+  sim.RunUntil(Milliseconds(250));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], 0);
+}
+
+TEST(PeriodicTaskTest, StopHaltsFiring) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(&sim, Milliseconds(10), [&](SimTime) { ++count; });
+  task.Start();
+  sim.RunUntil(Milliseconds(35));
+  task.Stop();
+  sim.RunUntil(Milliseconds(100));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, CallbackMayStopItself) {
+  Simulation sim;
+  int count = 0;
+  PeriodicTask task(&sim, Milliseconds(10), [&](SimTime) {
+    if (++count == 2) {
+      // Stop from inside the callback; no further fires.
+    }
+  });
+  task.Start();
+  sim.RunUntil(Milliseconds(25));
+  task.Stop();
+  sim.RunUntil(Milliseconds(200));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, DestructorCancelsPendingFire) {
+  Simulation sim;
+  int count = 0;
+  {
+    PeriodicTask task(&sim, Milliseconds(10), [&](SimTime) { ++count; });
+    task.Start();
+    sim.RunUntil(Milliseconds(15));
+  }  // Destroyed with a fire pending at t=20ms.
+  sim.Run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WaitQueueTest, NotifyOneWakesOldestFirst) {
+  Simulation sim;
+  WaitQueue wq(&sim);
+  std::vector<int> woken;
+  wq.Wait([&] { woken.push_back(1); });
+  wq.Wait([&] { woken.push_back(2); });
+  EXPECT_EQ(wq.waiter_count(), 2u);
+  wq.NotifyOne();
+  sim.Run();
+  EXPECT_EQ(woken, std::vector<int>({1}));
+  wq.NotifyOne();
+  sim.Run();
+  EXPECT_EQ(woken, std::vector<int>({1, 2}));
+}
+
+TEST(WaitQueueTest, NotifyAllWakesEveryone) {
+  Simulation sim;
+  WaitQueue wq(&sim);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    wq.Wait([&] { ++woken; });
+  }
+  wq.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(woken, 5);
+  EXPECT_EQ(wq.waiter_count(), 0u);
+}
+
+TEST(WaitQueueTest, NotifyWithNoWaitersIsNoOp) {
+  Simulation sim;
+  WaitQueue wq(&sim);
+  wq.NotifyOne();
+  wq.NotifyAll();
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(WaitQueueTest, ResumptionsRunAsynchronously) {
+  // A Notify inside an event must not run the waiter synchronously (it runs
+  // as a fresh event), mirroring kernel wakeup semantics.
+  Simulation sim;
+  WaitQueue wq(&sim);
+  bool waiter_ran = false;
+  bool flag_after_notify = false;
+  wq.Wait([&] {
+    waiter_ran = true;
+    EXPECT_TRUE(flag_after_notify);
+  });
+  sim.ScheduleAt(Seconds(1), [&] {
+    wq.NotifyAll();
+    flag_after_notify = true;  // Runs before the waiter resumes.
+  });
+  sim.Run();
+  EXPECT_TRUE(waiter_ran);
+}
+
+}  // namespace
+}  // namespace espk

@@ -1,0 +1,382 @@
+// Unit tests for the Ethernet Speaker internals: the output recorder, the
+// speaker state machine driven by hand-crafted datagrams (no producer
+// needed), and the §5.2 auto-volume controller.
+#include <gtest/gtest.h>
+
+#include "src/audio/analysis.h"
+#include "src/audio/generator.h"
+#include "src/audio/sample_convert.h"
+#include "src/lan/segment.h"
+#include "src/speaker/auto_volume.h"
+#include "src/speaker/playback.h"
+#include "src/speaker/speaker.h"
+
+namespace espk {
+namespace {
+
+// --------------------------------------------------------- OutputRecorder --
+
+TEST(OutputRecorderTest, RenderPlacesSegmentsAtTheirTimes) {
+  OutputRecorder rec(8000, 1);
+  rec.Play(Milliseconds(100), {0.5f, 0.5f}, 1.0f);
+  // Render 200 ms starting at t=0: samples land at frame 800.
+  std::vector<float> out = rec.Render(0, Milliseconds(200));
+  ASSERT_EQ(out.size(), 1600u);
+  EXPECT_EQ(out[799], 0.0f);
+  EXPECT_EQ(out[800], 0.5f);
+  EXPECT_EQ(out[801], 0.5f);
+  EXPECT_EQ(out[802], 0.0f);
+}
+
+TEST(OutputRecorderTest, GainAppliedAtPlayTime) {
+  OutputRecorder rec(8000, 1);
+  rec.Play(0, {1.0f}, 0.25f);
+  std::vector<float> out = rec.Render(0, Milliseconds(1));
+  EXPECT_FLOAT_EQ(out[0], 0.25f);
+}
+
+TEST(OutputRecorderTest, CountGapsFindsDropouts) {
+  OutputRecorder rec(8000, 1);
+  // 100 ms of audio, 50 ms gap, 100 ms of audio.
+  std::vector<float> chunk(800, 0.1f);
+  rec.Play(0, chunk, 1.0f);
+  rec.Play(Milliseconds(150), chunk, 1.0f);
+  rec.Play(Milliseconds(250), chunk, 1.0f);  // Back-to-back: no gap.
+  EXPECT_EQ(rec.CountGaps(Milliseconds(5)), 1);
+  EXPECT_EQ(rec.TotalGapTime(), Milliseconds(50));
+}
+
+TEST(OutputRecorderTest, RecentRmsSeesOnlyTheWindow) {
+  OutputRecorder rec(8000, 1);
+  rec.Play(0, std::vector<float>(800, 0.8f), 1.0f);                  // Loud.
+  rec.Play(Milliseconds(500), std::vector<float>(800, 0.01f), 1.0f); // Quiet.
+  double recent = rec.RecentRms(Milliseconds(650), Milliseconds(100));
+  EXPECT_NEAR(recent, 0.01, 0.002);
+}
+
+TEST(OutputRecorderTest, BoundariesOfRenderWindow) {
+  OutputRecorder rec(8000, 2);
+  rec.Play(Milliseconds(10), {1.0f, -1.0f, 0.5f, -0.5f}, 1.0f);
+  // Window entirely before the segment: silence.
+  std::vector<float> before = rec.Render(0, Milliseconds(5));
+  EXPECT_EQ(Peak(before), 0.0);
+  // Window entirely after: silence.
+  std::vector<float> after = rec.Render(Milliseconds(100), Milliseconds(5));
+  EXPECT_EQ(Peak(after), 0.0);
+}
+
+TEST(OutputRecorderTest, EmptyStateAccessors) {
+  OutputRecorder rec(44100, 2);
+  EXPECT_EQ(rec.first_start(), -1);
+  EXPECT_EQ(rec.last_end(), -1);
+  EXPECT_EQ(rec.CountGaps(0), 0);
+  EXPECT_EQ(rec.RecentRms(Seconds(1), Seconds(1)), 0.0);
+}
+
+// ------------------------------------------- Speaker fed crafted packets --
+
+class SpeakerHarness {
+ public:
+  explicit SpeakerHarness(SpeakerOptions options = {})
+      : segment_(&sim_, SegmentConfig{}),
+        nic_(segment_.CreateNic()),
+        speaker_(&sim_, nic_.get(), std::move(options)) {
+    (void)speaker_.Tune(kFirstChannelGroup);
+  }
+
+  void Deliver(const Packet& packet, const Bytes& auth = {}) {
+    Datagram d;
+    d.group = kFirstChannelGroup;
+    d.payload = SerializePacket(packet, auth);
+    speaker_.HandleDatagram(d);
+  }
+
+  ControlPacket MakeControl(SimTime producer_clock) {
+    ControlPacket control;
+    control.stream_id = 1;
+    control.control_seq = 1;
+    control.producer_clock = producer_clock;
+    control.config = config_;
+    control.codec = CodecId::kRaw;
+    return control;
+  }
+
+  DataPacket MakeData(uint32_t seq, SimTime deadline, int64_t frames) {
+    DataPacket data;
+    data.stream_id = 1;
+    data.seq = seq;
+    data.play_deadline = deadline;
+    data.frame_count = static_cast<uint32_t>(frames);
+    SineGenerator gen(440.0);
+    data.payload = gen.GenerateBytes(frames, config_);
+    return data;
+  }
+
+  Simulation sim_;
+  EthernetSegment segment_;
+  std::unique_ptr<SimNic> nic_;
+  AudioConfig config_{8000, 1, AudioEncoding::kLinearS16};
+  EthernetSpeaker speaker_;
+};
+
+TEST(SpeakerTest, DataBeforeControlIsDropped) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  EXPECT_EQ(h.speaker_.stats().waiting_drops, 1u);
+  EXPECT_FALSE(h.speaker_.ready());
+}
+
+TEST(SpeakerTest, ControlThenDataPlaysAtDeadline) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(/*producer_clock=*/0));
+  ASSERT_TRUE(h.speaker_.ready());
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  h.sim_.RunUntil(Milliseconds(99));
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 0u);  // Sleeping until time.
+  h.sim_.RunUntil(Milliseconds(101));
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 1u);
+  EXPECT_EQ(h.speaker_.output()->first_start(), Milliseconds(100));
+}
+
+TEST(SpeakerTest, ClockOffsetMapsProducerDeadlines) {
+  // The speaker's clock reads 5 s when the producer's reads 0: the offset
+  // is learned from the control packet and applied to every deadline.
+  SpeakerHarness h;
+  h.sim_.RunUntil(Seconds(5));
+  h.Deliver(h.MakeControl(/*producer_clock=*/0));
+  h.Deliver(h.MakeData(0, /*deadline=*/Milliseconds(100), 800));
+  h.sim_.RunUntil(Seconds(5) + Milliseconds(150));
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 1u);
+  EXPECT_EQ(h.speaker_.output()->first_start(),
+            Seconds(5) + Milliseconds(100));
+}
+
+TEST(SpeakerTest, LateWithinEpsilonPlaysImmediately) {
+  SpeakerOptions options;
+  options.sync_epsilon = Milliseconds(20);
+  options.decode_speed_factor = 0.0;
+  SpeakerHarness h(options);
+  h.Deliver(h.MakeControl(0));
+  h.sim_.RunUntil(Milliseconds(110));  // 10 ms past the deadline.
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  h.sim_.RunFor(Milliseconds(1));
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 1u);
+  EXPECT_EQ(h.speaker_.stats().late_drops, 0u);
+  EXPECT_GT(h.speaker_.stats().total_lateness_ns, 0);
+}
+
+TEST(SpeakerTest, LateBeyondEpsilonIsDiscarded) {
+  SpeakerOptions options;
+  options.sync_epsilon = Milliseconds(20);
+  options.decode_speed_factor = 0.0;
+  SpeakerHarness h(options);
+  h.Deliver(h.MakeControl(0));
+  h.sim_.RunUntil(Milliseconds(200));  // 100 ms past the deadline.
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  h.sim_.RunFor(Milliseconds(1));
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 0u);
+  EXPECT_EQ(h.speaker_.stats().late_drops, 1u);
+}
+
+TEST(SpeakerTest, DuplicateSequenceDropped) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(0));
+  h.Deliver(h.MakeData(5, Milliseconds(100), 800));
+  h.Deliver(h.MakeData(5, Milliseconds(100), 800));  // Replay.
+  EXPECT_EQ(h.speaker_.stats().duplicate_drops, 1u);
+}
+
+TEST(SpeakerTest, CorruptDatagramCountedNotCrashed) {
+  SpeakerHarness h;
+  Datagram d;
+  d.group = kFirstChannelGroup;
+  d.payload = {1, 2, 3, 4, 5};
+  h.speaker_.HandleDatagram(d);
+  EXPECT_EQ(h.speaker_.stats().bad_packets, 1u);
+}
+
+TEST(SpeakerTest, JitterBufferOverflowDropsExcess) {
+  SpeakerOptions options;
+  options.jitter_buffer_bytes = 16000;  // ~4000 mono float samples.
+  options.decode_speed_factor = 0.0;
+  SpeakerHarness h(options);
+  h.Deliver(h.MakeControl(0));
+  // Flood with future-deadline chunks: 800 frames = 3200 bytes decoded.
+  for (uint32_t i = 0; i < 20; ++i) {
+    h.Deliver(h.MakeData(i, Seconds(10) + Milliseconds(100 * i), 800));
+  }
+  EXPECT_GT(h.speaker_.stats().overflow_drops, 0u);
+  EXPECT_LE(h.speaker_.stats().data_packets -
+                h.speaker_.stats().overflow_drops,
+            5u + 1u);
+}
+
+TEST(SpeakerTest, DecodeErrorCounted) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(0));
+  DataPacket bad = h.MakeData(0, Milliseconds(100), 800);
+  bad.payload.pop_back();  // No longer a whole frame count (raw codec).
+  h.Deliver(bad);
+  EXPECT_EQ(h.speaker_.stats().decode_errors, 1u);
+}
+
+TEST(SpeakerTest, RetuneResetsChannelState) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(0));
+  ASSERT_TRUE(h.speaker_.ready());
+  ASSERT_TRUE(h.speaker_.Tune(kFirstChannelGroup + 1).ok());
+  EXPECT_FALSE(h.speaker_.ready());
+  EXPECT_FALSE(h.nic_->IsJoined(kFirstChannelGroup));
+  EXPECT_TRUE(h.nic_->IsJoined(kFirstChannelGroup + 1));
+}
+
+TEST(SpeakerTest, UntuneWithoutTuneFails) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto nic = segment.CreateNic();
+  EthernetSpeaker speaker(&sim, nic.get(), SpeakerOptions{});
+  EXPECT_FALSE(speaker.Untune().ok());
+}
+
+TEST(SpeakerTest, AuthVerifierGatesEverything) {
+  SpeakerOptions options;
+  options.auth_verifier = [](const ParsedPacket&) { return false; };
+  SpeakerHarness h(options);
+  h.Deliver(h.MakeControl(0));
+  EXPECT_FALSE(h.speaker_.ready());
+  EXPECT_EQ(h.speaker_.stats().auth_rejected, 1u);
+}
+
+TEST(SpeakerTest, ConfigChangeMidStreamSwitchesDecoder) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(0));
+  h.Deliver(h.MakeData(0, Milliseconds(50), 800));
+  h.sim_.RunUntil(Milliseconds(60));
+  // New control packet with a different config and bumped control_seq.
+  ControlPacket control = h.MakeControl(h.sim_.now());
+  control.control_seq = 2;
+  control.config = AudioConfig{16000, 1, AudioEncoding::kLinearS16};
+  h.Deliver(control);
+  ASSERT_TRUE(h.speaker_.ready());
+  EXPECT_EQ(h.speaker_.config()->sample_rate, 16000);
+  // Output epoch restarted.
+  EXPECT_EQ(h.speaker_.output()->segments().size(), 0u);
+}
+
+// ------------------------------------------------------------ AutoVolume --
+
+class AutoVolumeHarness {
+ public:
+  AutoVolumeHarness() : h_() {
+    h_.Deliver(h_.MakeControl(0));
+  }
+
+  // Feeds `seconds` of tone at constant source level, ticking playback.
+  void PlayTone(double seconds, float amplitude) {
+    auto frames = static_cast<int64_t>(seconds * 8000);
+    int64_t done = 0;
+    uint32_t seq = next_seq_;
+    while (done < frames) {
+      int64_t n = std::min<int64_t>(800, frames - done);
+      DataPacket data;
+      data.stream_id = 1;
+      data.seq = seq++;
+      data.play_deadline = h_.sim_.now() + Milliseconds(50) +
+                           FramesToDuration(done, 8000);
+      data.frame_count = static_cast<uint32_t>(n);
+      SineGenerator gen(440.0, amplitude);
+      data.payload = gen.GenerateBytes(n, h_.config_);
+      h_.Deliver(data);
+      done += n;
+    }
+    next_seq_ = seq;
+    h_.sim_.RunFor(Seconds(static_cast<int64_t>(seconds)) +
+                   Milliseconds(100));
+  }
+
+  SpeakerHarness h_;
+  uint32_t next_seq_ = 0;
+};
+
+TEST(AutoVolumeTest, GainRisesWithAmbientNoise) {
+  AutoVolumeHarness harness;
+  double ambient_level = 0.01;
+  AutoVolumeOptions options;
+  options.mode = VolumeMode::kBackgroundMusic;
+  AutoVolumeController controller(
+      &harness.h_.speaker_, [&](SimTime) { return ambient_level; }, options);
+  controller.Start();
+
+  harness.PlayTone(4.0, 0.3f);
+  float quiet_gain = harness.h_.speaker_.gain();
+
+  ambient_level = 0.08;  // The room gets loud.
+  harness.PlayTone(4.0, 0.3f);
+  float loud_gain = harness.h_.speaker_.gain();
+
+  EXPECT_GT(loud_gain, quiet_gain * 2.0f);
+  EXPECT_GE(controller.history().size(), 8u);
+}
+
+TEST(AutoVolumeTest, AnnouncementModeIsLouderThanMusicMode) {
+  auto run = [](VolumeMode mode) {
+    AutoVolumeHarness harness;
+    AutoVolumeOptions options;
+    options.mode = mode;
+    AutoVolumeController controller(
+        &harness.h_.speaker_, [](SimTime) { return 0.02; }, options);
+    controller.Start();
+    harness.PlayTone(5.0, 0.3f);
+    return harness.h_.speaker_.gain();
+  };
+  float music = run(VolumeMode::kBackgroundMusic);
+  float announcement = run(VolumeMode::kAnnouncement);
+  EXPECT_GT(announcement, music * 2.0f);
+}
+
+TEST(AutoVolumeTest, EqualizesSourcesMasteredAtDifferentLevels) {
+  // §5.2: "audio segments recorded at different volume levels produce the
+  // same sound levels".
+  auto output_level_for_source = [](float amplitude) {
+    AutoVolumeHarness harness;
+    AutoVolumeOptions options;
+    AutoVolumeController controller(
+        &harness.h_.speaker_, [](SimTime) { return 0.02; }, options);
+    controller.Start();
+    harness.PlayTone(6.0, amplitude);
+    // Acoustic level near the end of the run.
+    return harness.h_.speaker_.output()->RecentRms(harness.h_.sim_.now(),
+                                                   Milliseconds(500));
+  };
+  double quiet_master = output_level_for_source(0.1f);
+  double loud_master = output_level_for_source(0.6f);
+  ASSERT_GT(quiet_master, 0.0);
+  EXPECT_NEAR(loud_master / quiet_master, 1.0, 0.25);
+}
+
+TEST(AutoVolumeTest, SilenceDoesNotSlewTheGain) {
+  AutoVolumeHarness harness;
+  AutoVolumeOptions options;
+  AutoVolumeController controller(
+      &harness.h_.speaker_, [](SimTime) { return 0.05; }, options);
+  controller.Start();
+  float initial = harness.h_.speaker_.gain();
+  harness.h_.sim_.RunFor(Seconds(5));  // Nothing playing.
+  EXPECT_FLOAT_EQ(harness.h_.speaker_.gain(), initial);
+}
+
+TEST(AutoVolumeTest, GainStaysWithinConfiguredBounds) {
+  AutoVolumeHarness harness;
+  AutoVolumeOptions options;
+  options.max_gain = 2.0f;
+  options.min_gain = 0.2f;
+  AutoVolumeController controller(
+      &harness.h_.speaker_, [](SimTime) { return 0.5; },  // Very loud room.
+      options);
+  controller.Start();
+  harness.PlayTone(5.0, 0.05f);  // Very quiet source.
+  EXPECT_LE(harness.h_.speaker_.gain(), 2.0f);
+}
+
+}  // namespace
+}  // namespace espk
