@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablations.cc" "bench/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o" "gcc" "bench/CMakeFiles/bench_ablations.dir/bench_ablations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/espk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rebroadcast/CMakeFiles/espk_rebroadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/speaker/CMakeFiles/espk_speaker.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/espk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/espk_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/lan/CMakeFiles/espk_lan.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/espk_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/espk_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/espk_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/espk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/espk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicast_vs_unicast.dir/bench_multicast_vs_unicast.cc.o"
+  "CMakeFiles/bench_multicast_vs_unicast.dir/bench_multicast_vs_unicast.cc.o.d"
+  "bench_multicast_vs_unicast"
+  "bench_multicast_vs_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicast_vs_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

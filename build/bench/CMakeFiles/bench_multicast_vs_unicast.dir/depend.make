@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multicast_vs_unicast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rate_limiter.dir/bench_rate_limiter.cc.o"
+  "CMakeFiles/bench_rate_limiter.dir/bench_rate_limiter.cc.o.d"
+  "bench_rate_limiter"
+  "bench_rate_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rate_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

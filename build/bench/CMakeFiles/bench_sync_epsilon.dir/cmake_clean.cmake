@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_epsilon.dir/bench_sync_epsilon.cc.o"
+  "CMakeFiles/bench_sync_epsilon.dir/bench_sync_epsilon.cc.o.d"
+  "bench_sync_epsilon"
+  "bench_sync_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

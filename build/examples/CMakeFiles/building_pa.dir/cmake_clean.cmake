@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/building_pa.dir/building_pa.cpp.o"
+  "CMakeFiles/building_pa.dir/building_pa.cpp.o.d"
+  "building_pa"
+  "building_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/building_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for building_pa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_radio.dir/internet_radio.cpp.o"
+  "CMakeFiles/internet_radio.dir/internet_radio.cpp.o.d"
+  "internet_radio"
+  "internet_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

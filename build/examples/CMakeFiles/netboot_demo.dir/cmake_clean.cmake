@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netboot_demo.dir/netboot_demo.cpp.o"
+  "CMakeFiles/netboot_demo.dir/netboot_demo.cpp.o.d"
+  "netboot_demo"
+  "netboot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netboot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

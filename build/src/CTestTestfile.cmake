@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("audio")
+subdirs("dsp")
+subdirs("codec")
+subdirs("kernel")
+subdirs("lan")
+subdirs("proto")
+subdirs("rebroadcast")
+subdirs("speaker")
+subdirs("security")
+subdirs("boot")
+subdirs("mgmt")
+subdirs("baseline")
+subdirs("core")

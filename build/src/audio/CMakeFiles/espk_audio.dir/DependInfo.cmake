@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/audio/analysis.cc" "src/audio/CMakeFiles/espk_audio.dir/analysis.cc.o" "gcc" "src/audio/CMakeFiles/espk_audio.dir/analysis.cc.o.d"
+  "/root/repo/src/audio/format.cc" "src/audio/CMakeFiles/espk_audio.dir/format.cc.o" "gcc" "src/audio/CMakeFiles/espk_audio.dir/format.cc.o.d"
+  "/root/repo/src/audio/generator.cc" "src/audio/CMakeFiles/espk_audio.dir/generator.cc.o" "gcc" "src/audio/CMakeFiles/espk_audio.dir/generator.cc.o.d"
+  "/root/repo/src/audio/pcm.cc" "src/audio/CMakeFiles/espk_audio.dir/pcm.cc.o" "gcc" "src/audio/CMakeFiles/espk_audio.dir/pcm.cc.o.d"
+  "/root/repo/src/audio/sample_convert.cc" "src/audio/CMakeFiles/espk_audio.dir/sample_convert.cc.o" "gcc" "src/audio/CMakeFiles/espk_audio.dir/sample_convert.cc.o.d"
+  "/root/repo/src/audio/wav.cc" "src/audio/CMakeFiles/espk_audio.dir/wav.cc.o" "gcc" "src/audio/CMakeFiles/espk_audio.dir/wav.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/espk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_audio.dir/analysis.cc.o"
+  "CMakeFiles/espk_audio.dir/analysis.cc.o.d"
+  "CMakeFiles/espk_audio.dir/format.cc.o"
+  "CMakeFiles/espk_audio.dir/format.cc.o.d"
+  "CMakeFiles/espk_audio.dir/generator.cc.o"
+  "CMakeFiles/espk_audio.dir/generator.cc.o.d"
+  "CMakeFiles/espk_audio.dir/pcm.cc.o"
+  "CMakeFiles/espk_audio.dir/pcm.cc.o.d"
+  "CMakeFiles/espk_audio.dir/sample_convert.cc.o"
+  "CMakeFiles/espk_audio.dir/sample_convert.cc.o.d"
+  "CMakeFiles/espk_audio.dir/wav.cc.o"
+  "CMakeFiles/espk_audio.dir/wav.cc.o.d"
+  "libespk_audio.a"
+  "libespk_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

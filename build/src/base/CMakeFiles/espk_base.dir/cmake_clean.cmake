@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_base.dir/bytes.cc.o"
+  "CMakeFiles/espk_base.dir/bytes.cc.o.d"
+  "CMakeFiles/espk_base.dir/crc32.cc.o"
+  "CMakeFiles/espk_base.dir/crc32.cc.o.d"
+  "CMakeFiles/espk_base.dir/logging.cc.o"
+  "CMakeFiles/espk_base.dir/logging.cc.o.d"
+  "CMakeFiles/espk_base.dir/prng.cc.o"
+  "CMakeFiles/espk_base.dir/prng.cc.o.d"
+  "CMakeFiles/espk_base.dir/rate.cc.o"
+  "CMakeFiles/espk_base.dir/rate.cc.o.d"
+  "CMakeFiles/espk_base.dir/ring_buffer.cc.o"
+  "CMakeFiles/espk_base.dir/ring_buffer.cc.o.d"
+  "CMakeFiles/espk_base.dir/stats.cc.o"
+  "CMakeFiles/espk_base.dir/stats.cc.o.d"
+  "CMakeFiles/espk_base.dir/status.cc.o"
+  "CMakeFiles/espk_base.dir/status.cc.o.d"
+  "libespk_base.a"
+  "libespk_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

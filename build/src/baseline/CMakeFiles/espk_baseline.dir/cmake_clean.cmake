@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_baseline.dir/baseline.cc.o"
+  "CMakeFiles/espk_baseline.dir/baseline.cc.o.d"
+  "libespk_baseline.a"
+  "libespk_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

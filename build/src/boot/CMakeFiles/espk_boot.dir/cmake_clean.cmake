@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_boot.dir/netboot.cc.o"
+  "CMakeFiles/espk_boot.dir/netboot.cc.o.d"
+  "CMakeFiles/espk_boot.dir/ramdisk.cc.o"
+  "CMakeFiles/espk_boot.dir/ramdisk.cc.o.d"
+  "CMakeFiles/espk_boot.dir/tar.cc.o"
+  "CMakeFiles/espk_boot.dir/tar.cc.o.d"
+  "libespk_boot.a"
+  "libespk_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for espk_boot.
+# This may be replaced when dependencies are built.

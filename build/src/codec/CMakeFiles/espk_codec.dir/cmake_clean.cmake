@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_codec.dir/codec.cc.o"
+  "CMakeFiles/espk_codec.dir/codec.cc.o.d"
+  "CMakeFiles/espk_codec.dir/raw_codec.cc.o"
+  "CMakeFiles/espk_codec.dir/raw_codec.cc.o.d"
+  "CMakeFiles/espk_codec.dir/vorbix.cc.o"
+  "CMakeFiles/espk_codec.dir/vorbix.cc.o.d"
+  "libespk_codec.a"
+  "libespk_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

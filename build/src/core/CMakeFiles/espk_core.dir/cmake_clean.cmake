@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_core.dir/presence.cc.o"
+  "CMakeFiles/espk_core.dir/presence.cc.o.d"
+  "CMakeFiles/espk_core.dir/system.cc.o"
+  "CMakeFiles/espk_core.dir/system.cc.o.d"
+  "libespk_core.a"
+  "libespk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

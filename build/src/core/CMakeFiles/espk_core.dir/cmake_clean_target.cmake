@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libespk_core.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/bitstream.cc" "src/dsp/CMakeFiles/espk_dsp.dir/bitstream.cc.o" "gcc" "src/dsp/CMakeFiles/espk_dsp.dir/bitstream.cc.o.d"
+  "/root/repo/src/dsp/fft.cc" "src/dsp/CMakeFiles/espk_dsp.dir/fft.cc.o" "gcc" "src/dsp/CMakeFiles/espk_dsp.dir/fft.cc.o.d"
+  "/root/repo/src/dsp/mdct.cc" "src/dsp/CMakeFiles/espk_dsp.dir/mdct.cc.o" "gcc" "src/dsp/CMakeFiles/espk_dsp.dir/mdct.cc.o.d"
+  "/root/repo/src/dsp/psymodel.cc" "src/dsp/CMakeFiles/espk_dsp.dir/psymodel.cc.o" "gcc" "src/dsp/CMakeFiles/espk_dsp.dir/psymodel.cc.o.d"
+  "/root/repo/src/dsp/rice.cc" "src/dsp/CMakeFiles/espk_dsp.dir/rice.cc.o" "gcc" "src/dsp/CMakeFiles/espk_dsp.dir/rice.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/espk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_dsp.dir/bitstream.cc.o"
+  "CMakeFiles/espk_dsp.dir/bitstream.cc.o.d"
+  "CMakeFiles/espk_dsp.dir/fft.cc.o"
+  "CMakeFiles/espk_dsp.dir/fft.cc.o.d"
+  "CMakeFiles/espk_dsp.dir/mdct.cc.o"
+  "CMakeFiles/espk_dsp.dir/mdct.cc.o.d"
+  "CMakeFiles/espk_dsp.dir/psymodel.cc.o"
+  "CMakeFiles/espk_dsp.dir/psymodel.cc.o.d"
+  "CMakeFiles/espk_dsp.dir/rice.cc.o"
+  "CMakeFiles/espk_dsp.dir/rice.cc.o.d"
+  "libespk_dsp.a"
+  "libespk_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_kernel.dir/audio_hld.cc.o"
+  "CMakeFiles/espk_kernel.dir/audio_hld.cc.o.d"
+  "CMakeFiles/espk_kernel.dir/hw_audio.cc.o"
+  "CMakeFiles/espk_kernel.dir/hw_audio.cc.o.d"
+  "CMakeFiles/espk_kernel.dir/kernel.cc.o"
+  "CMakeFiles/espk_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/espk_kernel.dir/vad.cc.o"
+  "CMakeFiles/espk_kernel.dir/vad.cc.o.d"
+  "libespk_kernel.a"
+  "libespk_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lan/segment.cc" "src/lan/CMakeFiles/espk_lan.dir/segment.cc.o" "gcc" "src/lan/CMakeFiles/espk_lan.dir/segment.cc.o.d"
+  "/root/repo/src/lan/udp_transport.cc" "src/lan/CMakeFiles/espk_lan.dir/udp_transport.cc.o" "gcc" "src/lan/CMakeFiles/espk_lan.dir/udp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/espk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/espk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

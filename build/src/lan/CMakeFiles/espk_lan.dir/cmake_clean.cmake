@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_lan.dir/segment.cc.o"
+  "CMakeFiles/espk_lan.dir/segment.cc.o.d"
+  "CMakeFiles/espk_lan.dir/udp_transport.cc.o"
+  "CMakeFiles/espk_lan.dir/udp_transport.cc.o.d"
+  "libespk_lan.a"
+  "libespk_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

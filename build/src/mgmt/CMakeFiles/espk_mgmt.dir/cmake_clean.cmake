@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_mgmt.dir/agent.cc.o"
+  "CMakeFiles/espk_mgmt.dir/agent.cc.o.d"
+  "CMakeFiles/espk_mgmt.dir/catalog.cc.o"
+  "CMakeFiles/espk_mgmt.dir/catalog.cc.o.d"
+  "CMakeFiles/espk_mgmt.dir/mib.cc.o"
+  "CMakeFiles/espk_mgmt.dir/mib.cc.o.d"
+  "libespk_mgmt.a"
+  "libespk_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

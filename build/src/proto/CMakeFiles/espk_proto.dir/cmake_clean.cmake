@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_proto.dir/wire.cc.o"
+  "CMakeFiles/espk_proto.dir/wire.cc.o.d"
+  "libespk_proto.a"
+  "libespk_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_rebroadcast.dir/kernel_streamer.cc.o"
+  "CMakeFiles/espk_rebroadcast.dir/kernel_streamer.cc.o.d"
+  "CMakeFiles/espk_rebroadcast.dir/player_app.cc.o"
+  "CMakeFiles/espk_rebroadcast.dir/player_app.cc.o.d"
+  "CMakeFiles/espk_rebroadcast.dir/rebroadcaster.cc.o"
+  "CMakeFiles/espk_rebroadcast.dir/rebroadcaster.cc.o.d"
+  "CMakeFiles/espk_rebroadcast.dir/wan.cc.o"
+  "CMakeFiles/espk_rebroadcast.dir/wan.cc.o.d"
+  "libespk_rebroadcast.a"
+  "libespk_rebroadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_rebroadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/hmac.cc" "src/security/CMakeFiles/espk_security.dir/hmac.cc.o" "gcc" "src/security/CMakeFiles/espk_security.dir/hmac.cc.o.d"
+  "/root/repo/src/security/hors.cc" "src/security/CMakeFiles/espk_security.dir/hors.cc.o" "gcc" "src/security/CMakeFiles/espk_security.dir/hors.cc.o.d"
+  "/root/repo/src/security/merkle.cc" "src/security/CMakeFiles/espk_security.dir/merkle.cc.o" "gcc" "src/security/CMakeFiles/espk_security.dir/merkle.cc.o.d"
+  "/root/repo/src/security/sha256.cc" "src/security/CMakeFiles/espk_security.dir/sha256.cc.o" "gcc" "src/security/CMakeFiles/espk_security.dir/sha256.cc.o.d"
+  "/root/repo/src/security/stream_auth.cc" "src/security/CMakeFiles/espk_security.dir/stream_auth.cc.o" "gcc" "src/security/CMakeFiles/espk_security.dir/stream_auth.cc.o.d"
+  "/root/repo/src/security/tesla.cc" "src/security/CMakeFiles/espk_security.dir/tesla.cc.o" "gcc" "src/security/CMakeFiles/espk_security.dir/tesla.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/espk_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/espk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/espk_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/audio/CMakeFiles/espk_audio.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/espk_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lan/CMakeFiles/espk_lan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/espk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_security.dir/hmac.cc.o"
+  "CMakeFiles/espk_security.dir/hmac.cc.o.d"
+  "CMakeFiles/espk_security.dir/hors.cc.o"
+  "CMakeFiles/espk_security.dir/hors.cc.o.d"
+  "CMakeFiles/espk_security.dir/merkle.cc.o"
+  "CMakeFiles/espk_security.dir/merkle.cc.o.d"
+  "CMakeFiles/espk_security.dir/sha256.cc.o"
+  "CMakeFiles/espk_security.dir/sha256.cc.o.d"
+  "CMakeFiles/espk_security.dir/stream_auth.cc.o"
+  "CMakeFiles/espk_security.dir/stream_auth.cc.o.d"
+  "CMakeFiles/espk_security.dir/tesla.cc.o"
+  "CMakeFiles/espk_security.dir/tesla.cc.o.d"
+  "libespk_security.a"
+  "libespk_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

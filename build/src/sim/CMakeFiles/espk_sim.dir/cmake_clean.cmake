@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_sim.dir/simulation.cc.o"
+  "CMakeFiles/espk_sim.dir/simulation.cc.o.d"
+  "libespk_sim.a"
+  "libespk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

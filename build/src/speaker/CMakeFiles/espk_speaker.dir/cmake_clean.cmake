@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/espk_speaker.dir/auto_volume.cc.o"
+  "CMakeFiles/espk_speaker.dir/auto_volume.cc.o.d"
+  "CMakeFiles/espk_speaker.dir/playback.cc.o"
+  "CMakeFiles/espk_speaker.dir/playback.cc.o.d"
+  "CMakeFiles/espk_speaker.dir/recorder.cc.o"
+  "CMakeFiles/espk_speaker.dir/recorder.cc.o.d"
+  "CMakeFiles/espk_speaker.dir/speaker.cc.o"
+  "CMakeFiles/espk_speaker.dir/speaker.cc.o.d"
+  "libespk_speaker.a"
+  "libespk_speaker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/espk_speaker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lan_test.cc" "tests/CMakeFiles/lan_test.dir/lan_test.cc.o" "gcc" "tests/CMakeFiles/lan_test.dir/lan_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lan/CMakeFiles/espk_lan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/espk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/espk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_test.dir/lan_test.cc.o"
+  "CMakeFiles/lan_test.dir/lan_test.cc.o.d"
+  "lan_test"
+  "lan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

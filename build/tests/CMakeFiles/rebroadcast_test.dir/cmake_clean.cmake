@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebroadcast_test.dir/rebroadcast_test.cc.o"
+  "CMakeFiles/rebroadcast_test.dir/rebroadcast_test.cc.o.d"
+  "rebroadcast_test"
+  "rebroadcast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebroadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

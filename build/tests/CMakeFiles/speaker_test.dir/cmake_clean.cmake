@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speaker_test.dir/speaker_test.cc.o"
+  "CMakeFiles/speaker_test.dir/speaker_test.cc.o.d"
+  "speaker_test"
+  "speaker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speaker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
