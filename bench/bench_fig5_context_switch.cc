@@ -12,6 +12,7 @@
 //
 // Also covers A3 (§3.3): the user-level overhead is real but modest, and
 // is swamped by compression cost (compare with bench_fig4's CPU numbers).
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -27,6 +28,7 @@ enum class Config { kUnloaded, kKernelVad, kUserVad };
 struct RunResult {
   std::vector<uint64_t> per_second;
   double mean = 0.0;
+  std::string exposition;  // Kernel metrics at end of run.
 };
 
 RunResult Run(Config config, int seconds) {
@@ -79,6 +81,7 @@ RunResult Run(Config config, int seconds) {
     acc += static_cast<double>(v);
   }
   result.mean = acc / static_cast<double>(result.per_second.size());
+  result.exposition = kernel.metrics()->TextExposition();
   if (rebroadcaster != nullptr) {
     rebroadcaster->Stop();
   }
@@ -126,5 +129,8 @@ int main() {
       "A3 note (§3.3): the user-level overhead above is scheduling only; "
       "compare bench_fig4, where compression dwarfs it — the reason the "
       "authors happily moved streaming out of the kernel.\n");
+  std::printf(
+      "\nkernel metrics, user-level VAD run (Prometheus exposition):\n%s",
+      user_vad.exposition.c_str());
   return 0;
 }

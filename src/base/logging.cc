@@ -8,6 +8,7 @@ namespace espk {
 
 namespace {
 std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
+LogSink g_sink;  // Empty = stderr default.
 
 const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
@@ -17,6 +18,35 @@ const char* Basename(const char* path) {
 
 void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
 LogLevel GetLogThreshold() { return g_threshold.load(); }
+
+LogSink SetLogSink(LogSink sink) {
+  LogSink previous = std::move(g_sink);
+  g_sink = std::move(sink);
+  return previous;
+}
+
+ScopedLogCapture::ScopedLogCapture(LogLevel threshold)
+    : previous_threshold_(GetLogThreshold()) {
+  SetLogThreshold(threshold);
+  previous_sink_ = SetLogSink(
+      [this](LogLevel level, std::string_view, int, std::string_view message) {
+        entries_.push_back(Entry{level, std::string(message)});
+      });
+}
+
+ScopedLogCapture::~ScopedLogCapture() {
+  SetLogSink(std::move(previous_sink_));
+  SetLogThreshold(previous_threshold_);
+}
+
+bool ScopedLogCapture::Contains(std::string_view substring) const {
+  for (const Entry& entry : entries_) {
+    if (entry.message.find(substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
 
 std::string_view LogLevelName(LogLevel level) {
   switch (level) {
@@ -42,6 +72,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (!enabled_) {
+    return;
+  }
+  if (g_sink) {
+    g_sink(level_, file_, line_, stream_.str());
     return;
   }
   std::cerr << "[" << LogLevelName(level_) << " " << Basename(file_) << ":"

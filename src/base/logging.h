@@ -1,11 +1,15 @@
-// Minimal leveled logger. Log lines go to stderr; the threshold is a process
-// global so tests can silence info spew. Usage:
+// Minimal leveled logger. Log lines go to a pluggable sink (stderr by
+// default); the threshold is a process global so tests can silence info
+// spew — or install a capturing sink and assert on output instead. Usage:
 //   ESPK_LOG(kInfo) << "speaker " << id << " joined channel " << ch;
 #ifndef SRC_BASE_LOGGING_H_
 #define SRC_BASE_LOGGING_H_
 
+#include <functional>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace espk {
 
@@ -24,6 +28,41 @@ void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
 std::string_view LogLevelName(LogLevel level);
+
+// Where emitted lines go. The sink sees only messages that passed the
+// threshold. `file` is the full __FILE__ path. Not thread-safe — install
+// sinks from the main thread, like the rest of the simulation.
+using LogSink = std::function<void(LogLevel level, std::string_view file,
+                                   int line, std::string_view message)>;
+
+// Replaces the sink; an empty sink restores the stderr default. Returns the
+// previously installed sink (empty if the default was active).
+LogSink SetLogSink(LogSink sink);
+
+// RAII capture for tests: installs a recording sink (and optionally lowers
+// the threshold), restores both on destruction.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(LogLevel threshold = LogLevel::kDebug);
+  ~ScopedLogCapture();
+
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+  struct Entry {
+    LogLevel level;
+    std::string message;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t count() const { return entries_.size(); }
+  bool Contains(std::string_view substring) const;
+
+ private:
+  LogLevel previous_threshold_;
+  LogSink previous_sink_;
+  std::vector<Entry> entries_;
+};
 
 class LogMessage {
  public:

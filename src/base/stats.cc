@@ -79,6 +79,13 @@ double Histogram::Percentile(double q) const {
   return hi_;
 }
 
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  underflow_ = 0;
+  overflow_ = 0;
+  count_ = 0;
+}
+
 std::string Histogram::Render(int max_width) const {
   int64_t peak = 1;
   for (int64_t b : buckets_) {

@@ -46,9 +46,19 @@ class Histogram {
 
   void Add(double x);
   int64_t count() const { return count_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+  int64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
 
   // Value at quantile q in [0,1], linearly interpolated within the bucket.
+  // q=0 reports lo; q=1 reports the upper edge of the highest populated
+  // bucket, or hi when samples overflowed.
   double Percentile(double q) const;
+
+  void Reset();
 
   // One bar per line, for quick terminal inspection.
   std::string Render(int max_width = 50) const;

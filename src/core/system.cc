@@ -7,10 +7,49 @@
 namespace espk {
 
 EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
-    : options_(options), kernel_(&sim_), lan_(&sim_, options.lan) {
+    : options_(options),
+      metrics_(&sim_),
+      tracer_(&sim_),
+      kernel_(&sim_, &metrics_),
+      lan_(&sim_, options.lan) {
   if (options_.background_daemon_rate > 0.0) {
     kernel_.StartBackgroundDaemons(options_.background_daemon_rate);
   }
+  RegisterLanMetrics();
+}
+
+void EthernetSpeakerSystem::RegisterLanMetrics() {
+  EthernetSegment* lan = &lan_;
+  metrics_.GetGauge(
+      "lan.packets_offered",
+      [lan] { return static_cast<double>(lan->stats().packets_offered); },
+      "Packets handed to the segment for transmission");
+  metrics_.GetGauge(
+      "lan.packets_sent",
+      [lan] { return static_cast<double>(lan->stats().packets_sent); },
+      "Packets that made it onto the wire");
+  metrics_.GetGauge(
+      "lan.packets_dropped_queue",
+      [lan] {
+        return static_cast<double>(lan->stats().packets_dropped_queue);
+      },
+      "Tail drops at the transmit queue");
+  metrics_.GetGauge(
+      "lan.deliveries",
+      [lan] { return static_cast<double>(lan->stats().deliveries); },
+      "Per-receiver handoffs");
+  metrics_.GetGauge(
+      "lan.deliveries_lost",
+      [lan] { return static_cast<double>(lan->stats().deliveries_lost); },
+      "Per-receiver random losses");
+  metrics_.GetGauge(
+      "lan.bytes_on_wire",
+      [lan] { return static_cast<double>(lan->stats().bytes_on_wire); },
+      "Payload plus framing overhead for sent packets");
+  metrics_.GetGauge(
+      "lan.utilization_bps",
+      [lan] { return lan->average_utilization_bps(); },
+      "Average offered wire load since the first packet");
 }
 
 EthernetSpeakerSystem::~EthernetSpeakerSystem() {
@@ -41,15 +80,51 @@ Result<Channel*> EthernetSpeakerSystem::CreateChannel(
     return vad.status();
   }
   channel->vad = *vad;
+  channel->vad.master->SetTrace(&tracer_, channel->stream_id);
   channel->producer_nic = lan_.CreateNic();
 
   rb_options.stream_id = channel->stream_id;
   rb_options.group = channel->group;
   rb_options.channel_name = name;
+  rb_options.tracer = &tracer_;
+  const std::string prefix = "rebroadcast." + std::to_string(channel->stream_id);
+  rb_options.encode_ms_histogram = metrics_.GetHistogram(
+      prefix + ".encode_ms", 0.0, 50.0, 100,
+      "Per-packet codec CPU cost (host milliseconds)");
   channel->rebroadcaster = std::make_unique<Rebroadcaster>(
       &kernel_, NewPid(), "/dev/vadm" + std::to_string(index),
       channel->producer_nic.get(), rb_options);
   ESPK_RETURN_IF_ERROR(channel->rebroadcaster->Start());
+
+  Rebroadcaster* rb = channel->rebroadcaster.get();
+  metrics_.GetGauge(
+      prefix + ".data_packets",
+      [rb] { return static_cast<double>(rb->stats().data_packets); },
+      "Data packets multicast by this channel");
+  metrics_.GetGauge(
+      prefix + ".control_packets",
+      [rb] { return static_cast<double>(rb->stats().control_packets); },
+      "Control packets multicast by this channel");
+  metrics_.GetGauge(
+      prefix + ".payload_bytes",
+      [rb] { return static_cast<double>(rb->stats().payload_bytes); },
+      "Post-codec payload bytes sent");
+  metrics_.GetGauge(
+      prefix + ".pcm_bytes_in",
+      [rb] { return static_cast<double>(rb->stats().pcm_bytes_in); },
+      "Raw PCM bytes read from the VAD master");
+  metrics_.GetGauge(
+      prefix + ".rate_limit_sleeps",
+      [rb] { return static_cast<double>(rb->stats().rate_limit_sleeps); },
+      "Times the rate limiter put the producer to sleep");
+  metrics_.GetGauge(
+      prefix + ".packets_suppressed",
+      [rb] { return static_cast<double>(rb->stats().packets_suppressed); },
+      "Packets withheld while transmission was suspended");
+  metrics_.GetGauge(
+      prefix + ".encode_cpu_seconds",
+      [rb] { return rb->encode_cpu_seconds(); },
+      "Total host CPU spent inside the codec");
 
   channels_.push_back(std::move(channel));
   return channels_.back().get();
@@ -69,11 +144,38 @@ Result<PlayerApp*> EthernetSpeakerSystem::StartPlayer(
 Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
     SpeakerOptions options, GroupId group) {
   auto nic = lan_.CreateNic();
+  const std::string prefix = "speaker." + std::to_string(speakers_.size());
+  options.tracer = &tracer_;
+  options.lateness_histogram = metrics_.GetHistogram(
+      prefix + ".lateness_ms", -500.0, 500.0, 100,
+      "Decode-completion time relative to the play deadline (ms; negative = "
+      "early)");
   auto speaker =
       std::make_unique<EthernetSpeaker>(&sim_, nic.get(), options);
   if (group != 0) {
     ESPK_RETURN_IF_ERROR(speaker->Tune(group));
   }
+  EthernetSpeaker* sp = speaker.get();
+  metrics_.GetGauge(
+      prefix + ".packets_received",
+      [sp] { return static_cast<double>(sp->stats().packets_received); },
+      "Datagrams that reached this speaker's NIC handler");
+  metrics_.GetGauge(
+      prefix + ".chunks_played",
+      [sp] { return static_cast<double>(sp->stats().chunks_played); },
+      "Audio chunks rendered at (or within epsilon of) their deadline");
+  metrics_.GetGauge(
+      prefix + ".late_drops",
+      [sp] { return static_cast<double>(sp->stats().late_drops); },
+      "Chunks thrown away past deadline + epsilon (§3.2)");
+  metrics_.GetGauge(
+      prefix + ".overflow_drops",
+      [sp] { return static_cast<double>(sp->stats().overflow_drops); },
+      "Chunks refused because the jitter buffer was full");
+  metrics_.GetGauge(
+      prefix + ".queued_pcm_bytes",
+      [sp] { return static_cast<double>(sp->queued_pcm_bytes()); },
+      "Decoded-but-unplayed PCM occupying the jitter buffer");
   speaker_nics_.push_back(std::move(nic));
   speakers_.push_back(std::move(speaker));
   return speakers_.back().get();

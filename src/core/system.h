@@ -15,6 +15,8 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/vad.h"
 #include "src/lan/segment.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rebroadcast/player_app.h"
 #include "src/rebroadcast/rebroadcaster.h"
 #include "src/sim/simulation.h"
@@ -51,6 +53,12 @@ class EthernetSpeakerSystem {
   Simulation* sim() { return &sim_; }
   SimKernel* kernel() { return &kernel_; }
   EthernetSegment* lan() { return &lan_; }
+
+  // Telemetry for the whole system (kernel, LAN, rebroadcasters, speakers).
+  // Export to a MIB with ExportMetricsToMib (src/mgmt/metrics_mib.h) or dump
+  // with metrics()->TextExposition().
+  MetricsRegistry* metrics() { return &metrics_; }
+  PacketTracer* tracer() { return &tracer_; }
 
   // Allocates a fresh simulated process id.
   Pid NewPid() { return next_pid_++; }
@@ -99,8 +107,14 @@ class EthernetSpeakerSystem {
                          bool all_pairs = true);
 
  private:
+  void RegisterLanMetrics();
+
   SystemOptions options_;
   Simulation sim_;
+  // Declared before the components whose constructors and gauge callbacks
+  // use them, and therefore destroyed after every instrumented component.
+  MetricsRegistry metrics_;
+  PacketTracer tracer_;
   SimKernel kernel_;
   EthernetSegment lan_;
   Pid next_pid_ = 1000;

@@ -6,7 +6,46 @@
 
 namespace espk {
 
-SimKernel::SimKernel(Simulation* sim) : sim_(sim) {}
+SimKernel::SimKernel(Simulation* sim, MetricsRegistry* metrics) : sim_(sim) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>(sim);
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  syscalls_ = metrics_->GetCounter("kernel.syscalls", "syscalls entered");
+  interrupts_ = metrics_->GetCounter("kernel.interrupts",
+                                     "device/DMA completion interrupts");
+  process_blocks_ = metrics_->GetCounter(
+      "kernel.process_blocks", "processes parked in a blocking syscall");
+  process_wakeups_ = metrics_->GetCounter(
+      "kernel.process_wakeups", "blocked processes woken and resumed");
+  kthread_activations_ = metrics_->GetCounter(
+      "kernel.kthread_activations",
+      "kernel-thread pump activations (2 context switches each)");
+  silence_bytes_ = metrics_->GetCounter(
+      "kernel.silence_bytes", "silence inserted on HLD ring underrun");
+  daemon_switches_ = metrics_->GetCounter(
+      "kernel.daemon_switches", "background daemon context-switch noise");
+  metrics_->GetGauge(
+      "kernel.context_switches",
+      [this] { return static_cast<double>(stats().context_switches); },
+      "total context switches (derived, the Figure 5 vmstat quantity)");
+}
+
+KernelStats SimKernel::stats() const {
+  KernelStats snapshot;
+  snapshot.syscalls = syscalls_->value();
+  snapshot.interrupts = interrupts_->value();
+  snapshot.process_blocks = process_blocks_->value();
+  snapshot.process_wakeups = process_wakeups_->value();
+  snapshot.kthread_activations = kthread_activations_->value();
+  snapshot.silence_insertions = silence_bytes_->value();
+  snapshot.context_switches = snapshot.process_blocks +
+                              snapshot.process_wakeups +
+                              2 * snapshot.kthread_activations +
+                              daemon_switches_->value();
+  return snapshot;
+}
 
 Status SimKernel::RegisterDevice(const std::string& path,
                                  std::unique_ptr<Device> dev) {
@@ -111,7 +150,7 @@ void SimKernel::ScheduleNextDaemonSwitch() {
   double wait_s = -std::log(1.0 - u) / daemon_rate_;
   auto wait = static_cast<SimDuration>(wait_s * static_cast<double>(kSecond));
   daemon_event_ = sim_->ScheduleAfter(std::max<SimDuration>(wait, 1), [this] {
-    ++stats_.context_switches;
+    daemon_switches_->Increment();
     ScheduleNextDaemonSwitch();
   });
 }

@@ -14,16 +14,24 @@
 #include "src/base/status.h"
 #include "src/kernel/device.h"
 #include "src/kernel/stats.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulation.h"
 
 namespace espk {
 
 class SimKernel {
  public:
-  explicit SimKernel(Simulation* sim);
+  // Accounting goes to `metrics` (the "kernel." counters); when none is
+  // injected the kernel owns a private registry so it stays introspectable
+  // standalone. EthernetSpeakerSystem injects its process-wide one.
+  explicit SimKernel(Simulation* sim, MetricsRegistry* metrics = nullptr);
 
   Simulation* sim() { return sim_; }
-  const KernelStats& stats() const { return stats_; }
+  MetricsRegistry* metrics() { return metrics_; }
+
+  // Snapshot of the registry counters, with context_switches derived from
+  // the structural events (blocks + wakeups + 2*kthread + daemon noise).
+  KernelStats stats() const;
 
   // ----------------------------------------------------------- devices --
   Status RegisterDevice(const std::string& path, std::unique_ptr<Device> dev);
@@ -40,22 +48,15 @@ class SimKernel {
   void Drain(Pid pid, int fd, Device::DrainCallback done);
 
   // -------------------------------------------------------- accounting --
-  // Called by drivers to record scheduling activity (see stats.h).
-  void CountSyscall() { ++stats_.syscalls; }
-  void CountBlock() {
-    ++stats_.process_blocks;
-    ++stats_.context_switches;
-  }
-  void CountWakeup() {
-    ++stats_.process_wakeups;
-    ++stats_.context_switches;
-  }
-  void CountKthreadActivation() {
-    ++stats_.kthread_activations;
-    stats_.context_switches += 2;  // Switch to the kthread and back.
-  }
-  void CountInterrupt() { ++stats_.interrupts; }
-  void CountSilence(size_t bytes) { stats_.silence_insertions += bytes; }
+  // Called by drivers to record scheduling activity (see stats.h). Each
+  // event bumps exactly one registry counter; the context-switch total is
+  // derived in stats(), not double-counted here.
+  void CountSyscall() { syscalls_->Increment(); }
+  void CountBlock() { process_blocks_->Increment(); }
+  void CountWakeup() { process_wakeups_->Increment(); }
+  void CountKthreadActivation() { kthread_activations_->Increment(); }
+  void CountInterrupt() { interrupts_->Increment(); }
+  void CountSilence(size_t bytes) { silence_bytes_->Increment(bytes); }
 
   // Models the idle machine's background scheduling noise (cron, network
   // daemons, ...) as a Poisson process of context switches — the "Unloaded
@@ -67,7 +68,15 @@ class SimKernel {
   void ScheduleNextDaemonSwitch();
 
   Simulation* sim_;
-  KernelStats stats_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;  // When none injected.
+  MetricsRegistry* metrics_;
+  Counter* syscalls_;
+  Counter* interrupts_;
+  Counter* process_blocks_;
+  Counter* process_wakeups_;
+  Counter* kthread_activations_;
+  Counter* silence_bytes_;
+  Counter* daemon_switches_;
   std::map<std::string, std::unique_ptr<Device>> devices_;
 
   struct FdEntry {

@@ -8,6 +8,12 @@
 //  * +1 switch when a blocked process is woken and resumes (switch to)
 //  * +2 switches per kernel-thread activation (to the kthread and back)
 //  * daemons modeled as a background switch rate (the unloaded baseline)
+//
+// The live counters now live in the kernel's MetricsRegistry (src/obs);
+// this struct is the snapshot SimKernel::stats() assembles from them, kept
+// so vmstat emulation, tests, and benches read one coherent view. The
+// context_switches total is derived from the structural events above rather
+// than double-counted at every call site.
 #ifndef SRC_KERNEL_STATS_H_
 #define SRC_KERNEL_STATS_H_
 

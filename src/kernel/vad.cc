@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/kernel/kernel.h"
+#include "src/obs/trace.h"
 
 namespace espk {
 
@@ -131,6 +132,9 @@ void VadMasterDevice::Drain(Pid /*pid*/, DrainCallback done) {
 }
 
 void VadMasterDevice::EnqueueAudio(Bytes block) {
+  if (tracer_ != nullptr) {
+    tracer_->NoteBytes(trace_stream_id_, TraceStage::kVadWrite, block.size());
+  }
   queued_audio_bytes_ += block.size();
   VadRecord record;
   record.type = VadRecord::Type::kAudio;

@@ -41,6 +41,7 @@
 
 namespace espk {
 
+class PacketTracer;
 class SimKernel;
 
 // One framed unit read from the master side: either a chunk of audio or a
@@ -88,6 +89,13 @@ class VadMasterDevice : public Device {
 
   void set_pump(VadSlaveLowLevel* pump) { pump_ = pump; }
 
+  // Marks every audio byte committed into the master stream as the
+  // kVadWrite trace stage for `stream_id` (the system wires this up).
+  void SetTrace(PacketTracer* tracer, uint32_t stream_id) {
+    tracer_ = tracer;
+    trace_stream_id_ = stream_id;
+  }
+
  private:
   void ServeReaderIfPossible();
 
@@ -100,6 +108,8 @@ class VadMasterDevice : public Device {
   std::optional<std::pair<Pid, ReadCallback>> pending_read_;
   std::optional<AudioConfig> last_config_;
   VadSlaveLowLevel* pump_ = nullptr;
+  PacketTracer* tracer_ = nullptr;
+  uint32_t trace_stream_id_ = 0;
 };
 
 // The slave's pseudo low-level driver: implements the pump.

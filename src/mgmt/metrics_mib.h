@@ -1,0 +1,32 @@
+// Bridge from the metrics registry (src/obs) to the enterprise MIB (§5.3):
+// every registered metric becomes one or more read-only OIDs under
+// 1.3.6.1.4.1.9999.9, so an NMS walk of a running system enumerates live
+// kernel, rebroadcaster, speaker, and LAN telemetry without any per-metric
+// glue. Lives in mgmt (not obs) so the low-level obs library stays free of
+// management-protocol dependencies.
+#ifndef SRC_MGMT_METRICS_MIB_H_
+#define SRC_MGMT_METRICS_MIB_H_
+
+#include <cstddef>
+
+#include "src/mgmt/mib.h"
+#include "src/obs/metrics.h"
+
+namespace espk {
+
+// Registers every metric currently in `registry` under the metrics subtree
+// {9} of the enterprise OID, in registration order (1-based arc `i`):
+//
+//   counter / gauge:  .9.i.1           = value
+//   histogram:        .9.i.1 = count,  .9.i.2 = mean,
+//                     .9.i.3 = p50,    .9.i.4 = p99
+//
+// The MIB variables read through to the live metric, so a walk always sees
+// current values. Metrics registered after this call are not exported; call
+// again once the system is fully assembled. Returns how many OIDs were
+// registered. The registry must outlive the MIB.
+size_t ExportMetricsToMib(const MetricsRegistry* registry, Mib* mib);
+
+}  // namespace espk
+
+#endif  // SRC_MGMT_METRICS_MIB_H_

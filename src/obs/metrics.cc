@@ -1,0 +1,142 @@
+#include "src/obs/metrics.h"
+
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+
+namespace {
+
+bool IsPromChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+const char* KindName(Metric::Kind kind) {
+  switch (kind) {
+    case Metric::Kind::kCounter:
+      return "counter";
+    case Metric::Kind::kGauge:
+      return "gauge";
+    case Metric::Kind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "espk_";
+  for (char c : name) {
+    out.push_back(IsPromChar(c) ? c : '_');
+  }
+  return out;
+}
+
+Metric* MetricsRegistry::FindMutable(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Metric* MetricsRegistry::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Metric* MetricsRegistry::Adopt(std::unique_ptr<Metric> metric) {
+  Metric* raw = metric.get();
+  by_name_[raw->name()] = raw;
+  metrics_.push_back(std::move(metric));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  if (Metric* existing = FindMutable(name)) {
+    if (existing->kind() != Metric::Kind::kCounter) {
+      ESPK_LOG(kError) << "metric " << name << " re-registered as counter";
+      return nullptr;
+    }
+    return static_cast<Counter*>(existing);
+  }
+  return static_cast<Counter*>(
+      Adopt(std::unique_ptr<Metric>(new Counter(name, help))));
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Gauge::Reader reader,
+                                 const std::string& help) {
+  if (Metric* existing = FindMutable(name)) {
+    if (existing->kind() != Metric::Kind::kGauge) {
+      ESPK_LOG(kError) << "metric " << name << " re-registered as gauge";
+      return nullptr;
+    }
+    return static_cast<Gauge*>(existing);
+  }
+  return static_cast<Gauge*>(Adopt(
+      std::unique_ptr<Metric>(new Gauge(name, help, std::move(reader)))));
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               double lo, double hi,
+                                               int buckets,
+                                               const std::string& help) {
+  if (Metric* existing = FindMutable(name)) {
+    if (existing->kind() != Metric::Kind::kHistogram) {
+      ESPK_LOG(kError) << "metric " << name << " re-registered as histogram";
+      return nullptr;
+    }
+    return static_cast<HistogramMetric*>(existing);
+  }
+  return static_cast<HistogramMetric*>(Adopt(
+      std::unique_ptr<Metric>(new HistogramMetric(name, help, lo, hi,
+                                                  buckets))));
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& metric : metrics_) {
+    metric->Reset();
+  }
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::ostringstream os;
+  std::string stamp;
+  if (sim_ != nullptr) {
+    stamp = " " + std::to_string(sim_->now() / kMillisecond);
+  }
+  // Index loop, not iterators: a gauge reader may re-enter the registry and
+  // register new metrics mid-dump, growing metrics_.
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const Metric& m = *metrics_[i];
+    const std::string pname = PrometheusName(m.name());
+    os << "# HELP " << pname << " "
+       << (m.help().empty() ? m.name() : m.help()) << "\n";
+    os << "# TYPE " << pname << " " << KindName(m.kind()) << "\n";
+    switch (m.kind()) {
+      case Metric::Kind::kCounter:
+        os << pname << " " << static_cast<const Counter&>(m).value() << stamp
+           << "\n";
+        break;
+      case Metric::Kind::kGauge:
+        os << pname << " " << static_cast<const Gauge&>(m).Value() << stamp
+           << "\n";
+        break;
+      case Metric::Kind::kHistogram: {
+        const auto& h = static_cast<const HistogramMetric&>(m);
+        for (double q : {0.5, 0.9, 0.99}) {
+          os << pname << "{quantile=\"" << q << "\"} "
+             << h.histogram().Percentile(q) << stamp << "\n";
+        }
+        os << pname << "_sum " << h.running().sum() << stamp << "\n";
+        os << pname << "_count " << h.running().count() << stamp << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace espk

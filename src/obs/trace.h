@@ -1,0 +1,121 @@
+// Per-packet trace pipeline: a bounded ring of lifecycle events that lets
+// end-to-end latency be attributed per stage. Every audio packet's journey —
+// VAD write, rebroadcaster read, encode, multicast send, per-speaker
+// receive, decode, play or deadline miss — is recorded against its
+// (stream_id, seq) identity on the simulated clock.
+//
+// The first two stages are byte-stream stages: when the application writes
+// into the VAD and when the rebroadcaster reads the master device, no packet
+// sequence number exists yet. Those stages are recorded as byte-offset marks
+// (NoteBytes); when the rebroadcaster later cuts packet `seq` ending at
+// cumulative byte N, AttributeBytes resolves "when did byte N pass this
+// stage" into a proper per-packet event. Attribution is exact as long as the
+// byte stream flows uninterrupted; a config change flushes staged bytes and
+// the rebroadcaster calls ResetStream, accepting a brief attribution gap.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/stats.h"
+#include "src/base/time_types.h"
+
+namespace espk {
+
+class Simulation;
+
+enum class TraceStage : uint8_t {
+  kVadWrite = 0,       // Audio committed into the VAD master stream.
+  kRebroadcastRead,    // Rebroadcaster read the bytes from /dev/vadmN.
+  kEncode,             // Packet cut and codec run.
+  kMulticastSend,      // Handed to the LAN.
+  kSpeakerReceive,     // Arrived at a speaker's NIC.
+  kDecodeDone,         // Speaker's serialized decode stage finished.
+  kPlay,               // Rendered at (or within epsilon of) its deadline.
+  kDeadlineMiss,       // Thrown away: past deadline + epsilon (§3.2).
+};
+
+std::string_view TraceStageName(TraceStage stage);
+
+struct TraceEvent {
+  uint32_t stream_id = 0;
+  uint32_t seq = 0;
+  TraceStage stage = TraceStage::kVadWrite;
+  // NIC node id where the stage ran; 0 when the stage has no station (e.g.
+  // the kernel-side VAD write).
+  uint32_t node = 0;
+  SimTime at = 0;
+};
+
+class PacketTracer {
+ public:
+  // `capacity` bounds the event ring; the oldest events are overwritten
+  // (and counted in dropped()) once it fills.
+  explicit PacketTracer(Simulation* sim, size_t capacity = 8192);
+
+  PacketTracer(const PacketTracer&) = delete;
+  PacketTracer& operator=(const PacketTracer&) = delete;
+
+  // Records a packet-addressed stage at the current sim time.
+  void Record(uint32_t stream_id, uint32_t seq, TraceStage stage,
+              uint32_t node = 0);
+
+  // Byte-stream stages: `bytes` more bytes passed `stage` now.
+  void NoteBytes(uint32_t stream_id, TraceStage stage, size_t bytes);
+
+  // Packet `seq` covers the byte stream up to cumulative offset `byte_end`;
+  // converts the pending marks into a per-packet event stamped with the time
+  // the packet's LAST byte passed the stage. No-op if the marks for that
+  // offset are gone (stream reset, or mark ring overflow).
+  void AttributeBytes(uint32_t stream_id, TraceStage stage, uint64_t byte_end,
+                      uint32_t seq);
+
+  // Drops all byte marks and cumulative offsets for a stream (config
+  // change); packet-addressed events already in the ring are kept.
+  void ResetStream(uint32_t stream_id);
+
+  // Events for one packet, in record order (chronological: the simulation
+  // is single-threaded and the ring is append-only).
+  std::vector<TraceEvent> EventsFor(uint32_t stream_id, uint32_t seq) const;
+
+  const std::deque<TraceEvent>& events() const { return ring_; }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+  // Latency from `from` to `to`, in milliseconds, over every packet in the
+  // ring that has both stages (a speaker stage may appear once per
+  // listener; each occurrence contributes a sample).
+  RunningStats StageLatencyMs(TraceStage from, TraceStage to) const;
+
+  // Human-readable per-stage timeline for one packet.
+  std::string Dump(uint32_t stream_id, uint32_t seq) const;
+
+ private:
+  struct ByteMark {
+    uint64_t byte_end;  // Cumulative stream offset after this chunk.
+    SimTime at;
+  };
+  struct StreamStage {
+    uint64_t cumulative = 0;
+    std::deque<ByteMark> marks;
+  };
+
+  void Push(TraceEvent event);
+
+  Simulation* sim_;
+  size_t capacity_;
+  std::deque<TraceEvent> ring_;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+  std::map<std::pair<uint32_t, uint8_t>, StreamStage> byte_state_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_OBS_TRACE_H_

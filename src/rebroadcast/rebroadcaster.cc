@@ -6,6 +6,8 @@
 #include "src/audio/sample_convert.h"
 #include "src/base/logging.h"
 #include "src/kernel/vad.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace espk {
 
@@ -109,10 +111,15 @@ void Rebroadcaster::HandleConfig(const AudioConfig& config) {
   }
   if (!staging_.empty()) {
     // PCM staged under the old configuration cannot be interpreted under
-    // the new one; a real stream transition flushes.
+    // the new one; a real stream transition flushes. Dropping staged bytes
+    // desynchronizes the tracer's byte->packet attribution, so restart it.
     ESPK_LOG(kInfo) << "config change drops " << staging_.size()
                     << " staged bytes";
     staging_.clear();
+    bytes_cut_ = 0;
+    if (options_.tracer != nullptr) {
+      options_.tracer->ResetStream(options_.stream_id);
+    }
   }
   config_ = config;
   have_config_ = true;
@@ -149,6 +156,10 @@ void Rebroadcaster::HandleAudio(const Bytes& pcm) {
   }
   staging_.insert(staging_.end(), pcm.begin(), pcm.end());
   stats_.pcm_bytes_in += pcm.size();
+  if (options_.tracer != nullptr) {
+    options_.tracer->NoteBytes(options_.stream_id,
+                               TraceStage::kRebroadcastRead, pcm.size());
+  }
   MaybeSendPacket();
 }
 
@@ -199,11 +210,17 @@ void Rebroadcaster::SendDataPacket() {
   }
   Bytes chunk(staging_.begin(), staging_.begin() + static_cast<long>(packet_bytes));
   staging_.erase(staging_.begin(), staging_.begin() + static_cast<long>(packet_bytes));
+  bytes_cut_ += packet_bytes;
 
   std::vector<float> samples = DecodeToFloat(chunk, config_.encoding);
+  const double cpu_before = encode_cpu_.total_seconds();
   encode_cpu_.Begin();
   Result<Bytes> payload = encoder_->EncodePacket(samples);
   encode_cpu_.End();
+  if (options_.encode_ms_histogram != nullptr) {
+    options_.encode_ms_histogram->Observe(
+        (encode_cpu_.total_seconds() - cpu_before) * 1e3);
+  }
   if (!payload.ok()) {
     ESPK_LOG(kError) << "encode failed: " << payload.status();
     return;
@@ -234,9 +251,28 @@ void Rebroadcaster::SendDataPacket() {
   packet.frame_count = static_cast<uint32_t>(options_.packet_frames);
   packet.payload = std::move(*payload);
 
+  if (options_.tracer != nullptr) {
+    // Resolve the byte-stream stages to this packet now that its sequence
+    // number exists, then stamp the packet-addressed stages. Cut, encode,
+    // and send all happen at this same sim instant (encode costs host CPU,
+    // not simulated time).
+    options_.tracer->AttributeBytes(options_.stream_id, TraceStage::kVadWrite,
+                                    bytes_cut_, packet.seq);
+    options_.tracer->AttributeBytes(options_.stream_id,
+                                    TraceStage::kRebroadcastRead, bytes_cut_,
+                                    packet.seq);
+    options_.tracer->Record(options_.stream_id, packet.seq,
+                            TraceStage::kEncode);
+  }
+
   stats_.payload_bytes += packet.payload.size();
   ++stats_.data_packets;
   Send(packet);
+  if (options_.tracer != nullptr) {
+    options_.tracer->Record(options_.stream_id, packet.seq,
+                            TraceStage::kMulticastSend,
+                            transport_->node_id());
+  }
 }
 
 void Rebroadcaster::SendControlPacket(SimTime now) {

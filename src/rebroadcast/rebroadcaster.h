@@ -31,6 +31,9 @@
 
 namespace espk {
 
+class HistogramMetric;
+class PacketTracer;
+
 struct RebroadcasterOptions {
   uint32_t stream_id = 1;
   GroupId group = kFirstChannelGroup;
@@ -59,6 +62,12 @@ struct RebroadcasterOptions {
   // Optional §5.1 authenticator: given the signed region, returns the auth
   // trailer to attach.
   std::function<Bytes(const Bytes& signed_region)> authenticator;
+
+  // Observability hooks (src/obs), both optional and wired up by the
+  // system: per-packet lifecycle tracing, and the per-packet codec CPU
+  // cost distribution (the Figure 4 quantity, in milliseconds).
+  PacketTracer* tracer = nullptr;
+  HistogramMetric* encode_ms_histogram = nullptr;
 };
 
 struct RebroadcasterStats {
@@ -131,6 +140,7 @@ class Rebroadcaster {
   std::unique_ptr<AudioEncoder> encoder_;
 
   Bytes staging_;             // PCM bytes awaiting a full packet.
+  uint64_t bytes_cut_ = 0;    // Cumulative PCM cut into packets (tracing).
   uint32_t next_seq_ = 0;
   uint32_t control_seq_ = 0;
   SimTime next_deadline_ = 0;  // Play deadline for the next packet's frame 0.

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace espk {
 
@@ -110,8 +112,16 @@ void EthernetSpeaker::HandleControl(const ControlPacket& packet) {
                    << config_->ToString();
 }
 
+void EthernetSpeaker::Trace(uint32_t stream_id, uint32_t seq,
+                            TraceStage stage) {
+  if (options_.tracer != nullptr) {
+    options_.tracer->Record(stream_id, seq, stage, nic_->node_id());
+  }
+}
+
 void EthernetSpeaker::HandleData(const DataPacket& packet) {
   ++stats_.data_packets;
+  Trace(packet.stream_id, packet.seq, TraceStage::kSpeakerReceive);
   if (!config_.has_value()) {
     // §2.3: "The Ethernet Speaker has to wait till it receives a control
     // packet before it can start playing the audio stream."
@@ -155,16 +165,17 @@ void EthernetSpeaker::HandleData(const DataPacket& packet) {
     return;
   }
   queued_pcm_bytes_ += decoded_bytes;
+  uint32_t stream_id = packet.stream_id;
   uint32_t seq = packet.seq;
   sim_->ScheduleAt(decode_done,
-                   [this, seq, local_deadline,
+                   [this, stream_id, seq, local_deadline,
                     samples = std::move(*samples), decoded_bytes]() mutable {
-                     OnDecodeComplete(seq, local_deadline, std::move(samples),
-                                      decoded_bytes);
+                     OnDecodeComplete(stream_id, seq, local_deadline,
+                                      std::move(samples), decoded_bytes);
                    });
 }
 
-void EthernetSpeaker::OnDecodeComplete(uint32_t /*seq*/,
+void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
                                        SimTime local_deadline,
                                        std::vector<float> samples,
                                        size_t decoded_bytes) {
@@ -172,12 +183,17 @@ void EthernetSpeaker::OnDecodeComplete(uint32_t /*seq*/,
     queued_pcm_bytes_ -= decoded_bytes;
     return;  // Channel was re-tuned while the chunk was in the pipeline.
   }
+  Trace(stream_id, seq, TraceStage::kDecodeDone);
   SimTime now = sim_->now();
   SimDuration lateness = now - local_deadline;
+  if (options_.lateness_histogram != nullptr) {
+    options_.lateness_histogram->Observe(ToMillisecondsF(lateness));
+  }
   if (lateness > options_.sync_epsilon) {
     // §3.2: throw away data up until the current wall time.
     queued_pcm_bytes_ -= decoded_bytes;
     ++stats_.late_drops;
+    Trace(stream_id, seq, TraceStage::kDeadlineMiss);
     return;
   }
   if (lateness > 0) {
@@ -187,19 +203,21 @@ void EthernetSpeaker::OnDecodeComplete(uint32_t /*seq*/,
     queued_pcm_bytes_ -= decoded_bytes;
     stats_.total_lateness_ns += lateness;
     ++stats_.chunks_played;
+    Trace(stream_id, seq, TraceStage::kPlay);
     recorder_->Play(now, std::move(samples), options_.gain);
     return;
   }
   // Early: sleep until it is time to play. The chunk keeps occupying the
   // jitter buffer until it leaves the speaker.
   sim_->ScheduleAt(local_deadline,
-                   [this, local_deadline, samples = std::move(samples),
-                    decoded_bytes]() mutable {
+                   [this, stream_id, seq, local_deadline,
+                    samples = std::move(samples), decoded_bytes]() mutable {
                      queued_pcm_bytes_ -= decoded_bytes;
                      if (recorder_ == nullptr) {
                        return;
                      }
                      ++stats_.chunks_played;
+                     Trace(stream_id, seq, TraceStage::kPlay);
                      recorder_->Play(local_deadline, std::move(samples),
                                      options_.gain);
                    });

@@ -19,6 +19,7 @@
 #ifndef SRC_SPEAKER_SPEAKER_H_
 #define SRC_SPEAKER_SPEAKER_H_
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -33,6 +34,10 @@
 #include "src/speaker/playback.h"
 
 namespace espk {
+
+class HistogramMetric;
+class PacketTracer;
+enum class TraceStage : uint8_t;
 
 struct SpeakerOptions {
   std::string name = "es";
@@ -54,6 +59,13 @@ struct SpeakerOptions {
   // alpha in (0,1], offset_new = alpha*sample + (1-alpha)*offset. 1.0
   // reproduces the paper's behaviour exactly.
   double clock_smoothing_alpha = 1.0;
+
+  // Observability hooks (src/obs), both optional and wired up by the
+  // system: per-packet lifecycle tracing, and the distribution of how late
+  // each chunk completed decode relative to its deadline (ms; negative =
+  // early, > sync_epsilon = dropped).
+  PacketTracer* tracer = nullptr;
+  HistogramMetric* lateness_histogram = nullptr;
 };
 
 struct SpeakerStats {
@@ -96,6 +108,9 @@ class EthernetSpeaker {
   void set_gain(float gain) { options_.gain = gain; }
   float gain() const { return options_.gain; }
 
+  // Decoded-but-unplayed PCM currently occupying the jitter buffer.
+  size_t queued_pcm_bytes() const { return queued_pcm_bytes_; }
+
   Simulation* sim() { return sim_; }
 
   // Feeds a datagram as if it arrived on the NIC. The speaker installs
@@ -108,8 +123,10 @@ class EthernetSpeaker {
   void OnDatagram(const Datagram& datagram);
   void HandleControl(const ControlPacket& packet);
   void HandleData(const DataPacket& packet);
-  void OnDecodeComplete(uint32_t seq, SimTime local_deadline,
-                        std::vector<float> samples, size_t decoded_bytes);
+  void OnDecodeComplete(uint32_t stream_id, uint32_t seq,
+                        SimTime local_deadline, std::vector<float> samples,
+                        size_t decoded_bytes);
+  void Trace(uint32_t stream_id, uint32_t seq, TraceStage stage);
   void ResetChannelState();
 
   Simulation* sim_;

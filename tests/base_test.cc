@@ -5,6 +5,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/crc32.h"
+#include "src/base/logging.h"
 #include "src/base/prng.h"
 #include "src/base/rate.h"
 #include "src/base/ring_buffer.h"
@@ -348,6 +349,91 @@ TEST(HistogramTest, OutOfRangeCounted) {
   h.Add(-5.0);
   h.Add(15.0);
   EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+}
+
+TEST(HistogramTest, ExtremeQuantiles) {
+  Histogram h(0.0, 100.0, 10);
+  for (int i = 0; i < 50; ++i) {
+    h.Add(42.0);  // All samples land in bucket [40, 50).
+  }
+  // q=0 reports the low edge of the range; q=1 the upper edge of the
+  // highest populated bucket.
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 50.0);
+}
+
+TEST(HistogramTest, ExtremeQuantilesWithOverflow) {
+  Histogram h(0.0, 100.0, 10);
+  h.Add(-1.0);
+  h.Add(1000.0);
+  // Underflow pins q=0 at lo; overflow means the top quantile can only be
+  // bounded by hi.
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsLo) {
+  Histogram h(-5.0, 5.0, 10);
+  EXPECT_EQ(h.Percentile(0.0), -5.0);
+  EXPECT_EQ(h.Percentile(0.5), -5.0);
+  EXPECT_EQ(h.Percentile(1.0), -5.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1.0);
+  h.Add(5.0);
+  h.Add(99.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.underflow(), 0);
+  EXPECT_EQ(h.overflow(), 0);
+  for (int i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_EQ(h.bucket(i), 0);
+  }
+  // Range survives a reset.
+  EXPECT_EQ(h.lo(), 0.0);
+  EXPECT_EQ(h.hi(), 10.0);
+}
+
+// ---------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, ScopedCaptureRecordsAndRestores) {
+  {
+    ScopedLogCapture capture;
+    ESPK_LOG(kWarning) << "first " << 42;
+    ESPK_LOG(kError) << "second";
+    ASSERT_EQ(capture.count(), 2u);
+    EXPECT_EQ(capture.entries()[0].level, LogLevel::kWarning);
+    EXPECT_EQ(capture.entries()[0].message, "first 42");
+    EXPECT_TRUE(capture.Contains("second"));
+    EXPECT_FALSE(capture.Contains("third"));
+  }
+  // Sink restored: a fresh capture starts empty and the old one is gone.
+  ScopedLogCapture after;
+  ESPK_LOG(kError) << "third";
+  EXPECT_EQ(after.count(), 1u);
+}
+
+TEST(LoggingTest, CaptureHonorsThreshold) {
+  ScopedLogCapture capture(LogLevel::kWarning);
+  ESPK_LOG(kDebug) << "too quiet";
+  ESPK_LOG(kInfo) << "still too quiet";
+  ESPK_LOG(kWarning) << "loud enough";
+  ASSERT_EQ(capture.count(), 1u);
+  EXPECT_EQ(capture.entries()[0].message, "loud enough");
+}
+
+TEST(LoggingTest, CaptureLowersThresholdByDefault) {
+  LogLevel before = GetLogThreshold();
+  {
+    ScopedLogCapture capture;  // Defaults to kDebug.
+    ESPK_LOG(kDebug) << "visible";
+    EXPECT_EQ(capture.count(), 1u);
+  }
+  EXPECT_EQ(GetLogThreshold(), before);
 }
 
 // ------------------------------------------------------------ TokenBucket --

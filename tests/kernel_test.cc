@@ -94,6 +94,46 @@ TEST(KernelTest, OpenUnknownDeviceFails) {
   EXPECT_FALSE(kernel.Open(kAppPid, "/dev/nonexistent").ok());
 }
 
+TEST(KernelTest, AccountingLandsInInjectedRegistry) {
+  Simulation sim;
+  MetricsRegistry metrics(&sim);
+  SimKernel kernel(&sim, &metrics);
+  EXPECT_EQ(kernel.metrics(), &metrics);
+  // A failed open is still a syscall.
+  EXPECT_FALSE(kernel.Open(kAppPid, "/dev/nonexistent").ok());
+  kernel.CountInterrupt();
+  kernel.CountSilence(128);
+  const auto* syscalls =
+      static_cast<const Counter*>(metrics.Find("kernel.syscalls"));
+  ASSERT_NE(syscalls, nullptr);
+  EXPECT_EQ(syscalls->value(), 1u);
+  KernelStats stats = kernel.stats();
+  EXPECT_EQ(stats.syscalls, 1u);
+  EXPECT_EQ(stats.interrupts, 1u);
+  EXPECT_EQ(stats.silence_insertions, 128u);
+}
+
+TEST(KernelTest, ContextSwitchesAreDerivedFromStructuralEvents) {
+  Simulation sim;
+  SimKernel kernel(&sim);  // No registry injected: kernel owns a private one.
+  ASSERT_NE(kernel.metrics(), nullptr);
+  kernel.CountBlock();
+  kernel.CountBlock();
+  kernel.CountWakeup();
+  kernel.CountKthreadActivation();
+  KernelStats stats = kernel.stats();
+  EXPECT_EQ(stats.process_blocks, 2u);
+  EXPECT_EQ(stats.process_wakeups, 1u);
+  EXPECT_EQ(stats.kthread_activations, 1u);
+  // blocks + wakeups + 2 per kthread activation; nothing double-counted.
+  EXPECT_EQ(stats.context_switches, 2u + 1u + 2u);
+  // The derived total is also published as a gauge.
+  const auto* gauge = static_cast<const Gauge*>(
+      kernel.metrics()->Find("kernel.context_switches"));
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->Value(), 5.0);
+}
+
 TEST(KernelTest, BadFdFailsEverySyscall) {
   Simulation sim;
   SimKernel kernel(&sim);

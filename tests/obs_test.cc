@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/base/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+namespace {
+
+// ----------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, GetOrRegisterReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("kernel.syscalls", "number of syscalls");
+  Counter* b = registry.GetCounter("kernel.syscalls");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+  // Help text from the first registration sticks.
+  EXPECT_EQ(registry.Find("kernel.syscalls")->help(), "number of syscalls");
+}
+
+TEST(MetricsRegistryTest, KindMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ScopedLogCapture capture;  // Swallow (and check) the error log.
+  ASSERT_NE(registry.GetCounter("x"), nullptr);
+  EXPECT_EQ(registry.GetGauge("x", [] { return 1.0; }), nullptr);
+  EXPECT_EQ(registry.GetHistogram("x", 0.0, 1.0, 10), nullptr);
+  EXPECT_TRUE(capture.Contains("re-registered"));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, FindAndRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.GetCounter("b");
+  registry.GetGauge("a", [] { return 2.5; });
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  // metrics() preserves registration order, not name order — the MIB arcs
+  // and the exposition depend on that.
+  ASSERT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.metrics()[0]->name(), "b");
+  EXPECT_EQ(registry.metrics()[1]->name(), "a");
+}
+
+TEST(MetricsRegistryTest, ResetAllClearsOwnedMetrics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  HistogramMetric* h = registry.GetHistogram("h", 0.0, 10.0, 10);
+  double external = 7.0;
+  registry.GetGauge("g", [&external] { return external; });
+  c->Increment(5);
+  h->Observe(3.0);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->running().count(), 0);
+  EXPECT_EQ(h->histogram().count(), 0);
+  // Gauges read external state; reset must not touch it.
+  EXPECT_EQ(static_cast<const Gauge*>(registry.Find("g"))->Value(), 7.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusNameFlattening) {
+  EXPECT_EQ(PrometheusName("kernel.silence_bytes"),
+            "espk_kernel_silence_bytes");
+  EXPECT_EQ(PrometheusName("speaker.0.late-drops"),
+            "espk_speaker_0_late_drops");
+}
+
+TEST(MetricsRegistryTest, TextExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("kernel.syscalls", "total syscalls")->Increment(12);
+  registry.GetGauge("lan.load", [] { return 0.5; }, "wire load");
+  HistogramMetric* h = registry.GetHistogram("enc.ms", 0.0, 10.0, 10);
+  h->Observe(1.0);
+  h->Observe(3.0);
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("# HELP espk_kernel_syscalls total syscalls\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE espk_kernel_syscalls counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("espk_kernel_syscalls 12\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE espk_lan_load gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("espk_lan_load 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE espk_enc_ms summary\n"), std::string::npos);
+  EXPECT_NE(text.find("espk_enc_ms{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("espk_enc_ms_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("espk_enc_ms_count 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, TextExpositionCarriesSimTimestamps) {
+  Simulation sim;
+  MetricsRegistry registry(&sim);
+  registry.GetCounter("c")->Increment();
+  sim.ScheduleAt(Milliseconds(1500), [] {});
+  sim.Run();
+  // Timestamp is the sim clock in milliseconds.
+  EXPECT_NE(registry.TextExposition().find("espk_c 1 1500\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GaugeReaderMayRegisterMetricsDuringExposition) {
+  MetricsRegistry registry;
+  // A pathological-but-legal gauge that lazily registers a companion metric
+  // the first time it is read. The dump must not invalidate itself.
+  registry.GetGauge("outer", [&registry] {
+    registry.GetCounter("inner.lazy")->Increment();
+    return 1.0;
+  });
+  std::string text = registry.TextExposition();
+  EXPECT_NE(text.find("espk_outer 1\n"), std::string::npos);
+  EXPECT_NE(text.find("espk_inner_lazy 1\n"), std::string::npos);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+// --------------------------------------------------------------- PacketTracer
+
+TEST(PacketTracerTest, RecordAndEventsFor) {
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  tracer.Record(1, 7, TraceStage::kEncode);
+  tracer.Record(1, 7, TraceStage::kMulticastSend, 3);
+  tracer.Record(1, 8, TraceStage::kEncode);
+  auto events = tracer.EventsFor(1, 7);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].stage, TraceStage::kEncode);
+  EXPECT_EQ(events[1].stage, TraceStage::kMulticastSend);
+  EXPECT_EQ(events[1].node, 3u);
+  EXPECT_EQ(tracer.recorded(), 3u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(PacketTracerTest, ByteAttributionUsesLastByteTime) {
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  // 100 bytes at t=0, 100 more at t=10ms; packet 0 covers bytes [0, 150).
+  tracer.NoteBytes(1, TraceStage::kVadWrite, 100);
+  sim.ScheduleAt(Milliseconds(10), [&tracer] {
+    tracer.NoteBytes(1, TraceStage::kVadWrite, 100);
+  });
+  sim.Run();
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 150, /*seq=*/0);
+  auto events = tracer.EventsFor(1, 0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stage, TraceStage::kVadWrite);
+  // Byte 150 arrived in the second chunk, at 10 ms.
+  EXPECT_EQ(events[0].at, Milliseconds(10));
+  // Packet 1 covers bytes [150, 200): same chunk, same time.
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 200, /*seq=*/1);
+  events = tracer.EventsFor(1, 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at, Milliseconds(10));
+  // The mark for byte 200 was consumed exactly; nothing left to attribute.
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 300, /*seq=*/2);
+  EXPECT_TRUE(tracer.EventsFor(1, 2).empty());
+}
+
+TEST(PacketTracerTest, ResetStreamDropsPendingMarks) {
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  tracer.NoteBytes(1, TraceStage::kVadWrite, 100);
+  tracer.Record(1, 0, TraceStage::kEncode);
+  tracer.ResetStream(1);
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 100, /*seq=*/0);
+  // The mark is gone, but the packet-addressed event survived.
+  auto events = tracer.EventsFor(1, 0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stage, TraceStage::kEncode);
+}
+
+TEST(PacketTracerTest, RingBoundsAndCountsDrops) {
+  Simulation sim;
+  PacketTracer tracer(&sim, /*capacity=*/4);
+  for (uint32_t seq = 0; seq < 10; ++seq) {
+    tracer.Record(1, seq, TraceStage::kEncode);
+  }
+  EXPECT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  // Oldest events went first.
+  EXPECT_TRUE(tracer.EventsFor(1, 0).empty());
+  EXPECT_EQ(tracer.EventsFor(1, 9).size(), 1u);
+}
+
+TEST(PacketTracerTest, StageLatencyAcrossListeners) {
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  tracer.Record(1, 0, TraceStage::kMulticastSend);
+  sim.ScheduleAt(Milliseconds(2), [&tracer] {
+    tracer.Record(1, 0, TraceStage::kSpeakerReceive, 2);
+  });
+  sim.ScheduleAt(Milliseconds(4), [&tracer] {
+    tracer.Record(1, 0, TraceStage::kSpeakerReceive, 3);
+  });
+  sim.Run();
+  RunningStats latency = tracer.StageLatencyMs(TraceStage::kMulticastSend,
+                                               TraceStage::kSpeakerReceive);
+  // One sample per listener.
+  EXPECT_EQ(latency.count(), 2);
+  EXPECT_DOUBLE_EQ(latency.min(), 2.0);
+  EXPECT_DOUBLE_EQ(latency.max(), 4.0);
+}
+
+TEST(PacketTracerTest, DumpNamesEveryStage) {
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  tracer.Record(1, 0, TraceStage::kEncode);
+  tracer.Record(1, 0, TraceStage::kPlay, 2);
+  std::string dump = tracer.Dump(1, 0);
+  EXPECT_NE(dump.find("encode"), std::string::npos);
+  EXPECT_NE(dump.find("play"), std::string::npos);
+  EXPECT_NE(dump.find("node 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace espk

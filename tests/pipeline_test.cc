@@ -369,6 +369,47 @@ TEST(PipelineTest, EightSimultaneousStreams) {
   }
 }
 
+TEST(PipelineTest, PacketTraceCoversWholeLifecycle) {
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("music");
+  (void)*system.AddSpeaker(FastSpeaker("es"), channel->group);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(16), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(5));
+
+  // A mid-stream packet that has long since left the playout pipeline.
+  const uint32_t seq = 20;
+  auto events = system.tracer()->EventsFor(channel->stream_id, seq);
+  std::vector<TraceStage> stages;
+  for (const TraceEvent& event : events) {
+    stages.push_back(event.stage);
+  }
+  const std::vector<TraceStage> expected = {
+      TraceStage::kVadWrite,      TraceStage::kRebroadcastRead,
+      TraceStage::kEncode,        TraceStage::kMulticastSend,
+      TraceStage::kSpeakerReceive, TraceStage::kDecodeDone,
+      TraceStage::kPlay};
+  ASSERT_EQ(stages, expected)
+      << system.tracer()->Dump(channel->stream_id, seq);
+  // The lifecycle moves forward in simulated time, stage by stage.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].at, events[i - 1].at)
+        << TraceStageName(events[i].stage);
+  }
+  // Send-to-play latency across the ring sits inside the playout window:
+  // bounded by playout_delay plus the rate limiter's lead (the initial
+  // burst is sent early and waits in the jitter buffer).
+  RunningStats e2e = system.tracer()->StageLatencyMs(
+      TraceStage::kMulticastSend, TraceStage::kPlay);
+  EXPECT_GT(e2e.count(), 10);
+  EXPECT_GT(e2e.mean(), 0.0);
+  EXPECT_LE(e2e.max(), 500.0);  // playout_delay + rate_limiter_lead, in ms.
+}
+
 TEST(PipelineTest, SlowDecoderWithLargeBuffersSkips) {
   // §3.4: large buffers + slow CPU stall the pipeline ("time delays add up,
   // resulting in skipped audio"); small buffers fix it.
