@@ -1,0 +1,111 @@
+// Replacement global allocation functions that count every heap allocation.
+// See alloc_hook.h. These must live in a .cc (replacement operator new must
+// not be inline, [replacement.functions]), and the whole family is replaced
+// so no variant silently bypasses the counter.
+#include "bench/alloc_hook.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace espk::bench {
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) noexcept {
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  if (p != nullptr) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) noexcept {
+  if (size == 0) {
+    size = 1;
+  }
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded);
+  if (p != nullptr) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+}  // namespace
+
+uint64_t AllocCount() { return g_alloc_count.load(std::memory_order_relaxed); }
+
+}  // namespace espk::bench
+
+void* operator new(std::size_t size) {
+  void* p = espk::bench::CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return espk::bench::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return espk::bench::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p =
+      espk::bench::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return espk::bench::CountedAlignedAlloc(size,
+                                          static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return espk::bench::CountedAlignedAlloc(size,
+                                          static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,26 @@
+// Process-wide heap allocation counter for the benchmark harnesses.
+//
+// alloc_hook.cc replaces the global operator new/delete family with
+// malloc-backed versions that bump an atomic counter on every allocation.
+// Linking that translation unit into a bench binary (see bench/CMakeLists)
+// is what activates the hook; this header only exposes the counter.
+//
+// The codec zero-allocation claim in DESIGN.md is enforced with this:
+// BENCH_codec.json reports AllocCount() deltas across steady-state
+// EncodePacket/DecodePacket calls, and bench_gate fails the build if they
+// creep above the checked-in baseline.
+#ifndef BENCH_ALLOC_HOOK_H_
+#define BENCH_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace espk::bench {
+
+// Total calls into the replaced global operator new (all variants) since
+// process start. Monotonic; subtract two readings to count allocations in a
+// region. Thread-safe (relaxed atomic).
+uint64_t AllocCount();
+
+}  // namespace espk::bench
+
+#endif  // BENCH_ALLOC_HOOK_H_

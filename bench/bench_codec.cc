@@ -5,12 +5,24 @@
 // google-benchmark micro-benchmarks for encode/decode throughput, plus a
 // printed quality sweep (bitrate, compression ratio, SNR) over music-like
 // and speech-like content.
+// Alongside the printed tables, this binary writes BENCH_codec.json (see
+// README "Benchmarks"): steady-state encode/decode ns per frame, bytes per
+// frame, and heap allocations per packet counted by the linked-in
+// bench/alloc_hook. `--quick` skips google-benchmark and the sweep and only
+// produces the JSON — that mode backs the espk_bench_smoke ctest, which
+// gates on bench/baselines/BENCH_codec_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
+#include "bench/alloc_hook.h"
 #include "bench/bench_util.h"
 #include "src/audio/analysis.h"
 #include "src/audio/generator.h"
 #include "src/codec/codec.h"
+#include "src/dsp/psymodel.h"
+#include "src/obs/metrics.h"
 
 namespace espk {
 namespace {
@@ -96,12 +108,114 @@ void PrintQualitySweep() {
   std::printf("(raw CD reference: 1411 kbps)\n");
 }
 
+// Steady-state codec measurement behind BENCH_codec.json. Per-packet encode
+// wall time feeds a MetricsRegistry histogram (the same metric type the
+// running system exports for rebroadcaster encode cost), and allocations
+// are counted with the alloc_hook across single warm calls.
+constexpr int kFramesPerPacket = 4096;
+constexpr int kSchemaVersion = 1;
+
+struct CodecMeasurement {
+  int packets = 0;
+  double encode_ns_per_frame = 0.0;
+  double decode_ns_per_frame = 0.0;
+  double bytes_per_frame = 0.0;
+  uint64_t encode_allocs_per_packet = 0;
+  uint64_t decode_allocs_per_packet = 0;
+};
+
+CodecMeasurement MeasureCodec(int packets, HistogramMetric* encode_ns) {
+  using Clock = std::chrono::steady_clock;
+  AudioConfig cd = AudioConfig::CdQuality();
+  auto encoder = *CreateEncoder(CodecId::kVorbix, cd, kMaxQuality);
+  auto decoder = *CreateDecoder(CodecId::kVorbix, cd, kMaxQuality);
+  std::vector<float> samples = MusicContent(kFramesPerPacket, cd);
+
+  // Warm the per-stream scratch arenas so the loop below measures the
+  // steady state the rebroadcaster actually runs in.
+  Bytes packet;
+  for (int i = 0; i < 3; ++i) {
+    packet = *encoder->EncodePacket(samples);
+    (void)*decoder->DecodePacket(packet);
+  }
+
+  CodecMeasurement m;
+  m.packets = packets;
+  // Allocation counts over one warm call each, holding the Result so only
+  // the codec's own allocations land in the delta.
+  uint64_t before = bench::AllocCount();
+  Result<Bytes> enc = encoder->EncodePacket(samples);
+  m.encode_allocs_per_packet = bench::AllocCount() - before;
+  before = bench::AllocCount();
+  Result<std::vector<float>> dec = decoder->DecodePacket(*enc);
+  m.decode_allocs_per_packet = bench::AllocCount() - before;
+
+  double encode_total_ns = 0.0;
+  double decode_total_ns = 0.0;
+  for (int i = 0; i < packets; ++i) {
+    auto t0 = Clock::now();
+    Result<Bytes> p = encoder->EncodePacket(samples);
+    auto t1 = Clock::now();
+    Result<std::vector<float>> d = decoder->DecodePacket(*p);
+    auto t2 = Clock::now();
+    const double ens =
+        std::chrono::duration<double, std::nano>(t1 - t0).count();
+    const double dns =
+        std::chrono::duration<double, std::nano>(t2 - t1).count();
+    encode_ns->Observe(ens);
+    encode_total_ns += ens;
+    decode_total_ns += dns;
+    m.bytes_per_frame = static_cast<double>(p->size()) / kFramesPerPacket;
+  }
+  const double frames = static_cast<double>(packets) * kFramesPerPacket;
+  m.encode_ns_per_frame = encode_total_ns / frames;
+  m.decode_ns_per_frame = decode_total_ns / frames;
+  return m;
+}
+
+bool EmitCodecJson(const char* path) {
+  const int packets = 50;
+  MetricsRegistry registry;
+  HistogramMetric* encode_ns = registry.GetHistogram(
+      "codec.encode_ns_per_packet", 0.0, 2.0e6, 200,
+      "Wall time of one steady-state Vorbix EncodePacket (ns)");
+  CodecMeasurement m = MeasureCodec(packets, encode_ns);
+
+  JsonWriter json;
+  json.Str("bench", "codec");
+  json.Int("schema_version", kSchemaVersion);
+  json.Int("frames_per_packet", kFramesPerPacket);
+  json.Int("packets", static_cast<uint64_t>(m.packets));
+  json.Int("quality", kMaxQuality);
+  json.Num("encode_ns_per_frame", m.encode_ns_per_frame);
+  json.Num("decode_ns_per_frame", m.decode_ns_per_frame);
+  json.Num("bytes_per_frame", m.bytes_per_frame);
+  json.Int("encode_allocs_per_packet", m.encode_allocs_per_packet);
+  json.Int("decode_allocs_per_packet", m.decode_allocs_per_packet);
+  EmitHistogramFields(&json, "encode_ns_per_packet", *encode_ns);
+  if (!json.WriteFile(path)) {
+    return false;
+  }
+  std::printf(
+      "wrote %s: encode %.1f ns/frame, decode %.1f ns/frame, "
+      "%.2f bytes/frame, allocs/packet encode=%llu decode=%llu\n",
+      path, m.encode_ns_per_frame, m.decode_ns_per_frame, m.bytes_per_frame,
+      static_cast<unsigned long long>(m.encode_allocs_per_packet),
+      static_cast<unsigned long long>(m.decode_allocs_per_packet));
+  return true;
+}
+
 }  // namespace
 }  // namespace espk
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      return espk::EmitCodecJson("BENCH_codec.json") ? 0 : 1;
+    }
+  }
   espk::PrintQualitySweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return espk::EmitCodecJson("BENCH_codec.json") ? 0 : 1;
 }

@@ -11,6 +11,11 @@
 // Absolute numbers differ from the paper's 2005-era hardware; the shape to
 // check is that CPU tracks the stream count (8 streams ~ 2x 4 streams) and
 // is roughly flat over time.
+// Besides the printed table, writes BENCH_fig4_compression_cpu.json with the
+// per-series CPU means and the per-packet encode-cost distribution pulled
+// from the system's own MetricsRegistry ("rebroadcast.<id>.encode_ms"
+// histograms, merged across streams) — the same telemetry an NMS would walk.
+#include <algorithm>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -21,9 +26,52 @@
 namespace espk {
 namespace {
 
+// Percentile over several same-shaped histograms as if their samples had
+// landed in one; mirrors Histogram::Percentile's interpolation.
+double MergedPercentile(const std::vector<const Histogram*>& hs, double q) {
+  if (hs.empty()) {
+    return 0.0;
+  }
+  int64_t count = 0;
+  int64_t underflow = 0;
+  for (const Histogram* h : hs) {
+    count += h->count();
+    underflow += h->underflow();
+  }
+  if (count == 0) {
+    return hs[0]->lo();
+  }
+  const double width =
+      (hs[0]->hi() - hs[0]->lo()) / static_cast<double>(hs[0]->bucket_count());
+  double target = q * static_cast<double>(count);
+  double seen = static_cast<double>(underflow);
+  if (seen >= target) {
+    return hs[0]->lo();
+  }
+  for (int i = 0; i < hs[0]->bucket_count(); ++i) {
+    int64_t in_bucket = 0;
+    for (const Histogram* h : hs) {
+      in_bucket += h->bucket(i);
+    }
+    double next = seen + static_cast<double>(in_bucket);
+    if (next >= target && in_bucket > 0) {
+      double frac = (target - seen) / static_cast<double>(in_bucket);
+      return hs[0]->lo() + (static_cast<double>(i) + frac) * width;
+    }
+    seen = next;
+  }
+  return hs[0]->hi();
+}
+
 struct SeriesResult {
   std::vector<double> cpu_percent;  // One sample per simulated second.
   double mean = 0.0;
+  // Per-packet codec cost, merged over every stream's encode_ms histogram.
+  uint64_t encode_count = 0;
+  double encode_ms_mean = 0.0;
+  double encode_ms_p50 = 0.0;
+  double encode_ms_p95 = 0.0;
+  double encode_ms_max = 0.0;
 };
 
 SeriesResult RunStreams(int streams, int seconds) {
@@ -55,6 +103,28 @@ SeriesResult RunStreams(int streams, int seconds) {
     acc += v;
   }
   result.mean = acc / static_cast<double>(result.cpu_percent.size());
+
+  // Harvest the per-stream encode-cost histograms the system registered.
+  std::vector<const Histogram*> hists;
+  double weighted_mean = 0.0;
+  for (const auto& metric : system.metrics()->metrics()) {
+    if (metric->kind() != Metric::Kind::kHistogram ||
+        !metric->name().ends_with(".encode_ms")) {
+      continue;
+    }
+    const auto* h = static_cast<const HistogramMetric*>(metric.get());
+    hists.push_back(&h->histogram());
+    result.encode_count += static_cast<uint64_t>(h->running().count());
+    weighted_mean +=
+        h->running().mean() * static_cast<double>(h->running().count());
+    result.encode_ms_max = std::max(result.encode_ms_max, h->running().max());
+  }
+  if (result.encode_count > 0) {
+    result.encode_ms_mean =
+        weighted_mean / static_cast<double>(result.encode_count);
+  }
+  result.encode_ms_p50 = MergedPercentile(hists, 0.5);
+  result.encode_ms_p95 = MergedPercentile(hists, 0.95);
   return result;
 }
 
@@ -81,5 +151,19 @@ int main() {
               "ratio = %.2fx (paper shape: ~2x)\n",
               four.mean, eight.mean,
               four.mean > 0 ? eight.mean / four.mean : 0.0);
-  return 0;
+
+  JsonWriter json;
+  json.Str("bench", "fig4_compression_cpu");
+  json.Int("schema_version", 1);
+  json.Int("seconds", kSeconds);
+  json.Num("four_cpu_pct_mean", four.mean);
+  json.Num("eight_cpu_pct_mean", eight.mean);
+  json.Num("eight_over_four_ratio",
+           four.mean > 0 ? eight.mean / four.mean : 0.0);
+  json.Int("eight_encode_packets", eight.encode_count);
+  json.Num("eight_encode_ms_mean", eight.encode_ms_mean);
+  json.Num("eight_encode_ms_p50", eight.encode_ms_p50);
+  json.Num("eight_encode_ms_p95", eight.encode_ms_p95);
+  json.Num("eight_encode_ms_max", eight.encode_ms_max);
+  return json.WriteFile("BENCH_fig4_compression_cpu.json") ? 0 : 1;
 }

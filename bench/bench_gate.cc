@@ -1,0 +1,164 @@
+// Perf gate over BENCH_codec.json: validates the schema and fails when the
+// hot path regresses against the checked-in baseline. Run by the
+// espk_bench_smoke ctest (Release builds, label "bench"):
+//
+//   bench_gate <current.json> <baseline.json> [max_encode_regress_frac]
+//
+// Checks, in order:
+//   1. both files parse as flat JSON objects with every required field of
+//      the right type (schema_version 1, bench "codec");
+//   2. allocations per packet have not grown past the baseline — the
+//      zero-allocation steady state is a correctness property here, so even
+//      a +1 drift fails;
+//   3. encode ns/frame is within (1 + max_regress) of baseline, default
+//      +25% — loose enough for shared-machine noise, tight enough to catch
+//      an accidental O(N log N) -> O(N^2) or a reintroduced per-packet copy.
+//
+// Exit 0 on pass; 1 with one "FAIL:" line per violation otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/json_lite.h"
+
+namespace espk {
+namespace {
+
+Result<std::map<std::string, JsonValue>> LoadJson(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    return DataLossError(std::string("cannot open ") + path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseFlatJsonObject(text);
+}
+
+struct Gate {
+  int failures = 0;
+
+  void Fail(const std::string& msg) {
+    std::fprintf(stderr, "FAIL: %s\n", msg.c_str());
+    ++failures;
+  }
+
+  // Returns the numeric field, failing (and returning 0) if missing or not
+  // a number.
+  double Number(const std::map<std::string, JsonValue>& obj,
+                const std::string& file, const std::string& key) {
+    auto it = obj.find(key);
+    if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber) {
+      Fail(file + ": missing numeric field \"" + key + "\"");
+      return 0.0;
+    }
+    return it->second.number;
+  }
+};
+
+const char* const kNumericFields[] = {
+    "schema_version",          "frames_per_packet",
+    "packets",                 "quality",
+    "encode_ns_per_frame",     "decode_ns_per_frame",
+    "bytes_per_frame",         "encode_allocs_per_packet",
+    "decode_allocs_per_packet", "encode_ns_per_packet_count",
+    "encode_ns_per_packet_mean", "encode_ns_per_packet_p50",
+    "encode_ns_per_packet_p95",
+};
+
+int Run(const char* current_path, const char* baseline_path,
+        double max_regress) {
+  Gate gate;
+  Result<std::map<std::string, JsonValue>> current = LoadJson(current_path);
+  Result<std::map<std::string, JsonValue>> baseline = LoadJson(baseline_path);
+  if (!current.ok()) {
+    gate.Fail(std::string(current_path) + ": " +
+              std::string(current.status().message()));
+  }
+  if (!baseline.ok()) {
+    gate.Fail(std::string(baseline_path) + ": " +
+              std::string(baseline.status().message()));
+  }
+  if (gate.failures > 0) {
+    return 1;
+  }
+
+  for (const auto* pair :
+       {&*current, &*baseline}) {
+    const std::string file =
+        pair == &*current ? current_path : baseline_path;
+    auto bench = pair->find("bench");
+    if (bench == pair->end() ||
+        bench->second.kind != JsonValue::Kind::kString ||
+        bench->second.str != "codec") {
+      gate.Fail(file + ": field \"bench\" must be the string \"codec\"");
+    }
+    for (const char* key : kNumericFields) {
+      (void)gate.Number(*pair, file, key);
+    }
+  }
+  if (gate.failures > 0) {
+    return 1;
+  }
+
+  if (gate.Number(*current, current_path, "schema_version") != 1.0) {
+    gate.Fail("unsupported schema_version (want 1)");
+  }
+
+  // Allocations are a hard gate: the steady-state count is a designed-in
+  // property (one output buffer per packet), not a tunable.
+  for (const char* key :
+       {"encode_allocs_per_packet", "decode_allocs_per_packet"}) {
+    const double cur = gate.Number(*current, current_path, key);
+    const double base = gate.Number(*baseline, baseline_path, key);
+    if (cur > base) {
+      gate.Fail(std::string(key) + " grew: " + std::to_string(cur) + " > " +
+                "baseline " + std::to_string(base));
+    }
+  }
+
+  const double cur_ns = gate.Number(*current, current_path,
+                                    "encode_ns_per_frame");
+  const double base_ns = gate.Number(*baseline, baseline_path,
+                                     "encode_ns_per_frame");
+  const double limit = base_ns * (1.0 + max_regress);
+  if (cur_ns > limit) {
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "encode_ns_per_frame %.1f exceeds baseline %.1f by more "
+                  "than %.0f%% (limit %.1f)",
+                  cur_ns, base_ns, max_regress * 100.0, limit);
+    gate.Fail(msg);
+  }
+
+  if (gate.failures == 0) {
+    std::printf(
+        "PASS: encode %.1f ns/frame (baseline %.1f, limit %.1f), "
+        "allocs/packet encode=%g decode=%g\n",
+        cur_ns, base_ns, limit,
+        gate.Number(*current, current_path, "encode_allocs_per_packet"),
+        gate.Number(*current, current_path, "decode_allocs_per_packet"));
+  }
+  return gate.failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace espk
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: bench_gate <current.json> <baseline.json> "
+                 "[max_encode_regress_frac]\n");
+    return 2;
+  }
+  double max_regress = 0.25;
+  if (argc == 4) {
+    max_regress = std::strtod(argv[3], nullptr);
+  }
+  return espk::Run(argv[1], argv[2], max_regress);
+}

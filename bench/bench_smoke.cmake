@@ -1,0 +1,30 @@
+# Driver for the espk_bench_smoke ctest (Release builds only, label
+# "bench"): runs bench_codec --quick to produce BENCH_codec.json in the
+# build tree, then bench_gate to validate its schema and compare encode
+# ns/frame against the checked-in baseline.
+#
+# Invoked as:
+#   cmake -DBENCH_CODEC=<path> -DBENCH_GATE=<path> -DBASELINE=<path>
+#         -DWORK_DIR=<dir> -P bench_smoke.cmake
+foreach(var BENCH_CODEC BENCH_GATE BASELINE WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_smoke.cmake: ${var} not set")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${BENCH_CODEC}" --quick
+  WORKING_DIRECTORY "${WORK_DIR}"
+  RESULT_VARIABLE bench_rc
+)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_codec --quick failed (exit ${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH_GATE}" "${WORK_DIR}/BENCH_codec.json" "${BASELINE}"
+  RESULT_VARIABLE gate_rc
+)
+if(NOT gate_rc EQUAL 0)
+  message(FATAL_ERROR "bench_gate failed (exit ${gate_rc}); see FAIL lines")
+endif()

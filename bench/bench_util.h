@@ -2,12 +2,19 @@
 // (a) the series/rows the paper reports, (b) the paper's reference values
 // where it gives any, so EXPERIMENTS.md can record paper-vs-measured
 // side by side.
+// Benches that feed CI additionally emit a machine-readable BENCH_<name>.json
+// (schema documented in README "Benchmarks"); EmitHistogramFields bridges a
+// MetricsRegistry histogram into that file so the same telemetry the system
+// exports at runtime backs the perf gate.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "bench/json_lite.h"
+#include "src/obs/metrics.h"
 
 namespace espk {
 
@@ -50,6 +57,18 @@ inline std::string Fmt(double v, int precision = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// Flattens a HistogramMetric into "<prefix>_count/mean/p50/p95/max" JSON
+// fields, the summary shape bench_gate and humans both read.
+inline void EmitHistogramFields(JsonWriter* json, const std::string& prefix,
+                                const HistogramMetric& metric) {
+  json->Int(prefix + "_count",
+            static_cast<uint64_t>(metric.running().count()));
+  json->Num(prefix + "_mean", metric.running().mean());
+  json->Num(prefix + "_p50", metric.histogram().Percentile(0.5));
+  json->Num(prefix + "_p95", metric.histogram().Percentile(0.95));
+  json->Num(prefix + "_max", metric.running().max());
 }
 
 }  // namespace espk

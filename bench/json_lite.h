@@ -1,0 +1,195 @@
+// Minimal JSON support for the BENCH_*.json machine-readable bench results:
+// an ordered flat-object writer and a matching parser. Deliberately tiny —
+// the bench schema is one object of numbers/strings/bools, so nested
+// containers are out of scope (the parser rejects them loudly rather than
+// mis-reading them). No third-party JSON dependency in the image.
+#ifndef BENCH_JSON_LITE_H_
+#define BENCH_JSON_LITE_H_
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace espk {
+
+// Ordered flat JSON object writer. Keys are emitted in insertion order so
+// the files diff cleanly run-to-run.
+class JsonWriter {
+ public:
+  void Num(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    entries_.emplace_back(key, buf);
+  }
+
+  void Int(const std::string& key, uint64_t v) {
+    entries_.emplace_back(key, std::to_string(v));
+  }
+
+  void Str(const std::string& key, const std::string& v) {
+    std::string quoted = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') {
+        quoted += '\\';
+      }
+      quoted += c;
+    }
+    quoted += '"';
+    entries_.emplace_back(key, quoted);
+  }
+
+  void Bool(const std::string& key, bool v) {
+    entries_.emplace_back(key, v ? "true" : "false");
+  }
+
+  std::string Finish() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+      out += i + 1 < entries_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  // Returns false (and prints to stderr) if the file cannot be written.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json_lite: cannot open %s for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string text = Finish();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct JsonValue {
+  enum class Kind { kNumber, kString, kBool };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string str;
+  bool boolean = false;
+};
+
+// Parses a single flat JSON object {"key": value, ...} where every value is
+// a number, string, or bool. Nested objects/arrays/null are errors.
+inline Result<std::map<std::string, JsonValue>> ParseFlatJsonObject(
+    const std::string& text) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  auto parse_string = [&]() -> Result<std::string> {
+    if (i >= text.size() || text[i] != '"') {
+      return DataLossError("json: expected string at offset " +
+                           std::to_string(i));
+    }
+    ++i;
+    std::string out;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') {
+        ++i;
+        if (i >= text.size()) {
+          return DataLossError("json: dangling escape");
+        }
+        switch (text[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += text[i]; break;
+        }
+      } else {
+        out += text[i];
+      }
+      ++i;
+    }
+    if (i >= text.size()) {
+      return DataLossError("json: unterminated string");
+    }
+    ++i;  // Closing quote.
+    return out;
+  };
+
+  std::map<std::string, JsonValue> obj;
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') {
+    return DataLossError("json: expected '{'");
+  }
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') {
+    return obj;
+  }
+  while (true) {
+    skip_ws();
+    Result<std::string> key = parse_string();
+    if (!key.ok()) {
+      return key.status();
+    }
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') {
+      return DataLossError("json: expected ':' after key \"" + *key + "\"");
+    }
+    ++i;
+    skip_ws();
+    JsonValue value;
+    if (i < text.size() && text[i] == '"') {
+      Result<std::string> s = parse_string();
+      if (!s.ok()) {
+        return s.status();
+      }
+      value.kind = JsonValue::Kind::kString;
+      value.str = std::move(*s);
+    } else if (text.compare(i, 4, "true") == 0) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      i += 4;
+    } else if (text.compare(i, 5, "false") == 0) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      i += 5;
+    } else {
+      char* end = nullptr;
+      value.kind = JsonValue::Kind::kNumber;
+      value.number = std::strtod(text.c_str() + i, &end);
+      if (end == text.c_str() + i) {
+        return DataLossError("json: unsupported value for key \"" + *key +
+                             "\" (flat numbers/strings/bools only)");
+      }
+      i = static_cast<size_t>(end - text.c_str());
+    }
+    obj[*key] = std::move(value);
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') {
+      ++i;
+      break;
+    }
+    return DataLossError("json: expected ',' or '}' at offset " +
+                         std::to_string(i));
+  }
+  return obj;
+}
+
+}  // namespace espk
+
+#endif  // BENCH_JSON_LITE_H_

@@ -1,76 +1,78 @@
 #include "src/audio/sample_convert.h"
 
-#include <algorithm>
+#include <array>
 #include <cmath>
 
 namespace espk {
 
 namespace {
-constexpr int kMulawBias = 0x84;  // 132
-constexpr int kMulawClip = 32635;
+
+// Compile-time LUTs generated from the reference companders. Encode tables
+// are indexed by positive-sample magnitude >> 1 (16K entries): both G.711
+// companders discard at least the bottom three magnitude bits in every
+// segment, so the dropped bit never changes the code (verified exhaustively
+// in audio_test). Negative samples reuse the positive entry — mu-law flips
+// the complemented sign bit, A-law drops it.
+
+constexpr std::array<int16_t, 256> kMulawDecode = [] {
+  std::array<int16_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    t[i] = MulawToLinearReference(static_cast<uint8_t>(i));
+  }
+  return t;
+}();
+
+constexpr std::array<int16_t, 256> kAlawDecode = [] {
+  std::array<int16_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    t[i] = AlawToLinearReference(static_cast<uint8_t>(i));
+  }
+  return t;
+}();
+
+// kMulawEncode[i] = code for the positive sample 2*i (bit 7 set).
+constexpr std::array<uint8_t, 16384> kMulawEncode = [] {
+  std::array<uint8_t, 16384> t{};
+  for (int i = 0; i < 16384; ++i) {
+    t[i] = LinearToMulawReference(static_cast<int16_t>(2 * i));
+  }
+  return t;
+}();
+
+// kAlawEncode[i] = sign-free code (xor-0x55 applied) for magnitude 2*i.
+constexpr std::array<uint8_t, 16384> kAlawEncode = [] {
+  std::array<uint8_t, 16384> t{};
+  for (int i = 0; i < 16384; ++i) {
+    t[i] = static_cast<uint8_t>(LinearToAlawReference(static_cast<int16_t>(2 * i)) &
+                                0x7F);
+  }
+  return t;
+}();
+
 }  // namespace
 
 uint8_t LinearToMulaw(int16_t sample) {
-  int sign = (sample >> 8) & 0x80;
-  int value = sample;
-  if (sign != 0) {
-    value = -value;
+  if (sample >= 0) {
+    return kMulawEncode[static_cast<size_t>(sample) >> 1];
   }
-  value = std::min(value, kMulawClip);
-  value += kMulawBias;
-  int exponent = 7;
-  for (int mask = 0x4000; (value & mask) == 0 && exponent > 0; mask >>= 1) {
-    --exponent;
-  }
-  int mantissa = (value >> (exponent + 3)) & 0x0F;
-  auto mulaw = static_cast<uint8_t>(~(sign | (exponent << 4) | mantissa));
-  return mulaw;
+  // Clamp -32768 to 32767: both clip to the same maximal code.
+  const int mag = std::min(-static_cast<int>(sample), 32767);
+  return static_cast<uint8_t>(kMulawEncode[static_cast<size_t>(mag) >> 1] ^
+                              0x80);
 }
 
-int16_t MulawToLinear(uint8_t mulaw) {
-  mulaw = static_cast<uint8_t>(~mulaw);
-  int sign = mulaw & 0x80;
-  int exponent = (mulaw >> 4) & 0x07;
-  int mantissa = mulaw & 0x0F;
-  int value = ((mantissa << 3) + kMulawBias) << exponent;
-  value -= kMulawBias;
-  return static_cast<int16_t>(sign != 0 ? -value : value);
-}
+int16_t MulawToLinear(uint8_t mulaw) { return kMulawDecode[mulaw]; }
 
 uint8_t LinearToAlaw(int16_t sample) {
-  int sign = ((~sample) >> 8) & 0x80;  // A-law sign bit: 1 for positive.
-  int value = sample;
-  if (sign == 0) {
-    value = -value - 1;  // Negative values (two's complement safe for -32768).
+  if (sample >= 0) {
+    return static_cast<uint8_t>(
+        kAlawEncode[static_cast<size_t>(sample) >> 1] | 0x80);
   }
-  value = std::min(value, 32635);
-  uint8_t alaw;
-  if (value >= 256) {
-    int exponent = 7;
-    for (int mask = 0x4000; (value & mask) == 0 && exponent > 1; mask >>= 1) {
-      --exponent;
-    }
-    int mantissa = (value >> (exponent + 3)) & 0x0F;
-    alaw = static_cast<uint8_t>((exponent << 4) | mantissa);
-  } else {
-    alaw = static_cast<uint8_t>(value >> 4);
-  }
-  return static_cast<uint8_t>((alaw ^ 0x55) | sign);
+  const int value = -static_cast<int>(sample) - 1;  // In [0, 32767].
+  return kAlawEncode[static_cast<size_t>(value) >> 1];
 }
 
-int16_t AlawToLinear(uint8_t alaw) {
-  alaw ^= 0x55;
-  int sign = alaw & 0x80;
-  int exponent = (alaw >> 4) & 0x07;
-  int mantissa = alaw & 0x0F;
-  int value;
-  if (exponent >= 1) {
-    value = ((mantissa << 4) + 0x108) << (exponent - 1);
-  } else {
-    value = (mantissa << 4) + 8;
-  }
-  return static_cast<int16_t>(sign != 0 ? value : -value);
-}
+int16_t AlawToLinear(uint8_t alaw) { return kAlawDecode[alaw]; }
 
 int16_t FloatToS16(float x) {
   x = std::clamp(x, -1.0f, 1.0f);

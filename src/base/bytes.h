@@ -41,6 +41,10 @@ class ByteWriter {
   Bytes TakeBytes() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
 
+  // Resets to empty, keeping the allocated capacity (buffer reuse across
+  // packets in the codec hot path).
+  void Clear() { buf_.clear(); }
+
  private:
   Bytes buf_;
 };

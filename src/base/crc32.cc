@@ -1,37 +1,66 @@
 #include "src/base/crc32.h"
 
-#include <array>
+#include <bit>
+#include <cstring>
 
 namespace espk {
 
 namespace {
 
-// Table for the reflected IEEE 802.3 polynomial 0xEDB88320.
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 tables for the reflected IEEE 802.3 polynomial 0xEDB88320:
+// t[0] is the classic byte-at-a-time table; t[s][i] advances a byte through
+// s additional zero bytes, so eight lookups consume eight input bytes with
+// no loop-carried dependency between them. Built at compile time — the hot
+// loop pays no function-local-static guard and no first-call table fill.
+struct CrcTables {
+  uint32_t t[8][256];
+};
+
+constexpr CrcTables BuildTables() {
+  CrcTables tb{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    tb.t[0][i] = c;
   }
-  return table;
+  for (int s = 1; s < 8; ++s) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tb.t[s][i] = (tb.t[s - 1][i] >> 8) ^ tb.t[0][tb.t[s - 1][i] & 0xFF];
+    }
+  }
+  return tb;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> table = BuildTable();
-  return table;
-}
+constexpr CrcTables kCrc = BuildTables();
 
 }  // namespace
 
 uint32_t Crc32Init() { return 0xFFFFFFFFu; }
 
 uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t len) {
-  const auto& table = Table();
-  for (size_t i = 0; i < len; ++i) {
-    state = table[(state ^ data[i]) & 0xFF] ^ (state >> 8);
+  const auto& t = kCrc.t;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      uint64_t chunk;
+      std::memcpy(&chunk, data, 8);
+      chunk ^= state;
+      state = t[7][chunk & 0xFF] ^
+              t[6][(chunk >> 8) & 0xFF] ^
+              t[5][(chunk >> 16) & 0xFF] ^
+              t[4][(chunk >> 24) & 0xFF] ^
+              t[3][(chunk >> 32) & 0xFF] ^
+              t[2][(chunk >> 40) & 0xFF] ^
+              t[1][(chunk >> 48) & 0xFF] ^
+              t[0][(chunk >> 56) & 0xFF];
+      data += 8;
+      len -= 8;
+    }
+  }
+  // Tail (and the whole buffer on big-endian hosts): byte at a time.
+  for (; len > 0; --len, ++data) {
+    state = t[0][(state ^ *data) & 0xFF] ^ (state >> 8);
   }
   return state;
 }

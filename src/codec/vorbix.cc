@@ -4,7 +4,6 @@
 #include <cassert>
 #include <cmath>
 
-#include "src/dsp/bitstream.h"
 #include "src/dsp/rice.h"
 
 namespace espk {
@@ -22,6 +21,15 @@ size_t Log2Exact(size_t v) {
   }
   return log;
 }
+
+// Widest band in a layout, for presizing the per-band value scratch.
+size_t MaxBandWidth(const BandLayout& layout) {
+  size_t widest = 0;
+  for (size_t b = 0; b < layout.num_bands(); ++b) {
+    widest = std::max(widest, layout.band_begin[b + 1] - layout.band_begin[b]);
+  }
+  return widest;
+}
 }  // namespace
 
 uint8_t QuantStepToIndex(double step) {
@@ -38,7 +46,12 @@ VorbixEncoder::VorbixEncoder(const AudioConfig& config, int quality)
     : config_(config),
       quality_(std::clamp(quality, kMinQuality, kMaxQuality)),
       mdct_(kVorbixHalfLength),
-      layout_(MakeBandLayout(config.sample_rate, kVorbixHalfLength)) {}
+      layout_(MakeBandLayout(config.sample_rate, kVorbixHalfLength)),
+      psy_(layout_, config.sample_rate, kVorbixHalfLength) {
+  coeffs_.resize(kVorbixHalfLength);
+  steps_.reserve(layout_.num_bands());
+  band_values_.reserve(MaxBandWidth(layout_));
+}
 
 Result<Bytes> VorbixEncoder::EncodePacket(
     const std::vector<float>& interleaved) {
@@ -56,69 +69,71 @@ Result<Bytes> VorbixEncoder::EncodePacket(
   const size_t blocks = padded_frames / m + 1;
   const bool use_ms = mid_side_ && channels == 2;
 
-  ByteWriter header;
-  header.WriteU16(kVorbixMagic);
-  header.WriteU8(kVorbixVersion);
-  header.WriteU8(static_cast<uint8_t>(quality_));
-  header.WriteU8(use_ms ? kVorbixFlagMidSide : 0);
-  header.WriteU8(static_cast<uint8_t>(channels));
-  header.WriteU8(static_cast<uint8_t>(Log2Exact(m)));
-  header.WriteU32(static_cast<uint32_t>(frames));
+  header_.Clear();
+  header_.WriteU16(kVorbixMagic);
+  header_.WriteU8(kVorbixVersion);
+  header_.WriteU8(static_cast<uint8_t>(quality_));
+  header_.WriteU8(use_ms ? kVorbixFlagMidSide : 0);
+  header_.WriteU8(static_cast<uint8_t>(channels));
+  header_.WriteU8(static_cast<uint8_t>(Log2Exact(m)));
+  header_.WriteU32(static_cast<uint32_t>(frames));
 
-  BitWriter bits;
-  std::vector<double> padded(total);
-  std::vector<double> slice(2 * m);
-  std::vector<int32_t> band_values;
+  bits_.Clear();
+  padded_.resize(total);
   for (size_t ch = 0; ch < channels; ++ch) {
-    std::fill(padded.begin(), padded.end(), 0.0);
+    std::fill(padded_.begin(), padded_.end(), 0.0);
     if (use_ms) {
       // Channel 0 carries mid=(L+R)/2, channel 1 side=(L-R)/2.
       for (size_t f = 0; f < frames; ++f) {
         double left = interleaved[f * 2];
         double right = interleaved[f * 2 + 1];
-        padded[m + f] =
+        padded_[m + f] =
             ch == 0 ? (left + right) * 0.5 : (left - right) * 0.5;
       }
     } else {
       for (size_t f = 0; f < frames; ++f) {
-        padded[m + f] = interleaved[f * channels + ch];
+        padded_[m + f] = interleaved[f * channels + ch];
       }
     }
     for (size_t b = 0; b < blocks; ++b) {
-      std::copy(padded.begin() + static_cast<long>(b * m),
-                padded.begin() + static_cast<long>(b * m + 2 * m),
-                slice.begin());
-      std::vector<double> coeffs = mdct_.Forward(slice);
-      std::vector<double> steps = ComputeQuantSteps(
-          coeffs, layout_, config_.sample_rate, quality_);
+      // The MDCT reads its 2M-sample block straight out of the padded
+      // signal; no slice copy.
+      mdct_.Forward(padded_.data() + b * m, coeffs_.data());
+      psy_.ComputeSteps(coeffs_, quality_, &steps_);
       for (size_t band = 0; band < layout_.num_bands(); ++band) {
-        uint8_t idx = QuantStepToIndex(steps[band]);
+        uint8_t idx = QuantStepToIndex(steps_[band]);
         // Quantize with the step the decoder will reconstruct, not the
-        // ideal one, so round-trips are consistent.
-        double step = IndexToQuantStep(idx);
-        band_values.clear();
+        // ideal one, so round-trips are consistent. One divide per band,
+        // and inline round-half-away-from-zero (llround is a libm call).
+        double inv_step = 1.0 / IndexToQuantStep(idx);
+        band_values_.clear();
         bool all_zero = true;
         for (size_t i = layout_.band_begin[band];
              i < layout_.band_begin[band + 1]; ++i) {
-          auto q = static_cast<int64_t>(std::llround(coeffs[i] / step));
+          const double scaled = coeffs_[i] * inv_step;
+          auto q = static_cast<int64_t>(scaled >= 0.0 ? scaled + 0.5
+                                                      : scaled - 0.5);
           q = std::clamp<int64_t>(q, -kMaxQuantMagnitude, kMaxQuantMagnitude);
           all_zero = all_zero && q == 0;
-          band_values.push_back(static_cast<int32_t>(q));
+          band_values_.push_back(static_cast<int32_t>(q));
         }
         // Bands quantized entirely to zero (masked or silent) cost one bit.
         if (all_zero) {
-          bits.WriteBit(false);
+          bits_.WriteBit(false);
           continue;
         }
-        bits.WriteBit(true);
-        bits.WriteBits(idx, 8);
-        RiceEncodeBlock(&bits, band_values);
+        bits_.WriteBit(true);
+        bits_.WriteBits(idx, 8);
+        RiceEncodeBlock(&bits_, band_values_);
       }
     }
   }
 
-  Bytes out = header.TakeBytes();
-  Bytes payload = bits.Finish();
+  // Single output allocation: exact-size reserve, then two bulk copies.
+  const Bytes& payload = bits_.Flush();
+  Bytes out;
+  out.reserve(header_.size() + payload.size());
+  out.insert(out.end(), header_.bytes().begin(), header_.bytes().end());
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -126,7 +141,11 @@ Result<Bytes> VorbixEncoder::EncodePacket(
 VorbixDecoder::VorbixDecoder(const AudioConfig& config, int /*quality*/)
     : config_(config),
       mdct_(kVorbixHalfLength),
-      layout_(MakeBandLayout(config.sample_rate, kVorbixHalfLength)) {}
+      layout_(MakeBandLayout(config.sample_rate, kVorbixHalfLength)) {
+  coeffs_.resize(kVorbixHalfLength);
+  block_.resize(2 * kVorbixHalfLength);
+  values_.reserve(MaxBandWidth(layout_));
+}
 
 Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
   ByteReader header(payload);
@@ -169,16 +188,14 @@ Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
   const size_t total = padded_frames + 2 * m;
   const size_t blocks = padded_frames / m + 1;
 
-  Bytes bitstream(payload.begin() + static_cast<long>(header.position()),
-                  payload.end());
-  BitReader bits(bitstream);
+  // Read the entropy-coded tail in place; no copy of the payload.
+  BitReader bits(payload.data() + header.position(),
+                 payload.size() - header.position());
 
   std::vector<float> interleaved(frames * *channels, 0.0f);
-  std::vector<double> coeffs(m);
-  std::vector<double> recon(total);
-  std::vector<double> mid_saved;  // Mid channel when M/S is in use.
+  recon_.resize(total);
   for (size_t ch = 0; ch < *channels; ++ch) {
-    std::fill(recon.begin(), recon.end(), 0.0);
+    std::fill(recon_.begin(), recon_.end(), 0.0);
     for (size_t b = 0; b < blocks; ++b) {
       for (size_t band = 0; band < layout_.num_bands(); ++band) {
         size_t count =
@@ -188,10 +205,11 @@ Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
           return DataLossError("vorbix: truncated band flag");
         }
         if (!*present) {
-          std::fill(coeffs.begin() + static_cast<long>(layout_.band_begin[band]),
-                    coeffs.begin() +
-                        static_cast<long>(layout_.band_begin[band + 1]),
-                    0.0);
+          std::fill(
+              coeffs_.begin() + static_cast<long>(layout_.band_begin[band]),
+              coeffs_.begin() +
+                  static_cast<long>(layout_.band_begin[band + 1]),
+              0.0);
           continue;
         }
         Result<uint64_t> idx = bits.ReadBits(8);
@@ -199,35 +217,35 @@ Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
           return DataLossError("vorbix: truncated scalefactor");
         }
         double step = IndexToQuantStep(static_cast<uint8_t>(*idx));
-        Result<std::vector<int32_t>> values = RiceDecodeBlock(&bits, count);
-        if (!values.ok()) {
-          return values.status();
+        Status decoded = RiceDecodeBlockInto(&bits, count, &values_);
+        if (!decoded.ok()) {
+          return decoded;
         }
         for (size_t i = 0; i < count; ++i) {
-          coeffs[layout_.band_begin[band] + i] =
-              static_cast<double>((*values)[i]) * step;
+          coeffs_[layout_.band_begin[band] + i] =
+              static_cast<double>(values_[i]) * step;
         }
       }
-      std::vector<double> block = mdct_.Inverse(coeffs);
+      mdct_.Inverse(coeffs_.data(), block_.data());
       for (size_t n = 0; n < 2 * m; ++n) {
-        recon[b * m + n] += block[n];
+        recon_[b * m + n] += block_[n];
       }
     }
     if (use_ms) {
       if (ch == 0) {
-        mid_saved.assign(recon.begin() + static_cast<long>(m),
-                         recon.begin() + static_cast<long>(m + frames));
+        mid_saved_.assign(recon_.begin() + static_cast<long>(m),
+                          recon_.begin() + static_cast<long>(m + frames));
       } else {
         for (size_t f = 0; f < frames; ++f) {
-          double mid = mid_saved[f];
-          double side = recon[m + f];
+          double mid = mid_saved_[f];
+          double side = recon_[m + f];
           interleaved[f * 2] = static_cast<float>(mid + side);
           interleaved[f * 2 + 1] = static_cast<float>(mid - side);
         }
       }
     } else {
       for (size_t f = 0; f < frames; ++f) {
-        interleaved[f * *channels + ch] = static_cast<float>(recon[m + f]);
+        interleaved[f * *channels + ch] = static_cast<float>(recon_[m + f]);
       }
     }
   }

@@ -27,7 +27,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/bytes.h"
 #include "src/codec/codec.h"
+#include "src/dsp/bitstream.h"
 #include "src/dsp/mdct.h"
 #include "src/dsp/psymodel.h"
 
@@ -65,6 +67,18 @@ class VorbixEncoder : public AudioEncoder {
   bool mid_side_ = true;
   Mdct mdct_;
   BandLayout layout_;
+  PsyModel psy_;
+  // Per-packet scratch arena. Sized on first use and reused verbatim on
+  // every following packet, so steady-state EncodePacket performs exactly
+  // one heap allocation: the returned output buffer. Makes the encoder
+  // non-reentrant (one instance per stream/thread, which the rebroadcaster
+  // already guarantees).
+  ByteWriter header_;
+  BitWriter bits_;
+  std::vector<double> padded_;       // [M zeros][signal][pad][M zeros]
+  std::vector<double> coeffs_;       // M MDCT coefficients
+  std::vector<double> steps_;        // per-band quantizer steps
+  std::vector<int32_t> band_values_; // quantized values of one band
 };
 
 class VorbixDecoder : public AudioDecoder {
@@ -78,6 +92,13 @@ class VorbixDecoder : public AudioDecoder {
   AudioConfig config_;
   Mdct mdct_;
   BandLayout layout_;
+  // Per-packet scratch arena (see the encoder note); steady-state
+  // DecodePacket allocates only the returned sample vector.
+  std::vector<double> coeffs_;       // M
+  std::vector<double> recon_;        // overlap-add accumulator
+  std::vector<double> block_;        // 2M inverse-MDCT output
+  std::vector<double> mid_saved_;    // mid channel when M/S is in use
+  std::vector<int32_t> values_;      // Rice-decoded band values
 };
 
 }  // namespace espk

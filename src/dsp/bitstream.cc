@@ -1,16 +1,21 @@
 #include "src/dsp/bitstream.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace espk {
 
 void BitWriter::WriteBits(uint64_t value, int bits) {
   assert(bits >= 0 && bits <= 64);
-  for (int i = bits - 1; i >= 0; --i) {
-    uint8_t bit = (value >> i) & 1;
-    current_ = static_cast<uint8_t>((current_ << 1) | bit);
-    ++used_;
-    ++bit_count_;
+  bit_count_ += static_cast<size_t>(bits);
+  while (bits > 0) {
+    const int take = std::min(8 - used_, bits);
+    const uint64_t chunk =
+        (value >> (bits - take)) & ((uint64_t{1} << take) - 1);
+    current_ = static_cast<uint8_t>((current_ << take) | chunk);
+    used_ += take;
+    bits -= take;
     if (used_ == 8) {
       buf_.push_back(current_);
       current_ = 0;
@@ -20,33 +25,51 @@ void BitWriter::WriteBits(uint64_t value, int bits) {
 }
 
 void BitWriter::WriteUnary(uint32_t count) {
-  for (uint32_t i = 0; i < count; ++i) {
-    WriteBit(true);
+  while (count >= 32) {
+    WriteBits(0xFFFFFFFFull, 32);
+    count -= 32;
   }
-  WriteBit(false);
+  // `count` ones followed by the terminating zero, in one call.
+  WriteBits(((uint64_t{1} << count) - 1) << 1, static_cast<int>(count) + 1);
 }
 
-Bytes BitWriter::Finish() {
+const Bytes& BitWriter::Flush() {
   if (used_ > 0) {
     current_ = static_cast<uint8_t>(current_ << (8 - used_));
     buf_.push_back(current_);
     current_ = 0;
     used_ = 0;
   }
+  return buf_;
+}
+
+Bytes BitWriter::Finish() {
+  Flush();
   return std::move(buf_);
+}
+
+void BitWriter::Clear() {
+  buf_.clear();
+  current_ = 0;
+  used_ = 0;
+  bit_count_ = 0;
 }
 
 Result<uint64_t> BitReader::ReadBits(int bits) {
   assert(bits >= 0 && bits <= 64);
-  if (pos_ + static_cast<size_t>(bits) > data_.size() * 8) {
+  if (pos_ + static_cast<size_t>(bits) > len_ * 8) {
     return OutOfRangeError("bitstream exhausted");
   }
   uint64_t value = 0;
-  for (int i = 0; i < bits; ++i) {
-    size_t byte = pos_ >> 3;
-    int shift = 7 - static_cast<int>(pos_ & 7);
-    value = (value << 1) | ((data_[byte] >> shift) & 1);
-    ++pos_;
+  while (bits > 0) {
+    const size_t byte = pos_ >> 3;
+    const int avail = 8 - static_cast<int>(pos_ & 7);
+    const int take = std::min(avail, bits);
+    const uint8_t chunk = static_cast<uint8_t>(
+        (data_[byte] >> (avail - take)) & ((1u << take) - 1));
+    value = (value << take) | chunk;
+    pos_ += static_cast<size_t>(take);
+    bits -= take;
   }
   return value;
 }
@@ -60,18 +83,34 @@ Result<bool> BitReader::ReadBit() {
 }
 
 Result<uint32_t> BitReader::ReadUnary(uint32_t max_run) {
+  const size_t end = len_ * 8;
   uint32_t count = 0;
   for (;;) {
-    Result<bool> bit = ReadBit();
-    if (!bit.ok()) {
-      return bit.status();
+    if (pos_ >= end) {
+      return OutOfRangeError("bitstream exhausted");
     }
-    if (!*bit) {
-      return count;
+    const size_t byte = pos_ >> 3;
+    const int offset = static_cast<int>(pos_ & 7);
+    const int avail = std::min(8 - offset,
+                               static_cast<int>(end - pos_));
+    // Remaining bits of this byte, left-aligned; count the leading ones.
+    const auto window = static_cast<uint8_t>(data_[byte] << offset);
+    const int ones = std::min(std::countl_one(window), avail);
+    if (ones == avail) {
+      // Run continues past this byte (or past end-of-stream, caught above).
+      count += static_cast<uint32_t>(avail);
+      pos_ += static_cast<size_t>(avail);
+      if (count > max_run) {
+        return DataLossError("unary run exceeds limit (corrupt bitstream)");
+      }
+      continue;
     }
-    if (++count > max_run) {
+    count += static_cast<uint32_t>(ones);
+    pos_ += static_cast<size_t>(ones) + 1;  // Consume the terminating zero.
+    if (count > max_run) {
       return DataLossError("unary run exceeds limit (corrupt bitstream)");
     }
+    return count;
   }
 }
 

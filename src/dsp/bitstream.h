@@ -20,8 +20,16 @@ class BitWriter {
   // Writes `count` one-bits followed by a zero (unary code).
   void WriteUnary(uint32_t count);
 
-  // Pads the final partial byte with zeros and returns the buffer.
+  // Pads the final partial byte with zeros and returns the buffer by move.
   Bytes Finish();
+
+  // Pads the final partial byte with zeros and returns a view of the buffer
+  // without giving up ownership — pair with Clear() to reuse the writer's
+  // capacity across packets (zero-allocation steady state). Idempotent.
+  const Bytes& Flush();
+
+  // Resets to empty, keeping the allocated capacity.
+  void Clear();
 
   size_t bit_count() const { return bit_count_; }
 
@@ -34,7 +42,10 @@ class BitWriter {
 
 class BitReader {
  public:
-  explicit BitReader(const Bytes& data) : data_(data) {}
+  // The data must outlive the reader; no copy is made.
+  BitReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit BitReader(const Bytes& data)
+      : BitReader(data.data(), data.size()) {}
 
   // Reads `bits` bits MSB-first. Fails with OUT_OF_RANGE past the end.
   Result<uint64_t> ReadBits(int bits);
@@ -44,10 +55,11 @@ class BitReader {
   // `max_run` to stop adversarial input from spinning (DoS hardening, §5.1).
   Result<uint32_t> ReadUnary(uint32_t max_run = 1 << 20);
 
-  size_t bits_remaining() const { return data_.size() * 8 - pos_; }
+  size_t bits_remaining() const { return len_ * 8 - pos_; }
 
  private:
-  const Bytes& data_;
+  const uint8_t* data_;
+  size_t len_;
   size_t pos_ = 0;  // Bit position.
 };
 

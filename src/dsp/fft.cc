@@ -1,7 +1,8 @@
 #include "src/dsp/fft.h"
 
-#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numbers>
 
 namespace espk {
@@ -10,52 +11,97 @@ bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 namespace {
 
-void BitReversePermute(std::vector<std::complex<double>>* data) {
-  const size_t n = data->size();
+// Always-on (assert fires only in debug builds, and a wrong-size FFT
+// silently corrupts audio rather than crashing anywhere near the bug).
+void CheckPowerOfTwo(size_t n, const char* what) {
+  if (!IsPowerOfTwo(n)) {
+    std::fprintf(stderr, "espk: %s size %zu is not a power of two\n", what, n);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+FftPlan::FftPlan(size_t n) : n_(n) {
+  CheckPowerOfTwo(n, "FFT");
+  // Bit-reversal permutation, built incrementally the same way the in-loop
+  // version walked it.
+  bitrev_.resize(n);
   size_t j = 0;
+  bitrev_[0] = 0;
   for (size_t i = 1; i < n; ++i) {
     size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) {
       j ^= bit;
     }
     j ^= bit;
-    if (i < j) {
-      std::swap((*data)[i], (*data)[j]);
+    bitrev_[i] = static_cast<uint32_t>(j);
+  }
+  // Forward twiddles for every stage, flattened. Stage with span `len`
+  // starts at offset len/2 - 1 and holds e^{-2*pi*i*k/len} for k < len/2.
+  twiddle_.reserve(n > 0 ? n - 1 : 0);
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double base = -2.0 * std::numbers::pi / static_cast<double>(len);
+    for (size_t k = 0; k < len / 2; ++k) {
+      double angle = base * static_cast<double>(k);
+      twiddle_.emplace_back(std::cos(angle), std::sin(angle));
     }
   }
 }
 
-void FftImpl(std::vector<std::complex<double>>* data, bool inverse) {
-  const size_t n = data->size();
-  assert(IsPowerOfTwo(n) && "FFT size must be a power of two");
-  BitReversePermute(data);
+void FftPlan::Execute(std::complex<double>* data, bool inverse) const {
+  const size_t n = n_;
+  for (size_t i = 1; i < n; ++i) {
+    const size_t j = bitrev_[i];
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  // Butterflies in explicit real arithmetic: a std::complex<double> multiply
+  // lowers to a __muldc3 libcall for NaN fixups at -O2, which dominates the
+  // transform. For finite inputs the expanded formula is bit-identical.
+  const double sign = inverse ? -1.0 : 1.0;
+  const std::complex<double>* stage = twiddle_.data();
   for (size_t len = 2; len <= n; len <<= 1) {
-    double angle =
-        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
-    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    const size_t half = len / 2;
     for (size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (size_t k = 0; k < len / 2; ++k) {
-        std::complex<double> u = (*data)[i + k];
-        std::complex<double> v = (*data)[i + k + len / 2] * w;
-        (*data)[i + k] = u + v;
-        (*data)[i + k + len / 2] = u - v;
-        w *= wlen;
+      for (size_t k = 0; k < half; ++k) {
+        const double wr = stage[k].real();
+        const double wi = sign * stage[k].imag();
+        const double ar = data[i + k].real();
+        const double ai = data[i + k].imag();
+        const double br = data[i + k + half].real();
+        const double bi = data[i + k + half].imag();
+        const double vr = br * wr - bi * wi;
+        const double vi = br * wi + bi * wr;
+        data[i + k] = {ar + vr, ai + vi};
+        data[i + k + half] = {ar - vr, ai - vi};
       }
     }
+    stage += half;
   }
 }
 
-}  // namespace
+void FftPlan::Forward(std::complex<double>* data) const {
+  Execute(data, false);
+}
 
-void Fft(std::vector<std::complex<double>>* data) { FftImpl(data, false); }
+void FftPlan::Inverse(std::complex<double>* data) const {
+  Execute(data, true);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    data[i] *= scale;
+  }
+}
+
+void Fft(std::vector<std::complex<double>>* data) {
+  CheckPowerOfTwo(data->size(), "FFT");
+  FftPlan(data->size()).Forward(data->data());
+}
 
 void Ifft(std::vector<std::complex<double>>* data) {
-  FftImpl(data, true);
-  const double scale = 1.0 / static_cast<double>(data->size());
-  for (auto& c : *data) {
-    c *= scale;
-  }
+  CheckPowerOfTwo(data->size(), "FFT");
+  FftPlan(data->size()).Inverse(data->data());
 }
 
 }  // namespace espk

@@ -1,21 +1,58 @@
 // Iterative radix-2 complex FFT. The fast MDCT in mdct.cc rides on this; no
 // external DSP library is used anywhere in the codebase.
+//
+// Two entry points:
+//   - FftPlan: precomputes the bit-reversal permutation and all per-stage
+//     twiddle factors for one size at construction, then executes in place
+//     over caller-provided storage with zero heap allocation and zero trig
+//     calls. This is what the codec hot path uses (one plan per Mdct,
+//     constructed once, reused for every block).
+//   - Fft()/Ifft() free functions: one-shot convenience wrappers that build
+//     a throwaway plan. Tests and cold paths only.
+//
+// Non-power-of-two sizes are rejected with a fatal diagnostic in every build
+// mode (not just assert-enabled builds): a wrong-size transform silently
+// corrupts audio, which is much harder to debug than an abort.
 #ifndef SRC_DSP_FFT_H_
 #define SRC_DSP_FFT_H_
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
 namespace espk {
 
-// In-place forward DFT: X[k] = sum_n x[n] e^{-2*pi*i*n*k/N}.
-// `data.size()` must be a power of two.
-void Fft(std::vector<std::complex<double>>* data);
-
-// In-place inverse DFT including the 1/N scale.
-void Ifft(std::vector<std::complex<double>>* data);
-
 bool IsPowerOfTwo(size_t n);
+
+class FftPlan {
+ public:
+  // `n` must be a power of two >= 1; anything else aborts with a message.
+  explicit FftPlan(size_t n);
+
+  size_t size() const { return n_; }
+
+  // In-place forward DFT: X[k] = sum_n x[n] e^{-2*pi*i*n*k/N}.
+  // `data` must point at size() elements. No allocation, no trig.
+  void Forward(std::complex<double>* data) const;
+
+  // In-place inverse DFT including the 1/N scale.
+  void Inverse(std::complex<double>* data) const;
+
+ private:
+  void Execute(std::complex<double>* data, bool inverse) const;
+
+  size_t n_;
+  std::vector<uint32_t> bitrev_;  // bitrev_[i] = bit-reversed index of i.
+  // Forward twiddles e^{-2*pi*i*k/len}, all stages flattened: stage with
+  // butterfly span `len` contributes len/2 entries, n-1 entries total.
+  // Inverse twiddles are the conjugates, taken on the fly.
+  std::vector<std::complex<double>> twiddle_;
+};
+
+// One-shot wrappers (build a plan per call; tests and cold paths).
+// `data->size()` must be a power of two.
+void Fft(std::vector<std::complex<double>>* data);
+void Ifft(std::vector<std::complex<double>>* data);
 
 }  // namespace espk
 

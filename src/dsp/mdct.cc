@@ -2,36 +2,14 @@
 
 #include <cassert>
 #include <cmath>
-#include <complex>
+#include <cstdio>
+#include <cstdlib>
 #include <numbers>
-
-#include "src/dsp/fft.h"
 
 namespace espk {
 
 namespace {
 constexpr double kPi = std::numbers::pi;
-
-// DCT-IV of length M (a power of two) via one zero-padded 2M-point FFT:
-//   DCT4[k] = Re( W^{2k+1} * FFT_{2M}(v[j] W^{2j})[k] ),  W = e^{-i pi/(4M)}
-std::vector<double> Dct4(const std::vector<double>& v) {
-  const size_t m = v.size();
-  assert(IsPowerOfTwo(m) && "DCT-IV length must be a power of two");
-  std::vector<std::complex<double>> work(2 * m, {0.0, 0.0});
-  const double base = -kPi / (4.0 * static_cast<double>(m));
-  for (size_t j = 0; j < m; ++j) {
-    double angle = base * (2.0 * static_cast<double>(j));
-    work[j] = v[j] * std::complex<double>(std::cos(angle), std::sin(angle));
-  }
-  Fft(&work);
-  std::vector<double> out(m);
-  for (size_t k = 0; k < m; ++k) {
-    double angle = base * (2.0 * static_cast<double>(k) + 1.0);
-    std::complex<double> tw(std::cos(angle), std::sin(angle));
-    out[k] = (tw * work[k]).real();
-  }
-  return out;
-}
 }  // namespace
 
 std::vector<double> SineWindow(size_t two_m) {
@@ -43,49 +21,116 @@ std::vector<double> SineWindow(size_t two_m) {
   return w;
 }
 
-Mdct::Mdct(size_t half_length) : m_(half_length), window_(SineWindow(2 * m_)) {
-  assert(IsPowerOfTwo(m_) && m_ >= 8 && "MDCT half-length must be 2^k >= 8");
+Dct4Plan::Dct4Plan(size_t m)
+    : m_(m),
+      fft_(m / 2),
+      pre_even_(m / 2),
+      pre_odd_(m / 2),
+      post_even_(m / 2),
+      post_odd_(m / 2),
+      work_even_(m / 2),
+      work_odd_(m / 2) {
+  const size_t k = m / 2;
+  const double md = static_cast<double>(m);
+  for (size_t t = 0; t < k; ++t) {
+    const double td = static_cast<double>(t);
+    pre_even_[t] = {std::cos(-kPi * td / md), std::sin(-kPi * td / md)};
+    pre_odd_[t] = {std::cos(-3.0 * kPi * td / md),
+                   std::sin(-3.0 * kPi * td / md)};
+  }
+  for (size_t s = 0; s < k; ++s) {
+    const double ae = -kPi * (4.0 * static_cast<double>(s) + 1.0) / (4.0 * md);
+    const double ao = -kPi * (4.0 * static_cast<double>(s) + 3.0) / (4.0 * md);
+    post_even_[s] = {std::cos(ae), std::sin(ae)};
+    post_odd_[s] = {std::cos(ao), std::sin(ao)};
+  }
 }
 
-std::vector<double> Mdct::Forward(const std::vector<double>& input) const {
-  assert(input.size() == 2 * m_);
+void Dct4Plan::Execute(const double* in, double* out) {
   const size_t m = m_;
-  // Window.
-  std::vector<double> z(2 * m);
-  for (size_t n = 0; n < 2 * m; ++n) {
-    z[n] = input[n] * window_[n];
+  const size_t k = m / 2;
+  // Pack z[t] = in[2t] + i in[m-1-2t] and pre-twiddle in one pass, in
+  // explicit real arithmetic (see the FFT butterfly note: complex multiplies
+  // libcall into __muldc3 at -O2). Every read of `in` happens here, before
+  // any write to `out`, so out may alias in.
+  for (size_t t = 0; t < k; ++t) {
+    const double zr = in[2 * t];
+    const double zi = in[m - 1 - 2 * t];
+    const double er = pre_even_[t].real();
+    const double ei = pre_even_[t].imag();
+    const double or_ = pre_odd_[t].real();
+    const double oi = pre_odd_[t].imag();
+    work_even_[t] = {zr * er - zi * ei, zr * ei + zi * er};
+    work_odd_[t] = {zr * or_ + zi * oi, zr * oi - zi * or_};
   }
-  // Fold 2M windowed samples to M (TDAC fold, derivation in header).
-  std::vector<double> v(m);
+  fft_.Forward(work_even_.data());
+  fft_.Forward(work_odd_.data());
+  for (size_t s = 0; s < k; ++s) {
+    out[2 * s] = post_even_[s].real() * work_even_[s].real() -
+                 post_even_[s].imag() * work_even_[s].imag();
+    out[2 * s + 1] = post_odd_[s].real() * work_odd_[s].real() -
+                     post_odd_[s].imag() * work_odd_[s].imag();
+  }
+}
+
+Mdct::Mdct(size_t half_length)
+    : m_(half_length),
+      window_(SineWindow(2 * m_)),
+      dct4_(m_),
+      fold_(m_) {
+  if (!IsPowerOfTwo(m_) || m_ < 8) {
+    std::fprintf(stderr, "espk: MDCT half-length %zu must be 2^k >= 8\n", m_);
+    std::abort();
+  }
+}
+
+void Mdct::Forward(const double* input, double* coeffs) {
+  const size_t m = m_;
+  // Window + TDAC fold of 2M samples to M in one pass (derivation in
+  // header); z[n] = input[n] * window_[n] is never materialized.
   for (size_t j = 0; j < m / 2; ++j) {
-    v[j] = -z[3 * m / 2 - 1 - j] - z[3 * m / 2 + j];
+    fold_[j] = -input[3 * m / 2 - 1 - j] * window_[3 * m / 2 - 1 - j] -
+               input[3 * m / 2 + j] * window_[3 * m / 2 + j];
   }
   for (size_t j = m / 2; j < m; ++j) {
-    v[j] = z[j - m / 2] - z[3 * m / 2 - 1 - j];
+    fold_[j] = input[j - m / 2] * window_[j - m / 2] -
+               input[3 * m / 2 - 1 - j] * window_[3 * m / 2 - 1 - j];
   }
-  return Dct4(v);
+  dct4_.Execute(fold_.data(), coeffs);
 }
 
-std::vector<double> Mdct::Inverse(const std::vector<double>& coeffs) const {
-  assert(coeffs.size() == m_);
+void Mdct::Inverse(const double* coeffs, double* output) {
   const size_t m = m_;
-  std::vector<double> u = Dct4(coeffs);
-  std::vector<double> y(2 * m);
-  // Unfold (transpose of the forward fold).
+  dct4_.Execute(coeffs, fold_.data());
+  const double* u = fold_.data();
+  // Unfold (transpose of the forward fold), then window + scale.
   for (size_t n = 0; n < m / 2; ++n) {
-    y[n] = u[n + m / 2];
+    output[n] = u[n + m / 2];
   }
   for (size_t n = m / 2; n < 3 * m / 2; ++n) {
-    y[n] = -u[3 * m / 2 - 1 - n];
+    output[n] = -u[3 * m / 2 - 1 - n];
   }
   for (size_t n = 3 * m / 2; n < 2 * m; ++n) {
-    y[n] = -u[n - 3 * m / 2];
+    output[n] = -u[n - 3 * m / 2];
   }
   const double scale = 2.0 / static_cast<double>(m);
   for (size_t n = 0; n < 2 * m; ++n) {
-    y[n] *= scale * window_[n];
+    output[n] *= scale * window_[n];
   }
-  return y;
+}
+
+std::vector<double> Mdct::Forward(const std::vector<double>& input) {
+  assert(input.size() == 2 * m_);
+  std::vector<double> coeffs(m_);
+  Forward(input.data(), coeffs.data());
+  return coeffs;
+}
+
+std::vector<double> Mdct::Inverse(const std::vector<double>& coeffs) {
+  assert(coeffs.size() == m_);
+  std::vector<double> output(2 * m_);
+  Inverse(coeffs.data(), output.data());
+  return output;
 }
 
 std::vector<double> MdctForwardDirect(const std::vector<double>& input,

@@ -99,4 +99,53 @@ std::vector<double> ComputeQuantSteps(const std::vector<double>& coeffs,
   return steps;
 }
 
+PsyModel::PsyModel(const BandLayout& layout, int sample_rate, size_t num_bins)
+    : layout_(layout) {
+  // Same expression as the free function so steps stay bit-identical.
+  spread_ = std::pow(10.0, -15.0 / 10.0);
+  const size_t bands = layout_.num_bands();
+  const double hz_per_bin =
+      sample_rate / 2.0 / static_cast<double>(std::max<size_t>(num_bins, 1));
+  abs_threshold_.resize(bands);
+  for (size_t b = 0; b < bands; ++b) {
+    size_t mid = (layout_.band_begin[b] + layout_.band_begin[b + 1]) / 2;
+    abs_threshold_[b] =
+        AbsoluteThresholdPower(static_cast<double>(mid) * hz_per_bin);
+  }
+  for (int q = kMinQuality; q <= kMaxQuality; ++q) {
+    const double smr_db = 10.0 + 2.4 * static_cast<double>(q);
+    smr_[q] = std::pow(10.0, -smr_db / 10.0);
+  }
+  band_power_.resize(bands);
+}
+
+void PsyModel::ComputeSteps(const std::vector<double>& coeffs, int quality,
+                            std::vector<double>* steps) {
+  assert(quality >= kMinQuality && quality <= kMaxQuality);
+  const size_t bands = layout_.num_bands();
+  steps->resize(bands);
+  for (size_t b = 0; b < bands; ++b) {
+    size_t begin = layout_.band_begin[b];
+    size_t end = layout_.band_begin[b + 1];
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      acc += coeffs[i] * coeffs[i];
+    }
+    band_power_[b] =
+        acc / static_cast<double>(std::max<size_t>(end - begin, 1));
+  }
+  const double smr = smr_[quality];
+  for (size_t b = 0; b < bands; ++b) {
+    double t = band_power_[b] * smr;
+    if (b > 0) {
+      t = std::max(t, band_power_[b - 1] * smr * spread_);
+    }
+    if (b + 1 < bands) {
+      t = std::max(t, band_power_[b + 1] * smr * spread_);
+    }
+    t = std::max(t, abs_threshold_[b]);
+    (*steps)[b] = std::sqrt(12.0 * t);
+  }
+}
+
 }  // namespace espk

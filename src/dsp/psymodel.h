@@ -34,6 +34,32 @@ std::vector<double> ComputeQuantSteps(const std::vector<double>& coeffs,
 inline constexpr int kMinQuality = 0;
 inline constexpr int kMaxQuality = 10;
 
+// Plan-based form of ComputeQuantSteps for the codec hot path: absolute
+// hearing thresholds (pow/exp per band) and the per-quality SMR factors are
+// precomputed at construction, and the band-power scratch is owned by the
+// model, so ComputeSteps does no heap allocation and no transcendental math
+// beyond one sqrt per band. Produces bit-identical steps to the free
+// function above (dsp_test pins this). Owns mutable scratch: one instance
+// per encoder, not shared across threads.
+class PsyModel {
+ public:
+  PsyModel(const BandLayout& layout, int sample_rate, size_t num_bins);
+
+  size_t num_bands() const { return layout_.num_bands(); }
+
+  // steps is resized to num_bands() (no-op after first call with a warm
+  // vector). coeffs.size() must equal the num_bins the model was built for.
+  void ComputeSteps(const std::vector<double>& coeffs, int quality,
+                    std::vector<double>* steps);
+
+ private:
+  BandLayout layout_;                  // Own copy: no lifetime coupling.
+  std::vector<double> abs_threshold_;  // Per band, quality-independent.
+  double smr_[kMaxQuality + 1];        // Signal-to-mask ratio per quality.
+  double spread_;                      // Inter-band masking rolloff.
+  std::vector<double> band_power_;     // Scratch.
+};
+
 }  // namespace espk
 
 #endif  // SRC_DSP_PSYMODEL_H_

@@ -59,19 +59,29 @@ void RiceEncodeBlock(BitWriter* w, const std::vector<int32_t>& values) {
   }
 }
 
-Result<std::vector<int32_t>> RiceDecodeBlock(BitReader* r, size_t count) {
+Status RiceDecodeBlockInto(BitReader* r, size_t count,
+                           std::vector<int32_t>* out) {
+  out->clear();
+  out->reserve(count);
   Result<uint64_t> k = r->ReadBits(5);
   if (!k.ok()) {
     return k.status();
   }
-  std::vector<int32_t> out;
-  out.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     Result<int64_t> v = RiceDecode(r, static_cast<int>(*k));
     if (!v.ok()) {
       return v.status();
     }
-    out.push_back(static_cast<int32_t>(*v));
+    out->push_back(static_cast<int32_t>(*v));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<int32_t>> RiceDecodeBlock(BitReader* r, size_t count) {
+  std::vector<int32_t> out;
+  Status s = RiceDecodeBlockInto(r, count, &out);
+  if (!s.ok()) {
+    return s;
   }
   return out;
 }

@@ -27,6 +27,12 @@ int EstimateRiceParameter(const std::vector<int32_t>& values, int max_k = 30);
 void RiceEncodeBlock(BitWriter* w, const std::vector<int32_t>& values);
 Result<std::vector<int32_t>> RiceDecodeBlock(BitReader* r, size_t count);
 
+// Decodes into a caller-owned vector (cleared, then filled with `count`
+// values), reusing its capacity — the zero-allocation form the decoder hot
+// path uses. On error the vector contents are unspecified.
+Status RiceDecodeBlockInto(BitReader* r, size_t count,
+                           std::vector<int32_t>* out);
+
 }  // namespace espk
 
 #endif  // SRC_DSP_RICE_H_

@@ -179,11 +179,11 @@ Bytes SerializePacket(const Packet& packet, const Bytes& auth) {
     Bytes trailer_bytes = trailer.TakeBytes();
     out.insert(out.end(), trailer_bytes.begin(), trailer_bytes.end());
   }
-  uint32_t crc = Crc32(out);
-  ByteWriter crc_writer;
-  crc_writer.WriteU32(crc);
-  Bytes crc_bytes = crc_writer.TakeBytes();
-  out.insert(out.end(), crc_bytes.begin(), crc_bytes.end());
+  // Little-endian CRC trailer, appended in place (no throwaway writer).
+  const uint32_t crc = Crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xFF));
+  }
   return out;
 }
 

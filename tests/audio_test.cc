@@ -99,6 +99,43 @@ TEST(MulawTest, KnownAnchors) {
   }
 }
 
+// The shipped converters are table lookups (256-entry decode, 16K-entry
+// encode indexed by magnitude >> 1); the constexpr segment-walking reference
+// implementations live in sample_convert.h. These sweeps prove the tables
+// equal the reference for every representable input — all 65536 linear
+// samples and all 256 codes, both laws — so the >>1 index compression
+// really is lossless.
+
+TEST(MulawTest, EncodeTableMatchesReferenceExhaustively) {
+  for (int s = -32768; s <= 32767; ++s) {
+    const auto sample = static_cast<int16_t>(s);
+    ASSERT_EQ(LinearToMulaw(sample), LinearToMulawReference(sample))
+        << "sample " << s;
+  }
+}
+
+TEST(MulawTest, DecodeTableMatchesReferenceForAllCodes) {
+  for (int code = 0; code < 256; ++code) {
+    const auto c = static_cast<uint8_t>(code);
+    ASSERT_EQ(MulawToLinear(c), MulawToLinearReference(c)) << "code " << code;
+  }
+}
+
+TEST(AlawTest, EncodeTableMatchesReferenceExhaustively) {
+  for (int s = -32768; s <= 32767; ++s) {
+    const auto sample = static_cast<int16_t>(s);
+    ASSERT_EQ(LinearToAlaw(sample), LinearToAlawReference(sample))
+        << "sample " << s;
+  }
+}
+
+TEST(AlawTest, DecodeTableMatchesReferenceForAllCodes) {
+  for (int code = 0; code < 256; ++code) {
+    const auto c = static_cast<uint8_t>(code);
+    ASSERT_EQ(AlawToLinear(c), AlawToLinearReference(c)) << "code " << code;
+  }
+}
+
 TEST(MulawTest, MonotoneOverPositiveRange) {
   int16_t prev = MulawToLinear(LinearToMulaw(0));
   for (int v = 0; v <= 32000; v += 97) {

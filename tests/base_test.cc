@@ -167,6 +167,45 @@ TEST(Crc32Test, DetectsSingleBitFlip) {
   EXPECT_NE(Crc32(data), clean);
 }
 
+// Independent bit-at-a-time reference for the reflected IEEE polynomial.
+// The production implementation is table-driven (slicing-by-8) and must be
+// bit-identical to this for any span and any split point.
+uint32_t Crc32BitwiseUpdate(uint32_t state, const uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    state ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      state = (state >> 1) ^ ((state & 1u) ? 0xEDB88320u : 0u);
+    }
+  }
+  return state;
+}
+
+TEST(Crc32Test, SlicedMatchesBitwiseReferenceOnRandomSpans) {
+  Prng prng(91);
+  Bytes data(4096);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(prng.NextInRange(0, 255));
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random offset and length so the 8-byte slicing loop is exercised with
+    // every head/tail misalignment, including spans shorter than one chunk.
+    const auto off = static_cast<size_t>(prng.NextInRange(0, 4095));
+    const auto len =
+        static_cast<size_t>(prng.NextInRange(0, 4096 - static_cast<int64_t>(off)));
+    const uint32_t expected =
+        Crc32Final(Crc32BitwiseUpdate(Crc32Init(), data.data() + off, len));
+    ASSERT_EQ(Crc32(data.data() + off, len), expected)
+        << "off=" << off << " len=" << len;
+    // And split incrementally at an arbitrary point.
+    const auto cut = static_cast<size_t>(prng.NextInRange(0, static_cast<int64_t>(len)));
+    uint32_t state = Crc32Init();
+    state = Crc32Update(state, data.data() + off, cut);
+    state = Crc32Update(state, data.data() + off + cut, len - cut);
+    ASSERT_EQ(Crc32Final(state), expected)
+        << "off=" << off << " len=" << len << " cut=" << cut;
+  }
+}
+
 // ------------------------------------------------------------ RingBuffer --
 
 TEST(RingBufferTest, BasicWriteRead) {

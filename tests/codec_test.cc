@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 
 #include "src/audio/analysis.h"
 #include "src/audio/generator.h"
@@ -8,6 +11,43 @@
 #include "src/base/prng.h"
 #include "src/codec/codec.h"
 #include "src/codec/vorbix.h"
+
+// Counting replacements for the global allocation functions, backing the
+// steady-state zero-allocation test below. Replacement operator new must be
+// a non-inline namespace-scope function, hence file scope here; every
+// allocation in the test binary (gtest included) routes through it, so the
+// test reads deltas across exactly the calls it measures.
+namespace {
+std::atomic<uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// noinline: if the malloc/free bodies inline into callers, GCC's
+// -Wmismatched-new-delete cross-pairs them with the visible new/delete
+// expressions and raises false positives.
+[[gnu::noinline]] void* operator new(std::size_t size) {
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+[[gnu::noinline]] void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+[[gnu::noinline]] void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace espk {
 namespace {
@@ -251,6 +291,40 @@ TEST(VorbixTest, EmptyInputIsAnError) {
   EXPECT_FALSE((*enc)->EncodePacket({}).ok());
   auto dec = CreateDecoder(CodecId::kVorbix, cd, 8);
   EXPECT_FALSE((*dec)->DecodePacket({}).ok());
+}
+
+TEST(VorbixTest, SteadyStateIsOneAllocationPerPacket) {
+  // After the per-stream scratch arenas warm up, the only heap traffic per
+  // packet is the output buffer itself: one allocation for EncodePacket's
+  // Bytes, one for DecodePacket's interleaved floats (DESIGN.md, "DSP plans
+  // and scratch ownership"). This pins that property with the counting
+  // operator new above; any reintroduced per-packet copy or temporary
+  // vector fails it.
+  AudioConfig cd = AudioConfig::CdQuality();
+  VorbixEncoder encoder(cd, 10);
+  VorbixDecoder decoder(cd, 10);
+  MusicLikeGenerator gen(7);
+  std::vector<float> samples = MakeContent(&gen, cd, 4096);
+
+  for (int i = 0; i < 3; ++i) {  // Warm the arenas to steady state.
+    Result<Bytes> enc = encoder.EncodePacket(samples);
+    ASSERT_TRUE(enc.ok());
+    ASSERT_TRUE(decoder.DecodePacket(*enc).ok());
+  }
+
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  Result<Bytes> enc = encoder.EncodePacket(samples);
+  const uint64_t encode_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - before;
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(encode_allocs, 1u);
+
+  before = g_heap_allocs.load(std::memory_order_relaxed);
+  Result<std::vector<float>> dec = decoder.DecodePacket(*enc);
+  const uint64_t decode_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - before;
+  ASSERT_TRUE(dec.ok());
+  EXPECT_EQ(decode_allocs, 1u);
 }
 
 TEST(VorbixTest, LowSampleRateMonoWorks) {

@@ -96,6 +96,31 @@ TEST(FftTest, IsPowerOfTwoHelper) {
   EXPECT_FALSE(IsPowerOfTwo(12));
 }
 
+TEST(FftTest, PlanMatchesFreeFunctionAndRoundTrips) {
+  for (size_t n : {8u, 64u, 1024u}) {
+    FftPlan plan(n);
+    Prng prng(n);
+    std::vector<std::complex<double>> x(n);
+    for (auto& c : x) {
+      c = {prng.NextGaussian(), prng.NextGaussian()};
+    }
+    // The free function is a one-shot plan, so results are bit-identical.
+    auto via_free = x;
+    Fft(&via_free);
+    auto via_plan = x;
+    plan.Forward(via_plan.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(via_plan[i], via_free[i]) << "n=" << n << " bin " << i;
+    }
+    // Reusing the same plan for the inverse recovers the input.
+    plan.Inverse(via_plan.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(via_plan[i].real(), x[i].real(), 1e-9);
+      EXPECT_NEAR(via_plan[i].imag(), x[i].imag(), 1e-9);
+    }
+  }
+}
+
 // ------------------------------------------------------------------ MDCT --
 
 TEST(MdctTest, SineWindowSatisfiesPrincenBradley) {
@@ -167,6 +192,45 @@ TEST_P(MdctTdac, OverlapAddReconstructsExactly) {
 
 INSTANTIATE_TEST_SUITE_P(BlockSizes, MdctTdac,
                          ::testing::Values(16, 64, 256, 512));
+
+// Oracle sweep: the plan-based fast path (fold + split-radix-style DCT-IV
+// over two half-length FFTs) must agree with the direct O(N^2) formulas at
+// every power-of-two size the codec could be configured with.
+class MdctPlanOracle : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MdctPlanOracle, ForwardAndInverseMatchDirectFormulas) {
+  const size_t m = GetParam();
+  Mdct mdct(m);
+  Prng prng(m);
+  const auto window = SineWindow(2 * m);
+
+  std::vector<double> x(2 * m);
+  for (auto& v : x) {
+    v = prng.NextGaussian();
+  }
+  auto fast_fwd = mdct.Forward(x);
+  auto direct_fwd = MdctForwardDirect(x, window);
+  ASSERT_EQ(fast_fwd.size(), m);
+  for (size_t k = 0; k < m; ++k) {
+    ASSERT_NEAR(fast_fwd[k], direct_fwd[k], 1e-9) << "m=" << m << " bin " << k;
+  }
+
+  std::vector<double> coeffs(m);
+  for (auto& v : coeffs) {
+    v = prng.NextGaussian();
+  }
+  auto fast_inv = mdct.Inverse(coeffs);
+  auto direct_inv = MdctInverseDirect(coeffs, window);
+  ASSERT_EQ(fast_inv.size(), 2 * m);
+  for (size_t n = 0; n < 2 * m; ++n) {
+    ASSERT_NEAR(fast_inv[n], direct_inv[n], 1e-9)
+        << "m=" << m << " sample " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, MdctPlanOracle,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512, 1024,
+                                           2048, 4096));
 
 // -------------------------------------------------------------- Bitstream --
 
