@@ -1,0 +1,198 @@
+// Fan-out cost of the zero-copy packet path: one rebroadcast transmission
+// reaching N tuned speakers must cost O(1) payload allocations and ZERO
+// payload byte-copies per packet, independent of N — fan-out is N refcount
+// bumps over one shared Buffer (src/base/buffer.h), exactly the multicast
+// argument of §2.2 applied to host memory instead of wire bandwidth.
+//
+// The harness runs the full path — serialize once, multicast over the
+// simulated segment, every speaker parses, decodes, and plays — at a small
+// and a large speaker count, and diffs espk::buffer_counters() plus the
+// global allocation hook across a steady-state packet window. The emitted
+// BENCH_fanout.json is validated by bench_gate against
+// bench/baselines/BENCH_fanout_baseline.json: payload copies and buffers
+// per packet must be identical at N=10 and N=500 and must never grow past
+// the baseline. `--quick` (used by the espk_bench_smoke ctest) shortens the
+// measured window; the per-packet counter values it gates on are
+// window-size independent.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench/alloc_hook.h"
+#include "bench/bench_util.h"
+#include "src/base/buffer.h"
+#include "src/lan/segment.h"
+#include "src/proto/wire.h"
+#include "src/sim/simulation.h"
+#include "src/speaker/speaker.h"
+
+namespace espk {
+namespace {
+
+constexpr uint32_t kGroup = 100;
+constexpr uint32_t kStreamId = 1;
+constexpr uint32_t kFrameCount = 320;  // 40 ms at phone quality.
+constexpr int kSchemaVersion = 1;
+constexpr int kSpeakersSmall = 10;
+constexpr int kSpeakersLarge = 500;
+
+struct FanoutMeasurement {
+  int speakers = 0;
+  int packets = 0;
+  double payload_copies_per_packet = 0.0;
+  double copied_bytes_per_packet = 0.0;
+  double buffers_per_packet = 0.0;
+  double shares_per_packet = 0.0;
+  double allocs_per_packet = 0.0;
+  double ns_per_packet = 0.0;
+  uint64_t chunks_played = 0;
+};
+
+// One channel, `speakers` tuned EthernetSpeakers, `packets` steady-state
+// data packets pushed through serialize -> multicast -> parse -> decode ->
+// play with the sim drained after each send.
+FanoutMeasurement MeasureFanout(int speakers, int packets) {
+  using Clock = std::chrono::steady_clock;
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto producer = segment.CreateNic();
+
+  SpeakerOptions so;
+  so.decode_speed_factor = 0.02;
+  std::vector<std::unique_ptr<SimNic>> nics;
+  std::vector<std::unique_ptr<EthernetSpeaker>> fleet;
+  for (int i = 0; i < speakers; ++i) {
+    nics.push_back(segment.CreateNic());
+    fleet.push_back(
+        std::make_unique<EthernetSpeaker>(&sim, nics.back().get(), so));
+    if (!fleet.back()->Tune(kGroup).ok()) {
+      std::fprintf(stderr, "tune failed\n");
+      std::exit(1);
+    }
+  }
+
+  ControlPacket control;
+  control.stream_id = kStreamId;
+  control.producer_clock = sim.now();
+  control.config = AudioConfig::PhoneQuality();
+  control.codec = CodecId::kRaw;
+  (void)producer->SendMulticast(kGroup, SerializePacketSlice(control));
+  sim.Run();
+
+  uint32_t seq = 0;
+  auto send_one = [&] {
+    DataPacket packet;
+    packet.stream_id = kStreamId;
+    packet.seq = ++seq;
+    packet.play_deadline = sim.now() + Milliseconds(50);
+    packet.frame_count = kFrameCount;
+    // Stands in for the encoder's per-packet output: a fresh Bytes whose
+    // storage the payload slice adopts (never copies).
+    packet.payload = Bytes(kFrameCount, static_cast<uint8_t>(seq));
+    TraceTag tag{packet.stream_id, packet.seq, /*valid=*/true};
+    (void)producer->SendMulticast(kGroup, SerializePacketSlice(packet), tag);
+    sim.Run();
+  };
+
+  for (int i = 0; i < 8; ++i) {  // Warmup: containers and speakers settle.
+    send_one();
+  }
+
+  ResetBufferCounters();
+  const uint64_t allocs_before = bench::AllocCount();
+  const auto t0 = Clock::now();
+  for (int i = 0; i < packets; ++i) {
+    send_one();
+  }
+  const auto t1 = Clock::now();
+  const uint64_t allocs = bench::AllocCount() - allocs_before;
+  const BufferCounters& counters = buffer_counters();
+
+  FanoutMeasurement m;
+  m.speakers = speakers;
+  m.packets = packets;
+  const double n = packets;
+  m.payload_copies_per_packet =
+      static_cast<double>(counters.payload_copies) / n;
+  m.copied_bytes_per_packet =
+      static_cast<double>(counters.payload_bytes_copied) / n;
+  m.buffers_per_packet = static_cast<double>(counters.buffers_created) / n;
+  m.shares_per_packet = static_cast<double>(counters.shares) / n;
+  m.allocs_per_packet = static_cast<double>(allocs) / n;
+  m.ns_per_packet =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / n;
+  for (const auto& speaker : fleet) {
+    m.chunks_played += speaker->stats().chunks_played;
+  }
+  return m;
+}
+
+int RunFanoutBench(int packets) {
+  PrintHeader("A7", "zero-copy fan-out: payload copies vs speaker count");
+  PrintPaperNote(
+      "multicast sends each packet once regardless of listeners (§2.2); "
+      "the zero-copy path extends that to host memory: one allocation per "
+      "transmission, N refcount bumps");
+
+  FanoutMeasurement small = MeasureFanout(kSpeakersSmall, packets);
+  FanoutMeasurement large = MeasureFanout(kSpeakersLarge, packets);
+
+  Table table({"speakers", "copies/pkt", "buffers/pkt", "shares/pkt",
+               "allocs/pkt", "us/pkt"});
+  for (const FanoutMeasurement* m : {&small, &large}) {
+    table.Row({std::to_string(m->speakers), Fmt(m->payload_copies_per_packet),
+               Fmt(m->buffers_per_packet), Fmt(m->shares_per_packet, 0),
+               Fmt(m->allocs_per_packet, 0), Fmt(m->ns_per_packet / 1000.0)});
+  }
+  std::printf(
+      "copies per packet %s across a %dx speaker increase "
+      "(%.2f @ %d vs %.2f @ %d)\n",
+      small.payload_copies_per_packet == large.payload_copies_per_packet
+          ? "IDENTICAL"
+          : "DIFFER",
+      kSpeakersLarge / kSpeakersSmall, small.payload_copies_per_packet,
+      small.speakers, large.payload_copies_per_packet, large.speakers);
+
+  if (small.chunks_played == 0 || large.chunks_played == 0) {
+    std::fprintf(stderr, "FAIL: speakers played nothing; harness is broken\n");
+    return 1;
+  }
+
+  JsonWriter json;
+  json.Str("bench", "fanout");
+  json.Int("schema_version", kSchemaVersion);
+  json.Int("speakers_small", kSpeakersSmall);
+  json.Int("speakers_large", kSpeakersLarge);
+  json.Int("packets", static_cast<uint64_t>(packets));
+  json.Int("payload_bytes", kFrameCount);
+  json.Num("payload_copies_per_packet_small", small.payload_copies_per_packet);
+  json.Num("payload_copies_per_packet_large", large.payload_copies_per_packet);
+  json.Num("copied_bytes_per_packet_large", large.copied_bytes_per_packet);
+  json.Num("buffers_per_packet_small", small.buffers_per_packet);
+  json.Num("buffers_per_packet_large", large.buffers_per_packet);
+  json.Num("shares_per_packet_small", small.shares_per_packet);
+  json.Num("shares_per_packet_large", large.shares_per_packet);
+  json.Num("allocs_per_packet_small", small.allocs_per_packet);
+  json.Num("allocs_per_packet_large", large.allocs_per_packet);
+  json.Num("ns_per_packet_large", large.ns_per_packet);
+  if (!json.WriteFile("BENCH_fanout.json")) {
+    return 1;
+  }
+  std::printf("wrote BENCH_fanout.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace espk
+
+int main(int argc, char** argv) {
+  int packets = 50;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      packets = 20;
+    }
+  }
+  return espk::RunFanoutBench(packets);
+}

@@ -1,18 +1,30 @@
-// Perf gate over BENCH_codec.json: validates the schema and fails when the
+// Perf gate over BENCH_*.json files: validates the schema and fails when a
 // hot path regresses against the checked-in baseline. Run by the
 // espk_bench_smoke ctest (Release builds, label "bench"):
 //
-//   bench_gate <current.json> <baseline.json> [max_encode_regress_frac]
+//   bench_gate <current.json> <baseline.json> [max_regress_frac]
 //
-// Checks, in order:
-//   1. both files parse as flat JSON objects with every required field of
-//      the right type (schema_version 1, bench "codec");
+// The baseline's "bench" string field selects the check set; the current
+// file must declare the same bench.
+//
+// bench "codec" (BENCH_codec.json):
+//   1. every required numeric field present (schema_version 1);
 //   2. allocations per packet have not grown past the baseline — the
 //      zero-allocation steady state is a correctness property here, so even
 //      a +1 drift fails;
 //   3. encode ns/frame is within (1 + max_regress) of baseline, default
 //      +25% — loose enough for shared-machine noise, tight enough to catch
 //      an accidental O(N log N) -> O(N^2) or a reintroduced per-packet copy.
+//
+// bench "fanout" (BENCH_fanout.json):
+//   1. every required numeric field present (schema_version 1);
+//   2. payload copies and buffers per packet are IDENTICAL at the small and
+//      large speaker counts — the zero-copy fan-out claim is exact, not a
+//      tolerance: per-packet payload cost must not depend on N;
+//   3. neither may grow past the baseline (hard, like codec allocations);
+//   4. total heap allocations per packet at the large count stay within
+//      (1 + max_regress) of baseline — they include O(N) event-scheduling
+//      machinery, so they get the noise margin, not an equality.
 //
 // Exit 0 on pass; 1 with one "FAIL:" line per violation otherwise.
 #include <cstdio>
@@ -60,7 +72,7 @@ struct Gate {
   }
 };
 
-const char* const kNumericFields[] = {
+const char* const kCodecNumericFields[] = {
     "schema_version",          "frames_per_packet",
     "packets",                 "quality",
     "encode_ns_per_frame",     "decode_ns_per_frame",
@@ -70,11 +82,151 @@ const char* const kNumericFields[] = {
     "encode_ns_per_packet_p95",
 };
 
+const char* const kFanoutNumericFields[] = {
+    "schema_version",
+    "speakers_small",
+    "speakers_large",
+    "packets",
+    "payload_bytes",
+    "payload_copies_per_packet_small",
+    "payload_copies_per_packet_large",
+    "buffers_per_packet_small",
+    "buffers_per_packet_large",
+    "shares_per_packet_small",
+    "shares_per_packet_large",
+    "allocs_per_packet_small",
+    "allocs_per_packet_large",
+    "ns_per_packet_large",
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+// Returns the baseline's "bench" string after checking both files declare
+// the same one; empty string (plus Fail lines) otherwise.
+std::string BenchKind(Gate* gate, const JsonObject& current,
+                      const char* current_path, const JsonObject& baseline,
+                      const char* baseline_path) {
+  std::string kind;
+  for (const auto* pair : {&baseline, &current}) {
+    const std::string file = pair == &current ? current_path : baseline_path;
+    auto bench = pair->find("bench");
+    if (bench == pair->end() ||
+        bench->second.kind != JsonValue::Kind::kString) {
+      gate->Fail(file + ": missing string field \"bench\"");
+      return "";
+    }
+    if (pair == &baseline) {
+      kind = bench->second.str;
+    } else if (bench->second.str != kind) {
+      gate->Fail(file + ": bench \"" + bench->second.str +
+                 "\" does not match baseline bench \"" + kind + "\"");
+      return "";
+    }
+  }
+  return kind;
+}
+
+void CheckCodec(Gate* gate, const JsonObject& current,
+                const char* current_path, const JsonObject& baseline,
+                const char* baseline_path, double max_regress) {
+  Gate& g = *gate;
+  // Allocations are a hard gate: the steady-state count is a designed-in
+  // property (one output buffer per packet), not a tunable.
+  for (const char* key :
+       {"encode_allocs_per_packet", "decode_allocs_per_packet"}) {
+    const double cur = g.Number(current, current_path, key);
+    const double base = g.Number(baseline, baseline_path, key);
+    if (cur > base) {
+      g.Fail(std::string(key) + " grew: " + std::to_string(cur) + " > " +
+             "baseline " + std::to_string(base));
+    }
+  }
+
+  const double cur_ns = g.Number(current, current_path,
+                                 "encode_ns_per_frame");
+  const double base_ns = g.Number(baseline, baseline_path,
+                                  "encode_ns_per_frame");
+  const double limit = base_ns * (1.0 + max_regress);
+  if (cur_ns > limit) {
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "encode_ns_per_frame %.1f exceeds baseline %.1f by more "
+                  "than %.0f%% (limit %.1f)",
+                  cur_ns, base_ns, max_regress * 100.0, limit);
+    g.Fail(msg);
+  }
+
+  if (g.failures == 0) {
+    std::printf(
+        "PASS: encode %.1f ns/frame (baseline %.1f, limit %.1f), "
+        "allocs/packet encode=%g decode=%g\n",
+        cur_ns, base_ns, limit,
+        g.Number(current, current_path, "encode_allocs_per_packet"),
+        g.Number(current, current_path, "decode_allocs_per_packet"));
+  }
+}
+
+void CheckFanout(Gate* gate, const JsonObject& current,
+                 const char* current_path, const JsonObject& baseline,
+                 const char* baseline_path, double max_regress) {
+  Gate& g = *gate;
+  // The zero-copy claim itself: per-packet payload cost must be exactly
+  // the same at N=speakers_small and N=speakers_large. Any dependence on
+  // the receiver count means a copy crept into the fan-out.
+  for (const char* stem :
+       {"payload_copies_per_packet", "buffers_per_packet"}) {
+    const double small =
+        g.Number(current, current_path, std::string(stem) + "_small");
+    const double large =
+        g.Number(current, current_path, std::string(stem) + "_large");
+    if (small != large) {
+      g.Fail(std::string(stem) + " depends on speaker count: " +
+             std::to_string(small) + " (small) vs " + std::to_string(large) +
+             " (large)");
+    }
+  }
+  // Hard ceiling against the checked-in baseline, like codec allocations:
+  // copy counts are designed-in properties, not tunables.
+  for (const char* key :
+       {"payload_copies_per_packet_large", "buffers_per_packet_large"}) {
+    const double cur = g.Number(current, current_path, key);
+    const double base = g.Number(baseline, baseline_path, key);
+    if (cur > base) {
+      g.Fail(std::string(key) + " grew: " + std::to_string(cur) + " > " +
+             "baseline " + std::to_string(base));
+    }
+  }
+  // Total heap allocations include O(N) event-delivery machinery, so they
+  // get the noise margin rather than an equality.
+  const double cur_allocs =
+      g.Number(current, current_path, "allocs_per_packet_large");
+  const double base_allocs =
+      g.Number(baseline, baseline_path, "allocs_per_packet_large");
+  const double alloc_limit = base_allocs * (1.0 + max_regress);
+  if (cur_allocs > alloc_limit) {
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "allocs_per_packet_large %.1f exceeds baseline %.1f by "
+                  "more than %.0f%% (limit %.1f)",
+                  cur_allocs, base_allocs, max_regress * 100.0, alloc_limit);
+    g.Fail(msg);
+  }
+
+  if (g.failures == 0) {
+    std::printf(
+        "PASS: fan-out copies/packet %g (N-independent), buffers/packet %g, "
+        "allocs/packet %.1f (baseline %.1f, limit %.1f)\n",
+        g.Number(current, current_path, "payload_copies_per_packet_large"),
+        g.Number(current, current_path, "buffers_per_packet_large"),
+        cur_allocs, base_allocs, alloc_limit);
+  }
+}
+
 int Run(const char* current_path, const char* baseline_path,
         double max_regress) {
   Gate gate;
-  Result<std::map<std::string, JsonValue>> current = LoadJson(current_path);
-  Result<std::map<std::string, JsonValue>> baseline = LoadJson(baseline_path);
+  Result<JsonObject> current = LoadJson(current_path);
+  Result<JsonObject> baseline = LoadJson(baseline_path);
   if (!current.ok()) {
     gate.Fail(std::string(current_path) + ": " +
               std::string(current.status().message()));
@@ -87,18 +239,26 @@ int Run(const char* current_path, const char* baseline_path,
     return 1;
   }
 
-  for (const auto* pair :
-       {&*current, &*baseline}) {
+  const std::string kind = BenchKind(&gate, *current, current_path,
+                                     *baseline, baseline_path);
+  if (kind != "codec" && kind != "fanout") {
+    if (gate.failures == 0) {
+      gate.Fail("unknown bench kind \"" + kind + "\"");
+    }
+    return 1;
+  }
+
+  for (const auto* pair : {&*current, &*baseline}) {
     const std::string file =
         pair == &*current ? current_path : baseline_path;
-    auto bench = pair->find("bench");
-    if (bench == pair->end() ||
-        bench->second.kind != JsonValue::Kind::kString ||
-        bench->second.str != "codec") {
-      gate.Fail(file + ": field \"bench\" must be the string \"codec\"");
-    }
-    for (const char* key : kNumericFields) {
-      (void)gate.Number(*pair, file, key);
+    if (kind == "codec") {
+      for (const char* key : kCodecNumericFields) {
+        (void)gate.Number(*pair, file, key);
+      }
+    } else {
+      for (const char* key : kFanoutNumericFields) {
+        (void)gate.Number(*pair, file, key);
+      }
     }
   }
   if (gate.failures > 0) {
@@ -109,39 +269,12 @@ int Run(const char* current_path, const char* baseline_path,
     gate.Fail("unsupported schema_version (want 1)");
   }
 
-  // Allocations are a hard gate: the steady-state count is a designed-in
-  // property (one output buffer per packet), not a tunable.
-  for (const char* key :
-       {"encode_allocs_per_packet", "decode_allocs_per_packet"}) {
-    const double cur = gate.Number(*current, current_path, key);
-    const double base = gate.Number(*baseline, baseline_path, key);
-    if (cur > base) {
-      gate.Fail(std::string(key) + " grew: " + std::to_string(cur) + " > " +
-                "baseline " + std::to_string(base));
-    }
-  }
-
-  const double cur_ns = gate.Number(*current, current_path,
-                                    "encode_ns_per_frame");
-  const double base_ns = gate.Number(*baseline, baseline_path,
-                                     "encode_ns_per_frame");
-  const double limit = base_ns * (1.0 + max_regress);
-  if (cur_ns > limit) {
-    char msg[256];
-    std::snprintf(msg, sizeof(msg),
-                  "encode_ns_per_frame %.1f exceeds baseline %.1f by more "
-                  "than %.0f%% (limit %.1f)",
-                  cur_ns, base_ns, max_regress * 100.0, limit);
-    gate.Fail(msg);
-  }
-
-  if (gate.failures == 0) {
-    std::printf(
-        "PASS: encode %.1f ns/frame (baseline %.1f, limit %.1f), "
-        "allocs/packet encode=%g decode=%g\n",
-        cur_ns, base_ns, limit,
-        gate.Number(*current, current_path, "encode_allocs_per_packet"),
-        gate.Number(*current, current_path, "decode_allocs_per_packet"));
+  if (kind == "codec") {
+    CheckCodec(&gate, *current, current_path, *baseline, baseline_path,
+               max_regress);
+  } else {
+    CheckFanout(&gate, *current, current_path, *baseline, baseline_path,
+                max_regress);
   }
   return gate.failures == 0 ? 0 : 1;
 }
@@ -153,7 +286,7 @@ int main(int argc, char** argv) {
   if (argc < 3 || argc > 4) {
     std::fprintf(stderr,
                  "usage: bench_gate <current.json> <baseline.json> "
-                 "[max_encode_regress_frac]\n");
+                 "[max_regress_frac]\n");
     return 2;
   }
   double max_regress = 0.25;

@@ -1,30 +1,41 @@
 # Driver for the espk_bench_smoke ctest (Release builds only, label
-# "bench"): runs bench_codec --quick to produce BENCH_codec.json in the
-# build tree, then bench_gate to validate its schema and compare encode
-# ns/frame against the checked-in baseline.
+# "bench"): runs each JSON-emitting bench in --quick mode in the build tree,
+# then bench_gate to validate the emitted schema and compare against the
+# checked-in baseline:
+#
+#   bench_codec  --quick -> BENCH_codec.json  vs BASELINE
+#   bench_fanout --quick -> BENCH_fanout.json vs FANOUT_BASELINE
 #
 # Invoked as:
-#   cmake -DBENCH_CODEC=<path> -DBENCH_GATE=<path> -DBASELINE=<path>
-#         -DWORK_DIR=<dir> -P bench_smoke.cmake
-foreach(var BENCH_CODEC BENCH_GATE BASELINE WORK_DIR)
+#   cmake -DBENCH_CODEC=<path> -DBENCH_FANOUT=<path> -DBENCH_GATE=<path>
+#         -DBASELINE=<path> -DFANOUT_BASELINE=<path> -DWORK_DIR=<dir>
+#         -P bench_smoke.cmake
+foreach(var BENCH_CODEC BENCH_FANOUT BENCH_GATE BASELINE FANOUT_BASELINE
+            WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_smoke.cmake: ${var} not set")
   endif()
 endforeach()
 
-execute_process(
-  COMMAND "${BENCH_CODEC}" --quick
-  WORKING_DIRECTORY "${WORK_DIR}"
-  RESULT_VARIABLE bench_rc
-)
-if(NOT bench_rc EQUAL 0)
-  message(FATAL_ERROR "bench_codec --quick failed (exit ${bench_rc})")
-endif()
+function(run_bench_and_gate bench json baseline)
+  execute_process(
+    COMMAND "${bench}" --quick
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE bench_rc
+  )
+  if(NOT bench_rc EQUAL 0)
+    message(FATAL_ERROR "${bench} --quick failed (exit ${bench_rc})")
+  endif()
 
-execute_process(
-  COMMAND "${BENCH_GATE}" "${WORK_DIR}/BENCH_codec.json" "${BASELINE}"
-  RESULT_VARIABLE gate_rc
-)
-if(NOT gate_rc EQUAL 0)
-  message(FATAL_ERROR "bench_gate failed (exit ${gate_rc}); see FAIL lines")
-endif()
+  execute_process(
+    COMMAND "${BENCH_GATE}" "${WORK_DIR}/${json}" "${baseline}"
+    RESULT_VARIABLE gate_rc
+  )
+  if(NOT gate_rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_gate failed on ${json} (exit ${gate_rc}); see FAIL lines")
+  endif()
+endfunction()
+
+run_bench_and_gate("${BENCH_CODEC}" BENCH_codec.json "${BASELINE}")
+run_bench_and_gate("${BENCH_FANOUT}" BENCH_fanout.json "${FANOUT_BASELINE}")

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification pipeline, the same two stages a CI runner executes:
+#
+#   1. Debug build with ASan+UBSan (the ESPK_SANITIZE cache option) and the
+#      full ctest suite — memory and UB bugs in the zero-copy buffer path
+#      (refcount mistakes, slices outliving buffers) fail here loudly.
+#   2. Release build and the bench smoke gate (espk_bench_smoke), which
+#      regenerates BENCH_codec.json / BENCH_fanout.json and validates both
+#      against bench/baselines with bench_gate.
+#
+# Usage: ci/check.sh [jobs]     (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> [1/2] Debug + ASan/UBSan: configure, build, ctest"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DESPK_SANITIZE="address;undefined"
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "==> [2/2] Release: configure, build, bench smoke gate"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$JOBS"
+ctest --test-dir build-release --output-on-failure -j "$JOBS"
+
+echo "==> ci/check.sh: all stages passed"

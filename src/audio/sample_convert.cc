@@ -84,9 +84,10 @@ int16_t FloatToS16(float x) {
 
 float S16ToFloat(int16_t x) { return static_cast<float>(x) / 32768.0f; }
 
-std::vector<float> DecodeToFloat(const Bytes& data, AudioEncoding encoding) {
+std::vector<float> DecodeToFloat(const uint8_t* data, size_t size,
+                                 AudioEncoding encoding) {
   const int bps = BytesPerSample(encoding);
-  const size_t n = data.size() / static_cast<size_t>(bps);
+  const size_t n = size / static_cast<size_t>(bps);
   std::vector<float> out(n);
   switch (encoding) {
     case AudioEncoding::kMulaw:

@@ -96,9 +96,15 @@ constexpr int16_t AlawToLinearReference(uint8_t alaw) {
 }
 
 // Decodes interleaved bytes in `encoding` into float samples in [-1, 1].
-// `data.size()` must be a multiple of BytesPerSample(encoding); trailing
-// partial samples are ignored.
-std::vector<float> DecodeToFloat(const Bytes& data, AudioEncoding encoding);
+// The byte count must be a multiple of BytesPerSample(encoding); trailing
+// partial samples are ignored. The span form decodes payload views (e.g.
+// slices of an arrival buffer) without a copy.
+std::vector<float> DecodeToFloat(const uint8_t* data, size_t size,
+                                 AudioEncoding encoding);
+inline std::vector<float> DecodeToFloat(const Bytes& data,
+                                        AudioEncoding encoding) {
+  return DecodeToFloat(data.data(), data.size(), encoding);
+}
 
 // Encodes float samples (clamped to [-1, 1]) into interleaved bytes.
 Bytes EncodeFromFloat(const std::vector<float>& samples,

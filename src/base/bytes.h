@@ -69,6 +69,17 @@ class ByteReader {
   Result<Bytes> ReadLengthPrefixed();
   Result<std::string> ReadString();
 
+  // Advances the cursor past `n` bytes without copying them — the zero-copy
+  // parse path skips over a payload and slices it out of the arrival buffer
+  // instead of reading it.
+  Status Skip(size_t n) {
+    if (!Ensure(n)) {
+      return OutOfRangeError("Skip past end of buffer");
+    }
+    pos_ += n;
+    return OkStatus();
+  }
+
   size_t remaining() const { return len_ - pos_; }
   size_t position() const { return pos_; }
   bool empty() const { return pos_ >= len_; }

@@ -31,27 +31,29 @@ void UnicastStreamServer::Tick(SimTime now) {
   if (listeners_.empty()) {
     return;
   }
-  // One fresh packet per tick, then one copy per listener — the defining
-  // cost of the unicast model.
+  // One fresh packet per tick, then one unicast transmission per listener —
+  // the defining cost of the unicast model is N wire sends (the payload
+  // itself is serialized once and shared as a slice).
   std::vector<float> samples;
   generator_->Generate(packet_frames_, config_.channels, config_.sample_rate,
                        &samples);
   Bytes payload = EncodeFromFloat(samples, config_.encoding);
+  const size_t payload_size = payload.size();
   DataPacket packet;
   packet.stream_id = 1;
   packet.seq = next_seq_++;
   packet.play_deadline = now + Milliseconds(200);
   packet.frame_count = static_cast<uint32_t>(packet_frames_);
-  packet.payload = payload;
-  Bytes wire = SerializePacket(packet);
+  packet.payload = std::move(payload);
+  BufferSlice wire = SerializePacketSlice(packet);
 
   ControlPacket control;
   control.stream_id = 1;
   control.producer_clock = now;
   control.config = config_;
   control.codec = CodecId::kRaw;
-  Bytes control_wire =
-      next_seq_ % 16 == 1 ? SerializePacket(control) : Bytes{};
+  BufferSlice control_wire =
+      next_seq_ % 16 == 1 ? SerializePacketSlice(control) : BufferSlice{};
 
   for (NodeId listener : listeners_) {
     if (!control_wire.empty()) {
@@ -59,7 +61,7 @@ void UnicastStreamServer::Tick(SimTime now) {
     }
     (void)nic_->SendUnicast(listener, wire);
     ++packets_sent_;
-    payload_bytes_ += payload.size();
+    payload_bytes_ += payload_size;
   }
 }
 

@@ -58,7 +58,7 @@ void DhcpServer::AddHost(NodeId node, const std::string& hostname) {
 }
 
 void DhcpServer::OnDatagram(const Datagram& datagram) {
-  ByteReader r(datagram.payload);
+  ByteReader r(datagram.payload.data(), datagram.payload.size());
   Result<uint8_t> tag = r.ReadU8();
   if (!tag.ok()) {
     return;
@@ -116,7 +116,7 @@ Bytes BootServer::key_fingerprint() const {
 }
 
 void BootServer::OnDatagram(const Datagram& datagram) {
-  ByteReader r(datagram.payload);
+  ByteReader r(datagram.payload.data(), datagram.payload.size());
   Result<uint8_t> tag = r.ReadU8();
   if (!tag.ok()) {
     return;
@@ -219,7 +219,7 @@ void NetbootClient::OnDatagram(const Datagram& datagram) {
   if (phase_ == Phase::kDone || phase_ == Phase::kFailed) {
     return;
   }
-  ByteReader r(datagram.payload);
+  ByteReader r(datagram.payload.data(), datagram.payload.size());
   Result<uint8_t> tag = r.ReadU8();
   if (!tag.ok()) {
     return;

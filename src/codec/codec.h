@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/audio/format.h"
+#include "src/base/buffer.h"
 #include "src/base/bytes.h"
 #include "src/base/status.h"
 
@@ -48,8 +49,17 @@ class AudioDecoder {
 
   // Decodes a self-contained payload back to interleaved float samples.
   // Must tolerate corrupt input by returning an error, never by crashing
-  // (speakers feed network bytes straight in; §5.1).
-  virtual Result<std::vector<float>> DecodePacket(const Bytes& payload) = 0;
+  // (speakers feed network bytes straight in; §5.1). The primary entry is a
+  // raw byte span so payload slices over an arrival buffer decode in place
+  // without a copy-out.
+  virtual Result<std::vector<float>> DecodePacket(const uint8_t* data,
+                                                  size_t size) = 0;
+  Result<std::vector<float>> DecodePacket(const Bytes& payload) {
+    return DecodePacket(payload.data(), payload.size());
+  }
+  Result<std::vector<float>> DecodePacket(const BufferSlice& payload) {
+    return DecodePacket(payload.data(), payload.size());
+  }
 
   virtual CodecId id() const = 0;
 };

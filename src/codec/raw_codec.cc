@@ -13,12 +13,13 @@ Result<Bytes> RawEncoder::EncodePacket(const std::vector<float>& interleaved) {
   return EncodeFromFloat(interleaved, config_.encoding);
 }
 
-Result<std::vector<float>> RawDecoder::DecodePacket(const Bytes& payload) {
+Result<std::vector<float>> RawDecoder::DecodePacket(const uint8_t* data,
+                                                    size_t size) {
   const auto frame_bytes = static_cast<size_t>(config_.bytes_per_frame());
-  if (payload.empty() || payload.size() % frame_bytes != 0) {
+  if (size == 0 || size % frame_bytes != 0) {
     return DataLossError("raw decode: payload not a whole number of frames");
   }
-  return DecodeToFloat(payload, config_.encoding);
+  return DecodeToFloat(data, size, config_.encoding);
 }
 
 }  // namespace espk

@@ -24,7 +24,9 @@ class RawDecoder : public AudioDecoder {
  public:
   explicit RawDecoder(const AudioConfig& config) : config_(config) {}
 
-  Result<std::vector<float>> DecodePacket(const Bytes& payload) override;
+  using AudioDecoder::DecodePacket;
+  Result<std::vector<float>> DecodePacket(const uint8_t* data,
+                                          size_t size) override;
   CodecId id() const override { return CodecId::kRaw; }
 
  private:

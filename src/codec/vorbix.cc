@@ -147,8 +147,9 @@ VorbixDecoder::VorbixDecoder(const AudioConfig& config, int /*quality*/)
   values_.reserve(MaxBandWidth(layout_));
 }
 
-Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
-  ByteReader header(payload);
+Result<std::vector<float>> VorbixDecoder::DecodePacket(const uint8_t* data,
+                                                       size_t size) {
+  ByteReader header(data, size);
   Result<uint16_t> magic = header.ReadU16();
   if (!magic.ok() || *magic != kVorbixMagic) {
     return DataLossError("vorbix: bad magic");
@@ -189,8 +190,7 @@ Result<std::vector<float>> VorbixDecoder::DecodePacket(const Bytes& payload) {
   const size_t blocks = padded_frames / m + 1;
 
   // Read the entropy-coded tail in place; no copy of the payload.
-  BitReader bits(payload.data() + header.position(),
-                 payload.size() - header.position());
+  BitReader bits(data + header.position(), size - header.position());
 
   std::vector<float> interleaved(frames * *channels, 0.0f);
   recon_.resize(total);

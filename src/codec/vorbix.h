@@ -85,7 +85,9 @@ class VorbixDecoder : public AudioDecoder {
  public:
   VorbixDecoder(const AudioConfig& config, int quality);
 
-  Result<std::vector<float>> DecodePacket(const Bytes& payload) override;
+  using AudioDecoder::DecodePacket;
+  Result<std::vector<float>> DecodePacket(const uint8_t* data,
+                                          size_t size) override;
   CodecId id() const override { return CodecId::kVorbix; }
 
  private:

@@ -15,6 +15,7 @@ EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
   if (options_.background_daemon_rate > 0.0) {
     kernel_.StartBackgroundDaemons(options_.background_daemon_rate);
   }
+  lan_.set_tracer(&tracer_);
   RegisterLanMetrics();
 }
 

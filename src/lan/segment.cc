@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/base/logging.h"
+#include "src/obs/trace.h"
 
 namespace espk {
 
@@ -45,6 +46,10 @@ void EthernetSegment::Transmit(const Datagram& datagram) {
                             static_cast<double>(kSecond);
   if (queued_bytes > static_cast<double>(config_.tx_queue_limit)) {
     ++stats_.packets_dropped_queue;
+    if (tracer_ != nullptr && datagram.trace.valid) {
+      tracer_->Record(datagram.trace.stream_id, datagram.trace.seq,
+                      TraceStage::kQueueDrop, datagram.source);
+    }
     return;
   }
   medium_free_at_ = start + tx_time;
@@ -71,6 +76,10 @@ void EthernetSegment::Transmit(const Datagram& datagram) {
     if (config_.loss_probability > 0.0 &&
         prng_.NextBool(config_.loss_probability)) {
       ++stats_.deliveries_lost;
+      if (tracer_ != nullptr && datagram.trace.valid) {
+        tracer_->Record(datagram.trace.stream_id, datagram.trace.seq,
+                        TraceStage::kLinkLoss, nic->node_id());
+      }
       continue;
     }
     SimTime arrival = wire_done + config_.base_delay;
@@ -84,6 +93,8 @@ void EthernetSegment::Transmit(const Datagram& datagram) {
 
 void EthernetSegment::DeliverTo(SimNic* nic, const Datagram& datagram,
                                 SimTime arrival) {
+  // Copying the Datagram into the event shares the payload slice: N
+  // receivers of one multicast hold N references to one allocation.
   sim_->ScheduleAt(arrival, [nic, datagram] { nic->HandleArrival(datagram); });
 }
 
@@ -107,24 +118,28 @@ Status SimNic::LeaveGroup(GroupId group) {
   return OkStatus();
 }
 
-Status SimNic::SendMulticast(GroupId group, const Bytes& payload) {
+Status SimNic::SendMulticast(GroupId group, BufferSlice payload,
+                             TraceTag trace) {
   if (group == 0) {
     return InvalidArgumentError("group 0 is reserved for unicast");
   }
   Datagram d;
   d.group = group;
   d.source = node_;
-  d.payload = payload;
+  d.payload = std::move(payload);
+  d.trace = trace;
   segment_->Transmit(d);
   return OkStatus();
 }
 
-Status SimNic::SendUnicast(NodeId destination, const Bytes& payload) {
+Status SimNic::SendUnicast(NodeId destination, BufferSlice payload,
+                           TraceTag trace) {
   Datagram d;
   d.group = 0;
   d.source = node_;
   d.destination = destination;
-  d.payload = payload;
+  d.payload = std::move(payload);
+  d.trace = trace;
   segment_->Transmit(d);
   return OkStatus();
 }

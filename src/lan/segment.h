@@ -21,6 +21,8 @@
 
 namespace espk {
 
+class PacketTracer;
+
 struct SegmentConfig {
   // 100 Mbps fast Ethernet by default; the paper's problem case is a legacy
   // 10 Mbps or wireless link (§2.2).
@@ -71,6 +73,11 @@ class EthernetSegment {
   void set_loss_probability(double p) { config_.loss_probability = p; }
   void set_jitter(SimDuration j) { config_.jitter = j; }
 
+  // Optional: traced packets (Datagram::trace.valid) that die here — tail
+  // drop or per-receiver loss — get a terminal PacketTracer stage instead of
+  // silently vanishing from their lifecycle.
+  void set_tracer(PacketTracer* tracer) { tracer_ = tracer; }
+
   // How many stations have joined `group` — what a first-hop router knows
   // from IGMP, and what MSNIP would let a server ask for (§4.3).
   size_t GroupMemberCount(GroupId group) const;
@@ -85,6 +92,7 @@ class EthernetSegment {
   Simulation* sim_;
   SegmentConfig config_;
   SegmentStats stats_;
+  PacketTracer* tracer_ = nullptr;
   RateMeter wire_meter_;
   Prng prng_;
   NodeId next_node_ = 1;
@@ -100,8 +108,12 @@ class SimNic : public Transport {
   NodeId node_id() const override { return node_; }
   Status JoinGroup(GroupId group) override;
   Status LeaveGroup(GroupId group) override;
-  Status SendMulticast(GroupId group, const Bytes& payload) override;
-  Status SendUnicast(NodeId destination, const Bytes& payload) override;
+  using Transport::SendMulticast;
+  using Transport::SendUnicast;
+  Status SendMulticast(GroupId group, BufferSlice payload,
+                       TraceTag trace) override;
+  Status SendUnicast(NodeId destination, BufferSlice payload,
+                     TraceTag trace) override;
   void SetReceiveHandler(ReceiveHandler handler) override;
 
   bool IsJoined(GroupId group) const { return groups_.count(group) > 0; }

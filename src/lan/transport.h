@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "src/base/buffer.h"
 #include "src/base/bytes.h"
 #include "src/base/status.h"
 
@@ -24,11 +26,25 @@ using NodeId = uint32_t;
 
 inline constexpr NodeId kBroadcastNode = 0xFFFFFFFF;
 
+// Optional packet identity riding alongside a datagram so the transport can
+// attribute terminal fates (queue drop, per-receiver loss) to a traced
+// packet without parsing payloads. Senders of traced audio packets fill it;
+// everything else leaves it invalid.
+struct TraceTag {
+  uint32_t stream_id = 0;
+  uint32_t seq = 0;
+  bool valid = false;
+};
+
 struct Datagram {
   GroupId group = 0;       // 0 for unicast traffic.
   NodeId source = 0;
   NodeId destination = kBroadcastNode;  // Meaningful for unicast only.
-  Bytes payload;
+  // A view over the transmission's shared buffer: every receiver of one
+  // multicast sees the same allocation, so copying a Datagram costs a
+  // refcount bump, not a payload copy.
+  BufferSlice payload;
+  TraceTag trace;
 };
 
 class Transport {
@@ -44,12 +60,23 @@ class Transport {
   virtual Status JoinGroup(GroupId group) = 0;
   virtual Status LeaveGroup(GroupId group) = 0;
 
-  // Fire-and-forget multicast send to a group.
-  virtual Status SendMulticast(GroupId group, const Bytes& payload) = 0;
+  // Fire-and-forget multicast send to a group. `Bytes` arguments convert
+  // implicitly: rvalues are adopted (zero copy), lvalues are copied once.
+  // Implementations MUST share the slice, never duplicate the payload —
+  // fan-out to N receivers is N refcount bumps.
+  virtual Status SendMulticast(GroupId group, BufferSlice payload,
+                               TraceTag trace) = 0;
+  Status SendMulticast(GroupId group, BufferSlice payload) {
+    return SendMulticast(group, std::move(payload), TraceTag{});
+  }
 
   // Unicast to one station (used by the WAN-proxy path and the baseline
   // per-listener streaming server, not by the ES protocol itself).
-  virtual Status SendUnicast(NodeId destination, const Bytes& payload) = 0;
+  virtual Status SendUnicast(NodeId destination, BufferSlice payload,
+                             TraceTag trace) = 0;
+  Status SendUnicast(NodeId destination, BufferSlice payload) {
+    return SendUnicast(destination, std::move(payload), TraceTag{});
+  }
 
   // All received datagrams (joined multicast + unicast to this node) are
   // delivered here.

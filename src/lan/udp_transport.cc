@@ -119,8 +119,8 @@ Status UdpMulticastTransport::LeaveGroup(GroupId group) {
   return OkStatus();
 }
 
-Status UdpMulticastTransport::SendMulticast(GroupId group,
-                                            const Bytes& payload) {
+Status UdpMulticastTransport::SendMulticast(GroupId group, BufferSlice payload,
+                                            TraceTag /*trace*/) {
   if (!status_.ok()) {
     return status_;
   }
@@ -138,7 +138,8 @@ Status UdpMulticastTransport::SendMulticast(GroupId group,
 }
 
 Status UdpMulticastTransport::SendUnicast(NodeId destination,
-                                          const Bytes& payload) {
+                                          BufferSlice payload,
+                                          TraceTag /*trace*/) {
   if (!status_.ok()) {
     return status_;
   }
@@ -173,7 +174,7 @@ int UdpMulticastTransport::Poll() {
       }
       Datagram d;
       d.destination = node_;
-      d.payload.assign(buf, buf + n);
+      d.payload = BufferSlice(Buffer::Copy(buf, static_cast<size_t>(n)));
       if (handler_) {
         handler_(d);
         ++delivered;

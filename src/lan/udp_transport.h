@@ -40,8 +40,12 @@ class UdpMulticastTransport : public Transport {
   NodeId node_id() const override { return node_; }
   Status JoinGroup(GroupId group) override;
   Status LeaveGroup(GroupId group) override;
-  Status SendMulticast(GroupId group, const Bytes& payload) override;
-  Status SendUnicast(NodeId destination, const Bytes& payload) override;
+  using Transport::SendMulticast;
+  using Transport::SendUnicast;
+  Status SendMulticast(GroupId group, BufferSlice payload,
+                       TraceTag trace) override;
+  Status SendUnicast(NodeId destination, BufferSlice payload,
+                     TraceTag trace) override;
   void SetReceiveHandler(ReceiveHandler handler) override;
 
   // Drains all pending datagrams into the receive handler; returns the

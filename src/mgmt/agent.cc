@@ -44,8 +44,8 @@ Bytes MgmtRequest::Serialize() const {
   return w.TakeBytes();
 }
 
-Result<MgmtRequest> MgmtRequest::Deserialize(const Bytes& wire) {
-  ByteReader r(wire);
+Result<MgmtRequest> MgmtRequest::Deserialize(const BufferSlice& wire) {
+  ByteReader r(wire.data(), wire.size());
   Result<uint8_t> op = r.ReadU8();
   Result<uint32_t> request_id =
       op.ok() ? r.ReadU32() : Result<uint32_t>(op.status());
@@ -85,8 +85,8 @@ Bytes MgmtResponse::Serialize() const {
   return w.TakeBytes();
 }
 
-Result<MgmtResponse> MgmtResponse::Deserialize(const Bytes& wire) {
-  ByteReader r(wire);
+Result<MgmtResponse> MgmtResponse::Deserialize(const BufferSlice& wire) {
+  ByteReader r(wire.data(), wire.size());
   Result<uint8_t> op = r.ReadU8();
   if (!op.ok() || *op != static_cast<uint8_t>(MgmtOp::kResponse)) {
     return DataLossError("not a mgmt response");

@@ -39,7 +39,7 @@ struct MgmtRequest {
   std::string value;  // For kSet.
 
   Bytes Serialize() const;
-  static Result<MgmtRequest> Deserialize(const Bytes& wire);
+  static Result<MgmtRequest> Deserialize(const BufferSlice& wire);
 };
 
 struct MgmtResponse {
@@ -50,7 +50,7 @@ struct MgmtResponse {
   std::string value;   // Get result or error message.
 
   Bytes Serialize() const;
-  static Result<MgmtResponse> Deserialize(const Bytes& wire);
+  static Result<MgmtResponse> Deserialize(const BufferSlice& wire);
 };
 
 // Binds a speaker to the management group and answers requests against its

@@ -30,6 +30,10 @@ std::string_view TraceStageName(TraceStage stage) {
       return "play";
     case TraceStage::kDeadlineMiss:
       return "deadline_miss";
+    case TraceStage::kQueueDrop:
+      return "queue_drop";
+    case TraceStage::kLinkLoss:
+      return "link_loss";
   }
   return "?";
 }

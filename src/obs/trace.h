@@ -38,6 +38,8 @@ enum class TraceStage : uint8_t {
   kDecodeDone,         // Speaker's serialized decode stage finished.
   kPlay,               // Rendered at (or within epsilon of) its deadline.
   kDeadlineMiss,       // Thrown away: past deadline + epsilon (§3.2).
+  kQueueDrop,          // Tail-dropped at the segment's transmit queue.
+  kLinkLoss,           // Lost on the wire for one receiver (random loss).
 };
 
 std::string_view TraceStageName(TraceStage stage);

@@ -52,10 +52,14 @@ void WriteData(ByteWriter* w, const DataPacket& p) {
   w->WriteU32(p.seq);
   w->WriteI64(p.play_deadline);
   w->WriteU32(p.frame_count);
-  w->WriteLengthPrefixed(p.payload);
+  // Same wire bytes as WriteLengthPrefixed: u32 length, then the payload.
+  w->WriteU32(static_cast<uint32_t>(p.payload.size()));
+  w->WriteBytes(p.payload.data(), p.payload.size());
 }
 
-Result<DataPacket> ReadData(ByteReader* r) {
+// `wire` is the slice the reader walks; the payload is sliced out of it
+// instead of copied out.
+Result<DataPacket> ReadData(ByteReader* r, const BufferSlice& wire) {
   DataPacket p;
   Result<uint32_t> stream_id = r->ReadU32();
   Result<uint32_t> seq =
@@ -67,15 +71,17 @@ Result<DataPacket> ReadData(ByteReader* r) {
   if (!frames.ok()) {
     return frames.status();
   }
-  Result<Bytes> payload = r->ReadLengthPrefixed();
-  if (!payload.ok()) {
-    return payload.status();
+  Result<uint32_t> payload_len = r->ReadU32();
+  if (!payload_len.ok()) {
+    return payload_len.status();
   }
+  const size_t payload_start = r->position();
+  ESPK_RETURN_IF_ERROR(r->Skip(*payload_len));
   p.stream_id = *stream_id;
   p.seq = *seq;
   p.play_deadline = *deadline;
   p.frame_count = *frames;
-  p.payload = std::move(*payload);
+  p.payload = wire.Subslice(payload_start, *payload_len);
   return p;
 }
 
@@ -187,7 +193,13 @@ Bytes SerializePacket(const Packet& packet, const Bytes& auth) {
   return out;
 }
 
-Result<ParsedPacket> ParsePacket(const Bytes& wire) {
+BufferSlice SerializePacketSlice(const Packet& packet, const Bytes& auth) {
+  // The rvalue conversion adopts the vector's storage — serialize once,
+  // no further copies all the way to every receiver.
+  return BufferSlice(SerializePacket(packet, auth));
+}
+
+Result<ParsedPacket> ParsePacket(BufferSlice wire) {
   if (wire.size() < 9) {  // Header (5) + CRC (4).
     return DataLossError("packet too short");
   }
@@ -227,7 +239,7 @@ Result<ParsedPacket> ParsePacket(const Bytes& wire) {
       break;
     }
     case static_cast<uint8_t>(PacketType::kData): {
-      Result<DataPacket> p = ReadData(&r);
+      Result<DataPacket> p = ReadData(&r, wire);
       if (!p.ok()) {
         return p.status();
       }
@@ -248,17 +260,18 @@ Result<ParsedPacket> ParsePacket(const Bytes& wire) {
 
   size_t body_end = r.position();
   if ((*flags & kFlagAuth) != 0) {
-    Result<Bytes> auth = r.ReadLengthPrefixed();
-    if (!auth.ok()) {
-      return auth.status();
+    Result<uint32_t> auth_len = r.ReadU32();
+    if (!auth_len.ok()) {
+      return auth_len.status();
     }
-    parsed.auth = std::move(*auth);
+    const size_t auth_start = r.position();
+    ESPK_RETURN_IF_ERROR(r.Skip(*auth_len));
+    parsed.auth = wire.Subslice(auth_start, *auth_len);
   }
   if (r.remaining() != 0) {
     return DataLossError("trailing bytes after packet body");
   }
-  parsed.signed_region.assign(wire.begin(),
-                              wire.begin() + static_cast<long>(body_end));
+  parsed.signed_region = wire.Subslice(0, body_end);
   return parsed;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/audio/format.h"
+#include "src/base/buffer.h"
 #include "src/base/bytes.h"
 #include "src/base/status.h"
 #include "src/base/time_types.h"
@@ -72,7 +73,9 @@ struct DataPacket {
   SimTime play_deadline = 0;
   // Frames per channel encoded in the payload (for pacing/accounting).
   uint32_t frame_count = 0;
-  Bytes payload;
+  // On the parse side this is a view into the arrival buffer — no copy-out.
+  // Equality is by content, so round-trip tests compare as before.
+  BufferSlice payload;
 
   bool operator==(const DataPacket&) const = default;
 };
@@ -102,18 +105,25 @@ PacketType TypeOf(const Packet& packet);
 // authentication trailer and covered by the CRC.
 Bytes SerializePacket(const Packet& packet, const Bytes& auth = {});
 
+// Same bytes, finished into a shareable slice (the storage is adopted, not
+// copied) — what send paths hand to Transport so fan-out never re-copies.
+BufferSlice SerializePacketSlice(const Packet& packet, const Bytes& auth = {});
+
 struct ParsedPacket {
   Packet packet;
-  Bytes auth;  // Empty when the packet carried no trailer.
+  BufferSlice auth;  // Empty when the packet carried no trailer.
   // The exact bytes an authenticator signed: envelope header + body
   // (everything before the auth trailer). Verification recomputes the MAC /
-  // signature over this region.
-  Bytes signed_region;
+  // signature over this region. A view into the arrival buffer.
+  BufferSlice signed_region;
 };
 
 // Validates magic, version, CRC, and structure. Any deviation is an error —
 // speakers feed raw network datagrams straight in (§5.1 integrity checks).
-Result<ParsedPacket> ParsePacket(const Bytes& wire);
+// The returned packet's payload/auth/signed_region are slices sharing
+// `wire`'s buffer; they keep it alive. (A `Bytes` argument converts with one
+// copy — the datagram path always arrives as a slice already.)
+Result<ParsedPacket> ParsePacket(BufferSlice wire);
 
 // The exact bytes an authenticator must sign when an auth trailer will be
 // attached to `packet`: the envelope header (with kFlagAuth set) plus the

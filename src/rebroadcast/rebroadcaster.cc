@@ -267,7 +267,7 @@ void Rebroadcaster::SendDataPacket() {
 
   stats_.payload_bytes += packet.payload.size();
   ++stats_.data_packets;
-  Send(packet);
+  Send(packet, TraceTag{packet.stream_id, packet.seq, /*valid=*/true});
   if (options_.tracer != nullptr) {
     options_.tracer->Record(options_.stream_id, packet.seq,
                             TraceStage::kMulticastSend,
@@ -298,13 +298,15 @@ CodecId Rebroadcaster::PickCodec(const AudioConfig& config) const {
              : CodecId::kRaw;
 }
 
-void Rebroadcaster::Send(const Packet& packet) {
+void Rebroadcaster::Send(const Packet& packet, TraceTag trace) {
   Bytes auth;
   if (options_.authenticator) {
     auth = options_.authenticator(SignedRegion(packet));
   }
-  Status status = transport_->SendMulticast(options_.group,
-                                            SerializePacket(packet, auth));
+  // Serialize once into a shared buffer; the segment fans the slice out to
+  // every listener without another payload copy.
+  Status status = transport_->SendMulticast(
+      options_.group, SerializePacketSlice(packet, auth), trace);
   if (!status.ok()) {
     ESPK_LOG(kWarning) << "multicast send failed: " << status;
   }

@@ -120,7 +120,7 @@ class Rebroadcaster {
   void SendDataPacket();
   void SendControlPacket(SimTime now);
   CodecId PickCodec(const AudioConfig& config) const;
-  void Send(const Packet& packet);
+  void Send(const Packet& packet, TraceTag trace = {});
 
   SimKernel* kernel_;
   Pid pid_;

@@ -11,8 +11,8 @@ Bytes WanChunk::Serialize() const {
   return w.TakeBytes();
 }
 
-Result<WanChunk> WanChunk::Deserialize(const Bytes& wire) {
-  ByteReader r(wire);
+Result<WanChunk> WanChunk::Deserialize(const BufferSlice& wire) {
+  ByteReader r(wire.data(), wire.size());
   Result<uint32_t> seq = r.ReadU32();
   if (!seq.ok()) {
     return seq.status();
@@ -45,7 +45,8 @@ void WanAudioServer::Tick(SimTime /*now*/) {
   WanChunk chunk;
   chunk.seq = next_seq_++;
   chunk.pcm = generator_->GenerateBytes(frames, config_);
-  Bytes wire = chunk.Serialize();
+  // Serialize once and fan the slice out; each unicast shares the buffer.
+  BufferSlice wire(chunk.Serialize());
   for (NodeId listener : listeners_) {
     (void)wan_->SendUnicast(listener, wire);
     ++chunks_sent_;

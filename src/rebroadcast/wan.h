@@ -28,7 +28,7 @@ struct WanChunk {
   Bytes pcm;
 
   Bytes Serialize() const;
-  static Result<WanChunk> Deserialize(const Bytes& wire);
+  static Result<WanChunk> Deserialize(const BufferSlice& wire);
 };
 
 // Streams `generator` content at real-time pace as unicast datagrams to

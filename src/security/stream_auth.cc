@@ -92,7 +92,7 @@ bool StreamVerifier::Verify(const ParsedPacket& packet) {
 }
 
 bool StreamVerifier::VerifyData(const ParsedPacket& packet) {
-  ByteReader r(packet.auth);
+  ByteReader r(packet.auth.data(), packet.auth.size());
   Result<uint8_t> scheme = r.ReadU8();
   if (!scheme.ok() ||
       *scheme != static_cast<uint8_t>(AuthScheme::kHmac)) {
@@ -104,7 +104,8 @@ bool StreamVerifier::VerifyData(const ParsedPacket& packet) {
     ++stats_.rejected_malformed;
     return false;
   }
-  Digest expected = HmacSha256(group_key_, packet.signed_region);
+  Digest expected = HmacSha256(group_key_, packet.signed_region.data(),
+                               packet.signed_region.size());
   if (!ConstantTimeEqual(expected.data(), mac->data(), 32)) {
     ++stats_.rejected_bad_mac;
     return false;
@@ -113,7 +114,7 @@ bool StreamVerifier::VerifyData(const ParsedPacket& packet) {
 }
 
 bool StreamVerifier::VerifyControl(const ParsedPacket& packet) {
-  ByteReader r(packet.auth);
+  ByteReader r(packet.auth.data(), packet.auth.size());
   Result<uint8_t> scheme = r.ReadU8();
   if (!scheme.ok() ||
       *scheme != static_cast<uint8_t>(AuthScheme::kHors)) {
@@ -140,7 +141,7 @@ bool StreamVerifier::VerifyControl(const ParsedPacket& packet) {
     ++stats_.rejected_malformed;
     return false;
   }
-  Bytes message = packet.signed_region;
+  Bytes message = packet.signed_region.ToBytes();
   message.insert(message.end(), next_pubkey_bytes->begin(),
                  next_pubkey_bytes->end());
   if (!HorsVerify(key_it->second, message, *signature)) {

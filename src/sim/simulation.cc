@@ -12,10 +12,9 @@ Simulation::EventHandle Simulation::ScheduleAt(SimTime at, Callback cb) {
   ev.time = std::max(at, now_);
   ev.seq = next_seq_++;
   ev.id = next_id_++;
-  ev.cb = std::move(cb);
   EventHandle handle{ev.id};
-  pending_ids_.insert(ev.id);
-  queue_.push(std::move(ev));
+  callbacks_.emplace(ev.id, std::move(cb));
+  queue_.push(ev);
   return handle;
 }
 
@@ -25,26 +24,25 @@ Simulation::EventHandle Simulation::ScheduleAfter(SimDuration delay,
 }
 
 bool Simulation::Cancel(EventHandle handle) {
-  if (!handle.valid() || pending_ids_.erase(handle.id) == 0) {
-    return false;  // Never scheduled, already run, or already cancelled.
-  }
-  // Lazy cancellation: the event stays queued but is skipped when popped.
-  cancelled_.insert(handle.id);
-  return true;
+  // Erasing the map entry destroys the callback (and any state it captured)
+  // right now; the queued stub is skipped when it eventually pops.
+  return handle.valid() && callbacks_.erase(handle.id) > 0;
 }
 
 bool Simulation::RunOne() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) {
-      continue;  // Skip cancelled events.
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled: only the stub was left behind.
     }
-    pending_ids_.erase(ev.id);
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
     assert(ev.time >= now_ && "event queue went backwards");
     now_ = ev.time;
     ++events_processed_;
-    ev.cb();
+    cb();
     return true;
   }
   return false;
@@ -59,9 +57,8 @@ void Simulation::RunUntil(SimTime t) {
   assert(t >= now_ && "cannot run the clock backwards");
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+    if (callbacks_.count(top.id) == 0) {
+      queue_.pop();  // Cancelled stub.
       continue;
     }
     if (top.time > t) {

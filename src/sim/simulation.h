@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/time_types.h"
@@ -44,6 +44,9 @@ class Simulation {
 
   // Cancels a pending event. Cancelling an already-run or already-cancelled
   // event is a harmless no-op. Returns true if the event was still pending.
+  // The callback — and whatever state it captured — is destroyed here, not
+  // when the event's deadline would have popped: callbacks live out-of-line
+  // in an id-keyed map, and only a small (time, seq, id) stub stays queued.
   bool Cancel(EventHandle handle);
 
   // Runs the single earliest event; returns false if the queue is empty.
@@ -58,15 +61,17 @@ class Simulation {
   // RunUntil(now() + d).
   void RunFor(SimDuration d);
 
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  size_t pending_events() const { return callbacks_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
  private:
+  // The queue holds only trivially-copyable stubs; the callback lives in
+  // callbacks_ until the event runs or is cancelled. A popped stub with no
+  // map entry is a cancelled event's residue and is skipped.
   struct Event {
     SimTime time;
     uint64_t seq;  // Tie-breaker: FIFO among same-time events.
     uint64_t id;
-    Callback cb;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -82,8 +87,7 @@ class Simulation {
   uint64_t next_id_ = 1;
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<uint64_t> pending_ids_;  // Scheduled, not yet run.
-  std::unordered_set<uint64_t> cancelled_;    // Scheduled, then cancelled.
+  std::unordered_map<uint64_t, Callback> callbacks_;  // Pending events only.
 };
 
 // Repeats a callback with a fixed period until stopped. The callback receives

@@ -159,20 +159,34 @@ void EthernetSpeaker::HandleData(const DataPacket& packet) {
   SimTime decode_done = decode_start + decode_time;
   decode_busy_until_ = decode_done;
 
-  Result<std::vector<float>> samples = decoder_->DecodePacket(packet.payload);
-  if (!samples.ok()) {
-    ++stats_.decode_errors;
-    return;
-  }
+  // The packet occupies the jitter buffer from arrival; the payload rides
+  // the pipeline as a slice of the arrival buffer (no copy, and the slice
+  // keeps that buffer alive) until the decode stage actually runs.
   queued_pcm_bytes_ += decoded_bytes;
   uint32_t stream_id = packet.stream_id;
   uint32_t seq = packet.seq;
-  sim_->ScheduleAt(decode_done,
-                   [this, stream_id, seq, local_deadline,
-                    samples = std::move(*samples), decoded_bytes]() mutable {
-                     OnDecodeComplete(stream_id, seq, local_deadline,
-                                      std::move(samples), decoded_bytes);
-                   });
+  sim_->ScheduleAt(decode_done, [this, stream_id, seq, local_deadline,
+                                 payload = packet.payload, decoded_bytes] {
+    FinishDecode(stream_id, seq, local_deadline, payload, decoded_bytes);
+  });
+}
+
+void EthernetSpeaker::FinishDecode(uint32_t stream_id, uint32_t seq,
+                                   SimTime local_deadline,
+                                   const BufferSlice& payload,
+                                   size_t decoded_bytes) {
+  if (decoder_ == nullptr || recorder_ == nullptr) {
+    queued_pcm_bytes_ -= decoded_bytes;
+    return;  // Channel was re-tuned while the chunk was in the pipeline.
+  }
+  Result<std::vector<float>> samples = decoder_->DecodePacket(payload);
+  if (!samples.ok()) {
+    ++stats_.decode_errors;
+    queued_pcm_bytes_ -= decoded_bytes;
+    return;
+  }
+  OnDecodeComplete(stream_id, seq, local_deadline, std::move(*samples),
+                   decoded_bytes);
 }
 
 void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,

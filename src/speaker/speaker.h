@@ -123,6 +123,11 @@ class EthernetSpeaker {
   void OnDatagram(const Datagram& datagram);
   void HandleControl(const ControlPacket& packet);
   void HandleData(const DataPacket& packet);
+  // Runs when the serialized decode stage finishes: the buffered packet held
+  // only a payload slice until now (zero-copy jitter buffer); this decodes
+  // it and hands the samples to the playout logic.
+  void FinishDecode(uint32_t stream_id, uint32_t seq, SimTime local_deadline,
+                    const BufferSlice& payload, size_t decoded_bytes);
   void OnDecodeComplete(uint32_t stream_id, uint32_t seq,
                         SimTime local_deadline, std::vector<float> samples,
                         size_t decoded_bytes);

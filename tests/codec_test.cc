@@ -290,7 +290,7 @@ TEST(VorbixTest, EmptyInputIsAnError) {
   auto enc = CreateEncoder(CodecId::kVorbix, cd, 8);
   EXPECT_FALSE((*enc)->EncodePacket({}).ok());
   auto dec = CreateDecoder(CodecId::kVorbix, cd, 8);
-  EXPECT_FALSE((*dec)->DecodePacket({}).ok());
+  EXPECT_FALSE((*dec)->DecodePacket(Bytes{}).ok());
 }
 
 TEST(VorbixTest, SteadyStateIsOneAllocationPerPacket) {

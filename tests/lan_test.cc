@@ -236,7 +236,7 @@ TEST(UdpTransportTest, LoopbackMulticastRoundTrip) {
   }
   ASSERT_TRUE(receiver.JoinGroup(5).ok());
   Bytes got;
-  receiver.SetReceiveHandler([&](const Datagram& d) { got = d.payload; });
+  receiver.SetReceiveHandler([&](const Datagram& d) { got = d.payload.ToBytes(); });
   ASSERT_TRUE(sender.SendMulticast(5, {10, 20, 30}).ok());
   // Poll a few times; loopback delivery is fast but not synchronous.
   for (int i = 0; i < 100 && got.empty(); ++i) {
@@ -258,7 +258,7 @@ TEST(UdpTransportTest, UnicastRoundTrip) {
     GTEST_SKIP() << "UDP sockets unavailable in this environment";
   }
   Bytes got;
-  b.SetReceiveHandler([&](const Datagram& d) { got = d.payload; });
+  b.SetReceiveHandler([&](const Datagram& d) { got = d.payload.ToBytes(); });
   ASSERT_TRUE(a.SendUnicast(2, {1, 2, 3, 4}).ok());
   for (int i = 0; i < 100 && got.empty(); ++i) {
     b.Poll();

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include "src/base/logging.h"
+#include "src/lan/segment.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/simulation.h"
@@ -202,6 +205,95 @@ TEST(PacketTracerTest, StageLatencyAcrossListeners) {
   EXPECT_EQ(latency.count(), 2);
   EXPECT_DOUBLE_EQ(latency.min(), 2.0);
   EXPECT_DOUBLE_EQ(latency.max(), 4.0);
+}
+
+TEST(PacketTracerTest, SegmentRecordsQueueDropAsTerminalStage) {
+  // A traced packet tail-dropped at the transmit queue must not silently
+  // vanish from its lifecycle: the segment records kQueueDrop against the
+  // sender's node id.
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  SegmentConfig cfg;
+  cfg.bandwidth_bps = 8e3;      // 1000 bytes/sec: packets serialize slowly.
+  cfg.tx_queue_limit = 300;     // ~One packet deep.
+  EthernetSegment segment(&sim, cfg);
+  segment.set_tracer(&tracer);
+  auto sender = segment.CreateNic();
+  auto receiver = segment.CreateNic();
+  ASSERT_TRUE(receiver->JoinGroup(100).ok());
+
+  for (uint32_t seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE(sender
+                    ->SendMulticast(100, Bytes(200, 0x11),
+                                    TraceTag{7, seq, /*valid=*/true})
+                    .ok());
+  }
+  EXPECT_GT(segment.stats().packets_dropped_queue, 0u);
+  EXPECT_EQ(segment.stats().packets_dropped_queue + segment.stats().packets_sent,
+            5u);
+  // Every dropped seq carries exactly one terminal kQueueDrop event,
+  // attributed to the sending station.
+  size_t drop_events = 0;
+  for (uint32_t seq = 0; seq < 5; ++seq) {
+    for (const TraceEvent& ev : tracer.EventsFor(7, seq)) {
+      ASSERT_EQ(ev.stage, TraceStage::kQueueDrop);
+      EXPECT_EQ(ev.node, sender->node_id());
+      ++drop_events;
+    }
+  }
+  EXPECT_EQ(drop_events, segment.stats().packets_dropped_queue);
+}
+
+TEST(PacketTracerTest, SegmentRecordsLinkLossPerReceiver) {
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  SegmentConfig cfg;
+  cfg.loss_probability = 1.0;  // Every delivery is lost.
+  EthernetSegment segment(&sim, cfg);
+  segment.set_tracer(&tracer);
+  auto sender = segment.CreateNic();
+  auto rx_a = segment.CreateNic();
+  auto rx_b = segment.CreateNic();
+  ASSERT_TRUE(rx_a->JoinGroup(100).ok());
+  ASSERT_TRUE(rx_b->JoinGroup(100).ok());
+
+  ASSERT_TRUE(sender
+                  ->SendMulticast(100, Bytes(64, 0x22),
+                                  TraceTag{7, 1, /*valid=*/true})
+                  .ok());
+  sim.Run();
+  EXPECT_EQ(segment.stats().deliveries_lost, 2u);
+  // One kLinkLoss per losing receiver, attributed to that receiver's node.
+  std::vector<TraceEvent> events = tracer.EventsFor(7, 1);
+  ASSERT_EQ(events.size(), 2u);
+  std::set<uint32_t> lost_nodes;
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.stage, TraceStage::kLinkLoss);
+    lost_nodes.insert(ev.node);
+  }
+  EXPECT_EQ(lost_nodes,
+            (std::set<uint32_t>{rx_a->node_id(), rx_b->node_id()}));
+}
+
+TEST(PacketTracerTest, UntaggedPacketsNeverTraceTerminalStages) {
+  // Plain sends (no TraceTag) through a lossy, drop-prone segment must not
+  // pollute the trace ring.
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  SegmentConfig cfg;
+  cfg.loss_probability = 1.0;
+  cfg.bandwidth_bps = 8e3;
+  cfg.tx_queue_limit = 100;
+  EthernetSegment segment(&sim, cfg);
+  segment.set_tracer(&tracer);
+  auto sender = segment.CreateNic();
+  auto receiver = segment.CreateNic();
+  ASSERT_TRUE(receiver->JoinGroup(100).ok());
+  for (int i = 0; i < 5; ++i) {
+    (void)sender->SendMulticast(100, Bytes(200, 0x33));
+  }
+  sim.Run();
+  EXPECT_EQ(tracer.recorded(), 0u);
 }
 
 TEST(PacketTracerTest, DumpNamesEveryStage) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulation.h"
@@ -59,6 +61,26 @@ TEST(SimulationTest, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
   // Double-cancel is a no-op.
   EXPECT_FALSE(sim.Cancel(handle));
+}
+
+TEST(SimulationTest, CancelReleasesCapturedStateImmediately) {
+  // Callbacks live out-of-line from the event queue, so Cancel must destroy
+  // the callback — and anything it captured — at cancel time, not when the
+  // stale queue entry eventually pops. A buffered packet cancelled out of a
+  // pipeline would otherwise pin its payload until the deadline passes.
+  Simulation sim;
+  auto payload = std::make_shared<std::vector<uint8_t>>(4096, 0xAB);
+  std::weak_ptr<std::vector<uint8_t>> watcher = payload;
+  auto handle = sim.ScheduleAt(Seconds(100), [payload] {
+    ASSERT_FALSE(payload->empty());  // Never runs.
+  });
+  payload.reset();
+  EXPECT_FALSE(watcher.expired());  // The pending event keeps it alive.
+  EXPECT_TRUE(sim.Cancel(handle));
+  EXPECT_TRUE(watcher.expired());   // Freed at cancel, before the sim runs.
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.Run();
+  EXPECT_EQ(sim.now(), 0);  // The cancelled stub must not advance the clock.
 }
 
 TEST(SimulationTest, RunUntilAdvancesClockEvenWithoutEvents) {

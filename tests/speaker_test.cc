@@ -215,8 +215,12 @@ TEST(SpeakerTest, DecodeErrorCounted) {
   SpeakerHarness h;
   h.Deliver(h.MakeControl(0));
   DataPacket bad = h.MakeData(0, Milliseconds(100), 800);
-  bad.payload.pop_back();  // No longer a whole frame count (raw codec).
+  // Truncate by one byte: no longer a whole frame count (raw codec).
+  bad.payload = bad.payload.Subslice(0, bad.payload.size() - 1);
   h.Deliver(bad);
+  // The payload rides the pipeline as a slice; the decode (and its failure)
+  // happens when the serialized decode stage completes.
+  h.sim_.Run();
   EXPECT_EQ(h.speaker_.stats().decode_errors, 1u);
 }
 

@@ -136,32 +136,35 @@ TEST(StressTest, SpeakerSurvivesSeededDatagramFuzz) {
   for (int i = 0; i < 5000; ++i) {
     Datagram d;
     d.group = kFirstChannelGroup;
+    // Payload slices are immutable; mutate a scratch Bytes and adopt it.
+    Bytes scratch;
     switch (prng.NextBelow(4)) {
       case 0: {  // Pure noise.
-        d.payload.resize(prng.NextBelow(300) + 1);
-        for (auto& b : d.payload) {
+        scratch.resize(prng.NextBelow(300) + 1);
+        for (auto& b : scratch) {
           b = static_cast<uint8_t>(prng.NextU64());
         }
         break;
       }
       case 1: {  // Truncated genuine packet.
         const Bytes& src = prng.NextBool(0.5) ? control_wire : data_wire;
-        d.payload.assign(src.begin(),
-                         src.begin() + static_cast<long>(
-                                           prng.NextBelow(src.size()) + 1));
+        scratch.assign(src.begin(),
+                       src.begin() + static_cast<long>(
+                                         prng.NextBelow(src.size()) + 1));
         break;
       }
       case 2: {  // Bit-flipped genuine packet.
-        d.payload = prng.NextBool(0.5) ? control_wire : data_wire;
-        d.payload[prng.NextBelow(d.payload.size())] ^=
+        scratch = prng.NextBool(0.5) ? control_wire : data_wire;
+        scratch[prng.NextBelow(scratch.size())] ^=
             static_cast<uint8_t>(1u << prng.NextBelow(8));
         break;
       }
       default: {  // Genuine packet (keeps the state machine moving).
-        d.payload = prng.NextBool(0.5) ? control_wire : data_wire;
+        scratch = prng.NextBool(0.5) ? control_wire : data_wire;
         break;
       }
     }
+    d.payload = std::move(scratch);
     speaker.HandleDatagram(d);
     if (i % 256 == 0) {
       sim.RunFor(Milliseconds(10));
