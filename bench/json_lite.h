@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
@@ -18,6 +19,33 @@
 #include "src/base/status.h"
 
 namespace espk {
+
+// Serializes a string as a JSON string literal: quotes, backslashes, and
+// the control characters that actually occur in our payloads (\n, \t, \r)
+// escaped, any other control byte as \u00XX.
+inline std::string QuoteJsonString(const std::string& v) {
+  std::string quoted = "\"";
+  for (char c : v) {
+    switch (c) {
+      case '"':  quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\t': quoted += "\\t"; break;
+      case '\r': quoted += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          quoted += buf;
+        } else {
+          quoted += c;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
 
 // Ordered flat JSON object writer. Keys are emitted in insertion order so
 // the files diff cleanly run-to-run.
@@ -34,19 +62,19 @@ class JsonWriter {
   }
 
   void Str(const std::string& key, const std::string& v) {
-    std::string quoted = "\"";
-    for (char c : v) {
-      if (c == '"' || c == '\\') {
-        quoted += '\\';
-      }
-      quoted += c;
-    }
-    quoted += '"';
-    entries_.emplace_back(key, quoted);
+    entries_.emplace_back(key, QuoteJsonString(v));
   }
 
   void Bool(const std::string& key, bool v) {
     entries_.emplace_back(key, v ? "true" : "false");
+  }
+
+  // Embeds pre-serialized JSON verbatim — the escape hatch for nested
+  // arrays/objects (flight-recorder series dumps) that the flat schema
+  // otherwise excludes. The caller vouches for the value's syntax;
+  // CheckJsonSyntax (below) verifies whole documents.
+  void Raw(const std::string& key, std::string json) {
+    entries_.emplace_back(key, std::move(json));
   }
 
   std::string Finish() const {
@@ -112,6 +140,7 @@ inline Result<std::map<std::string, JsonValue>> ParseFlatJsonObject(
         switch (text[i]) {
           case 'n': out += '\n'; break;
           case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
           default: out += text[i]; break;
         }
       } else {
@@ -188,6 +217,139 @@ inline Result<std::map<std::string, JsonValue>> ParseFlatJsonObject(
                          std::to_string(i));
   }
   return obj;
+}
+
+// Full-syntax JSON validator (recursive descent over objects, arrays,
+// strings, numbers, true/false/null). Unlike ParseFlatJsonObject it builds
+// nothing — it exists so tests can round-trip nested documents (Chrome
+// trace exports, flight-recorder postmortems) through a parse check without
+// a third-party JSON dependency. Rejects trailing garbage, unescaped
+// control characters in strings, and nesting deeper than 64 levels.
+inline Status CheckJsonSyntax(const std::string& text) {
+  size_t i = 0;
+  auto fail = [&](const std::string& what) {
+    return DataLossError("json: " + what + " at offset " + std::to_string(i));
+  };
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  auto check_string = [&]() -> Status {
+    if (i >= text.size() || text[i] != '"') {
+      return fail("expected string");
+    }
+    ++i;
+    while (i < text.size() && text[i] != '"') {
+      unsigned char c = static_cast<unsigned char>(text[i]);
+      if (c < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++i;
+        if (i >= text.size()) {
+          return fail("dangling escape");
+        }
+        if (text[i] == 'u') {
+          if (i + 4 >= text.size()) {
+            return fail("truncated \\u escape");
+          }
+          for (int k = 1; k <= 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(text[i + k]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          i += 4;
+        }
+      }
+      ++i;
+    }
+    if (i >= text.size()) {
+      return fail("unterminated string");
+    }
+    ++i;
+    return OkStatus();
+  };
+  // Explicit value-kind recursion (lambdas cannot self-reference cheaply).
+  std::function<Status(int)> check_value = [&](int depth) -> Status {
+    if (depth > 64) {
+      return fail("nesting too deep");
+    }
+    skip_ws();
+    if (i >= text.size()) {
+      return fail("expected value");
+    }
+    char c = text[i];
+    if (c == '"') {
+      return check_string();
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == close) {
+        ++i;
+        return OkStatus();
+      }
+      for (;;) {
+        if (close == '}') {
+          skip_ws();
+          Status key = check_string();
+          if (!key.ok()) {
+            return key;
+          }
+          skip_ws();
+          if (i >= text.size() || text[i] != ':') {
+            return fail("expected ':'");
+          }
+          ++i;
+        }
+        Status value = check_value(depth + 1);
+        if (!value.ok()) {
+          return value;
+        }
+        skip_ws();
+        if (i < text.size() && text[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < text.size() && text[i] == close) {
+          ++i;
+          return OkStatus();
+        }
+        return fail("expected ',' or container close");
+      }
+    }
+    if (text.compare(i, 4, "true") == 0) {
+      i += 4;
+      return OkStatus();
+    }
+    if (text.compare(i, 5, "false") == 0) {
+      i += 5;
+      return OkStatus();
+    }
+    if (text.compare(i, 4, "null") == 0) {
+      i += 4;
+      return OkStatus();
+    }
+    char* end = nullptr;
+    std::strtod(text.c_str() + i, &end);
+    if (end == text.c_str() + i) {
+      return fail("unsupported value");
+    }
+    i = static_cast<size_t>(end - text.c_str());
+    return OkStatus();
+  };
+  Status root = check_value(0);
+  if (!root.ok()) {
+    return root;
+  }
+  skip_ws();
+  if (i != text.size()) {
+    return fail("trailing garbage");
+  }
+  return OkStatus();
 }
 
 }  // namespace espk

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-1 verification pipeline, the same two stages a CI runner executes:
+# Tier-1 verification pipeline, the same three stages a CI runner executes:
 #
 #   1. Debug build with ASan+UBSan (the ESPK_SANITIZE cache option) and the
 #      full ctest suite — memory and UB bugs in the zero-copy buffer path
@@ -7,6 +7,10 @@
 #   2. Release build and the bench smoke gate (espk_bench_smoke), which
 #      regenerates BENCH_codec.json / BENCH_fanout.json and validates both
 #      against bench/baselines with bench_gate.
+#   3. Example smoke run: every examples/ binary from the Release build
+#      executes end to end (in a scratch directory — some write artifacts
+#      like health_trace.json). A crashing or hanging example is a broken
+#      public API.
 #
 # Usage: ci/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -14,16 +18,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/2] Debug + ASan/UBSan: configure, build, ctest"
+echo "==> [1/3] Debug + ASan/UBSan: configure, build, ctest"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DESPK_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [2/2] Release: configure, build, bench smoke gate"
+echo "==> [2/3] Release: configure, build, bench smoke gate"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
+
+echo "==> [3/3] Release example smoke run"
+EXAMPLES_DIR="$(pwd)/build-release/examples"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+for example in quickstart building_pa internet_radio netboot_demo \
+               secure_stream health_monitor; do
+  echo "--> examples/$example"
+  (cd "$SCRATCH" && "$EXAMPLES_DIR/$example" > "$example.out")
+done
 
 echo "==> ci/check.sh: all stages passed"

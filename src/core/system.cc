@@ -17,6 +17,7 @@ EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
   }
   lan_.set_tracer(&tracer_);
   RegisterLanMetrics();
+  RegisterTracerMetrics(&tracer_, &metrics_);
 }
 
 void EthernetSpeakerSystem::RegisterLanMetrics() {
@@ -177,9 +178,94 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
       prefix + ".queued_pcm_bytes",
       [sp] { return static_cast<double>(sp->queued_pcm_bytes()); },
       "Decoded-but-unplayed PCM occupying the jitter buffer");
+  metrics_.GetGauge(
+      prefix + ".silence_ms",
+      [sp] { return static_cast<double>(sp->stats().silence_ns) / 1e6; },
+      "Cumulative dead air between played chunks (ms)");
   speaker_nics_.push_back(std::move(nic));
   speakers_.push_back(std::move(speaker));
   return speakers_.back().get();
+}
+
+HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
+    const HealthOptions& options) {
+  return EnableHealthMonitoring(options, HealthRuleDefaults{});
+}
+
+HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
+    const HealthOptions& options, const HealthRuleDefaults& rules) {
+  if (health_ != nullptr) {
+    return health_.get();
+  }
+  health_ = std::make_unique<HealthMonitor>(&sim_, &metrics_, &tracer_,
+                                            options);
+
+  health_->Watch("lan.packets_dropped_queue");
+  health_->AddRule(
+      {.name = "lan.queue_drop_rate",
+       .series = "lan.packets_dropped_queue",
+       .aggregate = AlertAggregate::kRatePerSec,
+       .comparison = AlertComparison::kAbove,
+       .threshold = rules.queue_drop_rate_per_sec,
+       .window = rules.window,
+       .for_duration = rules.for_duration,
+       .clear_duration = rules.clear_duration,
+       .help = "Segment transmit queue is tail-dropping packets"});
+
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    const std::string prefix = "speaker." + std::to_string(i);
+    health_->Watch(prefix + ".late_drops");
+    health_->AddRule(
+        {.name = prefix + ".deadline_miss_rate",
+         .series = prefix + ".late_drops",
+         .aggregate = AlertAggregate::kRatePerSec,
+         .comparison = AlertComparison::kAbove,
+         .threshold = rules.deadline_miss_rate_per_sec,
+         .window = rules.window,
+         .for_duration = rules.for_duration,
+         .clear_duration = rules.clear_duration,
+         .help = "Chunks are arriving past deadline + epsilon and being "
+                 "discarded"});
+    health_->Watch(prefix + ".queued_pcm_bytes");
+    health_->AddRule(
+        {.name = prefix + ".jitter_low_watermark",
+         .series = prefix + ".queued_pcm_bytes",
+         .aggregate = AlertAggregate::kMax,
+         .comparison = AlertComparison::kBelow,
+         .threshold = rules.jitter_low_watermark_bytes,
+         .window = rules.window,
+         .for_duration = rules.for_duration,
+         .clear_duration = rules.clear_duration,
+         // The buffer legitimately starts empty; arm only once the stream
+         // has filled it.
+         .requires_arming = true,
+         .help = "Jitter buffer starved — no decoded audio awaiting play"});
+    health_->WatchPercentile(prefix + ".lateness_ms", 0.99);
+    health_->AddRule(
+        {.name = prefix + ".sync_drift",
+         .series = prefix + ".lateness_ms.p99",
+         .aggregate = AlertAggregate::kLatest,
+         .comparison = AlertComparison::kAbove,
+         .threshold = rules.sync_drift_p99_ms,
+         .window = rules.window,
+         .for_duration = rules.for_duration,
+         .clear_duration = rules.clear_duration,
+         .help = "p99 decode lateness is approaching the sync epsilon"});
+    health_->Watch(prefix + ".silence_ms");
+    health_->AddRule(
+        {.name = prefix + ".silence_rate",
+         .series = prefix + ".silence_ms",
+         .aggregate = AlertAggregate::kRatePerSec,
+         .comparison = AlertComparison::kAbove,
+         .threshold = rules.silence_ms_per_sec,
+         .window = rules.window,
+         .for_duration = rules.for_duration,
+         .clear_duration = rules.clear_duration,
+         .help = "Audible dead air is being inserted between chunks"});
+  }
+
+  health_->Start();
+  return health_.get();
 }
 
 SimNic* EthernetSpeakerSystem::NicOf(const EthernetSpeaker* speaker) {

@@ -15,6 +15,7 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/vad.h"
 #include "src/lan/segment.h"
+#include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rebroadcast/player_app.h"
@@ -59,6 +60,28 @@ class EthernetSpeakerSystem {
   // with metrics()->TextExposition().
   MetricsRegistry* metrics() { return &metrics_; }
   PacketTracer* tracer() { return &tracer_; }
+
+  // Thresholds for the default SLO rule set EnableHealthMonitoring
+  // installs. The rates are per second over `window`.
+  struct HealthRuleDefaults {
+    double queue_drop_rate_per_sec = 5.0;     // lan.queue_drop_rate
+    double deadline_miss_rate_per_sec = 5.0;  // speaker.<i>.deadline_miss_rate
+    double jitter_low_watermark_bytes = 1.0;  // speaker.<i>.jitter_low_watermark
+    double sync_drift_p99_ms = 15.0;          // speaker.<i>.sync_drift
+    double silence_ms_per_sec = 50.0;         // speaker.<i>.silence_rate
+    SimDuration window = Seconds(1);
+    SimDuration for_duration = Milliseconds(200);
+    SimDuration clear_duration = Milliseconds(300);
+  };
+
+  // Builds the health layer (sampler + SLO alert engine + flight recorder)
+  // over this system's metrics, installs the default rule set for the LAN
+  // and every speaker added so far, and starts sampling. Call once, after
+  // the system is assembled. Null until then.
+  HealthMonitor* EnableHealthMonitoring(const HealthOptions& options,
+                                        const HealthRuleDefaults& rules);
+  HealthMonitor* EnableHealthMonitoring(const HealthOptions& options = {});
+  HealthMonitor* health() { return health_.get(); }
 
   // Allocates a fresh simulated process id.
   Pid NewPid() { return next_pid_++; }
@@ -124,6 +147,9 @@ class EthernetSpeakerSystem {
   std::vector<std::unique_ptr<PlayerApp>> players_;
   std::vector<std::unique_ptr<SimNic>> speaker_nics_;
   std::vector<std::unique_ptr<EthernetSpeaker>> speakers_;
+  // Declared last: its alert gauges read engine state, and its sampler
+  // gauges read components above — it must unwind first.
+  std::unique_ptr<HealthMonitor> health_;
 };
 
 }  // namespace espk

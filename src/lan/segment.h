@@ -72,6 +72,10 @@ class EthernetSegment {
   // Runtime impairment control (tests flip these mid-run).
   void set_loss_probability(double p) { config_.loss_probability = p; }
   void set_jitter(SimDuration j) { config_.jitter = j; }
+  // Serialization reads the config at send time, so squeezing bandwidth
+  // mid-run backs up the transmit queue exactly like a congested segment —
+  // the deterministic fault the health-layer scenarios use.
+  void set_bandwidth_bps(double bps) { config_.bandwidth_bps = bps; }
 
   // Optional: traced packets (Datagram::trace.valid) that die here — tail
   // drop or per-receiver loss — get a terminal PacketTracer stage instead of

@@ -1,6 +1,9 @@
 #include "src/mgmt/agent.h"
 
+#include <bit>
+
 #include "src/base/logging.h"
+#include "src/obs/alerts.h"
 
 namespace espk {
 
@@ -114,6 +117,76 @@ Result<MgmtResponse> MgmtResponse::Deserialize(const BufferSlice& wire) {
   response.oid = std::move(*oid);
   response.value = std::move(*value);
   return response;
+}
+
+Bytes MgmtTrap::Serialize() const {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(MgmtOp::kTrap));
+  w.WriteU32(trap_seq);
+  w.WriteU32(source);
+  w.WriteU8(firing ? 1 : 0);
+  w.WriteString(rule);
+  // Doubles travel as their IEEE-754 bit pattern; exact round-trip, no
+  // locale or formatting ambiguity.
+  w.WriteU64(std::bit_cast<uint64_t>(observed));
+  w.WriteU64(std::bit_cast<uint64_t>(threshold));
+  w.WriteI64(at);
+  return w.TakeBytes();
+}
+
+Result<MgmtTrap> MgmtTrap::Deserialize(const BufferSlice& wire) {
+  ByteReader r(wire.data(), wire.size());
+  Result<uint8_t> op = r.ReadU8();
+  if (!op.ok() || *op != static_cast<uint8_t>(MgmtOp::kTrap)) {
+    return DataLossError("not a mgmt trap");
+  }
+  Result<uint32_t> trap_seq = r.ReadU32();
+  Result<uint32_t> source =
+      trap_seq.ok() ? r.ReadU32() : Result<uint32_t>(trap_seq.status());
+  Result<uint8_t> firing =
+      source.ok() ? r.ReadU8() : Result<uint8_t>(source.status());
+  if (!firing.ok()) {
+    return firing.status();
+  }
+  Result<std::string> rule = r.ReadString();
+  if (!rule.ok()) {
+    return rule.status();
+  }
+  Result<uint64_t> observed = r.ReadU64();
+  Result<uint64_t> threshold =
+      observed.ok() ? r.ReadU64() : Result<uint64_t>(observed.status());
+  Result<int64_t> at =
+      threshold.ok() ? r.ReadI64() : Result<int64_t>(threshold.status());
+  if (!at.ok()) {
+    return at.status();
+  }
+  MgmtTrap trap;
+  trap.trap_seq = *trap_seq;
+  trap.source = *source;
+  trap.firing = *firing != 0;
+  trap.rule = std::move(*rule);
+  trap.observed = std::bit_cast<double>(*observed);
+  trap.threshold = std::bit_cast<double>(*threshold);
+  trap.at = *at;
+  return trap;
+}
+
+// ------------------------------------------------------- AlertTrapSender --
+
+AlertTrapSender::AlertTrapSender(Transport* nic, AlertEngine* engine)
+    : nic_(nic) {
+  engine->AddListener([this](const AlertTransition& transition) {
+    MgmtTrap trap;
+    trap.trap_seq = next_seq_++;
+    trap.source = nic_->node_id();
+    trap.firing = transition.firing;
+    trap.rule = transition.rule;
+    trap.observed = transition.observed;
+    trap.threshold = transition.threshold;
+    trap.at = transition.at;
+    (void)nic_->SendMulticast(kMgmtGroup, trap.Serialize());
+    ++sent_;
+  });
 }
 
 // ---------------------------------------------------------- SpeakerAgent --
@@ -271,9 +344,14 @@ void SpeakerAgent::OnDatagram(const Datagram& datagram) {
       break;
     }
     case MgmtOp::kResponse:
+    case MgmtOp::kTrap:
       return;
   }
   (void)nic_->SendMulticast(kMgmtGroup, response.Serialize());
+}
+
+void SpeakerAgent::WatchAlerts(AlertEngine* engine) {
+  trap_sender_ = std::make_unique<AlertTrapSender>(nic_, engine);
 }
 
 // ----------------------------------------------------------- MgmtConsole --
@@ -321,8 +399,24 @@ void MgmtConsole::OverrideAll(GroupId announcement_group) {
 
 void MgmtConsole::RestoreAll() { Set(0, MibOidOverride(), "0", nullptr); }
 
+void MgmtConsole::SetTrapHandler(TrapHandler handler) {
+  trap_handler_ = std::move(handler);
+}
+
 void MgmtConsole::OnDatagram(const Datagram& datagram) {
   if (datagram.group != kMgmtGroup) {
+    return;
+  }
+  if (datagram.payload.size() > 0 &&
+      datagram.payload.data()[0] == static_cast<uint8_t>(MgmtOp::kTrap)) {
+    Result<MgmtTrap> trap = MgmtTrap::Deserialize(datagram.payload);
+    if (trap.ok()) {
+      ++traps_received_;
+      trap_log_.push_back(*trap);
+      if (trap_handler_) {
+        trap_handler_(*trap);
+      }
+    }
     return;
   }
   Result<MgmtResponse> response =

@@ -29,6 +29,7 @@ enum class MgmtOp : uint8_t {
   kSet = 2,
   kGetNext = 3,
   kResponse = 4,
+  kTrap = 5,  // Unsolicited agent -> console notification.
 };
 
 struct MgmtRequest {
@@ -53,6 +54,43 @@ struct MgmtResponse {
   static Result<MgmtResponse> Deserialize(const BufferSlice& wire);
 };
 
+// SNMP-style trap: an unsolicited notification carrying one SLO alert
+// transition. Request/response parsers reject the kTrap op byte, so traps
+// coexist with polling traffic on the same group.
+struct MgmtTrap {
+  uint32_t trap_seq = 0;  // Per-sender sequence, for loss detection.
+  NodeId source = 0;
+  bool firing = false;    // true = alert fired, false = resolved.
+  std::string rule;
+  double observed = 0.0;
+  double threshold = 0.0;
+  SimTime at = 0;         // Sim time of the transition.
+
+  Bytes Serialize() const;
+  static Result<MgmtTrap> Deserialize(const BufferSlice& wire);
+};
+
+class AlertEngine;
+struct AlertTransition;
+
+// Bridges an AlertEngine onto the wire: subscribes to transitions and
+// multicasts each one as an MgmtTrap on the management group from `nic`.
+class AlertTrapSender {
+ public:
+  // Subscribes at construction; `nic` and `engine` must outlive the sender.
+  AlertTrapSender(Transport* nic, AlertEngine* engine);
+
+  AlertTrapSender(const AlertTrapSender&) = delete;
+  AlertTrapSender& operator=(const AlertTrapSender&) = delete;
+
+  uint64_t sent() const { return sent_; }
+
+ private:
+  Transport* nic_;
+  uint32_t next_seq_ = 1;
+  uint64_t sent_ = 0;
+};
+
 // Binds a speaker to the management group and answers requests against its
 // MIB. Also implements the channel-override behaviour: setting the
 // `override` OID retunes the speaker and remembers where it was.
@@ -62,6 +100,10 @@ class SpeakerAgent {
 
   Mib* mib() { return &mib_; }
   uint64_t requests_handled() const { return requests_handled_; }
+
+  // Starts forwarding `engine`'s alert transitions as traps from this
+  // agent's NIC. The engine must outlive the agent.
+  void WatchAlerts(AlertEngine* engine);
 
  private:
   void BuildMib();
@@ -73,6 +115,7 @@ class SpeakerAgent {
   Mib mib_;
   std::optional<GroupId> pre_override_group_;
   uint64_t requests_handled_ = 0;
+  std::unique_ptr<AlertTrapSender> trap_sender_;
 };
 
 // The central console: issues requests and collects responses. Since the
@@ -95,6 +138,14 @@ class MgmtConsole {
   void OverrideAll(GroupId announcement_group);
   void RestoreAll();
 
+  using TrapHandler = std::function<void(const MgmtTrap&)>;
+
+  // Fires per received trap. Traps arriving with no handler installed are
+  // still counted and kept in trap_log().
+  void SetTrapHandler(TrapHandler handler);
+  const std::vector<MgmtTrap>& trap_log() const { return trap_log_; }
+  uint64_t traps_received() const { return traps_received_; }
+
  private:
   void Send(MgmtOp op, NodeId target, const Oid& oid,
             const std::string& value, ResponseCallback on_response);
@@ -104,6 +155,9 @@ class MgmtConsole {
   Transport* nic_;
   uint32_t next_request_id_ = 1;
   std::map<uint32_t, ResponseCallback> outstanding_;
+  TrapHandler trap_handler_;
+  std::vector<MgmtTrap> trap_log_;
+  uint64_t traps_received_ = 0;
 };
 
 // OIDs of the speaker MIB (under the espk enterprise arc).

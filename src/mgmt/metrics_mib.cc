@@ -87,4 +87,33 @@ size_t ExportMetricsToMib(const MetricsRegistry* registry, Mib* mib) {
   return registered;
 }
 
+size_t ExportAlertsToMib(const AlertEngine* engine, Mib* mib) {
+  size_t registered = 0;
+  const auto& rules = engine->rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const std::string name = rules[i].name;
+    const double threshold = rules[i].threshold;
+    const uint32_t arc = static_cast<uint32_t>(i + 1);
+    RegisterReadOnly(mib, EspkOid({10, arc, 1}), "SLO rule name",
+                     [name] { return name; });
+    RegisterReadOnly(mib, EspkOid({10, arc, 2}),
+                     name + " alert state", [engine, name] {
+                       return std::string(
+                           AlertStateName(engine->StateOf(name)));
+                     });
+    RegisterReadOnly(mib, EspkOid({10, arc, 3}),
+                     name + " latest evaluated value", [engine, name] {
+                       return FormatDouble(engine->ObservedOf(name));
+                     });
+    RegisterReadOnly(mib, EspkOid({10, arc, 4}), name + " threshold",
+                     [threshold] { return FormatDouble(threshold); });
+    RegisterReadOnly(mib, EspkOid({10, arc, 5}),
+                     name + " fire+resolve transitions", [engine, name] {
+                       return std::to_string(engine->TransitionsOf(name));
+                     });
+    registered += 5;
+  }
+  return registered;
+}
+
 }  // namespace espk

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "src/mgmt/mib.h"
+#include "src/obs/alerts.h"
 #include "src/obs/metrics.h"
 
 namespace espk {
@@ -26,6 +27,18 @@ namespace espk {
 // again once the system is fully assembled. Returns how many OIDs were
 // registered. The registry must outlive the MIB.
 size_t ExportMetricsToMib(const MetricsRegistry* registry, Mib* mib);
+
+// Registers one row per SLO rule under the alerts subtree {10} of the
+// enterprise OID, in rule order (1-based arc `i`):
+//
+//   .10.i.1 = rule name       .10.i.2 = state name (inactive/.../clearing)
+//   .10.i.3 = observed value  .10.i.4 = threshold
+//   .10.i.5 = transition count for the rule
+//
+// Read-through like the metrics bridge: a walk during an incident shows the
+// firing rules live. Rules added after this call are not exported. Returns
+// how many OIDs were registered. The engine must outlive the MIB.
+size_t ExportAlertsToMib(const AlertEngine* engine, Mib* mib);
 
 }  // namespace espk
 

@@ -1,0 +1,79 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace espk {
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+// Sim nanoseconds -> trace microseconds, with sub-microsecond precision.
+double TraceTs(SimTime at) { return static_cast<double>(at) / 1000.0; }
+
+}  // namespace
+
+std::string ChromeTraceJson(const PacketTracer& tracer) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n";
+  };
+
+  // First/last event per packet for the async span.
+  std::map<std::pair<uint32_t, uint32_t>, std::pair<SimTime, SimTime>> spans;
+  for (const TraceEvent& event : tracer.events()) {
+    comma();
+    AppendF(&out,
+            "{\"name\": \"%.*s\", \"ph\": \"i\", \"s\": \"t\", "
+            "\"ts\": %.3f, \"pid\": %u, \"tid\": %u, "
+            "\"args\": {\"seq\": %u}}",
+            static_cast<int>(TraceStageName(event.stage).size()),
+            TraceStageName(event.stage).data(), TraceTs(event.at),
+            event.stream_id, event.node, event.seq);
+    auto key = std::pair{event.stream_id, event.seq};
+    auto it = spans.find(key);
+    if (it == spans.end()) {
+      spans.emplace(key, std::pair{event.at, event.at});
+    } else {
+      it->second.second = event.at;  // Ring order is chronological.
+    }
+  }
+  for (const auto& [key, range] : spans) {
+    if (range.second <= range.first) {
+      continue;  // Single-stage packets have no extent to draw.
+    }
+    const uint64_t id =
+        (static_cast<uint64_t>(key.first) << 32) | key.second;
+    comma();
+    AppendF(&out,
+            "{\"name\": \"pkt %u:%u\", \"cat\": \"packet\", \"ph\": \"b\", "
+            "\"id\": %llu, \"ts\": %.3f, \"pid\": %u, \"tid\": 0}",
+            key.first, key.second, static_cast<unsigned long long>(id),
+            TraceTs(range.first), key.first);
+    comma();
+    AppendF(&out,
+            "{\"name\": \"pkt %u:%u\", \"cat\": \"packet\", \"ph\": \"e\", "
+            "\"id\": %llu, \"ts\": %.3f, \"pid\": %u, \"tid\": 0}",
+            key.first, key.second, static_cast<unsigned long long>(id),
+            TraceTs(range.second), key.first);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace espk

@@ -1,0 +1,23 @@
+// Chrome trace_event exporter for the PacketTracer: renders every packet's
+// VAD-write -> play journey on a real timeline. The output is the JSON
+// object format ui.perfetto.dev and chrome://tracing open directly —
+// {"traceEvents": [...]}. Each lifecycle stage becomes an instant event
+// ("ph":"i") on track (pid = stream, tid = station), and each packet that
+// reached at least two stages additionally gets an async begin/end pair
+// ("ph":"b"/"e") spanning first stage to last, so a packet reads as one
+// horizontal bar with its stage marks on top. Timestamps are the sim clock
+// in microseconds, so the export is bit-identical across runs.
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace espk {
+
+std::string ChromeTraceJson(const PacketTracer& tracer);
+
+}  // namespace espk
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,49 @@
+#include "src/obs/health.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace espk {
+
+HealthMonitor::HealthMonitor(Simulation* sim, MetricsRegistry* registry,
+                             PacketTracer* tracer,
+                             const HealthOptions& options)
+    : sampler_(std::make_unique<TimeSeriesSampler>(sim, registry,
+                                                   options.sampler)),
+      engine_(std::make_unique<AlertEngine>(sim, sampler_.get(), registry)),
+      recorder_(std::make_unique<FlightRecorder>(sim, sampler_.get(),
+                                                 engine_.get(), tracer,
+                                                 registry, options.recorder)) {
+  engine_->AttachToSampler();
+}
+
+TimeSeries* HealthMonitor::Watch(const std::string& metric_name) {
+  return sampler_->Watch(metric_name);
+}
+
+TimeSeries* HealthMonitor::WatchPercentile(const std::string& metric_name,
+                                           double q) {
+  return sampler_->WatchPercentile(metric_name, q);
+}
+
+void HealthMonitor::AddRule(SloRule rule) { engine_->AddRule(std::move(rule)); }
+
+void HealthMonitor::Start() { sampler_->Start(); }
+
+void HealthMonitor::Stop() { sampler_->Stop(); }
+
+std::string HealthMonitor::StatusText() const {
+  std::string out;
+  for (const SloRule& rule : engine_->rules()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%s: %s (%.4g vs %.4g)\n",
+                  rule.name.c_str(),
+                  std::string(AlertStateName(engine_->StateOf(rule.name)))
+                      .c_str(),
+                  engine_->ObservedOf(rule.name), rule.threshold);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace espk

@@ -14,6 +14,26 @@ bool IsPromChar(char c) {
          (c >= '0' && c <= '9') || c == '_';
 }
 
+// Prometheus text format: in HELP lines, backslash and newline must be
+// escaped as \\ and \n or a multi-line help string corrupts the exposition.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 const char* KindName(Metric::Kind kind) {
   switch (kind) {
     case Metric::Kind::kCounter:
@@ -113,7 +133,7 @@ std::string MetricsRegistry::TextExposition() const {
     const Metric& m = *metrics_[i];
     const std::string pname = PrometheusName(m.name());
     os << "# HELP " << pname << " "
-       << (m.help().empty() ? m.name() : m.help()) << "\n";
+       << EscapeHelp(m.help().empty() ? m.name() : m.help()) << "\n";
     os << "# TYPE " << pname << " " << KindName(m.kind()) << "\n";
     switch (m.kind()) {
       case Metric::Kind::kCounter:

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/obs/metrics.h"
 #include "src/sim/simulation.h"
 
 namespace espk {
@@ -131,6 +132,25 @@ RunningStats PacketTracer::StageLatencyMs(TraceStage from,
     }
   }
   return stats;
+}
+
+void RegisterTracerMetrics(const PacketTracer* tracer,
+                           MetricsRegistry* registry) {
+  registry->GetGauge(
+      "trace.events_recorded", [tracer] {
+        return static_cast<double>(tracer->recorded());
+      },
+      "Packet-trace events recorded since start");
+  registry->GetGauge(
+      "trace.events_dropped", [tracer] {
+        return static_cast<double>(tracer->dropped());
+      },
+      "Packet-trace events evicted from the ring (overrun)");
+  registry->GetGauge(
+      "trace.ring_size", [tracer] {
+        return static_cast<double>(tracer->events().size());
+      },
+      "Packet-trace events currently retained");
 }
 
 std::string PacketTracer::Dump(uint32_t stream_id, uint32_t seq) const {

@@ -118,6 +118,14 @@ class PacketTracer {
   std::map<std::pair<uint32_t, uint8_t>, StreamStage> byte_state_;
 };
 
+class MetricsRegistry;
+
+// Publishes the tracer's own health as gauges ("trace.events_recorded",
+// "trace.events_dropped", "trace.ring_size") so ring overruns are visible in
+// the exposition instead of silently truncating postmortems.
+void RegisterTracerMetrics(const PacketTracer* tracer,
+                           MetricsRegistry* registry);
+
 }  // namespace espk
 
 #endif  // SRC_OBS_TRACE_H_

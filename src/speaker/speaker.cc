@@ -46,6 +46,21 @@ void EthernetSpeaker::ResetChannelState() {
   queued_pcm_bytes_ = 0;
   highest_seq_seen_ = 0;
   any_data_seen_ = false;
+  last_play_end_ = 0;
+}
+
+void EthernetSpeaker::NotePlay(SimTime at, size_t sample_count) {
+  if (last_play_end_ != 0 && at > last_play_end_) {
+    stats_.silence_ns += at - last_play_end_;
+  }
+  if (config_.has_value() && config_->sample_rate > 0 &&
+      config_->channels > 0) {
+    const int64_t frames =
+        static_cast<int64_t>(sample_count / config_->channels);
+    last_play_end_ = at + frames * 1'000'000'000 / config_->sample_rate;
+  } else {
+    last_play_end_ = at;
+  }
 }
 
 void EthernetSpeaker::OnDatagram(const Datagram& datagram) {
@@ -217,6 +232,7 @@ void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
     queued_pcm_bytes_ -= decoded_bytes;
     stats_.total_lateness_ns += lateness;
     ++stats_.chunks_played;
+    NotePlay(now, samples.size());
     Trace(stream_id, seq, TraceStage::kPlay);
     recorder_->Play(now, std::move(samples), options_.gain);
     return;
@@ -231,6 +247,7 @@ void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
                        return;
                      }
                      ++stats_.chunks_played;
+                     NotePlay(local_deadline, samples.size());
                      Trace(stream_id, seq, TraceStage::kPlay);
                      recorder_->Play(local_deadline, std::move(samples),
                                      options_.gain);

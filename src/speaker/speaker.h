@@ -82,6 +82,11 @@ struct SpeakerStats {
   uint64_t decode_errors = 0;
   // How late (ns) chunks that played within epsilon actually were.
   int64_t total_lateness_ns = 0;
+  // Dead air: total gap (ns) between the end of one played chunk and the
+  // start of the next within a tune. Grows whenever a drop or starvation
+  // leaves a hole in the playout timeline — the user-audible failure the
+  // health layer alerts on.
+  int64_t silence_ns = 0;
 };
 
 class EthernetSpeaker {
@@ -132,6 +137,9 @@ class EthernetSpeaker {
                         SimTime local_deadline, std::vector<float> samples,
                         size_t decoded_bytes);
   void Trace(uint32_t stream_id, uint32_t seq, TraceStage stage);
+  // Accounts playout-timeline gaps: a chunk of `sample_count` samples
+  // started rendering at `at`.
+  void NotePlay(SimTime at, size_t sample_count);
   void ResetChannelState();
 
   Simulation* sim_;
@@ -159,6 +167,9 @@ class EthernetSpeaker {
   size_t queued_pcm_bytes_ = 0;
   uint32_t highest_seq_seen_ = 0;
   bool any_data_seen_ = false;
+  // When the previously played chunk finishes rendering; 0 until the first
+  // play of the current tune.
+  SimTime last_play_end_ = 0;
 
   SpeakerStats stats_;
 };

@@ -303,6 +303,100 @@ TEST(MgmtResponseTest, RejectsGarbage) {
   EXPECT_FALSE(MgmtRequest::Deserialize({}).ok());
 }
 
+// --------------------------------------------------------------- Traps ----
+
+TEST(MgmtTrapTest, SerializationRoundTripIsExact) {
+  MgmtTrap trap;
+  trap.trap_seq = 7;
+  trap.source = 42;
+  trap.firing = true;
+  trap.rule = "speaker.0.silence_rate";
+  trap.observed = 497.34825193e-3;  // Doubles travel as raw bit patterns.
+  trap.threshold = 50.0;
+  trap.at = Seconds(8) + Milliseconds(100);
+  Result<MgmtTrap> back = MgmtTrap::Deserialize(trap.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->trap_seq, 7u);
+  EXPECT_EQ(back->source, 42u);
+  EXPECT_TRUE(back->firing);
+  EXPECT_EQ(back->rule, "speaker.0.silence_rate");
+  EXPECT_EQ(back->observed, 497.34825193e-3);  // Bit-exact, not near.
+  EXPECT_EQ(back->threshold, 50.0);
+  EXPECT_EQ(back->at, Seconds(8) + Milliseconds(100));
+}
+
+TEST(MgmtTrapTest, TrapFramesAndPollingFramesRejectEachOther) {
+  MgmtTrap trap;
+  trap.rule = "r";
+  Bytes trap_wire = trap.Serialize();
+  // The request/response parsers reject the kTrap op byte, which is what
+  // lets traps share the management group with polling traffic.
+  EXPECT_FALSE(MgmtRequest::Deserialize(trap_wire).ok());
+  EXPECT_FALSE(MgmtResponse::Deserialize(trap_wire).ok());
+  MgmtRequest request;
+  request.op = MgmtOp::kGet;
+  request.oid = MibOidName();
+  EXPECT_FALSE(MgmtTrap::Deserialize(request.Serialize()).ok());
+  EXPECT_FALSE(MgmtTrap::Deserialize({1, 2, 3}).ok());
+}
+
+TEST_F(MgmtFixture, AlertTransitionsArriveAsTraps) {
+  HealthMonitor* health = system_.EnableHealthMonitoring();
+  agent_->WatchAlerts(health->engine());
+  // A canary rule over a missing series evaluates to 0, which breaches
+  // "> -1" on the first sampler tick — a deterministic immediate fire.
+  health->AddRule({.name = "mgmt.canary",
+                   .series = "no.such.series",
+                   .threshold = -1.0});
+  std::vector<MgmtTrap> handled;
+  console_->SetTrapHandler([&](const MgmtTrap& t) { handled.push_back(t); });
+  system_.sim()->RunFor(Seconds(1));
+
+  ASSERT_EQ(console_->traps_received(), 1u);
+  ASSERT_EQ(handled.size(), 1u);
+  EXPECT_EQ(handled[0].rule, "mgmt.canary");
+  EXPECT_TRUE(handled[0].firing);
+  EXPECT_EQ(handled[0].trap_seq, 1u);
+  EXPECT_EQ(handled[0].source, system_.NicOf(speaker_)->node_id());
+  EXPECT_EQ(handled[0].threshold, -1.0);
+  EXPECT_EQ(console_->trap_log().size(), 1u);
+  // The agent keeps answering polls with the trap sender attached.
+  std::vector<MgmtResponse> responses;
+  console_->Get(0, MibOidName(),
+                [&](const MgmtResponse& r) { responses.push_back(r); });
+  system_.sim()->RunFor(Milliseconds(100));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].value, "es-lobby");
+}
+
+TEST(MetricsMibTest, ExportAlertsPublishesPerRuleRows) {
+  Simulation sim;
+  MetricsRegistry registry(&sim);
+  Counter* signal = registry.GetCounter("sig");
+  TimeSeriesSampler sampler(&sim, &registry);
+  sampler.Watch("sig");
+  AlertEngine engine(&sim, &sampler);
+  engine.AddRule({.name = "high", .series = "sig", .threshold = 10.0});
+  engine.AddRule({.name = "low",
+                  .series = "sig",
+                  .comparison = AlertComparison::kBelow,
+                  .threshold = -5.0});
+  Mib mib;
+  EXPECT_EQ(ExportAlertsToMib(&engine, &mib), 10u);  // 5 rows per rule.
+  EXPECT_EQ(*mib.Get(EspkOid({10, 1, 1})), "high");
+  EXPECT_EQ(*mib.Get(EspkOid({10, 1, 2})), "inactive");
+  EXPECT_EQ(*mib.Get(EspkOid({10, 1, 4})), "10");
+  EXPECT_EQ(*mib.Get(EspkOid({10, 2, 1})), "low");
+  // The rows read through to the live engine.
+  signal->Increment(42);
+  sampler.SampleNow();
+  engine.Evaluate(sim.now());
+  EXPECT_EQ(*mib.Get(EspkOid({10, 1, 2})), "firing");
+  EXPECT_EQ(*mib.Get(EspkOid({10, 1, 3})), "42");
+  EXPECT_EQ(*mib.Get(EspkOid({10, 1, 5})), "1");
+  EXPECT_EQ(*mib.Get(EspkOid({10, 2, 2})), "inactive");
+}
+
 // ----------------------------------------------------------- Catalog ----
 
 TEST(CatalogTest, BrowserLearnsAnnouncedChannels) {

@@ -105,6 +105,21 @@ TEST(MetricsRegistryTest, TextExpositionCarriesSimTimestamps) {
             std::string::npos);
 }
 
+TEST(MetricsRegistryTest, TextExpositionEscapesHelpText) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", "first line\nsecond line with a \\ backslash");
+  std::string text = registry.TextExposition();
+  // The newline and the backslash travel escaped, on one HELP line.
+  EXPECT_NE(
+      text.find(
+          "# HELP espk_c first line\\nsecond line with a \\\\ backslash\n"),
+      std::string::npos);
+  // No raw newline leaked into the middle of the HELP text: every line of
+  // the exposition starts with '#', the metric name, or is empty.
+  EXPECT_EQ(text.find("second line with"),
+            text.find("\\nsecond line with") + 2);
+}
+
 TEST(MetricsRegistryTest, GaugeReaderMayRegisterMetricsDuringExposition) {
   MetricsRegistry registry;
   // A pathological-but-legal gauge that lazily registers a companion metric
@@ -117,6 +132,26 @@ TEST(MetricsRegistryTest, GaugeReaderMayRegisterMetricsDuringExposition) {
   EXPECT_NE(text.find("espk_outer 1\n"), std::string::npos);
   EXPECT_NE(text.find("espk_inner_lazy 1\n"), std::string::npos);
   EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ExpositionSurvivesReallocationMidDump) {
+  // The re-entrancy contract, stressed: a gauge reader that registers
+  // enough metrics mid-dump to force the metrics vector to reallocate.
+  // The index loop in TextExposition must keep walking the grown vector
+  // without touching freed storage, and every late registration must still
+  // be dumped.
+  MetricsRegistry registry;
+  registry.GetGauge("trigger", [&registry] {
+    for (int i = 0; i < 100; ++i) {
+      registry.GetCounter("burst." + std::to_string(i))->Increment();
+    }
+    return 1.0;
+  });
+  std::string text = registry.TextExposition();
+  EXPECT_EQ(registry.size(), 101u);
+  EXPECT_NE(text.find("espk_trigger 1\n"), std::string::npos);
+  EXPECT_NE(text.find("espk_burst_0 1\n"), std::string::npos);
+  EXPECT_NE(text.find("espk_burst_99 1\n"), std::string::npos);
 }
 
 // --------------------------------------------------------------- PacketTracer
@@ -294,6 +329,32 @@ TEST(PacketTracerTest, UntaggedPacketsNeverTraceTerminalStages) {
   }
   sim.Run();
   EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(PacketTracerTest, TracerMetricsExposeRingOverrun) {
+  Simulation sim;
+  MetricsRegistry registry(&sim);
+  PacketTracer tracer(&sim, /*capacity=*/4);
+  RegisterTracerMetrics(&tracer, &registry);
+  for (uint32_t seq = 0; seq < 10; ++seq) {
+    tracer.Record(1, seq, TraceStage::kEncode);
+  }
+  ASSERT_GT(tracer.dropped(), 0u);  // Ring overran.
+  const auto* recorded =
+      static_cast<const Gauge*>(registry.Find("trace.events_recorded"));
+  const auto* dropped =
+      static_cast<const Gauge*>(registry.Find("trace.events_dropped"));
+  const auto* size =
+      static_cast<const Gauge*>(registry.Find("trace.ring_size"));
+  ASSERT_NE(recorded, nullptr);
+  ASSERT_NE(dropped, nullptr);
+  ASSERT_NE(size, nullptr);
+  EXPECT_EQ(recorded->Value(), 10.0);
+  EXPECT_EQ(dropped->Value(), 6.0);
+  EXPECT_EQ(size->Value(), 4.0);
+  // And the overrun shows in the exposition, not just the accessors.
+  EXPECT_NE(registry.TextExposition().find("espk_trace_events_dropped 6"),
+            std::string::npos);
 }
 
 TEST(PacketTracerTest, DumpNamesEveryStage) {

@@ -410,6 +410,83 @@ TEST(PipelineTest, PacketTraceCoversWholeLifecycle) {
   EXPECT_LE(e2e.max(), 500.0);  // playout_delay + rate_limiter_lead, in ms.
 }
 
+TEST(PipelineTest, OverloadedSegmentTracesQueueDropsAndFiresQueueDropSlo) {
+  // A raw CD stream (~1.4 Mbps) through a 1 Mbps segment with a shallow
+  // transmit queue: the excess has nowhere to go, so packets must tail-drop
+  // — and every drop must surface twice, as a kQueueDrop terminal trace
+  // stage and as the lan.queue_drop_rate SLO firing.
+  SystemOptions sys_options;
+  sys_options.lan.bandwidth_bps = 1e6;
+  sys_options.lan.tx_queue_limit = 64 * 1024;
+  EthernetSpeakerSystem system(sys_options);
+  RebroadcasterOptions rb;
+  rb.codec_override = CodecId::kRaw;
+  Channel* channel = *system.CreateChannel("music", rb);
+  (void)*system.AddSpeaker(FastSpeaker("es"), channel->group);
+  // The steady-state overload sheds ~3 large packets per second; set the
+  // SLO threshold below that so the firing state is sustained, not just the
+  // initial burst.
+  EthernetSpeakerSystem::HealthRuleDefaults rules;
+  rules.queue_drop_rate_per_sec = 1.0;
+  HealthMonitor* health = system.EnableHealthMonitoring({}, rules);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(17), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(10));
+
+  ASSERT_GT(system.lan()->stats().packets_dropped_queue, 0u);
+  // Terminal kQueueDrop stages appear in the trace ring, attributed to the
+  // producer's station.
+  size_t queue_drop_events = 0;
+  for (const TraceEvent& event : system.tracer()->events()) {
+    if (event.stage == TraceStage::kQueueDrop) {
+      EXPECT_EQ(event.stream_id, channel->stream_id);
+      ++queue_drop_events;
+    }
+  }
+  EXPECT_GT(queue_drop_events, 0u);
+  // The sustained drop rate held above threshold long enough to fire.
+  EXPECT_EQ(health->engine()->StateOf("lan.queue_drop_rate"),
+            AlertState::kFiring);
+  EXPECT_GE(health->engine()->fired_total(), 1u);
+}
+
+TEST(PipelineTest, LossySegmentTracesLinkLossEndToEnd) {
+  // Heavy random loss: some traced packets must terminate in kLinkLoss at
+  // the speaker's station instead of reaching kPlay.
+  SystemOptions sys_options;
+  sys_options.lan.loss_probability = 0.25;
+  EthernetSpeakerSystem system(sys_options);
+  Channel* channel = *system.CreateChannel("music");
+  EthernetSpeaker* speaker =
+      *system.AddSpeaker(FastSpeaker("es"), channel->group);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(18), opts)
+                  .ok());
+  system.sim()->RunUntil(Seconds(10));
+
+  ASSERT_GT(system.lan()->stats().deliveries_lost, 0u);
+  SimNic* speaker_nic = system.NicOf(speaker);
+  ASSERT_NE(speaker_nic, nullptr);
+  size_t link_loss_events = 0;
+  for (const TraceEvent& event : system.tracer()->events()) {
+    if (event.stage == TraceStage::kLinkLoss) {
+      EXPECT_EQ(event.node, speaker_nic->node_id());
+      ++link_loss_events;
+    }
+  }
+  EXPECT_GT(link_loss_events, 0u);
+  // Playback survives the loss (the §2.2 graceful-degradation story):
+  // roughly three quarters of the ~108 chunks still play.
+  EXPECT_GT(speaker->stats().chunks_played, 50u);
+}
+
 TEST(PipelineTest, SlowDecoderWithLargeBuffersSkips) {
   // §3.4: large buffers + slow CPU stall the pipeline ("time delays add up,
   // resulting in skipped audio"); small buffers fix it.

@@ -44,6 +44,30 @@ TEST(StressTest, LongRunUnderLossAndJitterStaysHealthy) {
   EXPECT_LT(stats.late_drops, stats.chunks_played / 20);
 }
 
+TEST(StressTest, HealthMonitoringStaysQuietOverLongHealthyRun) {
+  // A minute of clean playback with the full default SLO rule set armed:
+  // nothing may fire, flap, or leave a postmortem — the alert layer has to
+  // be silent on a healthy system or nobody will trust it when it pages.
+  EthernetSpeakerSystem system;
+  Channel* channel = *system.CreateChannel("music");
+  SpeakerOptions so;
+  so.decode_speed_factor = 0.1;
+  (void)*system.AddSpeaker(so, channel->group);
+  HealthMonitor* health = system.EnableHealthMonitoring();
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  (void)*system.StartPlayer(channel, std::make_unique<MusicLikeGenerator>(5),
+                            opts);
+  system.sim()->RunUntil(Seconds(60));
+
+  EXPECT_EQ(health->engine()->fired_total(), 0u) << health->StatusText();
+  EXPECT_EQ(health->engine()->resolved_total(), 0u);
+  EXPECT_TRUE(health->engine()->ActiveAlerts().empty());
+  EXPECT_TRUE(health->recorder()->postmortems().empty());
+  // The sampler ticked the whole way through (10 Hz default).
+  EXPECT_GT(health->sampler()->ticks(), 590u);
+}
+
 TEST(StressTest, SimulationIsDeterministic) {
   // Two identical runs produce byte-identical outcomes — the property
   // every experiment in EXPERIMENTS.md relies on.
