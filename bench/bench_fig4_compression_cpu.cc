@@ -107,12 +107,12 @@ SeriesResult RunStreams(int streams, int seconds) {
   // Harvest the per-stream encode-cost histograms the system registered.
   std::vector<const Histogram*> hists;
   double weighted_mean = 0.0;
-  for (const auto& metric : system.metrics()->metrics()) {
-    if (metric->kind() != Metric::Kind::kHistogram ||
-        !metric->name().ends_with(".encode_ms")) {
+  for (const auto& entry : system.metrics()->entries()) {
+    if (entry.metric->kind() != Metric::Kind::kHistogram ||
+        !entry.name.ends_with(".encode_ms")) {
       continue;
     }
-    const auto* h = static_cast<const HistogramMetric*>(metric.get());
+    const auto* h = static_cast<const HistogramMetric*>(entry.metric);
     hists.push_back(&h->histogram());
     result.encode_count += static_cast<uint64_t>(h->running().count());
     weighted_mean +=

@@ -52,7 +52,15 @@ Result<std::map<std::string, JsonValue>> LoadJson(const char* path) {
 }
 
 struct Gate {
+  // Both gate inputs, so every per-metric failure can name the pair being
+  // compared — "which file is missing the key" is the first question a
+  // broken gate run raises.
+  std::string current_path;
+  std::string baseline_path;
   int failures = 0;
+
+  Gate(const char* current, const char* baseline)
+      : current_path(current), baseline_path(baseline) {}
 
   void Fail(const std::string& msg) {
     std::fprintf(stderr, "FAIL: %s\n", msg.c_str());
@@ -60,12 +68,23 @@ struct Gate {
   }
 
   // Returns the numeric field, failing (and returning 0) if missing or not
-  // a number.
+  // a number. The message names the key, the offending file, and the other
+  // gate input (a missing baseline key usually means the baseline predates
+  // the metric and needs regenerating).
   double Number(const std::map<std::string, JsonValue>& obj,
                 const std::string& file, const std::string& key) {
     auto it = obj.find(key);
-    if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber) {
-      Fail(file + ": missing numeric field \"" + key + "\"");
+    const std::string other =
+        file == current_path ? baseline_path : current_path;
+    if (it == obj.end()) {
+      Fail(file + ": missing numeric field \"" + key +
+           "\" (gate compares it against " + other +
+           "; regenerate the stale file)");
+      return 0.0;
+    }
+    if (it->second.kind != JsonValue::Kind::kNumber) {
+      Fail(file + ": field \"" + key +
+           "\" is not a number (gate compares it against " + other + ")");
       return 0.0;
     }
     return it->second.number;
@@ -224,16 +243,18 @@ void CheckFanout(Gate* gate, const JsonObject& current,
 
 int Run(const char* current_path, const char* baseline_path,
         double max_regress) {
-  Gate gate;
+  Gate gate(current_path, baseline_path);
   Result<JsonObject> current = LoadJson(current_path);
   Result<JsonObject> baseline = LoadJson(baseline_path);
   if (!current.ok()) {
-    gate.Fail(std::string(current_path) + ": " +
-              std::string(current.status().message()));
+    gate.Fail(std::string(current_path) + ": unreadable or malformed JSON — " +
+              current.status().ToString() + " (baseline input: " +
+              baseline_path + ")");
   }
   if (!baseline.ok()) {
-    gate.Fail(std::string(baseline_path) + ": " +
-              std::string(baseline.status().message()));
+    gate.Fail(std::string(baseline_path) + ": unreadable or malformed JSON — " +
+              baseline.status().ToString() + " (current input: " +
+              current_path + ")");
   }
   if (gate.failures > 0) {
     return 1;

@@ -11,6 +11,12 @@
 #      executes end to end (in a scratch directory — some write artifacts
 #      like health_trace.json). A crashing or hanging example is a broken
 #      public API.
+#   4. Golden-output check: the fleet_dashboard example runs entirely on the
+#      simulated clock, so its output is byte-identical across runs and
+#      machines; its smoke-run output is diffed against the checked-in
+#      ci/golden/fleet_dashboard.out. A diff means telemetry-plane
+#      determinism broke (or the dashboard changed — regenerate the golden
+#      by copying the new output over it).
 #
 # Usage: ci/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -18,26 +24,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/3] Debug + ASan/UBSan: configure, build, ctest"
+echo "==> [1/4] Debug + ASan/UBSan: configure, build, ctest"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DESPK_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [2/3] Release: configure, build, bench smoke gate"
+echo "==> [2/4] Release: configure, build, bench smoke gate"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
-echo "==> [3/3] Release example smoke run"
+echo "==> [3/4] Release example smoke run"
 EXAMPLES_DIR="$(pwd)/build-release/examples"
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 for example in quickstart building_pa internet_radio netboot_demo \
-               secure_stream health_monitor; do
+               secure_stream health_monitor fleet_dashboard; do
   echo "--> examples/$example"
   (cd "$SCRATCH" && "$EXAMPLES_DIR/$example" > "$example.out")
 done
+
+echo "==> [4/4] fleet_dashboard golden-output check"
+if ! diff -u ci/golden/fleet_dashboard.out "$SCRATCH/fleet_dashboard.out"; then
+  echo "FAIL: fleet_dashboard output drifted from ci/golden/fleet_dashboard.out"
+  exit 1
+fi
+echo "--> fleet_dashboard output matches golden"
 
 echo "==> ci/check.sh: all stages passed"

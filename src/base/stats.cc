@@ -58,25 +58,32 @@ void Histogram::Add(double x) {
   ++buckets_[idx];
 }
 
-double Histogram::Percentile(double q) const {
+double BucketedPercentile(double lo, double hi,
+                          const std::vector<int64_t>& buckets,
+                          int64_t underflow, int64_t count, double q) {
   assert(q >= 0.0 && q <= 1.0);
-  if (count_ == 0) {
-    return lo_;
+  if (count == 0 || buckets.empty()) {
+    return lo;
   }
-  double target = q * static_cast<double>(count_);
-  double seen = static_cast<double>(underflow_);
+  const double bucket_width = (hi - lo) / static_cast<double>(buckets.size());
+  double target = q * static_cast<double>(count);
+  double seen = static_cast<double>(underflow);
   if (seen >= target) {
-    return lo_;
+    return lo;
   }
-  for (size_t i = 0; i < buckets_.size(); ++i) {
-    double next = seen + static_cast<double>(buckets_[i]);
-    if (next >= target && buckets_[i] > 0) {
-      double frac = (target - seen) / static_cast<double>(buckets_[i]);
-      return lo_ + (static_cast<double>(i) + frac) * bucket_width_;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    double next = seen + static_cast<double>(buckets[i]);
+    if (next >= target && buckets[i] > 0) {
+      double frac = (target - seen) / static_cast<double>(buckets[i]);
+      return lo + (static_cast<double>(i) + frac) * bucket_width;
     }
     seen = next;
   }
-  return hi_;
+  return hi;
+}
+
+double Histogram::Percentile(double q) const {
+  return BucketedPercentile(lo_, hi_, buckets_, underflow_, count_, q);
 }
 
 void Histogram::Reset() {

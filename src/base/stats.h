@@ -63,6 +63,11 @@ class Histogram {
   // One bar per line, for quick terminal inspection.
   std::string Render(int max_width = 50) const;
 
+  // Snapshot of the full bucket layout, serializable for the telemetry
+  // scrape plane; BucketedPercentile reproduces Percentile() bit-for-bit
+  // on the far side.
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+
  private:
   double lo_;
   double hi_;
@@ -72,6 +77,13 @@ class Histogram {
   int64_t overflow_ = 0;
   int64_t count_ = 0;
 };
+
+// Percentile over an explicit uniform-bucket layout — the implementation
+// behind Histogram::Percentile, shared with consumers of deserialized
+// histogram snapshots (the fleet collector) so both sides agree exactly.
+double BucketedPercentile(double lo, double hi,
+                          const std::vector<int64_t>& buckets,
+                          int64_t underflow, int64_t count, double q);
 
 }  // namespace espk
 

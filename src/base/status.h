@@ -131,6 +131,24 @@ class Result {
     }                                       \
   } while (false)
 
+// ASSIGN_OR_RETURN(lhs, expr): evaluate a Result-returning expr; on error
+// early-return its Status, otherwise move the value into `lhs` (an already
+// declared variable or member). Keeps deserializers with many sequential
+// reads readable.
+#define ESPK_ASSIGN_OR_RETURN(lhs, expr)                        \
+  ESPK_ASSIGN_OR_RETURN_IMPL_(                                  \
+      ESPK_MACRO_CONCAT_(espk_result__, __LINE__), lhs, expr)
+#define ESPK_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  do {                                              \
+    auto tmp = (expr);                              \
+    if (!tmp.ok()) {                                \
+      return tmp.status();                          \
+    }                                               \
+    lhs = std::move(*tmp);                          \
+  } while (false)
+#define ESPK_MACRO_CONCAT_(a, b) ESPK_MACRO_CONCAT_IMPL_(a, b)
+#define ESPK_MACRO_CONCAT_IMPL_(a, b) a##b
+
 }  // namespace espk
 
 #endif  // SRC_BASE_STATUS_H_

@@ -54,6 +54,35 @@ void EthernetSpeakerSystem::RegisterLanMetrics() {
       "Average offered wire load since the first packet");
 }
 
+MetricsRegistry* EthernetSpeakerSystem::AddStation(const std::string& name) {
+  auto station = std::make_unique<Station>();
+  station->name = name;
+  station->registry = std::make_unique<MetricsRegistry>(&sim_);
+  stations_.push_back(std::move(station));
+  return stations_.back()->registry.get();
+}
+
+Station* EthernetSpeakerSystem::FindStation(const std::string& name) {
+  for (auto& station : stations_) {
+    if (station->name == name) {
+      return station.get();
+    }
+  }
+  return nullptr;
+}
+
+void EthernetSpeakerSystem::AliasStationEntries(
+    const MetricsRegistry* station_registry, const std::string& local_prefix,
+    const std::string& flat_prefix) {
+  for (const MetricsEntry& entry : station_registry->entries()) {
+    std::string flat = entry.name;
+    if (flat.rfind(local_prefix, 0) == 0) {
+      flat = flat_prefix + flat.substr(local_prefix.size());
+    }
+    metrics_.Alias(flat, entry.metric);
+  }
+}
+
 EthernetSpeakerSystem::~EthernetSpeakerSystem() {
   // Producers and players hold kernel fds; stop them before the kernel's
   // device table unwinds.
@@ -89,9 +118,13 @@ Result<Channel*> EthernetSpeakerSystem::CreateChannel(
   rb_options.group = channel->group;
   rb_options.channel_name = name;
   rb_options.tracer = &tracer_;
-  const std::string prefix = "rebroadcast." + std::to_string(channel->stream_id);
-  rb_options.encode_ms_histogram = metrics_.GetHistogram(
-      prefix + ".encode_ms", 0.0, 50.0, 100,
+  // The channel's metrics live on its own station registry ("rb-<sid>",
+  // scraped by the fleet collector) under local names; the system registry
+  // aliases them back under the flat legacy prefix.
+  MetricsRegistry* station =
+      AddStation("rb-" + std::to_string(channel->stream_id));
+  rb_options.encode_ms_histogram = station->GetHistogram(
+      "rebroadcast.encode_ms", 0.0, 50.0, 100,
       "Per-packet codec CPU cost (host milliseconds)");
   channel->rebroadcaster = std::make_unique<Rebroadcaster>(
       &kernel_, NewPid(), "/dev/vadm" + std::to_string(index),
@@ -99,34 +132,37 @@ Result<Channel*> EthernetSpeakerSystem::CreateChannel(
   ESPK_RETURN_IF_ERROR(channel->rebroadcaster->Start());
 
   Rebroadcaster* rb = channel->rebroadcaster.get();
-  metrics_.GetGauge(
-      prefix + ".data_packets",
+  station->GetGauge(
+      "rebroadcast.data_packets",
       [rb] { return static_cast<double>(rb->stats().data_packets); },
       "Data packets multicast by this channel");
-  metrics_.GetGauge(
-      prefix + ".control_packets",
+  station->GetGauge(
+      "rebroadcast.control_packets",
       [rb] { return static_cast<double>(rb->stats().control_packets); },
       "Control packets multicast by this channel");
-  metrics_.GetGauge(
-      prefix + ".payload_bytes",
+  station->GetGauge(
+      "rebroadcast.payload_bytes",
       [rb] { return static_cast<double>(rb->stats().payload_bytes); },
       "Post-codec payload bytes sent");
-  metrics_.GetGauge(
-      prefix + ".pcm_bytes_in",
+  station->GetGauge(
+      "rebroadcast.pcm_bytes_in",
       [rb] { return static_cast<double>(rb->stats().pcm_bytes_in); },
       "Raw PCM bytes read from the VAD master");
-  metrics_.GetGauge(
-      prefix + ".rate_limit_sleeps",
+  station->GetGauge(
+      "rebroadcast.rate_limit_sleeps",
       [rb] { return static_cast<double>(rb->stats().rate_limit_sleeps); },
       "Times the rate limiter put the producer to sleep");
-  metrics_.GetGauge(
-      prefix + ".packets_suppressed",
+  station->GetGauge(
+      "rebroadcast.packets_suppressed",
       [rb] { return static_cast<double>(rb->stats().packets_suppressed); },
       "Packets withheld while transmission was suspended");
-  metrics_.GetGauge(
-      prefix + ".encode_cpu_seconds",
+  station->GetGauge(
+      "rebroadcast.encode_cpu_seconds",
       [rb] { return rb->encode_cpu_seconds(); },
       "Total host CPU spent inside the codec");
+  AliasStationEntries(station, "rebroadcast.",
+                      "rebroadcast." + std::to_string(channel->stream_id) +
+                          ".");
 
   channels_.push_back(std::move(channel));
   return channels_.back().get();
@@ -146,10 +182,14 @@ Result<PlayerApp*> EthernetSpeakerSystem::StartPlayer(
 Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
     SpeakerOptions options, GroupId group) {
   auto nic = lan_.CreateNic();
-  const std::string prefix = "speaker." + std::to_string(speakers_.size());
+  const size_t index = speakers_.size();
   options.tracer = &tracer_;
-  options.lateness_histogram = metrics_.GetHistogram(
-      prefix + ".lateness_ms", -500.0, 500.0, 100,
+  // Same per-station ownership as channels: the speaker's metrics live on
+  // station "es-<i>" under local names, aliased into the system registry
+  // under the flat "speaker.<i>." prefix the health rules watch.
+  MetricsRegistry* station = AddStation("es-" + std::to_string(index));
+  options.lateness_histogram = station->GetHistogram(
+      "speaker.lateness_ms", -500.0, 500.0, 100,
       "Decode-completion time relative to the play deadline (ms; negative = "
       "early)");
   auto speaker =
@@ -158,30 +198,32 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
     ESPK_RETURN_IF_ERROR(speaker->Tune(group));
   }
   EthernetSpeaker* sp = speaker.get();
-  metrics_.GetGauge(
-      prefix + ".packets_received",
+  station->GetGauge(
+      "speaker.packets_received",
       [sp] { return static_cast<double>(sp->stats().packets_received); },
       "Datagrams that reached this speaker's NIC handler");
-  metrics_.GetGauge(
-      prefix + ".chunks_played",
+  station->GetGauge(
+      "speaker.chunks_played",
       [sp] { return static_cast<double>(sp->stats().chunks_played); },
       "Audio chunks rendered at (or within epsilon of) their deadline");
-  metrics_.GetGauge(
-      prefix + ".late_drops",
+  station->GetGauge(
+      "speaker.late_drops",
       [sp] { return static_cast<double>(sp->stats().late_drops); },
       "Chunks thrown away past deadline + epsilon (§3.2)");
-  metrics_.GetGauge(
-      prefix + ".overflow_drops",
+  station->GetGauge(
+      "speaker.overflow_drops",
       [sp] { return static_cast<double>(sp->stats().overflow_drops); },
       "Chunks refused because the jitter buffer was full");
-  metrics_.GetGauge(
-      prefix + ".queued_pcm_bytes",
+  station->GetGauge(
+      "speaker.queued_pcm_bytes",
       [sp] { return static_cast<double>(sp->queued_pcm_bytes()); },
       "Decoded-but-unplayed PCM occupying the jitter buffer");
-  metrics_.GetGauge(
-      prefix + ".silence_ms",
+  station->GetGauge(
+      "speaker.silence_ms",
       [sp] { return static_cast<double>(sp->stats().silence_ns) / 1e6; },
       "Cumulative dead air between played chunks (ms)");
+  AliasStationEntries(station, "speaker.",
+                      "speaker." + std::to_string(index) + ".");
   speaker_nics_.push_back(std::move(nic));
   speakers_.push_back(std::move(speaker));
   return speakers_.back().get();

@@ -43,6 +43,16 @@ struct Channel {
   std::unique_ptr<Rebroadcaster> rebroadcaster;
 };
 
+// One station of the distributed telemetry plane: a named participant
+// (every speaker "es-<i>", every rebroadcaster "rb-<stream_id>") owning the
+// registry its metrics live in. The fleet collector scrapes these; the
+// system-wide registry re-exports every station metric under its flat
+// legacy name via MetricsRegistry::Alias.
+struct Station {
+  std::string name;
+  std::unique_ptr<MetricsRegistry> registry;
+};
+
 class EthernetSpeakerSystem {
  public:
   explicit EthernetSpeakerSystem(const SystemOptions& options = {});
@@ -55,11 +65,22 @@ class EthernetSpeakerSystem {
   SimKernel* kernel() { return &kernel_; }
   EthernetSegment* lan() { return &lan_; }
 
-  // Telemetry for the whole system (kernel, LAN, rebroadcasters, speakers).
-  // Export to a MIB with ExportMetricsToMib (src/mgmt/metrics_mib.h) or dump
-  // with metrics()->TextExposition().
+  // Telemetry for the whole system. Kernel, LAN, and tracer metrics live
+  // here natively; per-station metrics (speakers, rebroadcasters) are owned
+  // by their station's registry and aliased in under flat names
+  // ("speaker.<i>.late_drops"), so this registry still sees everything —
+  // export to a MIB with ExportMetricsToMib (src/mgmt/metrics_mib.h) or
+  // dump with metrics()->TextExposition().
   MetricsRegistry* metrics() { return &metrics_; }
   PacketTracer* tracer() { return &tracer_; }
+
+  // Per-station registries, in creation order. A speaker added as index i
+  // is station "es-<i>"; a channel with stream id s is station "rb-<s>".
+  const std::vector<std::unique_ptr<Station>>& stations() const {
+    return stations_;
+  }
+  // Null if no station by that name exists.
+  Station* FindStation(const std::string& name);
 
   // Thresholds for the default SLO rule set EnableHealthMonitoring
   // installs. The rates are per second over `window`.
@@ -132,6 +153,15 @@ class EthernetSpeakerSystem {
  private:
   void RegisterLanMetrics();
 
+  // Creates the station and returns its registry (owned by stations_).
+  MetricsRegistry* AddStation(const std::string& name);
+  // Aliases every entry of `station_registry` into the system registry,
+  // rewriting a leading `local_prefix` ("speaker.") to `flat_prefix`
+  // ("speaker.0.") so legacy flat names keep resolving.
+  void AliasStationEntries(const MetricsRegistry* station_registry,
+                           const std::string& local_prefix,
+                           const std::string& flat_prefix);
+
   SystemOptions options_;
   Simulation sim_;
   // Declared before the components whose constructors and gauge callbacks
@@ -143,6 +173,10 @@ class EthernetSpeakerSystem {
   Pid next_pid_ = 1000;
   uint32_t next_stream_id_ = 1;
   GroupId next_group_ = kFirstChannelGroup;
+  // Station registries own per-component metrics that components (and the
+  // aliases in metrics_) point into; declared before the component vectors
+  // so every instrumented component unwinds first.
+  std::vector<std::unique_ptr<Station>> stations_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<PlayerApp>> players_;
   std::vector<std::unique_ptr<SimNic>> speaker_nics_;

@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/obs/alerts.h"
+#include "src/obs/metrics.h"
 
 namespace espk {
 
@@ -345,6 +346,8 @@ void SpeakerAgent::OnDatagram(const Datagram& datagram) {
     }
     case MgmtOp::kResponse:
     case MgmtOp::kTrap:
+    case MgmtOp::kScrape:      // Served by the ScrapeAgent, not the MIB.
+    case MgmtOp::kScrapeChunk:
       return;
   }
   (void)nic_->SendMulticast(kMgmtGroup, response.Serialize());
@@ -356,11 +359,19 @@ void SpeakerAgent::WatchAlerts(AlertEngine* engine) {
 
 // ----------------------------------------------------------- MgmtConsole --
 
-MgmtConsole::MgmtConsole(Simulation* sim, Transport* nic)
+MgmtConsole::MgmtConsole(Simulation* sim, Transport* nic,
+                         MetricsRegistry* registry)
     : sim_(sim), nic_(nic) {
   (void)sim_;
   (void)nic_->JoinGroup(kMgmtGroup);
   nic_->SetReceiveHandler([this](const Datagram& d) { OnDatagram(d); });
+  if (registry != nullptr) {
+    traps_received_metric_ =
+        registry->GetCounter("trap.received", "SLO alert traps received");
+    sequence_gaps_metric_ = registry->GetCounter(
+        "trap.sequence_gaps",
+        "traps provably lost in transit (per-sender sequence gaps)");
+  }
 }
 
 void MgmtConsole::Send(MgmtOp op, NodeId target, const Oid& oid,
@@ -412,6 +423,10 @@ void MgmtConsole::OnDatagram(const Datagram& datagram) {
     Result<MgmtTrap> trap = MgmtTrap::Deserialize(datagram.payload);
     if (trap.ok()) {
       ++traps_received_;
+      if (traps_received_metric_ != nullptr) {
+        traps_received_metric_->Increment();
+      }
+      AccountTrapSequence(*trap);
       trap_log_.push_back(*trap);
       if (trap_handler_) {
         trap_handler_(*trap);
@@ -427,6 +442,23 @@ void MgmtConsole::OnDatagram(const Datagram& datagram) {
   auto it = outstanding_.find(response->request_id);
   if (it != outstanding_.end()) {
     it->second(*response);
+  }
+}
+
+void MgmtConsole::AccountTrapSequence(const MgmtTrap& trap) {
+  uint32_t& last = last_trap_seq_[trap.source];  // 0 for a new sender.
+  // Senders count from 1, so a first-ever trap with seq > 1 is itself
+  // evidence of loss. Reordered/duplicate traps (seq <= last) can't happen
+  // on the FIFO simulated segment; ignore them rather than double-count.
+  if (trap.trap_seq > last + 1) {
+    const uint64_t missing = trap.trap_seq - last - 1;
+    sequence_gaps_ += missing;
+    if (sequence_gaps_metric_ != nullptr) {
+      sequence_gaps_metric_->Increment(missing);
+    }
+  }
+  if (trap.trap_seq > last) {
+    last = trap.trap_seq;
   }
 }
 

@@ -29,7 +29,9 @@ enum class MgmtOp : uint8_t {
   kSet = 2,
   kGetNext = 3,
   kResponse = 4,
-  kTrap = 5,  // Unsolicited agent -> console notification.
+  kTrap = 5,         // Unsolicited agent -> console notification.
+  kScrape = 6,       // Telemetry pull: console -> one station (src/mgmt/scrape).
+  kScrapeChunk = 7,  // Fragment of a scrape response, station -> console.
 };
 
 struct MgmtRequest {
@@ -118,11 +120,18 @@ class SpeakerAgent {
   std::unique_ptr<AlertTrapSender> trap_sender_;
 };
 
+class MetricsRegistry;
+class Counter;
+
 // The central console: issues requests and collects responses. Since the
 // simulation is event-driven, results arrive via callback after RunFor.
 class MgmtConsole {
  public:
-  MgmtConsole(Simulation* sim, Transport* nic);
+  // With a registry, the console registers its own telemetry there:
+  // "trap.received" and "trap.sequence_gaps" (gaps in per-sender trap
+  // sequence numbers — the console-side count of traps the LAN ate).
+  MgmtConsole(Simulation* sim, Transport* nic,
+              MetricsRegistry* registry = nullptr);
 
   using ResponseCallback = std::function<void(const MgmtResponse&)>;
 
@@ -146,10 +155,16 @@ class MgmtConsole {
   const std::vector<MgmtTrap>& trap_log() const { return trap_log_; }
   uint64_t traps_received() const { return traps_received_; }
 
+  // Traps that provably never arrived: each sender numbers its traps 1,2,…,
+  // so a received seq jumping from n to n+k counts k-1 missing. Detected at
+  // receive time — a trailing loss (nothing after it arrives) is invisible.
+  uint64_t sequence_gaps() const { return sequence_gaps_; }
+
  private:
   void Send(MgmtOp op, NodeId target, const Oid& oid,
             const std::string& value, ResponseCallback on_response);
   void OnDatagram(const Datagram& datagram);
+  void AccountTrapSequence(const MgmtTrap& trap);
 
   Simulation* sim_;
   Transport* nic_;
@@ -158,6 +173,10 @@ class MgmtConsole {
   TrapHandler trap_handler_;
   std::vector<MgmtTrap> trap_log_;
   uint64_t traps_received_ = 0;
+  uint64_t sequence_gaps_ = 0;
+  std::map<NodeId, uint32_t> last_trap_seq_;
+  Counter* traps_received_metric_ = nullptr;  // Null without a registry.
+  Counter* sequence_gaps_metric_ = nullptr;
 };
 
 // OIDs of the speaker MIB (under the espk enterprise arc).

@@ -14,8 +14,9 @@ std::string FormatDouble(double x) {
   return buf;
 }
 
-std::string Describe(const Metric& metric, const char* aspect) {
-  std::string description = metric.name();
+std::string Describe(const std::string& name, const Metric& metric,
+                     const char* aspect) {
+  std::string description = name;
   description += " ";
   description += aspect;
   if (!metric.help().empty()) {
@@ -37,15 +38,16 @@ void RegisterReadOnly(Mib* mib, const Oid& oid, std::string description,
 
 size_t ExportMetricsToMib(const MetricsRegistry* registry, Mib* mib) {
   size_t registered = 0;
-  const auto& metrics = registry->metrics();
-  for (size_t i = 0; i < metrics.size(); ++i) {
-    const Metric* metric = metrics[i].get();
+  const auto& entries = registry->entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const std::string& name = entries[i].name;
+    const Metric* metric = entries[i].metric;
     const uint32_t arc = static_cast<uint32_t>(i + 1);
     switch (metric->kind()) {
       case Metric::Kind::kCounter: {
         const auto* counter = static_cast<const Counter*>(metric);
         RegisterReadOnly(mib, EspkOid({9, arc, 1}),
-                         Describe(*metric, "(counter)"), [counter] {
+                         Describe(name, *metric, "(counter)"), [counter] {
                            return std::to_string(counter->value());
                          });
         registered += 1;
@@ -54,7 +56,7 @@ size_t ExportMetricsToMib(const MetricsRegistry* registry, Mib* mib) {
       case Metric::Kind::kGauge: {
         const auto* gauge = static_cast<const Gauge*>(metric);
         RegisterReadOnly(mib, EspkOid({9, arc, 1}),
-                         Describe(*metric, "(gauge)"),
+                         Describe(name, *metric, "(gauge)"),
                          [gauge] { return FormatDouble(gauge->Value()); });
         registered += 1;
         break;
@@ -62,20 +64,20 @@ size_t ExportMetricsToMib(const MetricsRegistry* registry, Mib* mib) {
       case Metric::Kind::kHistogram: {
         const auto* histogram = static_cast<const HistogramMetric*>(metric);
         RegisterReadOnly(mib, EspkOid({9, arc, 1}),
-                         Describe(*metric, "count"), [histogram] {
+                         Describe(name, *metric, "count"), [histogram] {
                            return std::to_string(histogram->running().count());
                          });
-        RegisterReadOnly(mib, EspkOid({9, arc, 2}), Describe(*metric, "mean"),
-                         [histogram] {
+        RegisterReadOnly(mib, EspkOid({9, arc, 2}),
+                         Describe(name, *metric, "mean"), [histogram] {
                            return FormatDouble(histogram->running().mean());
                          });
-        RegisterReadOnly(mib, EspkOid({9, arc, 3}), Describe(*metric, "p50"),
-                         [histogram] {
+        RegisterReadOnly(mib, EspkOid({9, arc, 3}),
+                         Describe(name, *metric, "p50"), [histogram] {
                            return FormatDouble(
                                histogram->histogram().Percentile(0.5));
                          });
-        RegisterReadOnly(mib, EspkOid({9, arc, 4}), Describe(*metric, "p99"),
-                         [histogram] {
+        RegisterReadOnly(mib, EspkOid({9, arc, 4}),
+                         Describe(name, *metric, "p99"), [histogram] {
                            return FormatDouble(
                                histogram->histogram().Percentile(0.99));
                          });

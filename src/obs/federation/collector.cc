@@ -1,0 +1,172 @@
+#include "src/obs/federation/collector.h"
+
+#include <utility>
+
+#include "src/mgmt/agent.h"
+#include "src/obs/federation/sample.h"
+
+namespace espk {
+
+FleetCollector::FleetCollector(Simulation* sim, Transport* nic,
+                               MetricsRegistry* self_registry,
+                               const CollectorOptions& options)
+    : sim_(sim),
+      nic_(nic),
+      options_(options),
+      store_(options.series_capacity) {
+  nic_->SetReceiveHandler([this](const Datagram& d) { OnDatagram(d); });
+  if (self_registry != nullptr) {
+    attempts_metric_ = self_registry->GetCounter(
+        "scrape.attempts", "scrape requests sent (including retries)");
+    successes_metric_ = self_registry->GetCounter(
+        "scrape.success", "scrapes fully reassembled and ingested");
+    timeouts_metric_ = self_registry->GetCounter(
+        "scrape.timeouts", "scrape attempts that hit the per-attempt timeout");
+    retries_metric_ = self_registry->GetCounter(
+        "scrape.retries", "re-attempts after a timeout, with backoff");
+    misses_metric_ = self_registry->GetCounter(
+        "scrape.misses", "cycles in which every attempt for a target failed");
+    stale_metric_ = self_registry->GetCounter(
+        "scrape.stale_transitions", "targets marked stale after missed cycles");
+    chunks_metric_ = self_registry->GetCounter(
+        "scrape.chunks_received", "scrape response fragments received");
+  }
+}
+
+FleetCollector::~FleetCollector() { Stop(); }
+
+void FleetCollector::AddTarget(std::string station, NodeId node) {
+  auto target = std::make_unique<Target>();
+  target->station = std::move(station);
+  target->node = node;
+  targets_.push_back(std::move(target));
+}
+
+void FleetCollector::AddLocalSource(std::string station,
+                                    const MetricsRegistry* registry) {
+  locals_.push_back(LocalSource{std::move(station), registry});
+}
+
+void FleetCollector::Start() {
+  if (task_ == nullptr) {
+    task_ = std::make_unique<PeriodicTask>(
+        sim_, options_.period, [this](SimTime now) { OnTick(now); });
+  }
+  task_->Start(/*fire_immediately=*/true);
+}
+
+void FleetCollector::Stop() {
+  if (task_ != nullptr) {
+    task_->Stop();
+  }
+  for (auto& target : targets_) {
+    sim_->Cancel(target->timeout_event);
+    sim_->Cancel(target->retry_event);
+    if (target->awaiting) {
+      by_request_.erase(target->request_id);
+      target->awaiting = false;
+    }
+  }
+}
+
+void FleetCollector::Bump(Counter* counter, uint64_t& shadow, uint64_t n) {
+  shadow += n;
+  if (counter != nullptr) {
+    counter->Increment(n);
+  }
+}
+
+void FleetCollector::OnTick(SimTime now) {
+  ++cycles_;
+  for (const LocalSource& local : locals_) {
+    store_.Ingest(SnapshotRegistry(*local.registry, local.station, now), now);
+  }
+  for (auto& target : targets_) {
+    if (target->awaiting) {
+      // Previous cycle's retry chain is still in flight; let it finish
+      // rather than stacking a second request on the same target.
+      ++overruns_;
+      continue;
+    }
+    target->attempt = 0;
+    target->awaiting = true;
+    BeginAttempt(target.get());
+  }
+}
+
+void FleetCollector::BeginAttempt(Target* target) {
+  ++target->attempt;
+  Bump(attempts_metric_, attempts_);
+  target->request_id = next_request_id_++;
+  target->assembler.Reset();
+  by_request_[target->request_id] = target;
+  ScrapeRequest request;
+  request.request_id = target->request_id;
+  request.target = target->node;
+  (void)nic_->SendMulticast(kMgmtGroup, request.Serialize());
+  target->timeout_event = sim_->ScheduleAfter(
+      options_.timeout, [this, target] { OnAttemptTimeout(target); });
+}
+
+void FleetCollector::OnAttemptTimeout(Target* target) {
+  by_request_.erase(target->request_id);
+  Bump(timeouts_metric_, timeouts_);
+  if (target->attempt < options_.max_attempts) {
+    Bump(retries_metric_, retries_);
+    // 100ms, 200ms, 400ms, ... — bounded by max_attempts, and in sim time,
+    // so the whole schedule is reproducible.
+    const SimDuration backoff = options_.retry_backoff
+                                << (target->attempt - 1);
+    target->retry_event =
+        sim_->ScheduleAfter(backoff, [this, target] { BeginAttempt(target); });
+    return;
+  }
+  // Cycle over with nothing ingested.
+  target->awaiting = false;
+  Bump(misses_metric_, misses_);
+  ++target->consecutive_misses;
+  if (target->consecutive_misses >= options_.stale_after_misses &&
+      !target->marked_stale) {
+    target->marked_stale = true;
+    Bump(stale_metric_, stale_transitions_);
+    store_.MarkStale(target->station);
+  }
+}
+
+void FleetCollector::OnDatagram(const Datagram& datagram) {
+  Result<ScrapeChunk> chunk = ScrapeChunk::Deserialize(datagram.payload);
+  if (!chunk.ok()) {
+    return;  // The collector NIC only expects chunks; drop the rest.
+  }
+  auto it = by_request_.find(chunk->request_id);
+  if (it == by_request_.end()) {
+    ++stray_chunks_;  // Arrived after its attempt timed out.
+    return;
+  }
+  Target* target = it->second;
+  Bump(chunks_metric_, chunks_received_);
+  std::optional<Bytes> payload = target->assembler.Add(*chunk);
+  if (!payload.has_value()) {
+    return;  // More fragments outstanding.
+  }
+  sim_->Cancel(target->timeout_event);
+  by_request_.erase(it);
+  target->awaiting = false;
+  Result<StationSnapshot> snapshot = StationSnapshot::Deserialize(*payload);
+  if (!snapshot.ok()) {
+    // Reassembled but unparseable counts as a miss for staleness purposes.
+    Bump(misses_metric_, misses_);
+    ++target->consecutive_misses;
+    return;
+  }
+  target->consecutive_misses = 0;
+  target->marked_stale = false;
+  Bump(successes_metric_, successes_);
+  // The collector's name for the target is authoritative; the snapshot's
+  // self-reported name is ignored so a misconfigured station can't squat
+  // another's slot in the store.
+  snapshot->station = target->station;
+  store_.Ingest(*snapshot, sim_->now());
+}
+
+}  // namespace espk

@@ -1,0 +1,139 @@
+// The active half of the distributed telemetry plane: a FleetCollector
+// periodically pulls a metrics snapshot from every registered station over
+// the management protocol (kScrape out, kScrapeChunk fragments back), with
+// a per-target timeout, bounded retries with doubling backoff, and
+// staleness marking after consecutive whole-cycle misses. Everything runs
+// on the simulated clock, so a lossy or congested segment produces the
+// exact same timeout/retry/staleness history on every run.
+//
+// Stations that live in the collector's own process (the console itself)
+// register as local sources and are ingested directly each cycle — same
+// store, no wire.
+#ifndef SRC_OBS_FEDERATION_COLLECTOR_H_
+#define SRC_OBS_FEDERATION_COLLECTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lan/transport.h"
+#include "src/mgmt/scrape.h"
+#include "src/obs/federation/store.h"
+#include "src/obs/metrics.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+
+struct CollectorOptions {
+  SimDuration period = Seconds(1);          // Scrape cycle.
+  SimDuration timeout = Milliseconds(250);  // Per attempt.
+  int max_attempts = 3;                     // 1 try + 2 retries.
+  SimDuration retry_backoff = Milliseconds(100);  // Doubles per retry.
+  // A station is marked stale after this many consecutive cycles in which
+  // every attempt timed out; the next successful scrape clears it.
+  int stale_after_misses = 2;
+  size_t series_capacity = 600;  // Points kept per (station, metric).
+};
+
+class FleetCollector {
+ public:
+  // With a registry (typically the console station's own), the collector
+  // registers its self-telemetry there as the scrape.* counter family.
+  FleetCollector(Simulation* sim, Transport* nic,
+                 MetricsRegistry* self_registry = nullptr,
+                 const CollectorOptions& options = {});
+
+  FleetCollector(const FleetCollector&) = delete;
+  FleetCollector& operator=(const FleetCollector&) = delete;
+
+  ~FleetCollector();
+
+  // A remote station to scrape, keyed in the store by `station` (the
+  // collector's name for it wins over whatever the wire snapshot claims).
+  void AddTarget(std::string station, NodeId node);
+
+  // A registry in this process, ingested directly each cycle. Must outlive
+  // the collector.
+  void AddLocalSource(std::string station, const MetricsRegistry* registry);
+
+  // First cycle fires immediately at Start() time.
+  void Start();
+  void Stop();
+  bool running() const { return task_ != nullptr && task_->running(); }
+
+  FleetStore* store() { return &store_; }
+  const FleetStore& store() const { return store_; }
+
+  // Self-telemetry (mirrored as scrape.* counters when a registry was
+  // given). An "attempt" is one request+timeout window; a "miss" is a whole
+  // cycle whose every attempt timed out.
+  uint64_t cycles() const { return cycles_; }
+  uint64_t attempts() const { return attempts_; }
+  uint64_t successes() const { return successes_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t stale_transitions() const { return stale_transitions_; }
+  uint64_t chunks_received() const { return chunks_received_; }
+  uint64_t stray_chunks() const { return stray_chunks_; }
+  uint64_t overruns() const { return overruns_; }
+
+ private:
+  struct Target {
+    std::string station;
+    NodeId node = 0;
+    // Cycle state.
+    bool awaiting = false;
+    int attempt = 0;  // 1-based within the cycle.
+    uint32_t request_id = 0;
+    int consecutive_misses = 0;
+    bool marked_stale = false;
+    ChunkAssembler assembler;
+    Simulation::EventHandle timeout_event;
+    Simulation::EventHandle retry_event;
+  };
+
+  void OnTick(SimTime now);
+  void BeginAttempt(Target* target);
+  void OnAttemptTimeout(Target* target);
+  void OnDatagram(const Datagram& datagram);
+  void Bump(Counter* counter, uint64_t& shadow, uint64_t n = 1);
+
+  Simulation* sim_;
+  Transport* nic_;
+  CollectorOptions options_;
+  FleetStore store_;
+  std::unique_ptr<PeriodicTask> task_;
+  std::vector<std::unique_ptr<Target>> targets_;
+  std::map<uint32_t, Target*> by_request_;
+  struct LocalSource {
+    std::string station;
+    const MetricsRegistry* registry;
+  };
+  std::vector<LocalSource> locals_;
+  uint32_t next_request_id_ = 1;
+
+  uint64_t cycles_ = 0;
+  uint64_t attempts_ = 0;
+  uint64_t successes_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t stale_transitions_ = 0;
+  uint64_t chunks_received_ = 0;
+  uint64_t stray_chunks_ = 0;
+  uint64_t overruns_ = 0;
+  // Null without a self registry.
+  Counter* attempts_metric_ = nullptr;
+  Counter* successes_metric_ = nullptr;
+  Counter* timeouts_metric_ = nullptr;
+  Counter* retries_metric_ = nullptr;
+  Counter* misses_metric_ = nullptr;
+  Counter* stale_metric_ = nullptr;
+  Counter* chunks_metric_ = nullptr;
+};
+
+}  // namespace espk
+
+#endif  // SRC_OBS_FEDERATION_COLLECTOR_H_

@@ -1,0 +1,33 @@
+#include "src/obs/federation/fleet.h"
+
+#include "src/obs/federation/sample.h"
+
+namespace espk {
+
+FleetPlane::FleetPlane(EthernetSpeakerSystem* system,
+                       const FleetPlaneOptions& options)
+    : system_(system) {
+  Simulation* sim = system_->sim();
+  collector_nic_ = system_->lan()->CreateNic();
+  collector_ = std::make_unique<FleetCollector>(
+      sim, collector_nic_.get(), system_->metrics(), options.collector);
+  collector_->AddLocalSource(options.console_station, system_->metrics());
+  for (const auto& station : system_->stations()) {
+    std::unique_ptr<SimNic> nic = system_->lan()->CreateNic();
+    // The agent serializes the station's registry at scrape time, stamped
+    // with the station-side sim clock (one clock in simulation, but the
+    // snapshot format keeps them distinct on purpose).
+    MetricsRegistry* registry = station->registry.get();
+    std::string name = station->name;
+    agents_.push_back(std::make_unique<ScrapeAgent>(
+        sim, nic.get(),
+        [registry, name, sim] {
+          return SnapshotRegistry(*registry, name, sim->now()).Serialize();
+        },
+        options.agent));
+    collector_->AddTarget(station->name, nic->node_id());
+    agent_nics_.push_back(std::move(nic));
+  }
+}
+
+}  // namespace espk

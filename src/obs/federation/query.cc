@@ -1,0 +1,334 @@
+#include "src/obs/federation/query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "src/base/time_types.h"
+
+namespace espk {
+
+namespace {
+
+// Parsed form. The language is small enough for one level of structure:
+// an optional aggregator wrapped around one inner expression.
+struct Selector {
+  std::string metric_glob;
+  std::string station_glob = "*";
+};
+
+struct Inner {
+  enum class Kind { kInstant, kRate, kQuantile };
+  Kind kind = Kind::kInstant;
+  Selector selector;
+  SimDuration window = 0;  // kRate.
+  double q = 0.0;          // kQuantile.
+};
+
+enum class Agg { kNone, kAvg, kSum, kMax, kMin, kCount };
+
+struct ParsedQuery {
+  Agg agg = Agg::kNone;
+  bool by_station = false;
+  Inner inner;
+};
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '_' || c == '*' || c == '?' || c == '-';
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery query;
+    std::string word;
+    ESPK_ASSIGN_OR_RETURN(word, Word("query"));
+    Agg agg = AggFromWord(word);
+    // An aggregator keyword only acts as one when followed by `by` or `(`;
+    // otherwise it was the start of a metric name ("count" is a fine glob).
+    if (agg != Agg::kNone && (Peek() == '(' || PeekWordIs("by"))) {
+      query.agg = agg;
+      if (PeekWordIs("by")) {
+        (void)Word("by");
+        ESPK_RETURN_IF_ERROR(Expect('('));
+        std::string dim;
+        ESPK_ASSIGN_OR_RETURN(dim, Word("grouping dimension"));
+        if (dim != "station") {
+          return InvalidArgumentError("query: can only group by (station), got '" +
+                                      dim + "'");
+        }
+        ESPK_RETURN_IF_ERROR(Expect(')'));
+        query.by_station = true;
+      }
+      ESPK_RETURN_IF_ERROR(Expect('('));
+      ESPK_ASSIGN_OR_RETURN(word, Word("expression"));
+      ESPK_ASSIGN_OR_RETURN(query.inner, ParseInner(word));
+      ESPK_RETURN_IF_ERROR(Expect(')'));
+    } else {
+      ESPK_ASSIGN_OR_RETURN(query.inner, ParseInner(word));
+    }
+    SkipWs();
+    if (pos_ < input_.size()) {
+      return InvalidArgumentError("query: trailing input at '" +
+                                  input_.substr(pos_) + "'");
+    }
+    return query;
+  }
+
+ private:
+  static Agg AggFromWord(const std::string& word) {
+    if (word == "avg") return Agg::kAvg;
+    if (word == "sum") return Agg::kSum;
+    if (word == "max") return Agg::kMax;
+    if (word == "min") return Agg::kMin;
+    if (word == "count") return Agg::kCount;
+    return Agg::kNone;
+  }
+
+  // `word` has already been consumed and starts the expression.
+  Result<Inner> ParseInner(const std::string& word) {
+    Inner inner;
+    if (word == "rate" && Peek() == '(') {
+      inner.kind = Inner::Kind::kRate;
+      ESPK_RETURN_IF_ERROR(Expect('('));
+      ESPK_ASSIGN_OR_RETURN(inner.selector, ParseSelector());
+      ESPK_RETURN_IF_ERROR(Expect('['));
+      ESPK_ASSIGN_OR_RETURN(inner.window, ParseDuration());
+      ESPK_RETURN_IF_ERROR(Expect(']'));
+      ESPK_RETURN_IF_ERROR(Expect(')'));
+      return inner;
+    }
+    if (word == "quantile" && Peek() == '(') {
+      inner.kind = Inner::Kind::kQuantile;
+      ESPK_RETURN_IF_ERROR(Expect('('));
+      std::string number;
+      ESPK_ASSIGN_OR_RETURN(number, Word("quantile value"));
+      char* end = nullptr;
+      inner.q = std::strtod(number.c_str(), &end);
+      if (end != number.c_str() + number.size() || inner.q < 0.0 ||
+          inner.q > 1.0) {
+        return InvalidArgumentError("query: bad quantile '" + number + "'");
+      }
+      ESPK_RETURN_IF_ERROR(Expect(','));
+      ESPK_ASSIGN_OR_RETURN(inner.selector, ParseSelector());
+      ESPK_RETURN_IF_ERROR(Expect(')'));
+      return inner;
+    }
+    ESPK_ASSIGN_OR_RETURN(inner.selector, FinishSelector(word));
+    return inner;
+  }
+
+  Result<Selector> ParseSelector() {
+    std::string word;
+    ESPK_ASSIGN_OR_RETURN(word, Word("metric name"));
+    return FinishSelector(word);
+  }
+
+  // The metric glob is `word`; an optional {station="glob"} filter follows.
+  Result<Selector> FinishSelector(const std::string& word) {
+    Selector selector;
+    selector.metric_glob = word;
+    SkipWs();
+    if (Peek() != '{') {
+      return selector;
+    }
+    ++pos_;
+    std::string label;
+    ESPK_ASSIGN_OR_RETURN(label, Word("label name"));
+    if (label != "station") {
+      return InvalidArgumentError("query: only the station label exists, got '" +
+                                  label + "'");
+    }
+    ESPK_RETURN_IF_ERROR(Expect('='));
+    ESPK_ASSIGN_OR_RETURN(selector.station_glob, QuotedString());
+    ESPK_RETURN_IF_ERROR(Expect('}'));
+    return selector;
+  }
+
+  Result<SimDuration> ParseDuration() {
+    std::string word;
+    ESPK_ASSIGN_OR_RETURN(word, Word("window duration"));
+    size_t i = 0;
+    while (i < word.size() &&
+           std::isdigit(static_cast<unsigned char>(word[i])) != 0) {
+      ++i;
+    }
+    const std::string unit = word.substr(i);
+    if (i == 0 || (unit != "s" && unit != "ms")) {
+      return InvalidArgumentError("query: bad duration '" + word +
+                                  "' (want e.g. 5s or 250ms)");
+    }
+    const int64_t n = std::strtoll(word.substr(0, i).c_str(), nullptr, 10);
+    return unit == "s" ? Seconds(n) : Milliseconds(n);
+  }
+
+  void SkipWs() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < input_.size() ? input_[pos_] : '\0';
+  }
+
+  bool PeekWordIs(const std::string& expected) {
+    SkipWs();
+    size_t end = pos_;
+    while (end < input_.size() && IsWordChar(input_[end])) {
+      ++end;
+    }
+    return input_.compare(pos_, end - pos_, expected) == 0 &&
+           end - pos_ == expected.size();
+  }
+
+  Status Expect(char c) {
+    if (Peek() != c) {
+      return InvalidArgumentError(std::string("query: expected '") + c +
+                                  "' at '" + input_.substr(pos_) + "'");
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  Result<std::string> Word(const char* what) {
+    SkipWs();
+    size_t end = pos_;
+    while (end < input_.size() && IsWordChar(input_[end])) {
+      ++end;
+    }
+    if (end == pos_) {
+      return InvalidArgumentError(std::string("query: expected ") + what +
+                                  " at '" + input_.substr(pos_) + "'");
+    }
+    std::string word = input_.substr(pos_, end - pos_);
+    pos_ = end;
+    return word;
+  }
+
+  Result<std::string> QuotedString() {
+    if (Peek() != '"') {
+      return InvalidArgumentError("query: expected quoted string at '" +
+                                  input_.substr(pos_) + "'");
+    }
+    ++pos_;
+    size_t end = input_.find('"', pos_);
+    if (end == std::string::npos) {
+      return InvalidArgumentError("query: unterminated string");
+    }
+    std::string s = input_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+    return s;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+std::vector<QueryRow> EvalInner(const FleetStore& store, const Inner& inner,
+                                SimTime now) {
+  std::vector<QueryRow> rows;
+  switch (inner.kind) {
+    case Inner::Kind::kInstant:
+      store.ForEachLatest(inner.selector.station_glob,
+                          inner.selector.metric_glob,
+                          [&rows](const std::string& station,
+                                  const MetricSample& sample) {
+                            rows.push_back({station, sample.name,
+                                            sample.value});
+                          });
+      break;
+    case Inner::Kind::kRate:
+      store.ForEachSeries(
+          inner.selector.station_glob, inner.selector.metric_glob,
+          [&rows, &inner, now](const std::string& station,
+                               const std::string& metric,
+                               const TimeSeries& series) {
+            rows.push_back(
+                {station, metric,
+                 series.WindowRatePerSec(now, inner.window)});
+          });
+      break;
+    case Inner::Kind::kQuantile:
+      store.ForEachLatest(
+          inner.selector.station_glob, inner.selector.metric_glob,
+          [&rows, &inner](const std::string& station,
+                          const MetricSample& sample) {
+            if (sample.kind != Metric::Kind::kHistogram) {
+              return;  // quantile() only speaks histogram.
+            }
+            rows.push_back(
+                {station, sample.name, sample.histogram.Percentile(inner.q)});
+          });
+      break;
+  }
+  return rows;
+}
+
+double Aggregate(Agg agg, const std::vector<double>& values) {
+  switch (agg) {
+    case Agg::kCount:
+      return static_cast<double>(values.size());
+    case Agg::kSum:
+    case Agg::kAvg: {
+      double sum = 0.0;
+      for (double v : values) {
+        sum += v;
+      }
+      return agg == Agg::kSum || values.empty()
+                 ? sum
+                 : sum / static_cast<double>(values.size());
+    }
+    case Agg::kMax:
+      return values.empty() ? 0.0 : *std::max_element(values.begin(),
+                                                      values.end());
+    case Agg::kMin:
+      return values.empty() ? 0.0 : *std::min_element(values.begin(),
+                                                      values.end());
+    case Agg::kNone:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<QueryOutput> RunQuery(const FleetStore& store, const std::string& query,
+                             SimTime now) {
+  ParsedQuery parsed;
+  ESPK_ASSIGN_OR_RETURN(parsed, Parser(query).Parse());
+  std::vector<QueryRow> inner_rows = EvalInner(store, parsed.inner, now);
+  QueryOutput output;
+  if (parsed.agg == Agg::kNone) {
+    output.rows = std::move(inner_rows);
+    return output;
+  }
+  if (parsed.by_station) {
+    // Map iteration keeps the output in station order.
+    std::map<std::string, std::vector<double>> groups;
+    for (const QueryRow& row : inner_rows) {
+      groups[row.station].push_back(row.value);
+    }
+    for (const auto& [station, values] : groups) {
+      output.rows.push_back({station, "", Aggregate(parsed.agg, values)});
+    }
+    return output;
+  }
+  std::vector<double> values;
+  values.reserve(inner_rows.size());
+  for (const QueryRow& row : inner_rows) {
+    values.push_back(row.value);
+  }
+  if (!values.empty() || parsed.agg == Agg::kCount) {
+    output.rows.push_back({"", "", Aggregate(parsed.agg, values)});
+  }
+  return output;
+}
+
+}  // namespace espk

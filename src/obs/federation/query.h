@@ -1,0 +1,47 @@
+// Tiny PromQL-flavoured query language over the FleetStore. Enough surface
+// to answer the fleet questions the dashboard and tests ask — instant
+// selectors with station globs, windowed counter rates, cross-station
+// aggregation, and histogram quantiles — without pretending to be a TSDB.
+//
+//   speaker.late_drops{station="es-*"}      every matching latest value
+//   rate(speaker.chunks_played[5s])         per-station windowed rate/sec
+//   avg by (station) (speaker.lateness_ms)  avg over a station's matches
+//   sum(rate(net.packets_received[1s]))     one fleet-wide row
+//   quantile(0.99, speaker.lateness_ms)     from collected histogram buckets
+//
+// Metric and station positions both take globs (`*`, `?`). Aggregators:
+// avg, sum, max, min, count; `by (station)` groups per station, otherwise
+// one global row. quantile() evaluates on the collector's stored histogram
+// snapshots — no station round-trip. Evaluation is read-only and
+// deterministic: rows come out in (station, metric) order.
+#ifndef SRC_OBS_FEDERATION_QUERY_H_
+#define SRC_OBS_FEDERATION_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/obs/federation/store.h"
+
+namespace espk {
+
+struct QueryRow {
+  std::string station;  // Empty for a global (non-`by`) aggregate.
+  std::string metric;   // Empty for aggregate rows.
+  double value = 0.0;
+};
+
+struct QueryOutput {
+  std::vector<QueryRow> rows;
+};
+
+// Parses and evaluates `query` against the store as of sim time `now`
+// (rate windows end at `now`). InvalidArgument on syntax errors, with the
+// offending token in the message. A valid query matching nothing yields
+// zero rows (count() yields one row of 0).
+Result<QueryOutput> RunQuery(const FleetStore& store, const std::string& query,
+                             SimTime now);
+
+}  // namespace espk
+
+#endif  // SRC_OBS_FEDERATION_QUERY_H_

@@ -1,0 +1,66 @@
+// Snapshot model of the distributed telemetry plane: what one station's
+// registry looks like at one instant, in a form that travels over the
+// management protocol. A scrape serializes the station's whole registry —
+// counters and gauges as values, histograms with their full bucket layout so
+// the collector can answer quantile() queries without the station — and the
+// collector deserializes it back into samples it can store and aggregate.
+//
+// The wire format is the usual length-prefixed little-endian encoding
+// (src/base/bytes); a serialized snapshot is deliberately allowed to exceed
+// a single datagram, because the mgmt layer fragments it into chunks.
+#ifndef SRC_OBS_FEDERATION_SAMPLE_H_
+#define SRC_OBS_FEDERATION_SAMPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/base/time_types.h"
+#include "src/obs/metrics.h"
+
+namespace espk {
+
+// Histogram state captured at scrape time. Percentile() matches
+// Histogram::Percentile on the originating station exactly.
+struct HistogramSnapshot {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<int64_t> buckets;
+  int64_t underflow = 0;
+  int64_t overflow = 0;
+  int64_t count = 0;
+  double sum = 0.0;
+
+  double Percentile(double q) const;
+};
+
+struct MetricSample {
+  std::string name;
+  std::string help;
+  Metric::Kind kind = Metric::Kind::kCounter;
+  double value = 0.0;           // Counter / gauge value at scrape time.
+  HistogramSnapshot histogram;  // Populated for kHistogram only.
+};
+
+// Everything one scrape of one station yields.
+struct StationSnapshot {
+  std::string station;
+  SimTime at = 0;  // Station-side sim time of the snapshot.
+  std::vector<MetricSample> samples;
+
+  Bytes Serialize() const;
+  static Result<StationSnapshot> Deserialize(const uint8_t* data, size_t size);
+  static Result<StationSnapshot> Deserialize(const Bytes& wire) {
+    return Deserialize(wire.data(), wire.size());
+  }
+};
+
+// Snapshots every entry of `registry` (aliases included) as of `at`.
+StationSnapshot SnapshotRegistry(const MetricsRegistry& registry,
+                                 std::string station, SimTime at);
+
+}  // namespace espk
+
+#endif  // SRC_OBS_FEDERATION_SAMPLE_H_

@@ -1,0 +1,131 @@
+#include "src/obs/federation/store.h"
+
+#include <utility>
+
+namespace espk {
+
+bool GlobMatch(const std::string& pattern, const std::string& text) {
+  // Iterative matcher with single-star backtracking: on mismatch past a `*`,
+  // rewind to one character later in the text.
+  size_t p = 0, t = 0;
+  size_t star = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+void FleetStore::Ingest(const StationSnapshot& snapshot, SimTime collected_at) {
+  StationRecord& record = stations_[snapshot.station];
+  record.stale = false;
+  record.last_ingest_at = collected_at;
+  ++record.ingests;
+  for (const MetricSample& sample : snapshot.samples) {
+    auto it = record.metrics.find(sample.name);
+    if (it == record.metrics.end()) {
+      it = record.metrics
+               .emplace(std::piecewise_construct,
+                        std::forward_as_tuple(sample.name),
+                        std::forward_as_tuple(
+                            snapshot.station + "/" + sample.name,
+                            series_capacity_))
+               .first;
+    }
+    it->second.latest = sample;
+    it->second.updated_at = collected_at;
+    it->second.series.Append(collected_at, sample.value);
+  }
+}
+
+void FleetStore::MarkStale(const std::string& station) {
+  stations_[station].stale = true;
+}
+
+bool FleetStore::IsStale(const std::string& station) const {
+  const StationRecord* record = FindStation(station);
+  return record == nullptr || record->stale;
+}
+
+std::vector<std::string> FleetStore::Stations() const {
+  std::vector<std::string> names;
+  names.reserve(stations_.size());
+  for (const auto& [name, record] : stations_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+const FleetStore::StationRecord* FleetStore::FindStation(
+    const std::string& station) const {
+  auto it = stations_.find(station);
+  return it == stations_.end() ? nullptr : &it->second;
+}
+
+const MetricSample* FleetStore::FindLatest(const std::string& station,
+                                           const std::string& metric) const {
+  const StationRecord* record = FindStation(station);
+  if (record == nullptr) {
+    return nullptr;
+  }
+  auto it = record->metrics.find(metric);
+  return it == record->metrics.end() ? nullptr : &it->second.latest;
+}
+
+const TimeSeries* FleetStore::FindSeries(const std::string& station,
+                                         const std::string& metric) const {
+  const StationRecord* record = FindStation(station);
+  if (record == nullptr) {
+    return nullptr;
+  }
+  auto it = record->metrics.find(metric);
+  return it == record->metrics.end() ? nullptr : &it->second.series;
+}
+
+void FleetStore::ForEachLatest(
+    const std::string& station_glob, const std::string& metric_glob,
+    const std::function<void(const std::string&, const MetricSample&)>& fn)
+    const {
+  for (const auto& [station, record] : stations_) {
+    if (!GlobMatch(station_glob, station)) {
+      continue;
+    }
+    for (const auto& [name, stored] : record.metrics) {
+      if (GlobMatch(metric_glob, name)) {
+        fn(station, stored.latest);
+      }
+    }
+  }
+}
+
+void FleetStore::ForEachSeries(
+    const std::string& station_glob, const std::string& metric_glob,
+    const std::function<void(const std::string&, const std::string&,
+                             const TimeSeries&)>& fn) const {
+  for (const auto& [station, record] : stations_) {
+    if (!GlobMatch(station_glob, station)) {
+      continue;
+    }
+    for (const auto& [name, stored] : record.metrics) {
+      if (GlobMatch(metric_glob, name)) {
+        fn(station, name, stored.series);
+      }
+    }
+  }
+}
+
+}  // namespace espk

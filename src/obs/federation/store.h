@@ -1,0 +1,83 @@
+// Collector-side telemetry database: the latest snapshot per station plus a
+// bounded time series per (station, metric), all keyed and iterated in
+// sorted order so every read-out — exposition, dashboard, query — is
+// deterministic. The store itself is passive; the FleetCollector ingests
+// snapshots and flips staleness, the query engine and renderers only read.
+#ifndef SRC_OBS_FEDERATION_STORE_H_
+#define SRC_OBS_FEDERATION_STORE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/federation/sample.h"
+#include "src/obs/timeseries.h"
+
+namespace espk {
+
+// Shell-style glob over metric and station names: `*` matches any run
+// (including empty), `?` any single character, everything else literally.
+bool GlobMatch(const std::string& pattern, const std::string& text);
+
+class FleetStore {
+ public:
+  struct StoredMetric {
+    StoredMetric(const std::string& series_name, size_t capacity)
+        : series(series_name, capacity) {}
+
+    MetricSample latest;
+    SimTime updated_at = 0;  // Collector-side sim time of the last update.
+    TimeSeries series;       // History of `latest.value`.
+  };
+
+  struct StationRecord {
+    bool stale = true;  // Until the first snapshot lands.
+    SimTime last_ingest_at = 0;
+    uint64_t ingests = 0;
+    std::map<std::string, StoredMetric> metrics;  // Sorted by metric name.
+  };
+
+  explicit FleetStore(size_t series_capacity = 600)
+      : series_capacity_(series_capacity) {}
+
+  // Folds one station snapshot in: latest samples replaced, one point per
+  // metric appended to its series at `collected_at`, staleness cleared.
+  void Ingest(const StationSnapshot& snapshot, SimTime collected_at);
+
+  // Staleness is the collector's verdict ("misses exceeded"), not the
+  // store's; Ingest clears it, MarkStale sets it. Unknown stations are
+  // created stale-with-no-data so a never-answering target still shows up.
+  void MarkStale(const std::string& station);
+  bool IsStale(const std::string& station) const;
+
+  std::vector<std::string> Stations() const;  // Sorted.
+  const StationRecord* FindStation(const std::string& station) const;
+  const MetricSample* FindLatest(const std::string& station,
+                                 const std::string& metric) const;
+  const TimeSeries* FindSeries(const std::string& station,
+                               const std::string& metric) const;
+
+  // Visits latest samples / series matching both globs, in (station, metric)
+  // order. Stale stations are visited too — callers that care check
+  // IsStale.
+  void ForEachLatest(
+      const std::string& station_glob, const std::string& metric_glob,
+      const std::function<void(const std::string& station,
+                               const MetricSample& sample)>& fn) const;
+  void ForEachSeries(
+      const std::string& station_glob, const std::string& metric_glob,
+      const std::function<void(const std::string& station,
+                               const std::string& metric,
+                               const TimeSeries& series)>& fn) const;
+
+  size_t series_capacity() const { return series_capacity_; }
+
+ private:
+  size_t series_capacity_;
+  std::map<std::string, StationRecord> stations_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_OBS_FEDERATION_STORE_H_

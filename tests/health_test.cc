@@ -16,6 +16,7 @@
 #include "src/mgmt/agent.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/health.h"
+#include "src/obs/metrics.h"
 
 namespace espk {
 namespace {
@@ -69,6 +70,43 @@ TEST(TimeSeriesTest, WindowAggregates) {
   // Window excludes points at or before now - window.
   EXPECT_DOUBLE_EQ(series.WindowMean(now, Milliseconds(100)), 6.0);
   EXPECT_EQ(series.WindowMax(Seconds(10), Milliseconds(100)), 0.0);
+}
+
+TEST(TimeSeriesTest, WindowQueriesAcrossRingWrap) {
+  // Capacity 3; six appends evict the first three, so every window query
+  // below runs against a ring that has wrapped twice.
+  TimeSeries series("wrapped", /*capacity=*/3);
+  for (int i = 1; i <= 6; ++i) {
+    series.Append(Seconds(i), 10.0 * i);
+  }
+  ASSERT_EQ(series.points().size(), 3u);
+  ASSERT_EQ(series.appended(), 6u);
+  // Aggregates see only the surviving points (t=4,5,6s).
+  EXPECT_DOUBLE_EQ(series.WindowMean(Seconds(6), Seconds(3)), 50.0);
+  EXPECT_DOUBLE_EQ(series.WindowMax(Seconds(6), Seconds(10)), 60.0);
+  EXPECT_DOUBLE_EQ(series.WindowMin(Seconds(6), Seconds(10)), 40.0);
+  // A window aimed entirely at the evicted region is empty, not stale.
+  EXPECT_DOUBLE_EQ(series.WindowMean(Seconds(3), Seconds(3)), 0.0);
+  EXPECT_DOUBLE_EQ(series.WindowMax(Seconds(3), Seconds(3)), 0.0);
+  // Rate over a window wider than retained history falls back to the
+  // oldest surviving point as baseline: (60-40)/(6s-4s) = 10/s.
+  EXPECT_DOUBLE_EQ(series.WindowRatePerSec(Seconds(6), Seconds(10)), 10.0);
+}
+
+TEST(TimeSeriesTest, WindowRateWithZeroOrOnePointsInWindow) {
+  TimeSeries series("sparse", 16);
+  series.Append(Seconds(0), 0.0);
+  series.Append(Seconds(5), 50.0);
+  // Exactly one point inside (4s, 5s]; the point at 0s serves as the
+  // baseline, so the rate spans the real 5 s of growth: 10/s.
+  EXPECT_DOUBLE_EQ(series.WindowRatePerSec(Seconds(5), Seconds(1)), 10.0);
+  // Window positioned after every point: zero points inside, zero rate.
+  EXPECT_DOUBLE_EQ(series.WindowRatePerSec(Seconds(20), Seconds(1)), 0.0);
+  // One point in the window and nothing before it: no span, zero rate.
+  TimeSeries lone("lone", 16);
+  lone.Append(Seconds(5), 50.0);
+  EXPECT_DOUBLE_EQ(lone.WindowRatePerSec(Seconds(5), Seconds(1)), 0.0);
+  EXPECT_DOUBLE_EQ(lone.WindowRatePerSec(Seconds(5), Seconds(10)), 0.0);
 }
 
 // --------------------------------------------------------- TimeSeriesSampler
@@ -418,6 +456,8 @@ struct SqueezeRunResult {
   std::set<std::string> resolved_rules;
   uint64_t traps_received = 0;
   uint32_t max_trap_seq = 0;
+  uint64_t sequence_gaps = 0;
+  uint64_t sequence_gaps_counter = 0;
   std::set<std::string> engine_fired_rules;
   AlertState queue_drop_final = AlertState::kInactive;
   AlertState sync_drift_final = AlertState::kInactive;
@@ -474,7 +514,8 @@ SqueezeRunResult RunBandwidthSqueezeScenario() {
   SpeakerAgent agent(system.sim(), system.NicOf(speaker), speaker);
   agent.WatchAlerts(health->engine());
   auto console_nic = system.lan()->CreateNic();
-  MgmtConsole console(system.sim(), console_nic.get());
+  MetricsRegistry console_metrics(system.sim());
+  MgmtConsole console(system.sim(), console_nic.get(), &console_metrics);
 
   PlayerAppOptions opts;
   opts.config = AudioConfig::CdQuality();
@@ -505,6 +546,11 @@ SqueezeRunResult RunBandwidthSqueezeScenario() {
     }
   }
   result.traps_received = console.traps_received();
+  result.sequence_gaps = console.sequence_gaps();
+  if (const Metric* gaps = console_metrics.Find("trap.sequence_gaps")) {
+    result.sequence_gaps_counter =
+        static_cast<const Counter*>(gaps)->value();
+  }
   for (const AlertTransition& transition : health->engine()->log()) {
     if (transition.firing) {
       result.engine_fired_rules.insert(transition.rule);
@@ -556,6 +602,13 @@ TEST(HealthEndToEndTest, BandwidthSqueezeFiresTrapsAndRecovers) {
   EXPECT_TRUE(run.resolved_rules.count("lan.queue_drop_rate"))
       << run.trap_log;
   EXPECT_GT(run.max_trap_seq, run.traps_received) << run.trap_log;
+  // The console detects exactly those losses from the per-sender sequence
+  // numbers: one gap per trap the wire swallowed, surfaced both through the
+  // accessor and the trap.sequence_gaps counter.
+  EXPECT_EQ(run.sequence_gaps, run.max_trap_seq - run.traps_received)
+      << run.trap_log;
+  EXPECT_GE(run.sequence_gaps, 1u) << run.trap_log;
+  EXPECT_EQ(run.sequence_gaps_counter, run.sequence_gaps);
   // Ten seconds after the squeeze lifted, everything is quiet again.
   EXPECT_EQ(run.queue_drop_final, AlertState::kInactive) << run.trap_log;
   EXPECT_EQ(run.sync_drift_final, AlertState::kInactive) << run.trap_log;

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/core/system.h"
 #include "src/mgmt/agent.h"
 #include "src/mgmt/catalog.h"
 #include "src/mgmt/metrics_mib.h"
+#include "src/mgmt/scrape.h"
+#include "src/obs/metrics.h"
 
 namespace espk {
 namespace {
@@ -447,6 +451,173 @@ TEST(CatalogTest, StaleChannelsExpire) {
   service.Stop();
   sim.RunUntil(Seconds(20));
   EXPECT_TRUE(browser.Channels(Seconds(10)).empty());
+}
+
+// -------------------------------------------------------------- Scrape ----
+
+TEST(ScrapeWireTest, RequestAndChunkRoundTrip) {
+  ScrapeRequest request;
+  request.request_id = 77;
+  request.target = 9;
+  Result<ScrapeRequest> req_back =
+      ScrapeRequest::Deserialize(request.Serialize());
+  ASSERT_TRUE(req_back.ok());
+  EXPECT_EQ(req_back->request_id, 77u);
+  EXPECT_EQ(req_back->target, 9u);
+
+  ScrapeChunk chunk;
+  chunk.request_id = 77;
+  chunk.responder = 9;
+  chunk.index = 1;
+  chunk.count = 3;
+  chunk.fragment = {0xde, 0xad, 0xbe, 0xef};
+  Result<ScrapeChunk> back = ScrapeChunk::Deserialize(chunk.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, 77u);
+  EXPECT_EQ(back->responder, 9u);
+  EXPECT_EQ(back->index, 1u);
+  EXPECT_EQ(back->count, 3u);
+  EXPECT_EQ(back->fragment, chunk.fragment);
+}
+
+TEST(ScrapeWireTest, RejectsMalformedChunks) {
+  ScrapeChunk chunk;
+  chunk.count = 0;  // Zero fragments can never complete.
+  EXPECT_FALSE(ScrapeChunk::Deserialize(chunk.Serialize()).ok());
+  chunk.count = 2;
+  chunk.index = 2;  // Out of range for its own count.
+  EXPECT_FALSE(ScrapeChunk::Deserialize(chunk.Serialize()).ok());
+  EXPECT_FALSE(ScrapeRequest::Deserialize({1, 2, 3}).ok());
+  EXPECT_FALSE(ScrapeChunk::Deserialize({}).ok());
+}
+
+TEST(ScrapeWireTest, ScrapeAndPollingFramesRejectEachOther) {
+  // Ops 6/7 share the management group with ops 1..5; every parser must
+  // reject the other families' op bytes.
+  ScrapeRequest scrape;
+  scrape.request_id = 5;
+  Bytes scrape_wire = scrape.Serialize();
+  EXPECT_FALSE(MgmtRequest::Deserialize(scrape_wire).ok());
+  EXPECT_FALSE(MgmtResponse::Deserialize(scrape_wire).ok());
+  EXPECT_FALSE(MgmtTrap::Deserialize(scrape_wire).ok());
+  MgmtRequest request;
+  request.op = MgmtOp::kGet;
+  request.oid = MibOidName();
+  Bytes poll_wire = request.Serialize();
+  EXPECT_FALSE(ScrapeRequest::Deserialize(poll_wire).ok());
+  EXPECT_FALSE(ScrapeChunk::Deserialize(poll_wire).ok());
+  MgmtTrap trap;
+  trap.rule = "r";
+  EXPECT_FALSE(ScrapeRequest::Deserialize(trap.Serialize()).ok());
+}
+
+TEST(ScrapeChunkingTest, EmptyPayloadTravelsAsOneEmptyChunk) {
+  std::vector<ScrapeChunk> chunks = SplitIntoChunks(1, 2, Bytes{}, 1024);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].count, 1u);
+  EXPECT_TRUE(chunks[0].fragment.empty());
+  ChunkAssembler assembler;
+  std::optional<Bytes> done = assembler.Add(chunks[0]);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(done->empty());
+}
+
+TEST(ScrapeChunkingTest, ReassemblesOutOfOrderIgnoringNoise) {
+  Bytes payload(2500);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 31);
+  }
+  std::vector<ScrapeChunk> chunks = SplitIntoChunks(42, 7, payload, 1024);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].fragment.size(), 1024u);
+  EXPECT_EQ(chunks[2].fragment.size(), 2500u - 2048u);
+
+  ChunkAssembler assembler;
+  EXPECT_FALSE(assembler.Add(chunks[2]).has_value());
+  // A chunk from some other request and a duplicate are both ignored.
+  ScrapeChunk foreign = chunks[1];
+  foreign.request_id = 99;
+  EXPECT_FALSE(assembler.Add(foreign).has_value());
+  EXPECT_FALSE(assembler.Add(chunks[2]).has_value());
+  EXPECT_FALSE(assembler.Add(chunks[0]).has_value());
+  std::optional<Bytes> done = assembler.Add(chunks[1]);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, payload);
+  assembler.Reset();
+  EXPECT_FALSE(assembler.started());
+}
+
+TEST(ScrapeAgentTest, AnswersTargetedRequestsWithUnicastChunks) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto station_nic = segment.CreateNic();
+  auto console_nic = segment.CreateNic();
+  const Bytes snapshot = {1, 2, 3, 4, 5};
+  ScrapeAgentOptions options;
+  options.max_chunk_bytes = 2;  // Forces real fragmentation: 3 chunks.
+  ScrapeAgent agent(&sim, station_nic.get(),
+                    [&snapshot] { return snapshot; }, options);
+  ChunkAssembler assembler;
+  std::optional<Bytes> reassembled;
+  console_nic->SetReceiveHandler([&](const Datagram& d) {
+    Result<ScrapeChunk> chunk = ScrapeChunk::Deserialize(d.payload);
+    if (chunk.ok()) {
+      if (std::optional<Bytes> done = assembler.Add(*chunk)) {
+        reassembled = std::move(*done);
+      }
+    }
+  });
+
+  ScrapeRequest mine;
+  mine.request_id = 11;
+  mine.target = station_nic->node_id();
+  (void)console_nic->SendMulticast(kMgmtGroup, mine.Serialize());
+  // A request aimed at some other node must be ignored entirely.
+  ScrapeRequest other;
+  other.request_id = 12;
+  other.target = station_nic->node_id() + 100;
+  (void)console_nic->SendMulticast(kMgmtGroup, other.Serialize());
+  sim.RunFor(Milliseconds(10));
+
+  ASSERT_TRUE(reassembled.has_value());
+  EXPECT_EQ(*reassembled, snapshot);
+  EXPECT_EQ(agent.scrapes_served(), 1u);
+  EXPECT_EQ(agent.chunks_sent(), 3u);
+}
+
+TEST(MgmtConsoleTest, CountsTrapSequenceGapsPerSender) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto console_nic = segment.CreateNic();
+  auto sender_nic = segment.CreateNic();
+  MetricsRegistry registry(&sim);
+  MgmtConsole console(&sim, console_nic.get(), &registry);
+  auto send = [&](NodeId source, uint32_t seq) {
+    MgmtTrap trap;
+    trap.trap_seq = seq;
+    trap.source = source;
+    trap.rule = "rule";
+    (void)sender_nic->SendMulticast(kMgmtGroup, trap.Serialize());
+  };
+  // Sender 42 skips seq 2 (one lost trap) and seqs 5-6 (two more). Sender
+  // 43 is gapless — its numbering is independent of 42's.
+  for (uint32_t seq : {1, 3, 4, 7}) {
+    send(42, seq);
+  }
+  send(43, 1);
+  send(43, 2);
+  sim.RunFor(Milliseconds(10));
+  EXPECT_EQ(console.traps_received(), 6u);
+  EXPECT_EQ(console.sequence_gaps(), 3u);
+  const Metric* gaps = registry.Find("trap.sequence_gaps");
+  ASSERT_NE(gaps, nullptr);
+  EXPECT_EQ(static_cast<const Counter*>(gaps)->value(), 3u);
+  // A late-arriving old trap fills no gap and must not create a phantom
+  // one either.
+  send(42, 5);
+  sim.RunFor(Milliseconds(10));
+  EXPECT_EQ(console.sequence_gaps(), 3u);
+  EXPECT_EQ(console.traps_received(), 7u);
 }
 
 TEST(CatalogTest, UpdatedEntryReplacesOld) {

@@ -43,11 +43,39 @@ TEST(MetricsRegistryTest, FindAndRegistrationOrder) {
   registry.GetCounter("b");
   registry.GetGauge("a", [] { return 2.5; });
   EXPECT_EQ(registry.Find("missing"), nullptr);
-  // metrics() preserves registration order, not name order — the MIB arcs
+  // entries() preserves registration order, not name order — the MIB arcs
   // and the exposition depend on that.
   ASSERT_EQ(registry.size(), 2u);
-  EXPECT_EQ(registry.metrics()[0]->name(), "b");
-  EXPECT_EQ(registry.metrics()[1]->name(), "a");
+  EXPECT_EQ(registry.entries()[0].name, "b");
+  EXPECT_EQ(registry.entries()[1].name, "a");
+}
+
+TEST(MetricsRegistryTest, AliasReExportsUnderNewName) {
+  MetricsRegistry station;
+  MetricsRegistry fleet;
+  Counter* c = station.GetCounter("speaker.late_drops");
+  c->Increment(3);
+  ASSERT_TRUE(fleet.Alias("speaker.0.late_drops", c));
+  const Metric* found = fleet.Find("speaker.0.late_drops");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(static_cast<const Counter*>(found)->value(), 3u);
+  ASSERT_EQ(fleet.entries().size(), 1u);
+  EXPECT_TRUE(fleet.entries()[0].aliased);
+  // The alias name, not the owner-side name, drives the exposition.
+  EXPECT_NE(fleet.TextExposition().find("espk_speaker_0_late_drops 3"),
+            std::string::npos);
+  // Re-aliasing the same metric is idempotent; a different metric under the
+  // taken name is rejected.
+  EXPECT_TRUE(fleet.Alias("speaker.0.late_drops", c));
+  ScopedLogCapture capture;
+  EXPECT_FALSE(fleet.Alias("speaker.0.late_drops", fleet.GetCounter("other")));
+  EXPECT_TRUE(capture.Contains("cannot alias"));
+  EXPECT_EQ(fleet.entries().size(), 2u);
+  // ResetAll on the aliasing registry must not clear metrics it merely views.
+  fleet.ResetAll();
+  EXPECT_EQ(c->value(), 3u);
+  station.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
 }
 
 TEST(MetricsRegistryTest, ResetAllClearsOwnedMetrics) {
