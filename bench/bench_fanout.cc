@@ -24,6 +24,7 @@
 #include "bench/bench_util.h"
 #include "src/base/buffer.h"
 #include "src/lan/segment.h"
+#include "src/obs/trace.h"
 #include "src/proto/wire.h"
 #include "src/sim/simulation.h"
 #include "src/speaker/speaker.h"
@@ -91,7 +92,8 @@ FanoutMeasurement MeasureFanout(int speakers, int packets) {
     // Stands in for the encoder's per-packet output: a fresh Bytes whose
     // storage the payload slice adopts (never copies).
     packet.payload = Bytes(kFrameCount, static_cast<uint8_t>(seq));
-    TraceTag tag{packet.stream_id, packet.seq, /*valid=*/true};
+    TraceTag tag{packet.stream_id, packet.seq,
+                 PacketTraceId(packet.stream_id, packet.seq), /*valid=*/true};
     (void)producer->SendMulticast(kGroup, SerializePacketSlice(packet), tag);
     sim.Run();
   };

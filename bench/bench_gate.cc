@@ -26,6 +26,15 @@
 //      (1 + max_regress) of baseline — they include O(N) event-scheduling
 //      machinery, so they get the noise margin, not an equality.
 //
+// bench "trace" (BENCH_trace.json):
+//   1. every required numeric field present (schema_version 1);
+//   2. the tail sampler really sampled: sampling retained fewer traces
+//      than full retention did, and discarded at least one (hard —
+//      machine-independent structure, not timing);
+//   3. spans-off, sampling, and full ns/packet each stay within
+//      (1 + max_regress) of baseline — spans-off is the one that guards
+//      the "no cost when disabled" claim against the pre-span baseline.
+//
 // Exit 0 on pass; 1 with one "FAIL:" line per violation otherwise.
 #include <cstdio>
 #include <cstdlib>
@@ -116,6 +125,19 @@ const char* const kFanoutNumericFields[] = {
     "allocs_per_packet_small",
     "allocs_per_packet_large",
     "ns_per_packet_large",
+};
+
+const char* const kTraceNumericFields[] = {
+    "schema_version",
+    "speakers",
+    "sim_seconds",
+    "packets",
+    "spans_off_ns_per_packet",
+    "sampling_ns_per_packet",
+    "full_ns_per_packet",
+    "sampling_retained",
+    "sampling_discarded",
+    "full_retained",
 };
 
 using JsonObject = std::map<std::string, JsonValue>;
@@ -241,6 +263,54 @@ void CheckFanout(Gate* gate, const JsonObject& current,
   }
 }
 
+void CheckTrace(Gate* gate, const JsonObject& current,
+                const char* current_path, const JsonObject& baseline,
+                const char* baseline_path, double max_regress) {
+  Gate& g = *gate;
+  // Structural, machine-independent gates first: the sampler must have
+  // made real decisions or the overhead numbers compare nothing.
+  const double sampling_retained =
+      g.Number(current, current_path, "sampling_retained");
+  const double full_retained =
+      g.Number(current, current_path, "full_retained");
+  if (sampling_retained >= full_retained) {
+    g.Fail("tail sampler retained as much as full retention (" +
+           std::to_string(sampling_retained) + " vs " +
+           std::to_string(full_retained) + "); sampling is not sampling");
+  }
+  if (g.Number(current, current_path, "sampling_discarded") <= 0.0) {
+    g.Fail("tail sampler discarded nothing; sampling is not sampling");
+  }
+  // Timing gates get the shared-machine noise margin. spans_off is the one
+  // that matters most: it compares today's untraced packet path against
+  // the baseline recorded before/without the span plane.
+  for (const char* key : {"spans_off_ns_per_packet", "sampling_ns_per_packet",
+                          "full_ns_per_packet"}) {
+    const double cur = g.Number(current, current_path, key);
+    const double base = g.Number(baseline, baseline_path, key);
+    const double limit = base * (1.0 + max_regress);
+    if (cur > limit) {
+      char msg[256];
+      std::snprintf(msg, sizeof(msg),
+                    "%s %.1f exceeds baseline %.1f by more than %.0f%% "
+                    "(limit %.1f)",
+                    key, cur, base, max_regress * 100.0, limit);
+      g.Fail(msg);
+    }
+  }
+
+  if (g.failures == 0) {
+    std::printf(
+        "PASS: spans off %.1f ns/pkt (baseline %.1f), sampling %.1f, "
+        "full %.1f; retained sampling=%g full=%g\n",
+        g.Number(current, current_path, "spans_off_ns_per_packet"),
+        g.Number(baseline, baseline_path, "spans_off_ns_per_packet"),
+        g.Number(current, current_path, "sampling_ns_per_packet"),
+        g.Number(current, current_path, "full_ns_per_packet"),
+        sampling_retained, full_retained);
+  }
+}
+
 int Run(const char* current_path, const char* baseline_path,
         double max_regress) {
   Gate gate(current_path, baseline_path);
@@ -262,7 +332,7 @@ int Run(const char* current_path, const char* baseline_path,
 
   const std::string kind = BenchKind(&gate, *current, current_path,
                                      *baseline, baseline_path);
-  if (kind != "codec" && kind != "fanout") {
+  if (kind != "codec" && kind != "fanout" && kind != "trace") {
     if (gate.failures == 0) {
       gate.Fail("unknown bench kind \"" + kind + "\"");
     }
@@ -276,8 +346,12 @@ int Run(const char* current_path, const char* baseline_path,
       for (const char* key : kCodecNumericFields) {
         (void)gate.Number(*pair, file, key);
       }
-    } else {
+    } else if (kind == "fanout") {
       for (const char* key : kFanoutNumericFields) {
+        (void)gate.Number(*pair, file, key);
+      }
+    } else {
+      for (const char* key : kTraceNumericFields) {
         (void)gate.Number(*pair, file, key);
       }
     }
@@ -293,9 +367,12 @@ int Run(const char* current_path, const char* baseline_path,
   if (kind == "codec") {
     CheckCodec(&gate, *current, current_path, *baseline, baseline_path,
                max_regress);
-  } else {
+  } else if (kind == "fanout") {
     CheckFanout(&gate, *current, current_path, *baseline, baseline_path,
                 max_regress);
+  } else {
+    CheckTrace(&gate, *current, current_path, *baseline, baseline_path,
+               max_regress);
   }
   return gate.failures == 0 ? 0 : 1;
 }

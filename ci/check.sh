@@ -5,8 +5,8 @@
 #      full ctest suite — memory and UB bugs in the zero-copy buffer path
 #      (refcount mistakes, slices outliving buffers) fail here loudly.
 #   2. Release build and the bench smoke gate (espk_bench_smoke), which
-#      regenerates BENCH_codec.json / BENCH_fanout.json and validates both
-#      against bench/baselines with bench_gate.
+#      regenerates BENCH_codec.json / BENCH_fanout.json / BENCH_trace.json
+#      and validates each against bench/baselines with bench_gate.
 #   3. Example smoke run: every examples/ binary from the Release build
 #      executes end to end (in a scratch directory — some write artifacts
 #      like health_trace.json). A crashing or hanging example is a broken
@@ -17,6 +17,9 @@
 #      ci/golden/fleet_dashboard.out. A diff means telemetry-plane
 #      determinism broke (or the dashboard changed — regenerate the golden
 #      by copying the new output over it).
+#   5. latency_budget golden-output check: same discipline for the span
+#      plane — critical-path tables, the resolved deadline-miss exemplar
+#      tree, and the sampler counters must be byte-identical across runs.
 #
 # Usage: ci/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -24,33 +27,41 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/4] Debug + ASan/UBSan: configure, build, ctest"
+echo "==> [1/5] Debug + ASan/UBSan: configure, build, ctest"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DESPK_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [2/4] Release: configure, build, bench smoke gate"
+echo "==> [2/5] Release: configure, build, bench smoke gate"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
-echo "==> [3/4] Release example smoke run"
+echo "==> [3/5] Release example smoke run"
 EXAMPLES_DIR="$(pwd)/build-release/examples"
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 for example in quickstart building_pa internet_radio netboot_demo \
-               secure_stream health_monitor fleet_dashboard; do
+               secure_stream health_monitor fleet_dashboard \
+               latency_budget; do
   echo "--> examples/$example"
   (cd "$SCRATCH" && "$EXAMPLES_DIR/$example" > "$example.out")
 done
 
-echo "==> [4/4] fleet_dashboard golden-output check"
+echo "==> [4/5] fleet_dashboard golden-output check"
 if ! diff -u ci/golden/fleet_dashboard.out "$SCRATCH/fleet_dashboard.out"; then
   echo "FAIL: fleet_dashboard output drifted from ci/golden/fleet_dashboard.out"
   exit 1
 fi
 echo "--> fleet_dashboard output matches golden"
+
+echo "==> [5/5] latency_budget golden-output check"
+if ! diff -u ci/golden/latency_budget.out "$SCRATCH/latency_budget.out"; then
+  echo "FAIL: latency_budget output drifted from ci/golden/latency_budget.out"
+  exit 1
+fi
+echo "--> latency_budget output matches golden"
 
 echo "==> ci/check.sh: all stages passed"

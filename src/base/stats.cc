@@ -58,6 +58,18 @@ void Histogram::Add(double x) {
   ++buckets_[idx];
 }
 
+int Histogram::BucketIndex(double x) const {
+  if (x < lo_) {
+    return -1;
+  }
+  if (x >= hi_) {
+    return bucket_count();
+  }
+  auto idx = static_cast<size_t>((x - lo_) / bucket_width_);
+  idx = std::min(idx, buckets_.size() - 1);
+  return static_cast<int>(idx);
+}
+
 double BucketedPercentile(double lo, double hi,
                           const std::vector<int64_t>& buckets,
                           int64_t underflow, int64_t count, double q) {

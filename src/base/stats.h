@@ -45,6 +45,11 @@ class Histogram {
   Histogram(double lo, double hi, int buckets);
 
   void Add(double x);
+
+  // Bucket a sample would land in: -1 for underflow, bucket_count() for
+  // overflow, else the bucket index — the same binning Add() uses.
+  int BucketIndex(double x) const;
+
   int64_t count() const { return count_; }
   int64_t underflow() const { return underflow_; }
   int64_t overflow() const { return overflow_; }

@@ -165,6 +165,9 @@ Result<Channel*> EthernetSpeakerSystem::CreateChannel(
                           ".");
 
   channels_.push_back(std::move(channel));
+  if (spans_ != nullptr) {
+    AttachChannelSpans(channels_.back().get());
+  }
   return channels_.back().get();
 }
 
@@ -226,7 +229,42 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
                       "speaker." + std::to_string(index) + ".");
   speaker_nics_.push_back(std::move(nic));
   speakers_.push_back(std::move(speaker));
+  if (spans_ != nullptr) {
+    AttachSpeakerSpans(speakers_.size() - 1);
+  }
   return speakers_.back().get();
+}
+
+void EthernetSpeakerSystem::AttachChannelSpans(Channel* channel) {
+  const std::string name = "rb-" + std::to_string(channel->stream_id);
+  Station* station = FindStation(name);
+  SpanRecorder* recorder = spans_->AddStation(
+      name, channel->producer_nic->node_id(),
+      station != nullptr ? station->registry.get() : nullptr);
+  spans_->BindStream(channel->stream_id, channel->producer_nic->node_id(),
+                     recorder);
+}
+
+void EthernetSpeakerSystem::AttachSpeakerSpans(size_t index) {
+  const std::string name = "es-" + std::to_string(index);
+  Station* station = FindStation(name);
+  spans_->AddStation(name, speaker_nics_[index]->node_id(),
+                     station != nullptr ? station->registry.get() : nullptr);
+}
+
+SpanPlane* EthernetSpeakerSystem::EnableSpanTracing(
+    const SpanPlaneOptions& options) {
+  if (spans_ != nullptr) {
+    return spans_.get();
+  }
+  spans_ = std::make_unique<SpanPlane>(&sim_, &tracer_, &metrics_, options);
+  for (auto& channel : channels_) {
+    AttachChannelSpans(channel.get());
+  }
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    AttachSpeakerSpans(i);
+  }
+  return spans_.get();
 }
 
 HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(

@@ -17,6 +17,7 @@
 #include "src/lan/segment.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
+#include "src/obs/spans/plane.h"
 #include "src/obs/trace.h"
 #include "src/rebroadcast/player_app.h"
 #include "src/rebroadcast/rebroadcaster.h"
@@ -104,6 +105,15 @@ class EthernetSpeakerSystem {
   HealthMonitor* EnableHealthMonitoring(const HealthOptions& options = {});
   HealthMonitor* health() { return health_.get(); }
 
+  // Builds the causal span plane: attaches the span exporter to the packet
+  // tracer, creates a span buffer per station added so far (stations added
+  // later are attached automatically), and routes each channel's producer-
+  // side spans to its "rb-<sid>" station. Speakers start recording the
+  // extra span stages (wire-tx, decode-start) and exemplar-carrying
+  // lateness observations from this call on. Call once; idempotent.
+  SpanPlane* EnableSpanTracing(const SpanPlaneOptions& options = {});
+  SpanPlane* spans() { return spans_.get(); }
+
   // Allocates a fresh simulated process id.
   Pid NewPid() { return next_pid_++; }
 
@@ -152,6 +162,8 @@ class EthernetSpeakerSystem {
 
  private:
   void RegisterLanMetrics();
+  void AttachChannelSpans(Channel* channel);
+  void AttachSpeakerSpans(size_t index);
 
   // Creates the station and returns its registry (owned by stations_).
   MetricsRegistry* AddStation(const std::string& name);
@@ -181,6 +193,10 @@ class EthernetSpeakerSystem {
   std::vector<std::unique_ptr<PlayerApp>> players_;
   std::vector<std::unique_ptr<SimNic>> speaker_nics_;
   std::vector<std::unique_ptr<EthernetSpeaker>> speakers_;
+  // The span plane detaches itself from tracer_ on destruction and its
+  // recorder gauges live on station registries above; declared after both
+  // so it unwinds before neither is needed again.
+  std::unique_ptr<SpanPlane> spans_;
   // Declared last: its alert gauges read engine state, and its sampler
   // gauges read components above — it must unwind first.
   std::unique_ptr<HealthMonitor> health_;

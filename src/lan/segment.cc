@@ -52,6 +52,15 @@ void EthernetSegment::Transmit(const Datagram& datagram) {
     }
     return;
   }
+  if (tracer_ != nullptr && datagram.trace.valid && tracer_->has_observer()) {
+    // Span-plane stage: the instant the frame actually wins the medium.
+    // start - now is the tx-queue wait the critical-path analyzer
+    // attributes to the sending station. Recorded only for the span
+    // exporter so tracer-only runs keep their event mix (and ring
+    // pressure) unchanged.
+    tracer_->RecordAt(datagram.trace.stream_id, datagram.trace.seq,
+                      TraceStage::kWireTx, datagram.source, start);
+  }
   medium_free_at_ = start + tx_time;
   ++stats_.packets_sent;
   stats_.bytes_on_wire += wire_bytes;

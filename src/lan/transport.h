@@ -33,6 +33,10 @@ inline constexpr NodeId kBroadcastNode = 0xFFFFFFFF;
 struct TraceTag {
   uint32_t stream_id = 0;
   uint32_t seq = 0;
+  // Causal trace identity (PacketTraceId(stream_id, seq)), carried
+  // explicitly so the span plane can correlate wire-level fates with the
+  // packet's cross-station span tree without re-deriving identity rules.
+  uint64_t trace_id = 0;
   bool valid = false;
 };
 

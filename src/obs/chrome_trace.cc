@@ -1,5 +1,6 @@
 #include "src/obs/chrome_trace.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
@@ -50,7 +51,10 @@ std::string ChromeTraceJson(const PacketTracer& tracer) {
     if (it == spans.end()) {
       spans.emplace(key, std::pair{event.at, event.at});
     } else {
-      it->second.second = event.at;  // Ring order is chronological.
+      // Ring order is NOT guaranteed chronological once RecordAt stages
+      // (wire_tx, decode_start) are present; track the extremes explicitly.
+      it->second.first = std::min(it->second.first, event.at);
+      it->second.second = std::max(it->second.second, event.at);
     }
   }
   for (const auto& [key, range] : spans) {

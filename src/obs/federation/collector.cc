@@ -167,6 +167,9 @@ void FleetCollector::OnDatagram(const Datagram& datagram) {
   // another's slot in the store.
   snapshot->station = target->station;
   store_.Ingest(*snapshot, sim_->now());
+  if (span_sink_ && !snapshot->spans.empty()) {
+    span_sink_(target->station, snapshot->spans, sim_->now());
+  }
 }
 
 }  // namespace espk

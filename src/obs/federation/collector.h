@@ -12,6 +12,7 @@
 #ifndef SRC_OBS_FEDERATION_COLLECTOR_H_
 #define SRC_OBS_FEDERATION_COLLECTOR_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,14 @@ class FleetCollector {
   // A registry in this process, ingested directly each cycle. Must outlive
   // the collector.
   void AddLocalSource(std::string station, const MetricsRegistry* registry);
+
+  // Receives each successfully scraped station's opaque span-buffer bytes
+  // (StationSnapshot::spans, when non-empty). The fleet plane points this
+  // at the span assembler so cross-station trees build up at the console.
+  using SpanSink =
+      std::function<void(const std::string& station, const Bytes& spans,
+                         SimTime now)>;
+  void set_span_sink(SpanSink sink) { span_sink_ = std::move(sink); }
 
   // First cycle fires immediately at Start() time.
   void Start();
@@ -112,6 +121,7 @@ class FleetCollector {
     const MetricsRegistry* registry;
   };
   std::vector<LocalSource> locals_;
+  SpanSink span_sink_;
   uint32_t next_request_id_ = 1;
 
   uint64_t cycles_ = 0;

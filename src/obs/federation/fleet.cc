@@ -12,6 +12,20 @@ FleetPlane::FleetPlane(EthernetSpeakerSystem* system,
   collector_ = std::make_unique<FleetCollector>(
       sim, collector_nic_.get(), system_->metrics(), options.collector);
   collector_->AddLocalSource(options.console_station, system_->metrics());
+  // With span tracing enabled (before the fleet plane is built), each
+  // station's span buffer rides its scrape and successfully collected
+  // buffers flow into the console-side assembler.
+  SpanPlane* spans = system_->spans();
+  if (spans != nullptr) {
+    SpanAssembler* assembler = spans->assembler();
+    collector_->set_span_sink(
+        [assembler](const std::string& /*station*/, const Bytes& wire,
+                    SimTime now) {
+          // A corrupt batch is dropped whole; the spans it carried will
+          // ride the next scrape of the same ring.
+          (void)assembler->IngestWire(wire, now);
+        });
+  }
   for (const auto& station : system_->stations()) {
     std::unique_ptr<SimNic> nic = system_->lan()->CreateNic();
     // The agent serializes the station's registry at scrape time, stamped
@@ -19,10 +33,17 @@ FleetPlane::FleetPlane(EthernetSpeakerSystem* system,
     // snapshot format keeps them distinct on purpose).
     MetricsRegistry* registry = station->registry.get();
     std::string name = station->name;
+    SpanRecorder* recorder =
+        spans != nullptr ? spans->FindRecorder(name) : nullptr;
     agents_.push_back(std::make_unique<ScrapeAgent>(
         sim, nic.get(),
-        [registry, name, sim] {
-          return SnapshotRegistry(*registry, name, sim->now()).Serialize();
+        [registry, name, sim, recorder] {
+          StationSnapshot snapshot =
+              SnapshotRegistry(*registry, name, sim->now());
+          if (recorder != nullptr) {
+            snapshot.spans = recorder->SerializeBatch();
+          }
+          return snapshot.Serialize();
         },
         options.agent));
     collector_->AddTarget(station->name, nic->node_id());

@@ -38,8 +38,16 @@ Bytes StationSnapshot::Serialize() const {
       w.WriteI64(h.overflow);
       w.WriteI64(h.count);
       w.WriteF64(h.sum);
+      w.WriteU32(static_cast<uint32_t>(h.exemplars.size()));
+      for (const auto& [slot, exemplar] : h.exemplars) {
+        w.WriteU32(slot);
+        w.WriteF64(exemplar.value);
+        w.WriteU64(exemplar.trace_id);
+        w.WriteI64(exemplar.at);
+      }
     }
   }
+  w.WriteLengthPrefixed(spans);
   return w.TakeBytes();
 }
 
@@ -85,9 +93,26 @@ Result<StationSnapshot> StationSnapshot::Deserialize(const uint8_t* data,
       ESPK_ASSIGN_OR_RETURN(h.overflow, r.ReadI64());
       ESPK_ASSIGN_OR_RETURN(h.count, r.ReadI64());
       ESPK_ASSIGN_OR_RETURN(h.sum, r.ReadF64());
+      uint32_t exemplar_count = 0;
+      ESPK_ASSIGN_OR_RETURN(exemplar_count, r.ReadU32());
+      if (exemplar_count > bucket_count + 2) {
+        return DataLossError("implausible snapshot exemplar count");
+      }
+      h.exemplars.reserve(exemplar_count);
+      for (uint32_t e = 0; e < exemplar_count; ++e) {
+        uint32_t slot = 0;
+        HistogramExemplar exemplar;
+        exemplar.valid = true;
+        ESPK_ASSIGN_OR_RETURN(slot, r.ReadU32());
+        ESPK_ASSIGN_OR_RETURN(exemplar.value, r.ReadF64());
+        ESPK_ASSIGN_OR_RETURN(exemplar.trace_id, r.ReadU64());
+        ESPK_ASSIGN_OR_RETURN(exemplar.at, r.ReadI64());
+        h.exemplars.emplace_back(slot, exemplar);
+      }
     }
     snapshot.samples.push_back(std::move(sample));
   }
+  ESPK_ASSIGN_OR_RETURN(snapshot.spans, r.ReadLengthPrefixed());
   return snapshot;
 }
 
@@ -122,6 +147,12 @@ StationSnapshot SnapshotRegistry(const MetricsRegistry& registry,
         h.count = hist.count();
         h.sum = hm->running().sum();
         sample.value = h.sum;
+        const auto& exemplars = hm->exemplars();
+        for (uint32_t slot = 0; slot < exemplars.size(); ++slot) {
+          if (exemplars[slot].valid) {
+            h.exemplars.emplace_back(slot, exemplars[slot]);
+          }
+        }
         break;
       }
     }

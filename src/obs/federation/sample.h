@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/bytes.h"
@@ -32,6 +33,11 @@ struct HistogramSnapshot {
   int64_t overflow = 0;
   int64_t count = 0;
   double sum = 0.0;
+  // Sparse OpenMetrics exemplars: (slot, exemplar) pairs for buckets that
+  // captured one. Slot layout matches HistogramMetric::exemplars(): 0 =
+  // underflow, 1..n = buckets, n+1 = overflow. Empty when the station
+  // never made a traced observation.
+  std::vector<std::pair<uint32_t, HistogramExemplar>> exemplars;
 
   double Percentile(double q) const;
 };
@@ -49,6 +55,10 @@ struct StationSnapshot {
   std::string station;
   SimTime at = 0;  // Station-side sim time of the snapshot.
   std::vector<MetricSample> samples;
+  // Opaque serialized SpanBatch (src/obs/spans) — the station's causal-span
+  // buffer riding the same scrape. Empty when the span plane is off; the
+  // snapshot layer does not interpret it, the span assembler does.
+  Bytes spans;
 
   Bytes Serialize() const;
   static Result<StationSnapshot> Deserialize(const uint8_t* data, size_t size);

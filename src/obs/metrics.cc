@@ -1,5 +1,7 @@
 #include "src/obs/metrics.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 
 #include "src/base/logging.h"
@@ -46,7 +48,24 @@ const char* KindName(Metric::Kind kind) {
   return "untyped";
 }
 
+std::string HexTraceId(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id);
+  return buf;
+}
+
 }  // namespace
+
+void HistogramMetric::ObserveExemplar(double x, uint64_t trace_id,
+                                      SimTime at) {
+  Observe(x);
+  if (exemplars_.empty()) {
+    exemplars_.resize(static_cast<size_t>(histogram_.bucket_count()) + 2);
+  }
+  // BucketIndex is -1 for underflow; shift so slot 0 is the underflow slot.
+  const size_t slot = static_cast<size_t>(histogram_.BucketIndex(x) + 1);
+  exemplars_[slot] = HistogramExemplar{x, trace_id, at, true};
+}
 
 std::string PrometheusName(const std::string& name) {
   std::string out = "espk_";
@@ -170,6 +189,37 @@ std::string MetricsRegistry::TextExposition() const {
         }
         os << pname << "_sum " << h.running().sum() << stamp << "\n";
         os << pname << "_count " << h.running().count() << stamp << "\n";
+        // OpenMetrics exemplars: only buckets that captured a traced
+        // observation get a _bucket line, so histograms without exemplars
+        // (and whole expositions with the span plane off) are byte-for-byte
+        // what they were before exemplars existed.
+        if (h.has_exemplars()) {
+          const Histogram& hist = h.histogram();
+          const auto& exemplars = h.exemplars();
+          const double width =
+              (hist.hi() - hist.lo()) / hist.bucket_count();
+          int64_t cumulative = hist.underflow();
+          for (size_t slot = 0; slot < exemplars.size(); ++slot) {
+            if (slot > 0 && slot <= static_cast<size_t>(hist.bucket_count())) {
+              cumulative += hist.bucket(static_cast<int>(slot) - 1);
+            } else if (slot > 0) {
+              cumulative = hist.count();  // +Inf bucket.
+            }
+            const HistogramExemplar& ex = exemplars[slot];
+            if (!ex.valid) {
+              continue;
+            }
+            os << pname << "_bucket{le=\"";
+            if (slot == exemplars.size() - 1) {
+              os << "+Inf";
+            } else {
+              os << hist.lo() + static_cast<double>(slot) * width;
+            }
+            os << "\"} " << cumulative << stamp << " # {trace_id=\""
+               << HexTraceId(ex.trace_id) << "\"} " << ex.value << " "
+               << ex.at / kMillisecond << "\n";
+          }
+        }
         break;
       }
     }

@@ -26,10 +26,22 @@
 #include <vector>
 
 #include "src/base/stats.h"
+#include "src/base/time_types.h"
 
 namespace espk {
 
 class Simulation;
+
+// One OpenMetrics exemplar: the last traced observation that landed in a
+// histogram bucket. The trace_id resolves to a retained span tree in the
+// span assembler, which is what turns "p99 is bad" into "THIS packet's
+// tx-queue wait is why".
+struct HistogramExemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  SimTime at = 0;  // Sim clock, ns.
+  bool valid = false;
+};
 
 class Metric {
  public:
@@ -96,11 +108,23 @@ class HistogramMetric final : public Metric {
     histogram_.Add(x);
     running_.Add(x);
   }
+  // Observe() plus exemplar capture: the bucket the sample lands in
+  // remembers this (value, trace_id, time) until a later traced sample
+  // replaces it. Exemplar slots are lazily allocated, so histograms that
+  // never see a traced observation render exactly as before.
+  void ObserveExemplar(double x, uint64_t trace_id, SimTime at);
+  bool has_exemplars() const { return !exemplars_.empty(); }
+  // Slot layout when non-empty: [0] = underflow, [1..bucket_count] = the
+  // regular buckets, [bucket_count+1] = overflow.
+  const std::vector<HistogramExemplar>& exemplars() const {
+    return exemplars_;
+  }
   const Histogram& histogram() const { return histogram_; }
   const RunningStats& running() const { return running_; }
   void Reset() override {
     histogram_.Reset();
     running_.Reset();
+    exemplars_.clear();
   }
 
  private:
@@ -112,6 +136,7 @@ class HistogramMetric final : public Metric {
 
   Histogram histogram_;
   RunningStats running_;
+  std::vector<HistogramExemplar> exemplars_;
 };
 
 // One registered name in a registry: either a metric the registry owns, or

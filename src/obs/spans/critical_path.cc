@@ -1,0 +1,141 @@
+#include "src/obs/spans/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "src/obs/spans/assembler.h"
+
+namespace espk {
+
+namespace {
+
+bool OnSendPath(SpanStage stage) {
+  return stage == SpanStage::kVadRead || stage == SpanStage::kEncode ||
+         stage == SpanStage::kTxQueue;
+}
+
+bool OnReceivePath(SpanStage stage) {
+  return stage == SpanStage::kWire || stage == SpanStage::kJitterDwell ||
+         stage == SpanStage::kDecode || stage == SpanStage::kRenderSlack;
+}
+
+}  // namespace
+
+CriticalPathReport AnalyzeCriticalPath(const SpanAssembler& assembler,
+                                       uint32_t stream_id, SimTime from,
+                                       SimTime to) {
+  CriticalPathReport report;
+  report.stream_id = stream_id;
+  report.from = from;
+  report.to = to;
+
+  // (stage, station name) -> accumulated line.
+  std::map<std::pair<uint8_t, std::string>, BudgetLine> lines;
+  auto add = [&lines](SpanStage stage, const std::string& station,
+                      double ms) {
+    BudgetLine& line =
+        lines[std::pair{static_cast<uint8_t>(stage), station}];
+    line.stage = stage;
+    line.station = station;
+    line.total_ms += ms;
+    ++line.count;
+  };
+
+  for (const SpanTree* tree : assembler.RetainedTraces()) {
+    if (tree->stream_id != stream_id) {
+      continue;
+    }
+    const Span* root = tree->root();
+    if (root == nullptr || root->start < from || root->start >= to) {
+      continue;
+    }
+    ++report.traces;
+    report.e2e_total_ms += root->duration_ms();
+
+    // The slowest receiver is the one whose kReceive span ends last (ties:
+    // lowest station node id) — it defines when the fan-out finished.
+    int slowest = -1;
+    for (size_t i = 0; i < tree->spans.size(); ++i) {
+      const Span& s = tree->spans[i];
+      if (s.stage != SpanStage::kReceive) {
+        continue;
+      }
+      if (slowest < 0 ||
+          s.end > tree->spans[static_cast<size_t>(slowest)].end ||
+          (s.end == tree->spans[static_cast<size_t>(slowest)].end &&
+           s.station < tree->spans[static_cast<size_t>(slowest)].station)) {
+        slowest = static_cast<int>(i);
+      }
+    }
+    const uint32_t slowest_station =
+        slowest >= 0 ? tree->spans[static_cast<size_t>(slowest)].station : 0;
+
+    for (size_t i = 0; i < tree->spans.size(); ++i) {
+      const Span& s = tree->spans[i];
+      if (OnSendPath(s.stage)) {
+        add(s.stage, tree->stations[i], s.duration_ms());
+      } else if (slowest >= 0 && OnReceivePath(s.stage) &&
+                 s.station == slowest_station) {
+        add(s.stage, tree->stations[i], s.duration_ms());
+      }
+    }
+  }
+
+  double attributed = 0.0;
+  for (const auto& [key, line] : lines) {
+    attributed += line.total_ms;
+  }
+  report.lines.reserve(lines.size());
+  for (const auto& [key, line] : lines) {
+    BudgetLine out = line;
+    out.share = attributed > 0.0 ? line.total_ms / attributed : 0.0;
+    report.lines.push_back(std::move(out));
+  }
+  std::sort(report.lines.begin(), report.lines.end(),
+            [](const BudgetLine& a, const BudgetLine& b) {
+              if (a.total_ms != b.total_ms) {
+                return a.total_ms > b.total_ms;
+              }
+              if (a.stage != b.stage) {
+                return a.stage < b.stage;
+              }
+              return a.station < b.station;
+            });
+  if (!report.lines.empty()) {
+    report.dominant = std::string(SpanStageName(report.lines.front().stage)) +
+                      " @ " + report.lines.front().station;
+  }
+  return report;
+}
+
+std::string CriticalPathReport::Render() const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "critical path: stream %u, window [%.3f ms, %.3f ms), %lld "
+                "traces, e2e total %.3f ms\n",
+                stream_id, ToMillisecondsF(from),
+                to == INT64_MAX ? -1.0 : ToMillisecondsF(to),
+                static_cast<long long>(traces), e2e_total_ms);
+  os << line;
+  if (lines.empty()) {
+    os << "  (no retained traces in window)\n";
+    return os.str();
+  }
+  std::snprintf(line, sizeof(line), "  %-14s %-10s %12s %10s %8s %7s\n",
+                "stage", "station", "total_ms", "mean_ms", "count", "share");
+  os << line;
+  for (const BudgetLine& l : lines) {
+    std::snprintf(line, sizeof(line), "  %-14s %-10s %12.3f %10.3f %8lld %6.1f%%\n",
+                  std::string(SpanStageName(l.stage)).c_str(),
+                  l.station.c_str(), l.total_ms, l.mean_ms(),
+                  static_cast<long long>(l.count), l.share * 100.0);
+    os << line;
+  }
+  os << "  dominant contributor: " << dominant << "\n";
+  return os.str();
+}
+
+}  // namespace espk

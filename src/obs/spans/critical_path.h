@@ -1,0 +1,60 @@
+// Critical-path latency attribution: decomposes the end-to-end latency of
+// a stream's retained traces into per-stage, per-station budget lines and
+// names the dominant contributor. For each trace, the path walks the
+// producer-side stages and then the SLOWEST receiver's stages — the one
+// that determined when the whole fan-out finished — so the budget answers
+// "which stage, on which station, is why the deadline budget is gone".
+// This report is the input signal ROADMAP item 2's adaptation controller
+// consumes.
+#ifndef SRC_OBS_SPANS_CRITICAL_PATH_H_
+#define SRC_OBS_SPANS_CRITICAL_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/time_types.h"
+#include "src/obs/spans/span.h"
+
+namespace espk {
+
+class SpanAssembler;
+
+struct BudgetLine {
+  SpanStage stage = SpanStage::kPacket;
+  std::string station;
+  double total_ms = 0.0;
+  int64_t count = 0;
+  // Fraction of all attributed critical-path time.
+  double share = 0.0;
+
+  double mean_ms() const {
+    return count > 0 ? total_ms / static_cast<double>(count) : 0.0;
+  }
+};
+
+struct CriticalPathReport {
+  uint32_t stream_id = 0;
+  SimTime from = 0;
+  SimTime to = 0;
+  int64_t traces = 0;          // Retained traces the report covers.
+  double e2e_total_ms = 0.0;   // Sum of root durations.
+  // Sorted by total_ms descending (ties: stage order, then station name).
+  std::vector<BudgetLine> lines;
+  // "tx_queue @ rb-1"; empty when no trace matched.
+  std::string dominant;
+
+  // Deterministic fixed-format text table: running it twice over the same
+  // assembler state yields byte-identical output.
+  std::string Render() const;
+};
+
+// Analyzes every retained trace of `stream_id` whose root starts within
+// [from, to). Pass from=0, to=INT64_MAX for "everything retained".
+CriticalPathReport AnalyzeCriticalPath(const SpanAssembler& assembler,
+                                       uint32_t stream_id, SimTime from,
+                                       SimTime to);
+
+}  // namespace espk
+
+#endif  // SRC_OBS_SPANS_CRITICAL_PATH_H_

@@ -1,0 +1,98 @@
+#include "src/obs/spans/perfetto.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/obs/spans/assembler.h"
+
+namespace espk {
+
+namespace {
+
+void AppendF(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+// Sim nanoseconds -> trace microseconds, with sub-microsecond precision.
+double TraceTs(int64_t at) { return static_cast<double>(at) / 1000.0; }
+
+const char* FateName(uint8_t flags) {
+  if (flags & kSpanFlagQueueDrop) {
+    return "queue_drop";
+  }
+  if (flags & kSpanFlagLinkLoss) {
+    return "link_loss";
+  }
+  if (flags & kSpanFlagDeadlineMiss) {
+    return "deadline_miss";
+  }
+  return "ok";
+}
+
+}  // namespace
+
+std::string PerfettoSpanJson(const SpanAssembler& assembler) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n";
+  };
+
+  for (const SpanTree* tree : assembler.RetainedTraces()) {
+    const Span* root = tree->root();
+    for (size_t i = 0; i < tree->spans.size(); ++i) {
+      const Span& s = tree->spans[i];
+      comma();
+      // Duration slice on the station's track. Zero-length spans still get
+      // a minimal slice so they are clickable.
+      AppendF(&out,
+              "{\"name\": \"%.*s\", \"cat\": \"span\", \"ph\": \"X\", "
+              "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %u, \"tid\": %u, "
+              "\"args\": {\"trace_id\": \"%016" PRIx64
+              "\", \"seq\": %u, \"station\": \"%s\", \"fate\": \"%s\"}}",
+              static_cast<int>(SpanStageName(s.stage).size()),
+              SpanStageName(s.stage).data(), TraceTs(s.start),
+              TraceTs(s.duration() > 0 ? s.duration() : 1), s.stream_id,
+              s.station, s.trace_id, s.seq, tree->stations[i].c_str(),
+              FateName(s.flags));
+    }
+    if (root == nullptr) {
+      continue;
+    }
+    // Flow arrows: one outgoing step at the sender's root, one incoming
+    // terminator at each receiver's kReceive span. Perfetto draws these as
+    // the 1-to-N fan-out across station tracks.
+    comma();
+    AppendF(&out,
+            "{\"name\": \"fanout\", \"cat\": \"flow\", \"ph\": \"s\", "
+            "\"id\": %" PRIu64
+            ", \"ts\": %.3f, \"pid\": %u, \"tid\": %u}",
+            root->trace_id, TraceTs(root->start), root->stream_id,
+            root->station);
+    for (const Span& s : tree->spans) {
+      if (s.stage != SpanStage::kReceive) {
+        continue;
+      }
+      comma();
+      AppendF(&out,
+              "{\"name\": \"fanout\", \"cat\": \"flow\", \"ph\": \"f\", "
+              "\"bp\": \"e\", \"id\": %" PRIu64
+              ", \"ts\": %.3f, \"pid\": %u, \"tid\": %u}",
+              s.trace_id, TraceTs(s.start), s.stream_id, s.station);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace espk

@@ -1,0 +1,23 @@
+// Perfetto/Chrome trace export of assembled span trees: real duration
+// events ("ph":"X") — one slice per span, laid out with one track (tid) per
+// station and one process (pid) per stream — plus flow events ("ph":"s" /
+// "ph":"f") connecting each send to its N receive children, so the
+// fan-out renders as arrows across station tracks in the Perfetto UI. This
+// upgrades src/obs/chrome_trace's instant-event view, which remains for
+// tracer-only runs.
+#ifndef SRC_OBS_SPANS_PERFETTO_H_
+#define SRC_OBS_SPANS_PERFETTO_H_
+
+#include <string>
+
+namespace espk {
+
+class SpanAssembler;
+
+// JSON object in Trace Event Format, covering every retained trace in
+// retention order. Deterministic for a given assembler state.
+std::string PerfettoSpanJson(const SpanAssembler& assembler);
+
+}  // namespace espk
+
+#endif  // SRC_OBS_SPANS_PERFETTO_H_

@@ -1,0 +1,42 @@
+#include "src/obs/spans/recorder.h"
+
+#include "src/obs/metrics.h"
+
+namespace espk {
+
+SpanRecorder::SpanRecorder(std::string station, size_t capacity)
+    : station_(std::move(station)), capacity_(capacity > 0 ? capacity : 1) {}
+
+void SpanRecorder::Append(const Span& span) {
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(span);
+  ++appended_;
+}
+
+Bytes SpanRecorder::SerializeBatch() const {
+  SpanBatch batch;
+  batch.station = station_;
+  batch.spans.assign(ring_.begin(), ring_.end());
+  return batch.Serialize();
+}
+
+void RegisterRecorderMetrics(const SpanRecorder* recorder,
+                             MetricsRegistry* registry) {
+  registry->GetGauge(
+      "spans.recorded",
+      [recorder] { return static_cast<double>(recorder->appended()); },
+      "Causal spans appended to this station's buffer since start");
+  registry->GetGauge(
+      "spans.dropped",
+      [recorder] { return static_cast<double>(recorder->dropped()); },
+      "Causal spans evicted from this station's buffer before collection");
+  registry->GetGauge(
+      "spans.buffered",
+      [recorder] { return static_cast<double>(recorder->spans().size()); },
+      "Causal spans currently awaiting collection");
+}
+
+}  // namespace espk

@@ -1,0 +1,56 @@
+// Per-station span buffer. Each station (every speaker, every
+// rebroadcaster) owns one; the span exporter appends finished spans here and
+// the station's scrape agent serializes the whole ring alongside its metrics
+// snapshot. The ring is NOT drained by a scrape — a lost chunk or a retried
+// scrape must not lose spans — so the same span can reach the console twice;
+// the assembler dedups by (trace_id, stage, station).
+#ifndef SRC_OBS_SPANS_RECORDER_H_
+#define SRC_OBS_SPANS_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/base/bytes.h"
+#include "src/obs/spans/span.h"
+
+namespace espk {
+
+class MetricsRegistry;
+
+class SpanRecorder {
+ public:
+  // `capacity` bounds the ring; the oldest spans are evicted (and counted
+  // in dropped()) once it fills.
+  SpanRecorder(std::string station, size_t capacity);
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  void Append(const Span& span);
+
+  // The ring as a scrape-ready SpanBatch wire blob.
+  Bytes SerializeBatch() const;
+
+  const std::string& station() const { return station_; }
+  const std::deque<Span>& spans() const { return ring_; }
+  uint64_t appended() const { return appended_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  std::string station_;
+  size_t capacity_;
+  std::deque<Span> ring_;
+  uint64_t appended_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// Registers the recorder's self-metrics on its station registry:
+// "spans.recorded", "spans.dropped", "spans.buffered".
+void RegisterRecorderMetrics(const SpanRecorder* recorder,
+                             MetricsRegistry* registry);
+
+}  // namespace espk
+
+#endif  // SRC_OBS_SPANS_RECORDER_H_

@@ -1,0 +1,83 @@
+#include "src/obs/spans/span.h"
+
+namespace espk {
+
+namespace {
+// Wire-format guard, mirroring the snapshot caps in src/obs/federation: a
+// corrupted length prefix must not make Deserialize attempt a huge
+// allocation.
+constexpr uint32_t kMaxSpansPerBatch = 65536;
+}  // namespace
+
+std::string_view SpanStageName(SpanStage stage) {
+  switch (stage) {
+    case SpanStage::kPacket:
+      return "packet";
+    case SpanStage::kVadRead:
+      return "vad_read";
+    case SpanStage::kEncode:
+      return "encode";
+    case SpanStage::kTxQueue:
+      return "tx_queue";
+    case SpanStage::kWire:
+      return "wire";
+    case SpanStage::kReceive:
+      return "receive";
+    case SpanStage::kJitterDwell:
+      return "jitter_dwell";
+    case SpanStage::kDecode:
+      return "decode";
+    case SpanStage::kRenderSlack:
+      return "render_slack";
+  }
+  return "?";
+}
+
+Bytes SpanBatch::Serialize() const {
+  ByteWriter w;
+  w.WriteString(station);
+  w.WriteU32(static_cast<uint32_t>(spans.size()));
+  for (const Span& s : spans) {
+    w.WriteU64(s.trace_id);
+    w.WriteU32(s.stream_id);
+    w.WriteU32(s.seq);
+    w.WriteU8(static_cast<uint8_t>(s.stage));
+    w.WriteU8(s.flags);
+    w.WriteU32(s.station);
+    w.WriteI64(s.start);
+    w.WriteI64(s.end);
+  }
+  return w.TakeBytes();
+}
+
+Result<SpanBatch> SpanBatch::Deserialize(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  SpanBatch batch;
+  ESPK_ASSIGN_OR_RETURN(batch.station, r.ReadString());
+  uint32_t count = 0;
+  ESPK_ASSIGN_OR_RETURN(count, r.ReadU32());
+  if (count > kMaxSpansPerBatch) {
+    return OutOfRangeError("span batch count implausible");
+  }
+  batch.spans.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Span s;
+    ESPK_ASSIGN_OR_RETURN(s.trace_id, r.ReadU64());
+    ESPK_ASSIGN_OR_RETURN(s.stream_id, r.ReadU32());
+    ESPK_ASSIGN_OR_RETURN(s.seq, r.ReadU32());
+    uint8_t stage = 0;
+    ESPK_ASSIGN_OR_RETURN(stage, r.ReadU8());
+    if (stage >= kSpanStageCount) {
+      return OutOfRangeError("unknown span stage");
+    }
+    s.stage = static_cast<SpanStage>(stage);
+    ESPK_ASSIGN_OR_RETURN(s.flags, r.ReadU8());
+    ESPK_ASSIGN_OR_RETURN(s.station, r.ReadU32());
+    ESPK_ASSIGN_OR_RETURN(s.start, r.ReadI64());
+    ESPK_ASSIGN_OR_RETURN(s.end, r.ReadI64());
+    batch.spans.push_back(s);
+  }
+  return batch;
+}
+
+}  // namespace espk

@@ -1,0 +1,86 @@
+// The causal span model: each packet's journey through the system becomes a
+// tree of parented duration spans instead of the PacketTracer's flat
+// instant events. One root span (the packet's whole life) carries the
+// producer-side stages as children — vad→read, encode, tx-queue wait — and
+// fans out into one receive span per speaker, each of which decomposes into
+// wire, jitter-buffer dwell, decode, and render-slack children. The tree's
+// identity is PacketTraceId(stream_id, seq), the same id stamped on
+// TraceTags and histogram exemplars, so an exemplar on a latency histogram
+// resolves to exactly one assembled tree.
+//
+// Spans are recorded per station (src/obs/spans/recorder), travel over the
+// mgmt scrape plane as opaque bytes, and are assembled into cross-station
+// trees at the console (src/obs/spans/assembler).
+#ifndef SRC_OBS_SPANS_SPAN_H_
+#define SRC_OBS_SPANS_SPAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/base/time_types.h"
+
+namespace espk {
+
+enum class SpanStage : uint8_t {
+  kPacket = 0,     // Root: first event to terminal fate, all stations.
+  kVadRead,        // VAD write -> rebroadcaster read of the master device.
+  kEncode,         // Rebroadcaster read -> packet cut + codec.
+  kTxQueue,        // Handed to the LAN -> transmission wins the medium.
+  kWire,           // Wire-tx start -> arrival at one speaker's NIC.
+  kReceive,        // Per-speaker subtree root: wire-tx start -> play/miss.
+  kJitterDwell,    // Speaker receive -> serialized decode stage begins.
+  kDecode,         // Decode start -> decode done.
+  kRenderSlack,    // Decode done -> play deadline verdict.
+};
+
+inline constexpr int kSpanStageCount = 9;
+
+std::string_view SpanStageName(SpanStage stage);
+
+// Terminal-fate flags. A span carries the fate it witnessed; the root span
+// accumulates every fate any receiver hit.
+enum SpanFlags : uint8_t {
+  kSpanFlagDeadlineMiss = 1u << 0,
+  kSpanFlagQueueDrop = 1u << 1,
+  kSpanFlagLinkLoss = 1u << 2,
+};
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint32_t stream_id = 0;
+  uint32_t seq = 0;
+  SpanStage stage = SpanStage::kPacket;
+  uint8_t flags = 0;
+  // NIC node id of the station the span ran on (the sending station for
+  // producer-side stages, the receiving speaker for the rest).
+  uint32_t station = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  SimDuration duration() const { return end - start; }
+  double duration_ms() const { return ToMillisecondsF(duration()); }
+  bool is_error() const { return flags != 0; }
+};
+
+// A station's spans as they travel over the scrape plane: the station name
+// once, then the spans. Station names ride along because the assembler —
+// which lives at the console — is what renders critical-path budget lines,
+// and "rb-1" beats "node 7" in a report.
+struct SpanBatch {
+  std::string station;
+  std::vector<Span> spans;
+
+  Bytes Serialize() const;
+  static Result<SpanBatch> Deserialize(const uint8_t* data, size_t size);
+  static Result<SpanBatch> Deserialize(const Bytes& wire) {
+    return Deserialize(wire.data(), wire.size());
+  }
+};
+
+}  // namespace espk
+
+#endif  // SRC_OBS_SPANS_SPAN_H_

@@ -35,6 +35,10 @@ std::string_view TraceStageName(TraceStage stage) {
       return "queue_drop";
     case TraceStage::kLinkLoss:
       return "link_loss";
+    case TraceStage::kWireTx:
+      return "wire_tx";
+    case TraceStage::kDecodeStart:
+      return "decode_start";
   }
   return "?";
 }
@@ -49,11 +53,19 @@ void PacketTracer::Push(TraceEvent event) {
   }
   ring_.push_back(event);
   ++recorded_;
+  if (observer_ != nullptr) {
+    observer_->OnTraceEvent(ring_.back());
+  }
 }
 
 void PacketTracer::Record(uint32_t stream_id, uint32_t seq, TraceStage stage,
                           uint32_t node) {
   Push(TraceEvent{stream_id, seq, stage, node, sim_->now()});
+}
+
+void PacketTracer::RecordAt(uint32_t stream_id, uint32_t seq,
+                            TraceStage stage, uint32_t node, SimTime at) {
+  Push(TraceEvent{stream_id, seq, stage, node, at});
 }
 
 void PacketTracer::NoteBytes(uint32_t stream_id, TraceStage stage,

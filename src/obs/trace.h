@@ -40,9 +40,22 @@ enum class TraceStage : uint8_t {
   kDeadlineMiss,       // Thrown away: past deadline + epsilon (§3.2).
   kQueueDrop,          // Tail-dropped at the segment's transmit queue.
   kLinkLoss,           // Lost on the wire for one receiver (random loss).
+  // Span-plane stages, recorded only while an observer is attached (the
+  // causal span exporter needs them to split tx-queue wait from wire time
+  // and jitter-buffer dwell from decode):
+  kWireTx,             // Transmission actually began on the shared medium.
+  kDecodeStart,        // Speaker's serialized decode stage began.
 };
 
 std::string_view TraceStageName(TraceStage stage);
+
+// The packet's trace identity: one id for the whole cross-station journey of
+// (stream_id, seq). Carried in TraceTag alongside every traced datagram and
+// stamped on spans and histogram exemplars, so an exemplar resolves to the
+// retained span tree that produced it.
+constexpr uint64_t PacketTraceId(uint32_t stream_id, uint32_t seq) {
+  return (static_cast<uint64_t>(stream_id) << 32) | seq;
+}
 
 struct TraceEvent {
   uint32_t stream_id = 0;
@@ -52,6 +65,18 @@ struct TraceEvent {
   // the kernel-side VAD write).
   uint32_t node = 0;
   SimTime at = 0;
+};
+
+// Receives every event the tracer records, at record time. The span
+// exporter implements this to derive duration spans from the instant
+// stream; components consult PacketTracer::has_observer() to decide whether
+// the extra span-plane stages (kWireTx, kDecodeStart, exemplars) are worth
+// recording at all, which keeps the spans-off fast path identical to a
+// tracer-only build.
+class TraceObserver {
+ public:
+  virtual ~TraceObserver() = default;
+  virtual void OnTraceEvent(const TraceEvent& event) = 0;
 };
 
 class PacketTracer {
@@ -67,6 +92,19 @@ class PacketTracer {
   void Record(uint32_t stream_id, uint32_t seq, TraceStage stage,
               uint32_t node = 0);
 
+  // Records a packet-addressed stage at an explicit time. The segment uses
+  // this for kWireTx (the wire slot may start after `now` when the medium
+  // is busy) and the speaker for kDecodeStart; both timestamps are computed
+  // before the stage actually runs, so ring order is no longer guaranteed
+  // chronological once these stages are recorded.
+  void RecordAt(uint32_t stream_id, uint32_t seq, TraceStage stage,
+                uint32_t node, SimTime at);
+
+  // Attaches/detaches the single span-plane observer. Pass nullptr to
+  // detach.
+  void SetObserver(TraceObserver* observer) { observer_ = observer; }
+  bool has_observer() const { return observer_ != nullptr; }
+
   // Byte-stream stages: `bytes` more bytes passed `stage` now.
   void NoteBytes(uint32_t stream_id, TraceStage stage, size_t bytes);
 
@@ -81,8 +119,10 @@ class PacketTracer {
   // change); packet-addressed events already in the ring are kept.
   void ResetStream(uint32_t stream_id);
 
-  // Events for one packet, in record order (chronological: the simulation
-  // is single-threaded and the ring is append-only).
+  // Events for one packet, in record order. Record order is chronological
+  // for the Record/AttributeBytes stages, but RecordAt stages (kWireTx,
+  // kDecodeStart) may carry timestamps later than events recorded after
+  // them — consumers that need time order must sort by `at`.
   std::vector<TraceEvent> EventsFor(uint32_t stream_id, uint32_t seq) const;
 
   const std::deque<TraceEvent>& events() const { return ring_; }
@@ -112,6 +152,7 @@ class PacketTracer {
 
   Simulation* sim_;
   size_t capacity_;
+  TraceObserver* observer_ = nullptr;
   std::deque<TraceEvent> ring_;
   uint64_t recorded_ = 0;
   uint64_t dropped_ = 0;

@@ -267,12 +267,18 @@ void Rebroadcaster::SendDataPacket() {
 
   stats_.payload_bytes += packet.payload.size();
   ++stats_.data_packets;
-  Send(packet, TraceTag{packet.stream_id, packet.seq, /*valid=*/true});
   if (options_.tracer != nullptr) {
+    // Stamp the hand-off to the LAN before Send(): the segment transmits
+    // synchronously and records kWireTx / kQueueDrop from inside Send, so
+    // the send stage must already be on the timeline for the span exporter
+    // to measure tx-queue wait as (wire start - send).
     options_.tracer->Record(options_.stream_id, packet.seq,
                             TraceStage::kMulticastSend,
                             transport_->node_id());
   }
+  Send(packet, TraceTag{packet.stream_id, packet.seq,
+                        PacketTraceId(packet.stream_id, packet.seq),
+                        /*valid=*/true});
 }
 
 void Rebroadcaster::SendControlPacket(SimTime now) {

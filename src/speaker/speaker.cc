@@ -173,6 +173,14 @@ void EthernetSpeaker::HandleData(const DataPacket& packet) {
   SimTime decode_start = std::max(now, decode_busy_until_);
   SimTime decode_done = decode_start + decode_time;
   decode_busy_until_ = decode_done;
+  if (options_.tracer != nullptr && options_.tracer->has_observer()) {
+    // Span-plane stage: separates jitter-buffer dwell (receive ->
+    // decode_start) from decode itself. decode_start may be in the future
+    // when the serialized pipeline is busy, hence RecordAt.
+    options_.tracer->RecordAt(packet.stream_id, packet.seq,
+                              TraceStage::kDecodeStart, nic_->node_id(),
+                              decode_start);
+  }
 
   // The packet occupies the jitter buffer from arrival; the payload rides
   // the pipeline as a slice of the arrival buffer (no copy, and the slice
@@ -216,7 +224,14 @@ void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
   SimTime now = sim_->now();
   SimDuration lateness = now - local_deadline;
   if (options_.lateness_histogram != nullptr) {
-    options_.lateness_histogram->Observe(ToMillisecondsF(lateness));
+    if (options_.tracer != nullptr && options_.tracer->has_observer()) {
+      // With the span plane on, the observation carries the packet's trace
+      // identity so the bucket's exemplar resolves to a retained span tree.
+      options_.lateness_histogram->ObserveExemplar(
+          ToMillisecondsF(lateness), PacketTraceId(stream_id, seq), now);
+    } else {
+      options_.lateness_histogram->Observe(ToMillisecondsF(lateness));
+    }
   }
   if (lateness > options_.sync_epsilon) {
     // §3.2: throw away data up until the current wall time.

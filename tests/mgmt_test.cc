@@ -547,6 +547,113 @@ TEST(ScrapeChunkingTest, ReassemblesOutOfOrderIgnoringNoise) {
   EXPECT_FALSE(assembler.started());
 }
 
+TEST(ScrapeChunkingTest, DuplicateChunksNeverDoubleCountTowardCompletion) {
+  // A retransmitted fragment must not advance the received counter past the
+  // missing one: feed every chunk but the last twice, then the last once.
+  Bytes payload(3000, 0x5a);
+  std::vector<ScrapeChunk> chunks = SplitIntoChunks(8, 3, payload, 1024);
+  ASSERT_EQ(chunks.size(), 3u);
+  ChunkAssembler assembler;
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_FALSE(assembler.Add(chunks[0]).has_value());
+    EXPECT_FALSE(assembler.Add(chunks[1]).has_value());
+  }
+  EXPECT_EQ(assembler.received(), 2u);
+  std::optional<Bytes> done = assembler.Add(chunks[2]);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, payload);
+}
+
+TEST(ScrapeChunkingTest, InterleavedTwoStationSnapshotsStaySeparate) {
+  // The collector runs one assembler per in-flight target; chunks from two
+  // stations answering different requests interleave on the wire. Each
+  // assembler must ignore the other request entirely and reassemble only its
+  // own snapshot, in any arrival order.
+  Bytes payload_a(2100);
+  Bytes payload_b(2600);
+  for (size_t i = 0; i < payload_a.size(); ++i) {
+    payload_a[i] = static_cast<uint8_t>(i);
+  }
+  for (size_t i = 0; i < payload_b.size(); ++i) {
+    payload_b[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  std::vector<ScrapeChunk> a = SplitIntoChunks(21, 4, payload_a, 1024);
+  std::vector<ScrapeChunk> b = SplitIntoChunks(22, 5, payload_b, 1024);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+
+  ChunkAssembler for_a;
+  ChunkAssembler for_b;
+  std::optional<Bytes> done_a;
+  std::optional<Bytes> done_b;
+  // Interleaved, out of order: b2, a0, b0, a2, b1, a1.
+  for (const ScrapeChunk* chunk :
+       {&b[2], &a[0], &b[0], &a[2], &b[1], &a[1]}) {
+    if (std::optional<Bytes> done = for_a.Add(*chunk)) {
+      done_a = std::move(*done);
+    }
+    if (std::optional<Bytes> done = for_b.Add(*chunk)) {
+      done_b = std::move(*done);
+    }
+  }
+  // for_a saw b[2] first, so it locked onto request 22 — that is the
+  // collector's real arrangement inverted; what matters is each assembler
+  // completes exactly one request with that request's bytes intact.
+  ASSERT_TRUE(done_a.has_value());
+  ASSERT_TRUE(done_b.has_value());
+  EXPECT_EQ(*done_a, payload_b);
+  EXPECT_EQ(*done_b, payload_b);
+
+  // Pinned variant: seed each assembler with its own request first, as the
+  // collector does (it creates the assembler when the request goes out).
+  ChunkAssembler pinned_a;
+  ChunkAssembler pinned_b;
+  (void)pinned_a.Add(a[0]);
+  (void)pinned_b.Add(b[0]);
+  done_a.reset();
+  done_b.reset();
+  for (const ScrapeChunk* chunk : {&b[2], &a[2], &b[1], &a[1]}) {
+    if (std::optional<Bytes> done = pinned_a.Add(*chunk)) {
+      done_a = std::move(*done);
+    }
+    if (std::optional<Bytes> done = pinned_b.Add(*chunk)) {
+      done_b = std::move(*done);
+    }
+  }
+  ASSERT_TRUE(done_a.has_value());
+  ASSERT_TRUE(done_b.has_value());
+  EXPECT_EQ(*done_a, payload_a);
+  EXPECT_EQ(*done_b, payload_b);
+}
+
+TEST(ScrapeChunkingTest, TruncatedFinalChunkNeverCompletes) {
+  // A final fragment whose wire bytes were cut short fails to parse, so the
+  // assembler stays one short forever — the collector's per-attempt timeout
+  // is what recovers, never a half-assembled snapshot.
+  Bytes payload(2500, 0xc3);
+  std::vector<ScrapeChunk> chunks = SplitIntoChunks(31, 6, payload, 1024);
+  ASSERT_EQ(chunks.size(), 3u);
+  Bytes wire = chunks[2].Serialize();
+  wire.resize(wire.size() - 100);  // Truncated mid-fragment.
+  EXPECT_FALSE(ScrapeChunk::Deserialize(wire).ok());
+
+  ChunkAssembler assembler;
+  EXPECT_FALSE(assembler.Add(chunks[0]).has_value());
+  EXPECT_FALSE(assembler.Add(chunks[1]).has_value());
+  EXPECT_EQ(assembler.received(), 2u);
+  EXPECT_EQ(assembler.expected(), 3u);
+  // A later chunk claiming a different fragment count (a restarted agent
+  // re-chunking a changed snapshot) is ignored rather than spliced in.
+  ScrapeChunk rechunked = chunks[2];
+  rechunked.count = 4;
+  EXPECT_FALSE(assembler.Add(rechunked).has_value());
+  EXPECT_EQ(assembler.received(), 2u);
+  // The intact final chunk still completes the original layout.
+  std::optional<Bytes> done = assembler.Add(chunks[2]);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(*done, payload);
+}
+
 TEST(ScrapeAgentTest, AnswersTargetedRequestsWithUnicastChunks) {
   Simulation sim;
   EthernetSegment segment(&sim, SegmentConfig{});

@@ -237,6 +237,39 @@ TEST(PacketTracerTest, ResetStreamDropsPendingMarks) {
   EXPECT_EQ(events[0].stage, TraceStage::kEncode);
 }
 
+TEST(PacketTracerTest, AttributionGapAfterMidStreamReset) {
+  // A config change mid-stream makes the rebroadcaster flush staged audio
+  // and call ResetStream: both sides restart their cumulative byte offsets
+  // from zero. The accepted cost is a GAP — packets cut from pre-reset
+  // bytes never attribute — but never a misattribution: post-reset packets
+  // must resolve to post-reset mark times only.
+  Simulation sim;
+  PacketTracer tracer(&sim);
+  tracer.NoteBytes(1, TraceStage::kVadWrite, 200);  // Pre-reset, at t=0.
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 100, /*seq=*/0);
+  ASSERT_EQ(tracer.EventsFor(1, 0).size(), 1u);
+
+  tracer.ResetStream(1);  // Config change mid-stream.
+
+  // Packet 1 covered pre-reset bytes (100, 200]; its marks died with the
+  // reset, so it gets no event — the gap, not a guess.
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 200, /*seq=*/1);
+  EXPECT_TRUE(tracer.EventsFor(1, 1).empty());
+
+  sim.ScheduleAt(Milliseconds(20), [&tracer] {
+    tracer.NoteBytes(1, TraceStage::kVadWrite, 150);  // Post-reset stream.
+  });
+  sim.Run();
+
+  // Packet 2 is cut from the restarted stream: offsets are zero-based
+  // again, and the event time is the post-reset mark, not t=0.
+  tracer.AttributeBytes(1, TraceStage::kVadWrite, 150, /*seq=*/2);
+  auto events = tracer.EventsFor(1, 2);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stage, TraceStage::kVadWrite);
+  EXPECT_EQ(events[0].at, Milliseconds(20));
+}
+
 TEST(PacketTracerTest, RingBoundsAndCountsDrops) {
   Simulation sim;
   PacketTracer tracer(&sim, /*capacity=*/4);
@@ -288,7 +321,8 @@ TEST(PacketTracerTest, SegmentRecordsQueueDropAsTerminalStage) {
   for (uint32_t seq = 0; seq < 5; ++seq) {
     ASSERT_TRUE(sender
                     ->SendMulticast(100, Bytes(200, 0x11),
-                                    TraceTag{7, seq, /*valid=*/true})
+                                    TraceTag{7, seq, PacketTraceId(7, seq),
+                                             /*valid=*/true})
                     .ok());
   }
   EXPECT_GT(segment.stats().packets_dropped_queue, 0u);
@@ -322,7 +356,8 @@ TEST(PacketTracerTest, SegmentRecordsLinkLossPerReceiver) {
 
   ASSERT_TRUE(sender
                   ->SendMulticast(100, Bytes(64, 0x22),
-                                  TraceTag{7, 1, /*valid=*/true})
+                                  TraceTag{7, 1, PacketTraceId(7, 1),
+                                           /*valid=*/true})
                   .ok());
   sim.Run();
   EXPECT_EQ(segment.stats().deliveries_lost, 2u);
