@@ -35,6 +35,17 @@
 //      (1 + max_regress) of baseline — spans-off is the one that guards
 //      the "no cost when disabled" claim against the pre-span baseline.
 //
+// bench "fleet" (BENCH_fleet.json):
+//   1. every required numeric field present (schema_version 1);
+//   2. classic and sharded modes delivered IDENTICAL packet counts at every
+//      tier, and the sharded mode actually posted cross-shard messages —
+//      the determinism contract, gated structurally (hard);
+//   3. the 1k-speaker sharded speedup is >= 3x — a ratio of two runs on the
+//      same machine in the same process, so it gets no noise margin: if the
+//      zone path stops collapsing per-speaker events this fails;
+//   4. sharded ns/delivery at the 10k tier stays within (1 + max_regress)
+//      of baseline — the absolute-cost regression gate.
+//
 // Exit 0 on pass; 1 with one "FAIL:" line per violation otherwise.
 #include <cstdio>
 #include <cstdlib>
@@ -125,6 +136,34 @@ const char* const kFanoutNumericFields[] = {
     "allocs_per_packet_small",
     "allocs_per_packet_large",
     "ns_per_packet_large",
+};
+
+const char* const kFleetNumericFields[] = {
+    "schema_version",
+    "zones",
+    "speakers_small",
+    "speakers_mid",
+    "speakers_large",
+    "deliveries_small",
+    "deliveries_mid",
+    "deliveries_large",
+    "sharded_deliveries_small",
+    "sharded_deliveries_mid",
+    "sharded_deliveries_large",
+    "sharded_messages_posted_mid",
+    "classic_pps_small",
+    "classic_pps_mid",
+    "classic_pps_large",
+    "sharded_pps_small",
+    "sharded_pps_mid",
+    "sharded_pps_large",
+    "speedup_small",
+    "speedup_mid",
+    "speedup_large",
+    "classic_ns_per_delivery_large",
+    "sharded_ns_per_delivery_large",
+    "wheel_ns_per_event",
+    "heap_ns_per_event",
 };
 
 const char* const kTraceNumericFields[] = {
@@ -311,6 +350,67 @@ void CheckTrace(Gate* gate, const JsonObject& current,
   }
 }
 
+void CheckFleet(Gate* gate, const JsonObject& current,
+                const char* current_path, const JsonObject& baseline,
+                const char* baseline_path, double max_regress) {
+  Gate& g = *gate;
+  // Determinism first: both modes simulated the same fleet. Any difference
+  // means the zone path changed what happened, not just how fast.
+  for (const char* tier : {"small", "mid", "large"}) {
+    const double classic =
+        g.Number(current, current_path, std::string("deliveries_") + tier);
+    const double sharded = g.Number(
+        current, current_path, std::string("sharded_deliveries_") + tier);
+    if (classic <= 0.0 || classic != sharded) {
+      g.Fail(std::string("deliveries_") + tier + " " +
+             std::to_string(classic) + " != sharded_deliveries_" + tier +
+             " " + std::to_string(sharded) +
+             "; classic and sharded runs diverged");
+    }
+  }
+  if (g.Number(current, current_path, "sharded_messages_posted_mid") <= 0.0) {
+    g.Fail("sharded mode posted no cross-shard messages; the zone path "
+           "did not run");
+  }
+  // The headline claim. A same-process ratio, so no noise margin: both
+  // sides see the same machine conditions.
+  const double speedup = g.Number(current, current_path, "speedup_mid");
+  if (speedup < 3.0) {
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "speedup_mid %.2fx is below the 3x bar; zone batching "
+                  "stopped collapsing per-speaker events",
+                  speedup);
+    g.Fail(msg);
+  }
+  // Absolute cost of the sharded path at the big tier gets the shared-
+  // machine noise margin against the checked-in baseline.
+  const double cur_ns =
+      g.Number(current, current_path, "sharded_ns_per_delivery_large");
+  const double base_ns =
+      g.Number(baseline, baseline_path, "sharded_ns_per_delivery_large");
+  const double limit = base_ns * (1.0 + max_regress);
+  if (cur_ns > limit) {
+    char msg[256];
+    std::snprintf(msg, sizeof(msg),
+                  "sharded_ns_per_delivery_large %.1f exceeds baseline %.1f "
+                  "by more than %.0f%% (limit %.1f)",
+                  cur_ns, base_ns, max_regress * 100.0, limit);
+    g.Fail(msg);
+  }
+
+  if (g.failures == 0) {
+    std::printf(
+        "PASS: sharded speedup %.2fx at %g speakers (bar 3x), "
+        "%.1f ns/delivery at %g speakers (baseline %.1f, limit %.1f), "
+        "wheel %.0f vs heap %.0f ns/event\n",
+        speedup, g.Number(current, current_path, "speakers_mid"), cur_ns,
+        g.Number(current, current_path, "speakers_large"), base_ns, limit,
+        g.Number(current, current_path, "wheel_ns_per_event"),
+        g.Number(current, current_path, "heap_ns_per_event"));
+  }
+}
+
 int Run(const char* current_path, const char* baseline_path,
         double max_regress) {
   Gate gate(current_path, baseline_path);
@@ -332,7 +432,8 @@ int Run(const char* current_path, const char* baseline_path,
 
   const std::string kind = BenchKind(&gate, *current, current_path,
                                      *baseline, baseline_path);
-  if (kind != "codec" && kind != "fanout" && kind != "trace") {
+  if (kind != "codec" && kind != "fanout" && kind != "trace" &&
+      kind != "fleet") {
     if (gate.failures == 0) {
       gate.Fail("unknown bench kind \"" + kind + "\"");
     }
@@ -348,6 +449,10 @@ int Run(const char* current_path, const char* baseline_path,
       }
     } else if (kind == "fanout") {
       for (const char* key : kFanoutNumericFields) {
+        (void)gate.Number(*pair, file, key);
+      }
+    } else if (kind == "fleet") {
+      for (const char* key : kFleetNumericFields) {
         (void)gate.Number(*pair, file, key);
       }
     } else {
@@ -370,6 +475,9 @@ int Run(const char* current_path, const char* baseline_path,
   } else if (kind == "fanout") {
     CheckFanout(&gate, *current, current_path, *baseline, baseline_path,
                 max_regress);
+  } else if (kind == "fleet") {
+    CheckFleet(&gate, *current, current_path, *baseline, baseline_path,
+               max_regress);
   } else {
     CheckTrace(&gate, *current, current_path, *baseline, baseline_path,
                max_regress);

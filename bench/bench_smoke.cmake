@@ -6,14 +6,16 @@
 #   bench_codec  --quick -> BENCH_codec.json  vs BASELINE
 #   bench_fanout --quick -> BENCH_fanout.json vs FANOUT_BASELINE
 #   bench_trace  --quick -> BENCH_trace.json  vs TRACE_BASELINE
+#   bench_fleet  --quick -> BENCH_fleet.json  vs FLEET_BASELINE
 #
 # Invoked as:
 #   cmake -DBENCH_CODEC=<path> -DBENCH_FANOUT=<path> -DBENCH_TRACE=<path>
-#         -DBENCH_GATE=<path> -DBASELINE=<path> -DFANOUT_BASELINE=<path>
-#         -DTRACE_BASELINE=<path> -DWORK_DIR=<dir>
+#         -DBENCH_FLEET=<path> -DBENCH_GATE=<path> -DBASELINE=<path>
+#         -DFANOUT_BASELINE=<path> -DTRACE_BASELINE=<path>
+#         -DFLEET_BASELINE=<path> -DWORK_DIR=<dir>
 #         -P bench_smoke.cmake
-foreach(var BENCH_CODEC BENCH_FANOUT BENCH_TRACE BENCH_GATE BASELINE
-            FANOUT_BASELINE TRACE_BASELINE WORK_DIR)
+foreach(var BENCH_CODEC BENCH_FANOUT BENCH_TRACE BENCH_FLEET BENCH_GATE
+            BASELINE FANOUT_BASELINE TRACE_BASELINE FLEET_BASELINE WORK_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_smoke.cmake: ${var} not set")
   endif()
@@ -42,3 +44,4 @@ endfunction()
 run_bench_and_gate("${BENCH_CODEC}" BENCH_codec.json "${BASELINE}")
 run_bench_and_gate("${BENCH_FANOUT}" BENCH_fanout.json "${FANOUT_BASELINE}")
 run_bench_and_gate("${BENCH_TRACE}" BENCH_trace.json "${TRACE_BASELINE}")
+run_bench_and_gate("${BENCH_FLEET}" BENCH_fleet.json "${FLEET_BASELINE}")

@@ -4,20 +4,28 @@
 #   1. Debug build with ASan+UBSan (the ESPK_SANITIZE cache option) and the
 #      full ctest suite — memory and UB bugs in the zero-copy buffer path
 #      (refcount mistakes, slices outliving buffers) fail here loudly.
-#   2. Release build and the bench smoke gate (espk_bench_smoke), which
-#      regenerates BENCH_codec.json / BENCH_fanout.json / BENCH_trace.json
-#      and validates each against bench/baselines with bench_gate.
-#   3. Example smoke run: every examples/ binary from the Release build
+#   2. TSan build of the sharded-runtime suite — the executor, SPSC ring,
+#      timer wheel, and the width-N determinism test all run under
+#      ThreadSanitizer. The sharded runtime's bit-identity claim rests on
+#      the executor barrier giving happens-before between epochs; TSan is
+#      the check that actually exercises it (a startup race in the executor
+#      once made shards share a thread slice and fire events an epoch late —
+#      exactly the class of bug this stage exists to catch).
+#   3. Release build and the bench smoke gate (espk_bench_smoke), which
+#      regenerates BENCH_codec.json / BENCH_fanout.json / BENCH_trace.json /
+#      BENCH_fleet.json and validates each against bench/baselines with
+#      bench_gate.
+#   4. Example smoke run: every examples/ binary from the Release build
 #      executes end to end (in a scratch directory — some write artifacts
 #      like health_trace.json). A crashing or hanging example is a broken
 #      public API.
-#   4. Golden-output check: the fleet_dashboard example runs entirely on the
+#   5. Golden-output check: the fleet_dashboard example runs entirely on the
 #      simulated clock, so its output is byte-identical across runs and
 #      machines; its smoke-run output is diffed against the checked-in
 #      ci/golden/fleet_dashboard.out. A diff means telemetry-plane
 #      determinism broke (or the dashboard changed — regenerate the golden
 #      by copying the new output over it).
-#   5. latency_budget golden-output check: same discipline for the span
+#   6. latency_budget golden-output check: same discipline for the span
 #      plane — critical-path tables, the resolved deadline-miss exemplar
 #      tree, and the sampler counters must be byte-identical across runs.
 #
@@ -27,19 +35,28 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/5] Debug + ASan/UBSan: configure, build, ctest"
+echo "==> [1/6] Debug + ASan/UBSan: configure, build, ctest"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DESPK_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [2/5] Release: configure, build, bench smoke gate"
+echo "==> [2/6] TSan: sharded runtime suite under ThreadSanitizer"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DESPK_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target \
+  spsc_queue_test timer_wheel_test shard_test sharded_determinism_test
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'spsc_queue_test|timer_wheel_test|shard_test|sharded_determinism_test'
+
+echo "==> [3/6] Release: configure, build, bench smoke gate"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
-echo "==> [3/5] Release example smoke run"
+echo "==> [4/6] Release example smoke run"
 EXAMPLES_DIR="$(pwd)/build-release/examples"
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
@@ -50,14 +67,14 @@ for example in quickstart building_pa internet_radio netboot_demo \
   (cd "$SCRATCH" && "$EXAMPLES_DIR/$example" > "$example.out")
 done
 
-echo "==> [4/5] fleet_dashboard golden-output check"
+echo "==> [5/6] fleet_dashboard golden-output check"
 if ! diff -u ci/golden/fleet_dashboard.out "$SCRATCH/fleet_dashboard.out"; then
   echo "FAIL: fleet_dashboard output drifted from ci/golden/fleet_dashboard.out"
   exit 1
 fi
 echo "--> fleet_dashboard output matches golden"
 
-echo "==> [5/5] latency_budget golden-output check"
+echo "==> [6/6] latency_budget golden-output check"
 if ! diff -u ci/golden/latency_budget.out "$SCRATCH/latency_budget.out"; then
   echo "FAIL: latency_budget output drifted from ci/golden/latency_budget.out"
   exit 1

@@ -5,8 +5,13 @@
 namespace espk {
 
 BufferCounters& buffer_counters() {
-  static BufferCounters counters;
+  static thread_local BufferCounters counters;
   return counters;
+}
+
+uint32_t& BufferOwnerScope::Current() {
+  static thread_local uint32_t token = 0;
+  return token;
 }
 
 void ResetBufferCounters() { buffer_counters() = BufferCounters{}; }

@@ -1,0 +1,143 @@
+// Lock-free single-producer / single-consumer ring — the cross-shard
+// handoff primitive of the sharded runtime (src/sim/shard.h). One shard's
+// event loop pushes, exactly one other shard's loop pops; the only shared
+// state is a pair of cache-line-isolated monotonic indices synchronized
+// with acquire/release. No CAS, no fences stronger than acq/rel, no
+// allocation after construction.
+//
+// The classic optimization from production SPSC rings applies: each side
+// keeps a stale cached copy of the other side's index and only re-reads the
+// shared atomic when the cached value says the ring looks full (producer)
+// or empty (consumer). In steady state a push or pop touches one shared
+// cache line instead of two.
+//
+// Capacity is rounded up to a power of two so index masking is a single
+// AND. The ring holds `capacity` elements (not capacity-1): the indices are
+// free-running uint64 counters, so full is `tail - head == capacity` and
+// empty is `tail == head`, with no wasted slot and no wraparound ambiguity
+// within any realistic lifetime.
+#ifndef SRC_BASE_SPSC_QUEUE_H_
+#define SRC_BASE_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace espk {
+
+// Fixed rather than std::hardware_destructive_interference_size: that
+// value varies with compiler version and -mtune (GCC warns it is an ABI
+// hazard), and 64 is the destructive-interference line on every platform
+// this repo targets.
+inline constexpr size_t kCacheLineSize = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  // `min_capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscQueue(size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(static_cast<Slot*>(::operator new[](
+            capacity_ * sizeof(Slot), std::align_val_t{alignof(Slot)}))) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Destruction is not concurrency-safe: both sides must have stopped.
+  // Remaining elements are destroyed (destructor drains).
+  ~SpscQueue() {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; head != tail; ++head) {
+      slots_[head & mask_].Get()->~T();
+    }
+    ::operator delete[](slots_, std::align_val_t{alignof(Slot)});
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // ------------------------------------------------- producer side only --
+  // Returns false (leaving `value` untouched) when the ring is full.
+  bool TryPush(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) {
+        return false;
+      }
+    }
+    new (slots_[tail & mask_].Get()) T(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  template <typename... Args>
+  bool TryEmplace(Args&&... args) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) {
+        return false;
+      }
+    }
+    new (slots_[tail & mask_].Get()) T(std::forward<Args>(args)...);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // ------------------------------------------------- consumer side only --
+  // Returns false when the ring is empty; otherwise moves the front element
+  // into `*out`.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) {
+        return false;
+      }
+    }
+    T* slot = slots_[head & mask_].Get();
+    *out = std::move(*slot);
+    slot->~T();
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side view; the producer may be mid-push, so this is a lower
+  // bound there and exact once the producer has stopped.
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  struct Slot {
+    alignas(alignof(T)) unsigned char storage[sizeof(T)];
+    T* Get() { return std::launder(reinterpret_cast<T*>(storage)); }
+  };
+
+  const size_t capacity_;
+  const uint64_t mask_;
+  Slot* const slots_;
+
+  // Producer cache line: free-running write index plus the producer's stale
+  // view of the read index.
+  alignas(kCacheLineSize) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  // Consumer cache line, same trick mirrored.
+  alignas(kCacheLineSize) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+  // Trailing pad so an adjacent allocation cannot share head_'s line.
+  char pad_[kCacheLineSize - sizeof(std::atomic<uint64_t>) - sizeof(uint64_t)];
+};
+
+}  // namespace espk
+
+#endif  // SRC_BASE_SPSC_QUEUE_H_

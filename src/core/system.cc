@@ -3,11 +3,29 @@
 #include <algorithm>
 
 #include "src/audio/analysis.h"
+#include "src/base/logging.h"
 
 namespace espk {
+namespace {
+
+ShardGroup::Options MakeShardOptions(const SystemOptions& options) {
+  ShardGroup::Options shard_options;
+  shard_options.shards = std::max(1, options.sharded.zones);
+  shard_options.lookahead = options.sharded.lookahead > 0
+                                ? options.sharded.lookahead
+                                : options.lan.base_delay;
+  shard_options.threads = options.sharded.threads;
+  shard_options.pin_threads = options.sharded.pin_threads;
+  shard_options.inbox_capacity = options.sharded.inbox_capacity;
+  return shard_options;
+}
+
+}  // namespace
 
 EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
     : options_(options),
+      shards_(MakeShardOptions(options)),
+      sim_(*shards_.sim(0)),
       metrics_(&sim_),
       tracer_(&sim_),
       kernel_(&sim_, &metrics_),
@@ -18,6 +36,44 @@ EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
   lan_.set_tracer(&tracer_);
   RegisterLanMetrics();
   RegisterTracerMetrics(&tracer_, &metrics_);
+  if (shards_.shard_count() > 1) {
+    lan_.EnableSharding(&shards_, /*home_shard=*/0);
+    zone_tracers_.resize(static_cast<size_t>(shards_.shard_count()));
+    for (int z = 0; z < shards_.shard_count(); ++z) {
+      if (z > 0) {
+        zone_tracers_[static_cast<size_t>(z)] =
+            std::make_unique<PacketTracer>(shards_.sim(z));
+      }
+      speaker_zones_.push_back(
+          std::make_unique<SpeakerZone>(shards_.sim(z)));
+      lan_.RegisterZoneSink(z, speaker_zones_.back().get());
+    }
+  }
+}
+
+void EthernetSpeakerSystem::RunUntil(SimTime t) {
+  if (shards_.shard_count() > 1) {
+    shards_.RunUntil(t);
+  } else {
+    sim_.RunUntil(t);
+  }
+}
+
+void EthernetSpeakerSystem::RunFor(SimDuration d) { RunUntil(now() + d); }
+
+void EthernetSpeakerSystem::RunUntilIdle() {
+  if (shards_.shard_count() > 1) {
+    shards_.RunUntilIdle();
+  } else {
+    sim_.Run();
+  }
+}
+
+int EthernetSpeakerSystem::ZoneOf(size_t speaker_index) const {
+  if (speaker_index < speaker_zone_index_.size()) {
+    return speaker_zone_index_[speaker_index];
+  }
+  return 0;
 }
 
 void EthernetSpeakerSystem::RegisterLanMetrics() {
@@ -186,7 +242,20 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
     SpeakerOptions options, GroupId group) {
   auto nic = lan_.CreateNic();
   const size_t index = speakers_.size();
-  options.tracer = &tracer_;
+  // Zone placement: block or round-robin per the sharded config. The
+  // speaker's event loop, and the tracer its pipeline records into, are the
+  // zone's — zone 0 shares shard 0 (and tracer_) with the producers.
+  int zone = 0;
+  Simulation* zone_sim = &sim_;
+  if (shards_.shard_count() > 1) {
+    const int spz = options_.sharded.speakers_per_zone;
+    zone = spz > 0
+               ? static_cast<int>(index) / spz % shards_.shard_count()
+               : static_cast<int>(index) % shards_.shard_count();
+    zone_sim = shards_.sim(zone);
+  }
+  options.tracer =
+      zone > 0 ? zone_tracers_[static_cast<size_t>(zone)].get() : &tracer_;
   // Same per-station ownership as channels: the speaker's metrics live on
   // station "es-<i>" under local names, aliased into the system registry
   // under the flat "speaker.<i>." prefix the health rules watch.
@@ -196,10 +265,20 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
       "Decode-completion time relative to the play deadline (ms; negative = "
       "early)");
   auto speaker =
-      std::make_unique<EthernetSpeaker>(&sim_, nic.get(), options);
+      std::make_unique<EthernetSpeaker>(zone_sim, nic.get(), options);
   if (group != 0) {
     ESPK_RETURN_IF_ERROR(speaker->Tune(group));
   }
+  if (shards_.shard_count() > 1) {
+    // Route this NIC through the zone's batch sink: one delivery event per
+    // (packet, zone) instead of one per speaker. Every zone, including
+    // zone 0, takes the batched path so all speakers behave uniformly.
+    const int member =
+        speaker_zones_[static_cast<size_t>(zone)]->AddSpeaker(nic.get(),
+                                                              speaker.get());
+    lan_.AssignZone(nic.get(), zone, member);
+  }
+  speaker_zone_index_.push_back(zone);
   EthernetSpeaker* sp = speaker.get();
   station->GetGauge(
       "speaker.packets_received",
@@ -254,6 +333,14 @@ void EthernetSpeakerSystem::AttachSpeakerSpans(size_t index) {
 
 SpanPlane* EthernetSpeakerSystem::EnableSpanTracing(
     const SpanPlaneOptions& options) {
+  if (shards_.shard_count() > 1) {
+    // The span plane stitches cross-station trees on one tracer/clock; the
+    // sharded fleet runtime has one tracer per zone. Cross-shard span
+    // assembly is future work (ROADMAP).
+    ESPK_LOG(kWarning)
+        << "span tracing is not supported on a sharded system (zones > 1)";
+    return nullptr;
+  }
   if (spans_ != nullptr) {
     return spans_.get();
   }
@@ -274,6 +361,15 @@ HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
 
 HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
     const HealthOptions& options, const HealthRuleDefaults& rules) {
+  if (shards_.shard_count() > 1) {
+    // The sampler's periodic task would run on shard 0's loop while
+    // sampling gauges that read other zones' state mid-epoch. Scrape
+    // between runs instead (metrics()->TextExposition()).
+    ESPK_LOG(kWarning)
+        << "health monitoring is not supported on a sharded system "
+           "(zones > 1)";
+    return nullptr;
+  }
   if (health_ != nullptr) {
     return health_.get();
   }

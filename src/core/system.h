@@ -21,15 +21,37 @@
 #include "src/obs/trace.h"
 #include "src/rebroadcast/player_app.h"
 #include "src/rebroadcast/rebroadcaster.h"
+#include "src/sim/shard.h"
 #include "src/sim/simulation.h"
 #include "src/speaker/speaker.h"
+#include "src/speaker/speaker_zone.h"
 
 namespace espk {
+
+// Fleet-scale sharding (src/sim/shard.h): with zones > 1 the system splits
+// its speakers into that many zones, each living on its own shard with its
+// own event loop and timer wheel; producers, the kernel, and the segment
+// stay on shard 0. Drive a sharded system through the system-level
+// RunUntil/RunFor/RunUntilIdle (which run the epoch loop), not sim()->Run*.
+// Results are deterministic and bit-identical whether zones = 1 or N and
+// whether threads = 1 or many — tests/sharded_determinism_test.cc pins it.
+struct ShardedConfig {
+  int zones = 1;    // 1 = the classic single-loop system, path untouched.
+  int threads = 1;  // Executor width incl. the caller; clamped to zones.
+  bool pin_threads = false;
+  // Epoch lookahead; 0 means "use lan.base_delay" (the minimum delivery
+  // latency, which is the largest value that is still conservative).
+  SimDuration lookahead = 0;
+  size_t inbox_capacity = 1024;  // Per cross-shard link SPSC ring slots.
+  // Consecutive speakers per zone; 0 = round-robin speakers across zones.
+  int speakers_per_zone = 0;
+};
 
 struct SystemOptions {
   SegmentConfig lan;
   // Unloaded-machine context-switch noise (Figure 5 baseline); 0 = off.
   double background_daemon_rate = 0.0;
+  ShardedConfig sharded;
 };
 
 // One audio channel: a VAD pair on the producer host, the rebroadcaster
@@ -62,9 +84,35 @@ class EthernetSpeakerSystem {
   EthernetSpeakerSystem(const EthernetSpeakerSystem&) = delete;
   EthernetSpeakerSystem& operator=(const EthernetSpeakerSystem&) = delete;
 
+  // Shard 0's simulation — the producer-side clock. In a zones = 1 system
+  // this is THE simulation, exactly as before sharding existed.
   Simulation* sim() { return &sim_; }
   SimKernel* kernel() { return &kernel_; }
   EthernetSegment* lan() { return &lan_; }
+
+  // The shard group driving all zones (a 1-shard group when zones = 1).
+  ShardGroup* shards() { return &shards_; }
+  int zones() const { return shards_.shard_count(); }
+  bool is_sharded() const { return shards_.shard_count() > 1; }
+  // The zone a speaker landed in, and that zone's event loop / tracer.
+  // Zone 0 shares shard 0 with the producers. Classic systems report zone 0
+  // for every speaker.
+  int ZoneOf(size_t speaker_index) const;
+  Simulation* zone_sim(int zone) { return shards_.sim(zone); }
+  // Zone 0 records into the system tracer; other zones into their own.
+  PacketTracer* zone_tracer(int zone) {
+    return zone > 0 ? zone_tracers_[static_cast<size_t>(zone)].get()
+                    : &tracer_;
+  }
+
+  // Run the whole system — every zone — to/for the given virtual time.
+  // These are the only correct way to advance a sharded system; on a
+  // classic system they are exactly sim()->RunUntil / RunFor / Run.
+  void RunUntil(SimTime t);
+  void RunFor(SimDuration d);
+  void RunUntilIdle();
+  SimTime now() const { return shards_.shard_count() > 1 ? shards_.now()
+                                                         : sim_.now(); }
 
   // Telemetry for the whole system. Kernel, LAN, and tracer metrics live
   // here natively; per-station metrics (speakers, rebroadcasters) are owned
@@ -175,7 +223,11 @@ class EthernetSpeakerSystem {
                            const std::string& flat_prefix);
 
   SystemOptions options_;
-  Simulation sim_;
+  // The shard group owns every zone's Simulation; sim_ aliases shard 0's so
+  // all producer-side members (and their &sim_ initializers) are untouched
+  // by sharding. Declared first: everything below lives on some shard.
+  ShardGroup shards_;
+  Simulation& sim_;
   // Declared before the components whose constructors and gauge callbacks
   // use them, and therefore destroyed after every instrumented component.
   MetricsRegistry metrics_;
@@ -189,6 +241,14 @@ class EthernetSpeakerSystem {
   // aliases in metrics_) point into; declared before the component vectors
   // so every instrumented component unwinds first.
   std::vector<std::unique_ptr<Station>> stations_;
+  // Sharded-mode plumbing, empty when zones = 1. Per-zone tracers (zone 0
+  // reuses tracer_, so index 0 is null) and the per-zone batch sinks.
+  // Declared before the speakers: a speaker's options_.tracer points at its
+  // zone tracer, and zones hold borrowed speaker/NIC pointers — nothing
+  // here touches them at destruction, but keep the conservative order.
+  std::vector<std::unique_ptr<PacketTracer>> zone_tracers_;
+  std::vector<std::unique_ptr<SpeakerZone>> speaker_zones_;
+  std::vector<int> speaker_zone_index_;  // Speaker index -> zone.
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<PlayerApp>> players_;
   std::vector<std::unique_ptr<SimNic>> speaker_nics_;

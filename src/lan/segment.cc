@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/obs/trace.h"
+#include "src/sim/shard.h"
 
 namespace espk {
 
@@ -19,6 +21,29 @@ std::unique_ptr<SimNic> EthernetSegment::CreateNic() {
 
 void EthernetSegment::Detach(SimNic* nic) {
   nics_.erase(std::remove(nics_.begin(), nics_.end(), nic), nics_.end());
+}
+
+void EthernetSegment::EnableSharding(ShardGroup* shards, int home_shard) {
+  assert(shards != nullptr);
+  assert(shards->lookahead() <= config_.base_delay &&
+         "epoch lookahead must not exceed the minimum delivery latency");
+  shards_ = shards;
+  home_shard_ = home_shard;
+  zone_sinks_.assign(static_cast<size_t>(shards->shard_count()), nullptr);
+  zone_batches_.resize(static_cast<size_t>(shards->shard_count()));
+}
+
+void EthernetSegment::RegisterZoneSink(int shard, ZoneSink* sink) {
+  assert(shards_ != nullptr && "EnableSharding first");
+  zone_sinks_.at(static_cast<size_t>(shard)) = sink;
+}
+
+void EthernetSegment::AssignZone(SimNic* nic, int shard, int member) {
+  assert(shards_ != nullptr && "EnableSharding first");
+  assert(zone_sinks_.at(static_cast<size_t>(shard)) != nullptr &&
+         "RegisterZoneSink first");
+  nic->zone_shard_ = shard;
+  nic->zone_member_ = member;
 }
 
 size_t EthernetSegment::GroupMemberCount(GroupId group) const {
@@ -96,7 +121,43 @@ void EthernetSegment::Transmit(const Datagram& datagram) {
       arrival += static_cast<SimDuration>(
           prng_.NextBelow(static_cast<uint64_t>(config_.jitter)));
     }
+    if (shards_ != nullptr && nic->zone_shard_ >= 0) {
+      ZoneBatch& batch = zone_batches_[static_cast<size_t>(nic->zone_shard_)];
+      if (batch.entries.empty() || arrival < batch.min_arrival) {
+        batch.min_arrival = arrival;
+      }
+      batch.entries.push_back(ZoneDeliveryEntry{nic->zone_member_, arrival});
+      continue;
+    }
     DeliverTo(nic, datagram, arrival);
+  }
+  if (shards_ != nullptr) {
+    FlushZoneBatches(datagram);
+  }
+}
+
+void EthernetSegment::FlushZoneBatches(const Datagram& datagram) {
+  for (size_t shard = 0; shard < zone_batches_.size(); ++shard) {
+    ZoneBatch& batch = zone_batches_[shard];
+    if (batch.entries.empty()) {
+      continue;
+    }
+    // One message per (packet, zone): the zone's members share one payload
+    // reference and one scheduled event instead of one each. A zone off the
+    // home shard needs the payload's refcount flipped atomic before the
+    // slice crosses; the flag is published by the same ring/barrier edge
+    // that publishes the message.
+    Datagram copy = datagram;
+    if (static_cast<int>(shard) != home_shard_) {
+      copy.payload.MarkCrossShard();
+    }
+    ZoneSink* sink = zone_sinks_[shard];
+    shards_->Post(home_shard_, static_cast<int>(shard), batch.min_arrival,
+                  [sink, d = std::move(copy),
+                   entries = std::move(batch.entries)]() mutable {
+                    sink->DeliverBatch(d, std::move(entries));
+                  });
+    batch.entries = std::vector<ZoneDeliveryEntry>();
   }
 }
 

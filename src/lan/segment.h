@@ -22,6 +22,28 @@
 namespace espk {
 
 class PacketTracer;
+class ShardGroup;
+
+// One member of a zone batch: which zone member the packet reached and
+// when. `arrival` differs across entries only when jitter is configured;
+// the batch itself is delivered at the earliest entry's arrival and the
+// sink defers later entries itself.
+struct ZoneDeliveryEntry {
+  int member = 0;
+  SimTime arrival = 0;
+};
+
+// Receiver of zone-batched deliveries (implemented by SpeakerZone in
+// src/speaker — declared here so the lan layer needs no speaker
+// dependency). DeliverBatch runs on the zone's shard at the earliest
+// arrival in `entries`; the payload slice is shared, not copied, and is
+// already MarkCrossShard()ed when the zone lives off the sender's shard.
+class ZoneSink {
+ public:
+  virtual ~ZoneSink() = default;
+  virtual void DeliverBatch(const Datagram& datagram,
+                            std::vector<ZoneDeliveryEntry> entries) = 0;
+};
 
 struct SegmentConfig {
   // 100 Mbps fast Ethernet by default; the paper's problem case is a legacy
@@ -86,12 +108,38 @@ class EthernetSegment {
   // from IGMP, and what MSNIP would let a server ask for (§4.3).
   size_t GroupMemberCount(GroupId group) const;
 
+  // ---------------------------------------------- sharded fleet routing --
+  // The fleet-scale runtime (src/sim/shard.h) splits receivers into zones,
+  // each living on its own shard. The segment itself (and every sender)
+  // stays on `home_shard`; deliveries to zone-assigned NICs are batched —
+  // ONE cross-shard message per (packet, zone) carrying the shared payload
+  // slice plus a per-member entry list — instead of one event per receiver.
+  // Loss and jitter are still drawn per receiver in NIC creation order on
+  // the home shard, so the PRNG stream is bit-identical to the unsharded
+  // run. Requires shards->lookahead() <= base_delay (asserted): that is
+  // what makes every arrival land at or after the epoch barrier.
+  void EnableSharding(ShardGroup* shards, int home_shard);
+  // Installs the sink that receives zone batches for `shard`.
+  void RegisterZoneSink(int shard, ZoneSink* sink);
+  // Routes `nic` through the zone path: deliveries go to shard `shard`'s
+  // sink tagged with `member` instead of the NIC's receive handler. Zone
+  // NICs are receive-only (speakers) and must not change group membership
+  // mid-run — the membership check runs on the home shard.
+  void AssignZone(SimNic* nic, int shard, int member);
+
  private:
   friend class SimNic;
 
   void Transmit(const Datagram& datagram);
   void DeliverTo(SimNic* nic, const Datagram& datagram, SimTime arrival);
+  void FlushZoneBatches(const Datagram& datagram);
   void Detach(SimNic* nic);
+
+  // Per-Transmit accumulator for one zone's deliveries of one packet.
+  struct ZoneBatch {
+    std::vector<ZoneDeliveryEntry> entries;
+    SimTime min_arrival = 0;
+  };
 
   Simulation* sim_;
   SegmentConfig config_;
@@ -102,6 +150,10 @@ class EthernetSegment {
   NodeId next_node_ = 1;
   SimTime medium_free_at_ = 0;  // CSMA-free abstraction: FIFO serialization.
   std::vector<SimNic*> nics_;
+  ShardGroup* shards_ = nullptr;  // Null: classic single-loop delivery.
+  int home_shard_ = 0;
+  std::vector<ZoneSink*> zone_sinks_;  // Indexed by shard.
+  std::vector<ZoneBatch> zone_batches_;  // Scratch, reused per Transmit.
 };
 
 class SimNic : public Transport {
@@ -126,6 +178,16 @@ class SimNic : public Transport {
   uint64_t packets_received() const { return packets_received_; }
   uint64_t bytes_received() const { return bytes_received_; }
 
+  // Zone identity when routed through the sharded path (-1 = classic).
+  int zone_shard() const { return zone_shard_; }
+  int zone_member() const { return zone_member_; }
+  // Called by the zone sink in place of HandleArrival so receive-side
+  // accounting stays truthful on the batched path.
+  void NoteZoneDelivery(size_t bytes) {
+    ++packets_received_;
+    bytes_received_ += bytes;
+  }
+
  private:
   friend class EthernetSegment;
 
@@ -137,6 +199,8 @@ class SimNic : public Transport {
   ReceiveHandler handler_;
   uint64_t packets_received_ = 0;
   uint64_t bytes_received_ = 0;
+  int zone_shard_ = -1;
+  int zone_member_ = -1;
 };
 
 }  // namespace espk

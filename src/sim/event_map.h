@@ -1,0 +1,161 @@
+// Open-addressing id -> callback table for the simulation's pending-event
+// storage. The std::unordered_map it replaces allocated one node per
+// scheduled event and rehashed mid-storm once the fleet's per-packet
+// callbacks (thousands live at once at 10k speakers) crossed its load
+// factor — both costs land on the hot ScheduleAt/RunOne path.
+// bench_fleet's JSON carries the per-event scheduling cost this table (plus
+// the timer wheel) buys back; see the "callback_map" note there.
+//
+// Design: power-of-two capacity, Fibonacci-hashed ids, linear probing with
+// backward-shift deletion (no tombstones, so lookups never degrade after
+// churn), and the std::function stored inline in the slot (no node
+// allocation; an insert allocates only when the table grows).
+//
+// Keys are Simulation event ids, which start at 1 — id 0 is the empty-slot
+// sentinel. Growth doubles at 50% load; a table that emptied out after a
+// burst shrinks (at 1/8 load, halving, never below the initial capacity) so
+// a one-off 10k-event spike doesn't pin the table's high-water memory for
+// the rest of the run.
+#ifndef SRC_SIM_EVENT_MAP_H_
+#define SRC_SIM_EVENT_MAP_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace espk {
+
+class EventMap {
+ public:
+  using Callback = std::function<void()>;
+
+  EventMap() : slots_(kMinCapacity), mask_(kMinCapacity - 1) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  // `id` must be non-zero and not already present.
+  void Insert(uint64_t id, Callback cb) {
+    assert(id != 0);
+    if ((size_ + 1) * 2 > slots_.size()) {
+      Rehash(slots_.size() * 2);
+    }
+    size_t i = IndexFor(id);
+    while (slots_[i].id != 0) {
+      assert(slots_[i].id != id && "duplicate event id");
+      i = (i + 1) & mask_;
+    }
+    slots_[i].id = id;
+    slots_[i].cb = std::move(cb);
+    ++size_;
+  }
+
+  bool Contains(uint64_t id) const { return Find(id) != kNotFound; }
+
+  // Removes `id`, moving its callback into `*out`. Returns false (leaving
+  // `*out` untouched) when absent — the Cancel-then-pop path.
+  bool Take(uint64_t id, Callback* out) {
+    const size_t i = Find(id);
+    if (i == kNotFound) {
+      return false;
+    }
+    *out = std::move(slots_[i].cb);
+    EraseAt(i);
+    return true;
+  }
+
+  bool Erase(uint64_t id) {
+    const size_t i = Find(id);
+    if (i == kNotFound) {
+      return false;
+    }
+    EraseAt(i);
+    return true;
+  }
+
+ private:
+  struct Slot {
+    uint64_t id = 0;  // 0 = empty.
+    Callback cb;
+  };
+
+  static constexpr size_t kMinCapacity = 64;  // Power of two.
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+
+  size_t IndexFor(uint64_t id) const {
+    // Fibonacci hashing: sequential ids (which Simulation hands out) spread
+    // across the table instead of marching through one probe neighborhood.
+    return static_cast<size_t>((id * UINT64_C(0x9E3779B97F4A7C15)) >>
+                               (64 - std::countr_zero(slots_.size()))) &
+           mask_;
+  }
+
+  size_t Find(uint64_t id) const {
+    assert(id != 0);
+    size_t i = IndexFor(id);
+    while (slots_[i].id != 0) {
+      if (slots_[i].id == id) {
+        return i;
+      }
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  // Backward-shift deletion: walk the probe chain after the hole and pull
+  // back every entry whose home slot lies cyclically outside (hole, probe],
+  // i.e. entries the hole would otherwise cut off from lookup.
+  void EraseAt(size_t hole) {
+    size_t probe = hole;
+    for (;;) {
+      probe = (probe + 1) & mask_;
+      if (slots_[probe].id == 0) {
+        break;
+      }
+      const size_t home = IndexFor(slots_[probe].id);
+      const bool home_in_gap = hole <= probe
+                                   ? (home > hole && home <= probe)
+                                   : (home > hole || home <= probe);
+      if (!home_in_gap) {
+        slots_[hole] = std::move(slots_[probe]);
+        hole = probe;
+      }
+    }
+    slots_[hole].id = 0;
+    slots_[hole].cb = nullptr;
+    --size_;
+    if (slots_.size() > kMinCapacity && size_ * 8 < slots_.size()) {
+      Rehash(slots_.size() / 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    for (Slot& s : old) {
+      if (s.id == 0) {
+        continue;
+      }
+      size_t i = IndexFor(s.id);
+      while (slots_[i].id != 0) {
+        i = (i + 1) & mask_;
+      }
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_;
+  size_t size_ = 0;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SIM_EVENT_MAP_H_

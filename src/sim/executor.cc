@@ -1,0 +1,110 @@
+#include "src/sim/executor.h"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace espk {
+namespace {
+
+void PinToCore(std::thread& t, int core) {
+#if defined(__linux__)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core) % cores, &set);
+  // Best-effort: a restricted cpuset just leaves the thread unpinned.
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+Executor::Executor(int threads, bool pin_threads)
+    : participants_(std::max(1, threads)) {
+  const int extra = std::max(0, threads - 1);
+  workers_.reserve(static_cast<size_t>(extra));
+  for (int i = 0; i < extra; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
+    if (pin_threads) {
+      PinToCore(workers_.back(), i + 1);
+    }
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void Executor::RunSlice(int participant, int participants, int n,
+                        const std::function<void(int)>& fn) {
+  for (int i = participant; i < n; i += participants) {
+    fn(i);
+  }
+}
+
+void Executor::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    RunSlice(0, 1, n, fn);
+    return;
+  }
+  const int participants = thread_count();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_n_ = n;
+    outstanding_ = static_cast<int>(workers_.size());
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  RunSlice(0, participants, n, fn);  // The caller is participant 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_fn_ = nullptr;
+}
+
+void Executor::WorkerLoop(int worker_index) {
+  const int participants = participants_;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || job_generation_ != seen_generation;
+      });
+      if (stopping_) {
+        return;
+      }
+      seen_generation = job_generation_;
+      fn = job_fn_;
+      n = job_n_;
+    }
+    RunSlice(worker_index, participants, n, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+}  // namespace espk

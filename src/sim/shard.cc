@@ -1,0 +1,177 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+
+#include "src/base/buffer.h"
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace espk {
+namespace {
+
+int ClampThreads(const ShardGroup::Options& options) {
+  return std::max(1, std::min(options.threads, options.shards));
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(const Options& options)
+    : lookahead_(options.lookahead),
+      executor_(ClampThreads(options), options.pin_threads) {
+  assert(options.shards >= 1);
+  assert(options.lookahead > 0);
+  const size_t n = static_cast<size_t>(options.shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(static_cast<int>(i), options.engine));
+  }
+  links_.resize(n * n);  // Diagonal stays null; a shard never posts itself.
+  for (size_t src = 0; src < n; ++src) {
+    for (size_t dst = 0; dst < n; ++dst) {
+      if (src != dst) {
+        links_[src * n + dst] = std::make_unique<Link>(options.inbox_capacity);
+      }
+    }
+  }
+  drain_scratch_.resize(n);
+}
+
+ShardGroup::~ShardGroup() = default;
+
+void ShardGroup::Post(int src, int dst, SimTime at, std::function<void()> fn) {
+  assert(src >= 0 && src < shard_count());
+  assert(dst >= 0 && dst < shard_count());
+  if (src == dst) {
+    shards_[static_cast<size_t>(src)]->sim()->ScheduleAt(at, std::move(fn));
+    return;
+  }
+  assert(at >= epoch_end_ &&
+         "cross-shard post inside the current epoch violates lookahead");
+  Link& link = LinkFor(src, dst);
+  Message m;
+  m.at = at;
+  m.src = static_cast<uint32_t>(src);
+  m.seq = link.next_seq++;
+  m.fn = std::move(fn);
+  ++link.posted;
+  if (!link.ring.TryPush(std::move(m))) {
+    ++link.spilled;
+    link.spill.push_back(std::move(m));
+  }
+}
+
+SimTime ShardGroup::NextEventTime() {
+  SimTime next = Simulation::kNoPendingEvent;
+  for (auto& shard : shards_) {
+    next = std::min(next, shard->sim()->next_pending_time());
+  }
+  return next;
+}
+
+void ShardGroup::RunEpoch(SimTime epoch_end) {
+  epoch_end_ = epoch_end;
+  const int n = shard_count();
+  executor_.ParallelFor(n, [&](int s) {
+    // The owner scope arms the debug-build assertion that catches unmarked
+    // Buffers leaking across shards (src/base/buffer.h) — it works even
+    // when every shard runs on this one thread.
+    BufferOwnerScope scope(static_cast<uint32_t>(s) + 1);
+    shards_[static_cast<size_t>(s)]->sim()->RunUntil(epoch_end);
+  });
+  // Barrier passed: every shard is parked at epoch_end and nobody is
+  // producing. Drain and schedule the messages each shard received.
+  executor_.ParallelFor(n, [&](int dst) {
+    BufferOwnerScope scope(static_cast<uint32_t>(dst) + 1);
+    DrainInto(dst);
+  });
+  now_ = epoch_end;
+  ++epochs_run_;
+}
+
+void ShardGroup::DrainInto(int dst) {
+  std::vector<Message>& scratch = drain_scratch_[static_cast<size_t>(dst)];
+  scratch.clear();
+  const int n = shard_count();
+  for (int src = 0; src < n; ++src) {
+    if (src == dst) {
+      continue;
+    }
+    Link& link = LinkFor(src, dst);
+    Message m;
+    while (link.ring.TryPop(&m)) {
+      scratch.push_back(std::move(m));
+    }
+    for (Message& spilled : link.spill) {
+      scratch.push_back(std::move(spilled));
+    }
+    link.spill.clear();
+  }
+  if (scratch.empty()) {
+    return;
+  }
+  // (at, src, per-link seq) is a total order independent of thread timing —
+  // the whole determinism story rests on sorting by it before scheduling.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Message& a, const Message& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  Simulation* sim = shards_[static_cast<size_t>(dst)]->sim();
+  for (Message& m : scratch) {
+    assert(m.at >= sim->now() && "drained message landed in the past");
+    sim->ScheduleAt(m.at, std::move(m.fn));
+  }
+  scratch.clear();
+}
+
+void ShardGroup::RunUntil(SimTime t) {
+  assert(t >= now_ && "cannot run the group clock backwards");
+  while (now_ < t) {
+    // Any epoch end <= next_event + lookahead is conservative: events exist
+    // only at >= next_event, and a message posted by an event at time tau
+    // lands at >= tau + lookahead.
+    const SimTime next = NextEventTime();
+    SimTime epoch_end = t;
+    if (next != Simulation::kNoPendingEvent && next <= t - lookahead_) {
+      epoch_end = std::max(next + lookahead_, now_ + lookahead_);
+    }
+    RunEpoch(std::min(epoch_end, t));
+  }
+}
+
+void ShardGroup::RunUntilIdle() {
+  for (;;) {
+    const SimTime next = NextEventTime();
+    if (next == Simulation::kNoPendingEvent) {
+      return;  // No events anywhere and every inbox drained at the barrier.
+    }
+    assert(next <= std::numeric_limits<SimTime>::max() - lookahead_);
+    RunEpoch(std::max(next, now_) + lookahead_);
+  }
+}
+
+uint64_t ShardGroup::ring_spills() const {
+  uint64_t total = 0;
+  for (const auto& link : links_) {
+    if (link) {
+      total += link->spilled;
+    }
+  }
+  return total;
+}
+
+uint64_t ShardGroup::messages_posted() const {
+  uint64_t total = 0;
+  for (const auto& link : links_) {
+    if (link) {
+      total += link->posted;
+    }
+  }
+  return total;
+}
+
+}  // namespace espk

@@ -1,0 +1,162 @@
+// Sharded simulation runtime: per-zone event loops synchronized by a
+// conservative lookahead barrier. Each Shard owns a Simulation (its own
+// virtual clock + timer wheel) hosting one zone of the fleet; a ShardGroup
+// advances all shards in lockstep epochs and ferries cross-shard work
+// through SPSC rings.
+//
+// Conservative PDES, concretely: the only way shards influence each other
+// is Post(src, dst, at, fn) — deliver `fn` on shard `dst` at time `at` —
+// and every post promises at >= the current epoch's end (asserted). That
+// promise holds because cross-shard interaction in this system is packet
+// delivery over the simulated segment, whose propagation delay is at least
+// `lookahead` (the ShardGroup is configured with lookahead = the minimum
+// cross-shard link latency, 50 us for the paper's LAN). So an epoch of
+// [T, T+lookahead) can run on every shard with no incoming information:
+// anything a peer sends during the epoch lands at or after T+lookahead.
+// At the epoch barrier each shard drains its inboxes, sorts the messages
+// by (at, src shard, per-link seq) — a total, platform-independent order —
+// and schedules them locally. Results are therefore deterministic and
+// bit-identical run-to-run AND identical whether the group runs on one
+// thread or many (tests/shard_test.cc holds both).
+//
+// Idle stretches don't cost epochs: the epoch planner asks every shard for
+// its next pending event time and extends the epoch to cover dead air
+// (an epoch may end at next_event + lookahead, not merely now + lookahead,
+// because a message posted by an event at time t lands at >= t + lookahead).
+//
+// Memory model: during an epoch, shard i's state is touched only by the
+// executor thread running shard i. The SPSC rings (src/base/spsc_queue.h)
+// carry the fast-path handoff with acquire/release; a ring that fills spills
+// into a plain per-link vector, which is safe without a lock because
+// producers append only during the run phase and consumers drain only after
+// the barrier — the executor's barrier provides the happens-before edge.
+#ifndef SRC_SIM_SHARD_H_
+#define SRC_SIM_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/spsc_queue.h"
+#include "src/base/time_types.h"
+#include "src/sim/executor.h"
+#include "src/sim/simulation.h"
+
+namespace espk {
+
+// One zone's event loop. Thin: identity plus a Simulation; all cross-shard
+// machinery lives in ShardGroup.
+class Shard {
+ public:
+  Shard(int id, QueueEngine engine) : id_(id), sim_(engine) {}
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  int id() const { return id_; }
+  Simulation* sim() { return &sim_; }
+  const Simulation* sim() const { return &sim_; }
+
+ private:
+  int id_;
+  Simulation sim_;
+};
+
+class ShardGroup {
+ public:
+  struct Options {
+    int shards = 1;
+    // Epoch length = the minimum latency of any cross-shard interaction.
+    // Must be positive; posting with at < epoch end asserts.
+    SimDuration lookahead = Microseconds(50);
+    // Executor width including the caller; clamped to [1, shards]. 1 means
+    // fully inline (no threads) — same results either way.
+    int threads = 1;
+    bool pin_threads = false;
+    QueueEngine engine = QueueEngine::kTimerWheel;
+    // Per-link SPSC ring capacity (messages); overflow spills to a vector.
+    size_t inbox_capacity = 1024;
+  };
+
+  explicit ShardGroup(const Options& options);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Shard* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+  Simulation* sim(int i) { return shard(i)->sim(); }
+  SimDuration lookahead() const { return lookahead_; }
+
+  // The group clock: every shard's now() equals this between epochs.
+  SimTime now() const { return now_; }
+
+  // Deliver `fn` on shard `dst` at absolute time `at`. Callable only from
+  // code running on shard `src` during an epoch (or from outside RunUntil
+  // entirely, e.g. test setup). at must be >= the current epoch's end for
+  // src != dst; a same-shard post is just a local ScheduleAt.
+  void Post(int src, int dst, SimTime at, std::function<void()> fn);
+
+  // Advances every shard to exactly time t (epoch loop with barriers).
+  void RunUntil(SimTime t);
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  // Epoch loop until every shard is out of events and no message is in
+  // flight; the group clock ends at the last event's time.
+  void RunUntilIdle();
+
+  // Observability for tests and bench: epochs executed so far, total
+  // cross-shard messages, and how many overflowed a ring into the spill
+  // vector. The counters are aggregated from per-link producer-owned
+  // fields, so call these between runs, not mid-epoch.
+  uint64_t epochs_run() const { return epochs_run_; }
+  uint64_t ring_spills() const;
+  uint64_t messages_posted() const;
+
+ private:
+  struct Message {
+    SimTime at = 0;
+    uint32_t src = 0;
+    uint64_t seq = 0;  // Per (src, dst) link, assigned by the producer.
+    std::function<void()> fn;
+  };
+  // One directed link src -> dst. The ring is the fast path; `spill` takes
+  // overflow and is phase-separated (write in run phase, read in drain
+  // phase) rather than locked.
+  struct Link {
+    explicit Link(size_t capacity) : ring(capacity) {}
+    SpscQueue<Message> ring;
+    std::vector<Message> spill;
+    // Producer-owned bookkeeping (only the src shard's thread touches it
+    // during an epoch; the barrier publishes it to everyone else).
+    uint64_t next_seq = 0;
+    uint64_t posted = 0;
+    uint64_t spilled = 0;
+  };
+
+  Link& LinkFor(int src, int dst) {
+    return *links_[static_cast<size_t>(src) * shards_.size() +
+                   static_cast<size_t>(dst)];
+  }
+  // Runs one epoch ending at `epoch_end`, including the drain phase.
+  void RunEpoch(SimTime epoch_end);
+  void DrainInto(int dst);
+  // Earliest pending event across shards, kNoPendingEvent when none.
+  SimTime NextEventTime();
+
+  SimDuration lookahead_;
+  SimTime now_ = 0;
+  SimTime epoch_end_ = 0;  // Valid during RunEpoch; read by Post asserts.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Link>> links_;  // shards x shards, diag unused.
+  Executor executor_;
+  uint64_t epochs_run_ = 0;
+  // Per-destination merge buffer, reused across epochs (drain of shard d
+  // touches only drain_scratch_[d]).
+  std::vector<std::vector<Message>> drain_scratch_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SIM_SHARD_H_

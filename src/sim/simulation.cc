@@ -2,19 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace espk {
 
 Simulation::EventHandle Simulation::ScheduleAt(SimTime at, Callback cb) {
   assert(cb && "scheduling a null callback");
-  Event ev;
+  TimerEntry ev;
   ev.time = std::max(at, now_);
   ev.seq = next_seq_++;
   ev.id = next_id_++;
   EventHandle handle{ev.id};
-  callbacks_.emplace(ev.id, std::move(cb));
-  queue_.push(ev);
+  callbacks_.Insert(ev.id, std::move(cb));
+  if (engine_ == QueueEngine::kTimerWheel) {
+    wheel_.Schedule(ev);
+  } else {
+    queue_.push(ev);
+  }
   return handle;
 }
 
@@ -24,21 +29,30 @@ Simulation::EventHandle Simulation::ScheduleAfter(SimDuration delay,
 }
 
 bool Simulation::Cancel(EventHandle handle) {
-  // Erasing the map entry destroys the callback (and any state it captured)
-  // right now; the queued stub is skipped when it eventually pops.
-  return handle.valid() && callbacks_.erase(handle.id) > 0;
+  // Erasing the table entry destroys the callback (and any state it
+  // captured) right now; the queued stub is skipped when it eventually pops.
+  return handle.valid() && callbacks_.Erase(handle.id);
+}
+
+bool Simulation::PopNext(SimTime limit, TimerEntry* out) {
+  if (engine_ == QueueEngine::kTimerWheel) {
+    return wheel_.PopEarliest(limit, out);
+  }
+  if (queue_.empty() || queue_.top().time > limit) {
+    return false;
+  }
+  *out = queue_.top();
+  queue_.pop();
+  return true;
 }
 
 bool Simulation::RunOne() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {
+  TimerEntry ev;
+  while (PopNext(std::numeric_limits<SimTime>::max(), &ev)) {
+    Callback cb;
+    if (!callbacks_.Take(ev.id, &cb)) {
       continue;  // Cancelled: only the stub was left behind.
     }
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
     assert(ev.time >= now_ && "event queue went backwards");
     now_ = ev.time;
     ++events_processed_;
@@ -55,21 +69,29 @@ void Simulation::Run() {
 
 void Simulation::RunUntil(SimTime t) {
   assert(t >= now_ && "cannot run the clock backwards");
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (callbacks_.count(top.id) == 0) {
-      queue_.pop();  // Cancelled stub.
-      continue;
+  TimerEntry ev;
+  while (PopNext(t, &ev)) {
+    Callback cb;
+    if (!callbacks_.Take(ev.id, &cb)) {
+      continue;  // Cancelled stub.
     }
-    if (top.time > t) {
-      break;
-    }
-    RunOne();
+    assert(ev.time >= now_ && "event queue went backwards");
+    now_ = ev.time;
+    ++events_processed_;
+    cb();
   }
   now_ = t;
 }
 
 void Simulation::RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+SimTime Simulation::next_pending_time() {
+  if (engine_ == QueueEngine::kTimerWheel) {
+    TimerEntry e;
+    return wheel_.PeekEarliest(&e) ? e.time : kNoPendingEvent;
+  }
+  return queue_.empty() ? kNoPendingEvent : queue_.top().time;
+}
 
 PeriodicTask::PeriodicTask(Simulation* sim, SimDuration period,
                            TickCallback cb)

@@ -8,18 +8,35 @@
 // Events scheduled at the same instant run in scheduling order (stable FIFO),
 // which the protocol relies on ("everybody receives a multicast packet at the
 // same time", §3.2).
+//
+// Two interchangeable queue engines implement that contract:
+//   - kTimerWheel (default): hashed hierarchical timer wheel
+//     (src/sim/timer_wheel.h) + open-addressing callback table
+//     (src/sim/event_map.h). O(1) schedule, no per-event node allocation —
+//     what the fleet-scale sharded runtime runs on.
+//   - kBinaryHeap: the original std::priority_queue engine. Kept as the
+//     reference implementation: tests run the wheel against it as an
+//     ordering oracle, and bench_fleet reports the wheel's win over it.
+// Both engines produce bit-identical pop order (time, then scheduling
+// order); the choice is pure mechanics, never semantics.
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "src/base/time_types.h"
+#include "src/sim/event_map.h"
+#include "src/sim/timer_wheel.h"
 
 namespace espk {
+
+enum class QueueEngine {
+  kTimerWheel,
+  kBinaryHeap,
+};
 
 class Simulation {
  public:
@@ -32,10 +49,12 @@ class Simulation {
   };
 
   Simulation() = default;
+  explicit Simulation(QueueEngine engine) : engine_(engine) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime now() const { return now_; }
+  QueueEngine queue_engine() const { return engine_; }
 
   // Schedules `cb` to run at absolute time `at` (clamped to now).
   EventHandle ScheduleAt(SimTime at, Callback cb);
@@ -46,7 +65,7 @@ class Simulation {
   // event is a harmless no-op. Returns true if the event was still pending.
   // The callback — and whatever state it captured — is destroyed here, not
   // when the event's deadline would have popped: callbacks live out-of-line
-  // in an id-keyed map, and only a small (time, seq, id) stub stays queued.
+  // in an id-keyed table, and only a small (time, seq, id) stub stays queued.
   bool Cancel(EventHandle handle);
 
   // Runs the single earliest event; returns false if the queue is empty.
@@ -64,17 +83,17 @@ class Simulation {
   size_t pending_events() const { return callbacks_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  // Lower bound on the time of the next live event: the earliest queued
+  // stub, which may belong to an already-cancelled event (so the true next
+  // event can only be later, never earlier). kNoPendingEvent when nothing
+  // is queued. The sharded runtime's epoch planner uses this to jump over
+  // idle stretches instead of grinding lookahead-sized epochs through them.
+  static constexpr SimTime kNoPendingEvent = INT64_MAX;
+  SimTime next_pending_time();
+
  private:
-  // The queue holds only trivially-copyable stubs; the callback lives in
-  // callbacks_ until the event runs or is cancelled. A popped stub with no
-  // map entry is a cancelled event's residue and is skipped.
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // Tie-breaker: FIFO among same-time events.
-    uint64_t id;
-  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
       if (a.time != b.time) {
         return a.time > b.time;
       }
@@ -82,12 +101,20 @@ class Simulation {
     }
   };
 
+  // Pops the earliest stub with time <= limit from whichever engine is
+  // active; false when none qualifies. A popped stub whose id is no longer
+  // in callbacks_ is a cancelled event's residue and must be skipped.
+  bool PopNext(SimTime limit, TimerEntry* out);
+
+  QueueEngine engine_ = QueueEngine::kTimerWheel;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_map<uint64_t, Callback> callbacks_;  // Pending events only.
+  TimerWheel wheel_;  // kTimerWheel engine.
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, Later>
+      queue_;             // kBinaryHeap engine.
+  EventMap callbacks_;    // Pending events only.
 };
 
 // Repeats a callback with a fixed period until stopped. The callback receives

@@ -64,8 +64,15 @@ void EthernetSpeaker::NotePlay(SimTime at, size_t sample_count) {
 }
 
 void EthernetSpeaker::OnDatagram(const Datagram& datagram) {
-  ++stats_.packets_received;
   Result<ParsedPacket> parsed = ParsePacket(datagram.payload);
+  PendingDecode pending;
+  IngestParsed(parsed, &pending);
+  CommitDecode(std::move(pending));
+}
+
+void EthernetSpeaker::IngestParsed(const Result<ParsedPacket>& parsed,
+                                   PendingDecode* out) {
+  ++stats_.packets_received;
   if (!parsed.ok()) {
     // Damaged or non-protocol datagram: integrity check failed (§5.1).
     ++stats_.bad_packets;
@@ -78,10 +85,32 @@ void EthernetSpeaker::OnDatagram(const Datagram& datagram) {
   if (const auto* control = std::get_if<ControlPacket>(&parsed->packet)) {
     HandleControl(*control);
   } else if (const auto* data = std::get_if<DataPacket>(&parsed->packet)) {
-    HandleData(*data);
+    HandleData(*data, out);
   }
   // Announce packets are handled by the catalog browser (src/mgmt), not by
   // the playback path.
+}
+
+void EthernetSpeaker::CommitDecode(PendingDecode pending) {
+  if (!pending.valid) {
+    return;
+  }
+  const SimTime decode_done = pending.decode_done;
+  sim_->ScheduleAt(decode_done, [this, pending = std::move(pending)] {
+    PendingPlay play;
+    RunDecode(pending, &play);
+    CommitPlay(std::move(play));
+  });
+}
+
+void EthernetSpeaker::CommitPlay(PendingPlay play) {
+  if (!play.valid) {
+    return;
+  }
+  const SimTime at = play.at;
+  sim_->ScheduleAt(at, [this, play = std::move(play)]() mutable {
+    RunPlay(std::move(play));
+  });
 }
 
 void EthernetSpeaker::HandleControl(const ControlPacket& packet) {
@@ -134,7 +163,8 @@ void EthernetSpeaker::Trace(uint32_t stream_id, uint32_t seq,
   }
 }
 
-void EthernetSpeaker::HandleData(const DataPacket& packet) {
+void EthernetSpeaker::HandleData(const DataPacket& packet,
+                                 PendingDecode* out) {
   ++stats_.data_packets;
   Trace(packet.stream_id, packet.seq, TraceStage::kSpeakerReceive);
   if (!config_.has_value()) {
@@ -186,36 +216,36 @@ void EthernetSpeaker::HandleData(const DataPacket& packet) {
   // the pipeline as a slice of the arrival buffer (no copy, and the slice
   // keeps that buffer alive) until the decode stage actually runs.
   queued_pcm_bytes_ += decoded_bytes;
-  uint32_t stream_id = packet.stream_id;
-  uint32_t seq = packet.seq;
-  sim_->ScheduleAt(decode_done, [this, stream_id, seq, local_deadline,
-                                 payload = packet.payload, decoded_bytes] {
-    FinishDecode(stream_id, seq, local_deadline, payload, decoded_bytes);
-  });
+  out->valid = true;
+  out->decode_done = decode_done;
+  out->stream_id = packet.stream_id;
+  out->seq = packet.seq;
+  out->local_deadline = local_deadline;
+  out->payload = packet.payload;
+  out->decoded_bytes = decoded_bytes;
 }
 
-void EthernetSpeaker::FinishDecode(uint32_t stream_id, uint32_t seq,
-                                   SimTime local_deadline,
-                                   const BufferSlice& payload,
-                                   size_t decoded_bytes) {
+void EthernetSpeaker::RunDecode(const PendingDecode& pending,
+                                PendingPlay* out_play) {
   if (decoder_ == nullptr || recorder_ == nullptr) {
-    queued_pcm_bytes_ -= decoded_bytes;
+    queued_pcm_bytes_ -= pending.decoded_bytes;
     return;  // Channel was re-tuned while the chunk was in the pipeline.
   }
-  Result<std::vector<float>> samples = decoder_->DecodePacket(payload);
+  Result<std::vector<float>> samples = decoder_->DecodePacket(pending.payload);
   if (!samples.ok()) {
     ++stats_.decode_errors;
-    queued_pcm_bytes_ -= decoded_bytes;
+    queued_pcm_bytes_ -= pending.decoded_bytes;
     return;
   }
-  OnDecodeComplete(stream_id, seq, local_deadline, std::move(*samples),
-                   decoded_bytes);
+  OnDecodeComplete(pending.stream_id, pending.seq, pending.local_deadline,
+                   std::move(*samples), pending.decoded_bytes, out_play);
 }
 
 void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
                                        SimTime local_deadline,
                                        std::vector<float> samples,
-                                       size_t decoded_bytes) {
+                                       size_t decoded_bytes,
+                                       PendingPlay* out_play) {
   if (recorder_ == nullptr) {
     queued_pcm_bytes_ -= decoded_bytes;
     return;  // Channel was re-tuned while the chunk was in the pipeline.
@@ -254,19 +284,23 @@ void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
   }
   // Early: sleep until it is time to play. The chunk keeps occupying the
   // jitter buffer until it leaves the speaker.
-  sim_->ScheduleAt(local_deadline,
-                   [this, stream_id, seq, local_deadline,
-                    samples = std::move(samples), decoded_bytes]() mutable {
-                     queued_pcm_bytes_ -= decoded_bytes;
-                     if (recorder_ == nullptr) {
-                       return;
-                     }
-                     ++stats_.chunks_played;
-                     NotePlay(local_deadline, samples.size());
-                     Trace(stream_id, seq, TraceStage::kPlay);
-                     recorder_->Play(local_deadline, std::move(samples),
-                                     options_.gain);
-                   });
+  out_play->valid = true;
+  out_play->at = local_deadline;
+  out_play->stream_id = stream_id;
+  out_play->seq = seq;
+  out_play->samples = std::move(samples);
+  out_play->decoded_bytes = decoded_bytes;
+}
+
+void EthernetSpeaker::RunPlay(PendingPlay play) {
+  queued_pcm_bytes_ -= play.decoded_bytes;
+  if (recorder_ == nullptr) {
+    return;
+  }
+  ++stats_.chunks_played;
+  NotePlay(play.at, play.samples.size());
+  Trace(play.stream_id, play.seq, TraceStage::kPlay);
+  recorder_->Play(play.at, std::move(play.samples), options_.gain);
 }
 
 }  // namespace espk

@@ -25,8 +25,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/audio/format.h"
+#include "src/base/buffer.h"
 #include "src/codec/codec.h"
 #include "src/lan/transport.h"
 #include "src/proto/wire.h"
@@ -66,6 +68,33 @@ struct SpeakerOptions {
   // early, > sync_epsilon = dropped).
   PacketTracer* tracer = nullptr;
   HistogramMetric* lateness_histogram = nullptr;
+};
+
+// A data packet that cleared admission (dedup, overflow, config checks) and
+// now owes the pipeline a decode at `decode_done`. The classic path wraps
+// one of these in its own scheduled event per packet; the sharded zone path
+// (src/speaker/speaker_zone.h) groups the whole zone's same-instant decodes
+// into ONE event — that batching is where the fleet runtime's per-speaker
+// cost collapses. `valid` is false when the packet was dropped at admission.
+struct PendingDecode {
+  bool valid = false;
+  SimTime decode_done = 0;
+  uint32_t stream_id = 0;
+  uint32_t seq = 0;
+  SimTime local_deadline = 0;
+  BufferSlice payload;  // Zero-copy slice of the arrival buffer.
+  size_t decoded_bytes = 0;
+};
+
+// A decoded chunk that arrived early and owes the pipeline a playout at
+// `at` (its local deadline). Same batching story as PendingDecode.
+struct PendingPlay {
+  bool valid = false;
+  SimTime at = 0;
+  uint32_t stream_id = 0;
+  uint32_t seq = 0;
+  std::vector<float> samples;
+  size_t decoded_bytes = 0;
 };
 
 struct SpeakerStats {
@@ -124,18 +153,35 @@ class EthernetSpeaker {
   // forward non-management traffic here.
   void HandleDatagram(const Datagram& datagram) { OnDatagram(datagram); }
 
+  // ------------------------------------------ batched pipeline surface --
+  // The sharded zone path parses a multicast packet ONCE per zone and feeds
+  // the shared result to every member through these three stages; the
+  // classic per-datagram path (OnDatagram) is built from exactly the same
+  // stages, so the two are behaviorally identical by construction — the
+  // property the 1-shard-vs-N-shard determinism test pins.
+
+  // Stage 1, at arrival time: admission (stats, auth, control handling,
+  // dedup/overflow checks). Fills `*out` with the decode obligation for an
+  // admitted data packet; out->valid stays false otherwise.
+  void IngestParsed(const Result<ParsedPacket>& parsed, PendingDecode* out);
+  // Stage 2, at pending.decode_done: decode + deadline triage. An
+  // early-arriving chunk becomes a playout obligation in `*out_play`;
+  // on-time chunks play here, late ones drop here.
+  void RunDecode(const PendingDecode& pending, PendingPlay* out_play);
+  // Stage 3, at play.at: render an early chunk at its deadline.
+  void RunPlay(PendingPlay play);
+
  private:
   void OnDatagram(const Datagram& datagram);
   void HandleControl(const ControlPacket& packet);
-  void HandleData(const DataPacket& packet);
-  // Runs when the serialized decode stage finishes: the buffered packet held
-  // only a payload slice until now (zero-copy jitter buffer); this decodes
-  // it and hands the samples to the playout logic.
-  void FinishDecode(uint32_t stream_id, uint32_t seq, SimTime local_deadline,
-                    const BufferSlice& payload, size_t decoded_bytes);
+  void HandleData(const DataPacket& packet, PendingDecode* out);
+  // Classic-path continuations: wrap a pending obligation in its own
+  // scheduled event (the zone path groups instead).
+  void CommitDecode(PendingDecode pending);
+  void CommitPlay(PendingPlay play);
   void OnDecodeComplete(uint32_t stream_id, uint32_t seq,
                         SimTime local_deadline, std::vector<float> samples,
-                        size_t decoded_bytes);
+                        size_t decoded_bytes, PendingPlay* out_play);
   void Trace(uint32_t stream_id, uint32_t seq, TraceStage stage);
   // Accounts playout-timeline gaps: a chunk of `sample_count` samples
   // started rendering at `at`.

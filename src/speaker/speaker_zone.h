@@ -1,0 +1,73 @@
+// SpeakerZone: one shard's batch receiver for the fleet-scale runtime.
+//
+// The classic delivery path costs one scheduled event + one packet parse
+// per speaker per packet. A zone collapses that to per-PACKET cost: the
+// segment hands the zone ONE message carrying the shared payload slice and
+// a member list (src/lan/segment.h ZoneSink); the zone parses once, runs
+// every member's admission stage inline, then schedules ONE event per
+// distinct decode-completion instant and ONE per distinct playout instant
+// for the whole zone. On a symmetric fleet (same codec config, idle
+// pipelines) those instants coincide across members, so a 1000-speaker
+// zone rides three events per packet instead of three thousand.
+//
+// Every member stage is the speaker's own batched pipeline surface
+// (IngestParsed / RunDecode / RunPlay — src/speaker/speaker.h), the same
+// stages the classic path wraps one-per-event, so zone playback is
+// behaviorally identical to classic playback by construction.
+#ifndef SRC_SPEAKER_SPEAKER_ZONE_H_
+#define SRC_SPEAKER_SPEAKER_ZONE_H_
+
+#include <vector>
+
+#include "src/lan/segment.h"
+#include "src/proto/wire.h"
+#include "src/sim/simulation.h"
+#include "src/speaker/speaker.h"
+
+namespace espk {
+
+class SpeakerZone : public ZoneSink {
+ public:
+  explicit SpeakerZone(Simulation* sim) : sim_(sim) {}
+
+  // Registers a member and returns its index (the `member` tag the segment
+  // stamps on deliveries via AssignZone). The zone borrows both pointers;
+  // the caller keeps them alive for the zone's lifetime.
+  int AddSpeaker(SimNic* nic, EthernetSpeaker* speaker);
+  size_t size() const { return members_.size(); }
+
+  // ZoneSink: runs on this zone's shard at the batch's earliest arrival.
+  void DeliverBatch(const Datagram& datagram,
+                    std::vector<ZoneDeliveryEntry> entries) override;
+
+ private:
+  struct Member {
+    SimNic* nic = nullptr;
+    EthernetSpeaker* speaker = nullptr;
+  };
+  struct DecodeJob {
+    EthernetSpeaker* speaker = nullptr;
+    PendingDecode pending;
+  };
+  struct PlayJob {
+    EthernetSpeaker* speaker = nullptr;
+    PendingPlay play;
+  };
+
+  // Admission for one member at its arrival instant; appends the decode
+  // obligation (if the packet was accepted) to `jobs`.
+  void Ingest(const Member& member, const Datagram& datagram,
+              const Result<ParsedPacket>& parsed, std::vector<DecodeJob>* jobs);
+  // Groups jobs by decode_done / play-at instant and schedules one event
+  // per distinct instant — the zone path's whole reason to exist.
+  void ScheduleDecodeGroups(std::vector<DecodeJob> jobs);
+  void RunDecodeGroup(std::vector<DecodeJob> jobs);
+  void SchedulePlayGroups(std::vector<PlayJob> jobs);
+
+  Simulation* sim_;
+  std::vector<Member> members_;
+};
+
+}  // namespace espk
+
+#endif  // SRC_SPEAKER_SPEAKER_ZONE_H_
