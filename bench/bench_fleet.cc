@@ -30,6 +30,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/core/system.h"
@@ -43,6 +44,8 @@ constexpr int kZones = 4;
 constexpr int kSpeakersSmall = 100;
 constexpr int kSpeakersMid = 1000;
 constexpr int kSpeakersLarge = 10000;
+constexpr int kMultiChannels = 4;
+constexpr int kSpeakersMulti = 400;  // 100 per channel, round-robin zones.
 
 struct FleetMeasurement {
   int speakers = 0;
@@ -84,6 +87,71 @@ FleetMeasurement MeasureFleet(int speakers, int zones, int sim_ms) {
            .ok()) {
     std::fprintf(stderr, "FAIL: player did not start\n");
     std::exit(1);
+  }
+
+  const auto t0 = Clock::now();
+  system.RunUntil(Milliseconds(sim_ms));
+  const auto t1 = Clock::now();
+
+  FleetMeasurement m;
+  m.speakers = speakers;
+  m.zones = zones;
+  m.deliveries = system.lan()->stats().deliveries;
+  m.messages_posted = system.shards()->messages_posted();
+  for (const auto& speaker : system.speakers()) {
+    m.chunks_played += speaker->stats().chunks_played;
+  }
+  const double wall_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  m.wall_ms = wall_ns / 1e6;
+  if (m.deliveries > 0) {
+    m.ns_per_delivery = wall_ns / static_cast<double>(m.deliveries);
+    m.packets_per_sec = static_cast<double>(m.deliveries) / (wall_ns / 1e9);
+  }
+  return m;
+}
+
+// Multi-channel tier: `channels` concurrent streams with the speaker fleet
+// spread across them round-robin, so each zone carries a mix of groups and
+// the segment's fan-out filters per (group, member) — the service-plane
+// configuration the subscription directory manages. Classic vs sharded must
+// still agree exactly.
+FleetMeasurement MeasureMultiChannelFleet(int channels, int speakers,
+                                          int zones, int sim_ms) {
+  using Clock = std::chrono::steady_clock;
+  SystemOptions options;
+  options.sharded.zones = zones;
+  options.sharded.threads = 1;
+  EthernetSpeakerSystem system(options);
+
+  std::vector<Channel*> fleet_channels;
+  for (int c = 0; c < channels; ++c) {
+    RebroadcasterOptions rb;
+    rb.codec_override = CodecId::kRaw;
+    rb.packet_frames = 32;
+    fleet_channels.push_back(
+        *system.CreateChannel("music-" + std::to_string(c), rb));
+  }
+  SpeakerOptions so;
+  so.decode_speed_factor = 0.02;
+  for (int i = 0; i < speakers; ++i) {
+    so.name = "es-" + std::to_string(i);
+    (void)*system.AddSpeaker(
+        so, fleet_channels[static_cast<size_t>(i % channels)]->group);
+  }
+  for (int c = 0; c < channels; ++c) {
+    PlayerAppOptions opts;
+    opts.config = AudioConfig::PhoneQuality();
+    opts.chunk_frames = 1600;
+    if (!system
+             .StartPlayer(fleet_channels[static_cast<size_t>(c)],
+                          std::make_unique<MusicLikeGenerator>(
+                              31 + static_cast<uint64_t>(c)),
+                          opts)
+             .ok()) {
+      std::fprintf(stderr, "FAIL: player %d did not start\n", c);
+      std::exit(1);
+    }
   }
 
   const auto t0 = Clock::now();
@@ -219,6 +287,46 @@ int RunFleetBench(bool quick) {
     }
   }
 
+  // Multi-channel tier: 4 channels x 4 zones. Each zone carries all four
+  // groups, so the zone handoff path filters per (group, member subset).
+  const int multi_sim_ms = quick ? 1000 : 2000;
+  FleetMeasurement multi_classic = MeasureMultiChannelFleet(
+      kMultiChannels, kSpeakersMulti, 1, multi_sim_ms);
+  FleetMeasurement multi_sharded = MeasureMultiChannelFleet(
+      kMultiChannels, kSpeakersMulti, kZones, multi_sim_ms);
+  const double multi_speedup =
+      multi_classic.packets_per_sec > 0.0
+          ? multi_sharded.packets_per_sec / multi_classic.packets_per_sec
+          : 0.0;
+  table.Row({std::to_string(kSpeakersMulti) + "/4ch", "classic",
+             std::to_string(multi_classic.deliveries),
+             Fmt(multi_classic.wall_ms, 1),
+             Fmt(multi_classic.ns_per_delivery / 1000.0),
+             Fmt(multi_classic.packets_per_sec / 1e6) + "M", "1.00"});
+  table.Row({std::to_string(kSpeakersMulti) + "/4ch",
+             std::to_string(kZones) + " zones",
+             std::to_string(multi_sharded.deliveries),
+             Fmt(multi_sharded.wall_ms, 1),
+             Fmt(multi_sharded.ns_per_delivery / 1000.0),
+             Fmt(multi_sharded.packets_per_sec / 1e6) + "M",
+             Fmt(multi_speedup)});
+  if (multi_classic.deliveries == 0 ||
+      multi_classic.deliveries != multi_sharded.deliveries ||
+      multi_classic.chunks_played != multi_sharded.chunks_played) {
+    std::fprintf(stderr,
+                 "FAIL: multi-channel tier diverged: %llu/%llu deliveries, "
+                 "%llu/%llu chunks\n",
+                 static_cast<unsigned long long>(multi_classic.deliveries),
+                 static_cast<unsigned long long>(multi_sharded.deliveries),
+                 static_cast<unsigned long long>(multi_classic.chunks_played),
+                 static_cast<unsigned long long>(multi_sharded.chunks_played));
+    return 1;
+  }
+  if (multi_sharded.messages_posted == 0) {
+    std::fprintf(stderr, "FAIL: multi-channel tier zone path not exercised\n");
+    return 1;
+  }
+
   const int engine_events = quick ? 100000 : 400000;
   const double heap_ns =
       MeasureEngineNsPerEvent(QueueEngine::kBinaryHeap, engine_events);
@@ -257,6 +365,13 @@ int RunFleetBench(bool quick) {
            sharded[2].packets_per_sec / classic[2].packets_per_sec);
   json.Num("classic_ns_per_delivery_large", classic[2].ns_per_delivery);
   json.Num("sharded_ns_per_delivery_large", sharded[2].ns_per_delivery);
+  json.Int("multichannel_channels", kMultiChannels);
+  json.Int("multichannel_speakers", kSpeakersMulti);
+  json.Int("multichannel_deliveries", multi_classic.deliveries);
+  json.Int("multichannel_sharded_deliveries", multi_sharded.deliveries);
+  json.Num("multichannel_classic_pps", multi_classic.packets_per_sec);
+  json.Num("multichannel_sharded_pps", multi_sharded.packets_per_sec);
+  json.Num("multichannel_speedup", multi_speedup);
   json.Num("wheel_ns_per_event", wheel_ns);
   json.Num("heap_ns_per_event", heap_ns);
   if (!json.WriteFile("BENCH_fleet.json")) {

@@ -162,6 +162,13 @@ const char* const kFleetNumericFields[] = {
     "speedup_large",
     "classic_ns_per_delivery_large",
     "sharded_ns_per_delivery_large",
+    "multichannel_channels",
+    "multichannel_speakers",
+    "multichannel_deliveries",
+    "multichannel_sharded_deliveries",
+    "multichannel_classic_pps",
+    "multichannel_sharded_pps",
+    "multichannel_speedup",
     "wheel_ns_per_event",
     "heap_ns_per_event",
 };
@@ -371,6 +378,18 @@ void CheckFleet(Gate* gate, const JsonObject& current,
   if (g.Number(current, current_path, "sharded_messages_posted_mid") <= 0.0) {
     g.Fail("sharded mode posted no cross-shard messages; the zone path "
            "did not run");
+  }
+  // The multi-channel tier (several groups per zone) must obey the same
+  // determinism contract.
+  const double multi_classic =
+      g.Number(current, current_path, "multichannel_deliveries");
+  const double multi_sharded =
+      g.Number(current, current_path, "multichannel_sharded_deliveries");
+  if (multi_classic <= 0.0 || multi_classic != multi_sharded) {
+    g.Fail("multichannel_deliveries " + std::to_string(multi_classic) +
+           " != multichannel_sharded_deliveries " +
+           std::to_string(multi_sharded) +
+           "; the multi-channel modes diverged");
   }
   // The headline claim. A same-process ratio, so no noise margin: both
   // sides see the same machine conditions.

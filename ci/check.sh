@@ -28,6 +28,10 @@
 #   6. latency_budget golden-output check: same discipline for the span
 #      plane — critical-path tables, the resolved deadline-miss exemplar
 #      tree, and the sampler counters must be byte-identical across runs.
+#   7. subscriptions golden-output check: the service plane's who-hears-what
+#      view (directory registrations, runtime subscribe/unsubscribe churn,
+#      zone policy enforcement, the dashboard section splice) must be
+#      byte-identical across runs.
 #
 # Usage: ci/check.sh [jobs]     (default: nproc)
 set -euo pipefail
@@ -35,14 +39,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/6] Debug + ASan/UBSan: configure, build, ctest"
+echo "==> [1/7] Debug + ASan/UBSan: configure, build, ctest"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DESPK_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "==> [2/6] TSan: sharded runtime suite under ThreadSanitizer"
+echo "==> [2/7] TSan: sharded runtime suite under ThreadSanitizer"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESPK_SANITIZE=thread
@@ -51,34 +55,41 @@ cmake --build build-tsan -j "$JOBS" --target \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'spsc_queue_test|timer_wheel_test|shard_test|sharded_determinism_test'
 
-echo "==> [3/6] Release: configure, build, bench smoke gate"
+echo "==> [3/7] Release: configure, build, bench smoke gate"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 ctest --test-dir build-release --output-on-failure -j "$JOBS"
 
-echo "==> [4/6] Release example smoke run"
+echo "==> [4/7] Release example smoke run"
 EXAMPLES_DIR="$(pwd)/build-release/examples"
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 for example in quickstart building_pa internet_radio netboot_demo \
                secure_stream health_monitor fleet_dashboard \
-               latency_budget; do
+               latency_budget subscriptions; do
   echo "--> examples/$example"
   (cd "$SCRATCH" && "$EXAMPLES_DIR/$example" > "$example.out")
 done
 
-echo "==> [5/6] fleet_dashboard golden-output check"
+echo "==> [5/7] fleet_dashboard golden-output check"
 if ! diff -u ci/golden/fleet_dashboard.out "$SCRATCH/fleet_dashboard.out"; then
   echo "FAIL: fleet_dashboard output drifted from ci/golden/fleet_dashboard.out"
   exit 1
 fi
 echo "--> fleet_dashboard output matches golden"
 
-echo "==> [6/6] latency_budget golden-output check"
+echo "==> [6/7] latency_budget golden-output check"
 if ! diff -u ci/golden/latency_budget.out "$SCRATCH/latency_budget.out"; then
   echo "FAIL: latency_budget output drifted from ci/golden/latency_budget.out"
   exit 1
 fi
 echo "--> latency_budget output matches golden"
+
+echo "==> [7/7] subscriptions golden-output check"
+if ! diff -u ci/golden/subscriptions.out "$SCRATCH/subscriptions.out"; then
+  echo "FAIL: subscriptions output drifted from ci/golden/subscriptions.out"
+  exit 1
+fi
+echo "--> subscriptions output matches golden"
 
 echo "==> ci/check.sh: all stages passed"

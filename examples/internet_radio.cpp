@@ -75,7 +75,7 @@ int main() {
   SpeakerOptions so;
   so.name = "es-lounge";
   so.decode_speed_factor = 0.1;
-  EthernetSpeaker* speaker = *system.AddSpeaker(so, /*group=*/0);
+  EthernetSpeaker* speaker = *system.AddSpeaker(so);
   CatalogBrowser browser(system.sim(), system.NicOf(speaker));
   // The browser took over the NIC handler; forward audio to the speaker.
   system.NicOf(speaker)->SetReceiveHandler([&](const Datagram& d) {

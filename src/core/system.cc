@@ -158,7 +158,17 @@ Result<Channel*> EthernetSpeakerSystem::CreateChannel(
   auto channel = std::make_unique<Channel>();
   channel->name = name;
   channel->stream_id = next_stream_id_++;
-  channel->group = next_group_++;
+  // The directory owns group allocation: channels are streams first, and
+  // every consumer (speakers, the dashboard, zone policies) resolves them
+  // by name through it.
+  Result<const StreamRecord*> record = directory_.RegisterStream(
+      name, channel->stream_id,
+      rb_options.codec_override.value_or(CodecId::kRaw));
+  if (!record.ok()) {
+    --next_stream_id_;
+    return record.status();
+  }
+  channel->group = (*record)->group;
   int index = static_cast<int>(channel->stream_id) - 1;
   channel->slave_path = "/dev/vads" + std::to_string(index);
 
@@ -240,6 +250,20 @@ Result<PlayerApp*> EthernetSpeakerSystem::StartPlayer(
 
 Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
     SpeakerOptions options, GroupId group) {
+  if (directory_.FindByGroup(group) == nullptr) {
+    return NotFoundError("no registered stream on group " +
+                         std::to_string(group) +
+                         " (create the channel before its speakers)");
+  }
+  Result<EthernetSpeaker*> speaker = AddSpeaker(std::move(options));
+  if (speaker.ok()) {
+    ESPK_RETURN_IF_ERROR((*speaker)->Subscribe(group));
+  }
+  return speaker;
+}
+
+Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
+    SpeakerOptions options) {
   auto nic = lan_.CreateNic();
   const size_t index = speakers_.size();
   // Zone placement: block or round-robin per the sharded config. The
@@ -266,9 +290,6 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
       "early)");
   auto speaker =
       std::make_unique<EthernetSpeaker>(zone_sim, nic.get(), options);
-  if (group != 0) {
-    ESPK_RETURN_IF_ERROR(speaker->Tune(group));
-  }
   if (shards_.shard_count() > 1) {
     // Route this NIC through the zone's batch sink: one delivery event per
     // (packet, zone) instead of one per speaker. Every zone, including
@@ -304,6 +325,10 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
       "speaker.silence_ms",
       [sp] { return static_cast<double>(sp->stats().silence_ns) / 1e6; },
       "Cumulative dead air between played chunks (ms)");
+  station->GetGauge(
+      "speaker.subscriptions",
+      [sp] { return static_cast<double>(sp->subscriptions().size()); },
+      "Concurrently subscribed streams");
   AliasStationEntries(station, "speaker.",
                       "speaker." + std::to_string(index) + ".");
   speaker_nics_.push_back(std::move(nic));
@@ -444,6 +469,49 @@ HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
   return health_.get();
 }
 
+Status EthernetSpeakerSystem::SubscribeSpeaker(size_t speaker_index,
+                                               const std::string& stream) {
+  if (speaker_index >= speakers_.size()) {
+    return NotFoundError("no speaker " + std::to_string(speaker_index));
+  }
+  ESPK_RETURN_IF_ERROR(
+      directory_.CheckSubscription(stream, ZoneOf(speaker_index)));
+  const StreamRecord* record = directory_.FindByName(stream);
+  return speakers_[speaker_index]->Subscribe(record->group);
+}
+
+Status EthernetSpeakerSystem::UnsubscribeSpeaker(size_t speaker_index,
+                                                 const std::string& stream) {
+  if (speaker_index >= speakers_.size()) {
+    return NotFoundError("no speaker " + std::to_string(speaker_index));
+  }
+  const StreamRecord* record = directory_.FindByName(stream);
+  if (record == nullptr) {
+    return NotFoundError("no stream named " + stream);
+  }
+  return speakers_[speaker_index]->Unsubscribe(record->group);
+}
+
+void EthernetSpeakerSystem::RefreshDirectory() {
+  std::vector<SpeakerBindingView> bindings;
+  bindings.reserve(speakers_.size());
+  for (size_t i = 0; i < speakers_.size(); ++i) {
+    SpeakerBindingView binding;
+    binding.name = "es-" + std::to_string(i);
+    binding.zone = is_sharded() ? ZoneOf(i) : -1;
+    for (GroupId group : speakers_[i]->subscriptions()) {
+      const StreamSession* session = speakers_[i]->session(group);
+      SpeakerSubscriptionView sub;
+      sub.group = group;
+      sub.chunks_played = session->stats().chunks_played;
+      sub.late_drops = session->stats().late_drops;
+      binding.subs.push_back(sub);
+    }
+    bindings.push_back(std::move(binding));
+  }
+  directory_.UpdateBindings(std::move(bindings));
+}
+
 SimNic* EthernetSpeakerSystem::NicOf(const EthernetSpeaker* speaker) {
   for (size_t i = 0; i < speakers_.size(); ++i) {
     if (speakers_[i].get() == speaker) {
@@ -464,22 +532,38 @@ EthernetSpeakerSystem::SyncReport EthernetSpeakerSystem::MeasureSync(
     for (size_t j = i + 1; j < speakers_.size(); ++j) {
       EthernetSpeaker* a = speakers_[i].get();
       EthernetSpeaker* b = speakers_[j].get();
-      if (!a->ready() || !b->ready() ||
-          a->config()->sample_rate != b->config()->sample_rate) {
-        continue;
+      // Compare per stream: align the pair on the first group BOTH are
+      // subscribed to with a ready session and matching sample rate.
+      // Cross-correlating speakers on different channels would measure the
+      // programs' similarity, not playout skew.
+      const StreamSession* sa = nullptr;
+      const StreamSession* sb = nullptr;
+      for (GroupId group : a->subscriptions()) {
+        const StreamSession* ca = a->session(group);
+        const StreamSession* cb = b->session(group);
+        if (cb == nullptr || !ca->ready() || !cb->ready() ||
+            ca->config()->sample_rate != cb->config()->sample_rate) {
+          continue;
+        }
+        sa = ca;
+        sb = cb;
+        break;
       }
-      std::vector<float> wa = a->output()->Render(from, window);
-      std::vector<float> wb = b->output()->Render(from, window);
+      if (sa == nullptr) {
+        continue;  // No common ready stream.
+      }
+      std::vector<float> wa = sa->output()->Render(from, window);
+      std::vector<float> wb = sb->output()->Render(from, window);
       if (Rms(wa) < 1e-5 || Rms(wb) < 1e-5) {
         continue;  // One of them played nothing in the window.
       }
       int64_t max_lag =
-          DurationToFrames(max_skew_search, a->config()->sample_rate) *
-          a->config()->channels;
+          DurationToFrames(max_skew_search, sa->config()->sample_rate) *
+          sa->config()->channels;
       AlignmentResult alignment = FindAlignment(wa, wb, max_lag);
       double skew = std::abs(static_cast<double>(alignment.lag)) /
-                    a->config()->channels /
-                    static_cast<double>(a->config()->sample_rate);
+                    sa->config()->channels /
+                    static_cast<double>(sa->config()->sample_rate);
       report.max_skew_seconds = std::max(report.max_skew_seconds, skew);
       report.min_correlation =
           std::min(report.min_correlation, alignment.correlation);

@@ -15,6 +15,7 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/vad.h"
 #include "src/lan/segment.h"
+#include "src/mgmt/directory.h"
 #include "src/obs/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/spans/plane.h"
@@ -165,9 +166,11 @@ class EthernetSpeakerSystem {
   // Allocates a fresh simulated process id.
   Pid NewPid() { return next_pid_++; }
 
-  // Creates a channel: registers /dev/vadsN + /dev/vadmN, attaches a NIC
-  // for the producer, and starts a rebroadcaster. Overrides of stream_id /
-  // group / channel_name in `rb_options` are ignored (assigned here).
+  // Creates a channel: registers the stream in the subscription directory
+  // (which allocates its multicast group), registers /dev/vadsN +
+  // /dev/vadmN, attaches a NIC for the producer, and starts a
+  // rebroadcaster. Overrides of stream_id / group / channel_name in
+  // `rb_options` are ignored (assigned here). Channel names must be unique.
   Result<Channel*> CreateChannel(const std::string& name,
                                  RebroadcasterOptions rb_options = {},
                                  VadOptions vad_options = {});
@@ -178,9 +181,29 @@ class EthernetSpeakerSystem {
                                  std::unique_ptr<SignalGenerator> generator,
                                  PlayerAppOptions options);
 
-  // Adds a speaker with its own NIC, tuned to `group` (pass 0 to leave it
-  // untuned). Owned by the system.
+  // Adds a speaker with its own NIC, unsubscribed. Owned by the system.
+  Result<EthernetSpeaker*> AddSpeaker(SpeakerOptions options);
+  // Adds a speaker subscribed to `group`, which must belong to a stream
+  // registered in the directory (i.e. a channel created before the
+  // speaker).
   Result<EthernetSpeaker*> AddSpeaker(SpeakerOptions options, GroupId group);
+
+  // ------------------------------------------------- subscription plane --
+  // The named-stream registry: every channel is registered here at
+  // creation; zone routing policies and the who-hears-what view live here.
+  SubscriptionDirectory* directory() { return &directory_; }
+
+  // Subscribes/unsubscribes speaker `index` to the named stream, enforcing
+  // the stream's zone routing policy against the speaker's zone. Safe to
+  // call between runs on a sharded system (membership marshals through the
+  // segment's join-latency machinery).
+  Status SubscribeSpeaker(size_t speaker_index, const std::string& stream);
+  Status UnsubscribeSpeaker(size_t speaker_index, const std::string& stream);
+
+  // Pushes the live per-speaker subscription state (groups + per-stream
+  // counters) into the directory so RenderWhoHearsWhat reflects this
+  // instant. Call between runs, not mid-epoch.
+  void RefreshDirectory();
 
   const std::vector<std::unique_ptr<Channel>>& channels() const {
     return channels_;
@@ -199,11 +222,14 @@ class EthernetSpeakerSystem {
     double min_correlation = 1.0;        // Weakest pairwise correlation.
     int speaker_pairs = 0;
   };
-  // Cross-correlates ready speakers' rendered output over [from,
-  // from+window] — the measured inter-speaker skew of §3.2. Only speakers
-  // with matching sample rates are compared. With `all_pairs` false, each
-  // speaker is compared against the first ready one only (O(n) — for large
-  // fleets; pairwise skew is then bounded by twice the reported maximum).
+  // Cross-correlates speakers' rendered output over [from, from+window] —
+  // the measured inter-speaker skew of §3.2. A pair is compared only on a
+  // stream BOTH are subscribed to (the first common ready group in the
+  // earlier speaker's subscription order, matching sample rates): aligning
+  // two speakers playing different channels would report meaningless skew.
+  // With `all_pairs` false, each speaker is compared against the first
+  // ready one only (O(n) — for large fleets; pairwise skew is then bounded
+  // by twice the reported maximum).
   SyncReport MeasureSync(SimTime from, SimDuration window,
                          SimDuration max_skew_search = Milliseconds(250),
                          bool all_pairs = true);
@@ -236,7 +262,10 @@ class EthernetSpeakerSystem {
   EthernetSegment lan_;
   Pid next_pid_ = 1000;
   uint32_t next_stream_id_ = 1;
-  GroupId next_group_ = kFirstChannelGroup;
+  // Allocates channel groups and holds the who-hears-what view. Declared
+  // before the component vectors; it holds no pointers into them (bindings
+  // are pushed copies).
+  SubscriptionDirectory directory_;
   // Station registries own per-component metrics that components (and the
   // aliases in metrics_) point into; declared before the component vectors
   // so every instrumented component unwinds first.

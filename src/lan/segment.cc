@@ -46,6 +46,35 @@ void EthernetSegment::AssignZone(SimNic* nic, int shard, int member) {
   nic->zone_member_ = member;
 }
 
+void EthernetSegment::RequestMembership(SimNic* nic, GroupId group,
+                                        bool join) {
+  auto apply = [nic, group, join] {
+    if (join) {
+      nic->groups_.insert(group);
+    } else {
+      nic->groups_.erase(group);
+    }
+  };
+  const bool off_home = shards_ != nullptr && nic->zone_shard_ >= 0 &&
+                        nic->zone_shard_ != home_shard_;
+  if (off_home && shards_->in_epoch()) {
+    // Zone shard asking mid-epoch: marshal the mutation to the home shard,
+    // where Transmit reads membership. Deferring by at least the lookahead
+    // keeps the Post legal; matching that deferral in the classic path is
+    // why cross-mode determinism needs join_latency >= lookahead.
+    Simulation* src_sim = shards_->sim(nic->zone_shard_);
+    const SimTime at =
+        src_sim->now() + std::max(config_.join_latency, shards_->lookahead());
+    shards_->Post(nic->zone_shard_, home_shard_, at, std::move(apply));
+    return;
+  }
+  if (config_.join_latency == 0) {
+    apply();
+    return;
+  }
+  sim_->ScheduleAt(sim_->now() + config_.join_latency, std::move(apply));
+}
+
 size_t EthernetSegment::GroupMemberCount(GroupId group) const {
   size_t count = 0;
   for (const SimNic* nic : nics_) {
@@ -177,14 +206,16 @@ Status SimNic::JoinGroup(GroupId group) {
   if (group == 0) {
     return InvalidArgumentError("group 0 is reserved for unicast");
   }
-  groups_.insert(group);
+  desired_groups_.insert(group);
+  segment_->RequestMembership(this, group, /*join=*/true);
   return OkStatus();
 }
 
 Status SimNic::LeaveGroup(GroupId group) {
-  if (groups_.erase(group) == 0) {
+  if (desired_groups_.erase(group) == 0) {
     return NotFoundError("not a member of group " + std::to_string(group));
   }
+  segment_->RequestMembership(this, group, /*join=*/false);
   return OkStatus();
 }
 

@@ -62,6 +62,14 @@ struct SegmentConfig {
   // Transmit queue cap: packets that would queue more than this many bytes
   // behind the current transmission are dropped (tail drop).
   size_t tx_queue_limit = 256 * 1024;
+  // IGMP-ish latency between a membership request (JoinGroup/LeaveGroup)
+  // and the change taking effect on segment fan-out — the first-hop
+  // switch's snooping/report delay. 0 = immediate (the historical
+  // behaviour). On a sharded run, membership changes requested from a
+  // zone shard are additionally deferred by at least the epoch lookahead
+  // so they apply on the home shard past the barrier; set join_latency >=
+  // lookahead to make subscription churn bit-identical across shardings.
+  SimDuration join_latency = 0;
   uint64_t seed = 12345;
 };
 
@@ -123,13 +131,20 @@ class EthernetSegment {
   void RegisterZoneSink(int shard, ZoneSink* sink);
   // Routes `nic` through the zone path: deliveries go to shard `shard`'s
   // sink tagged with `member` instead of the NIC's receive handler. Zone
-  // NICs are receive-only (speakers) and must not change group membership
-  // mid-run — the membership check runs on the home shard.
+  // NICs may join/leave groups mid-run: the membership check runs on the
+  // home shard, so a request from the zone's shard is marshalled there via
+  // the epoch barrier and takes effect after max(join_latency, lookahead)
+  // (see RequestMembership below).
   void AssignZone(SimNic* nic, int shard, int member);
 
  private:
   friend class SimNic;
 
+  // Applies a join/leave on the NIC's effective membership set, honoring
+  // the join-latency knob and — for zone NICs off the home shard during an
+  // epoch — marshalling the mutation to the home shard (where Transmit
+  // reads membership) via the barrier, deferred by at least the lookahead.
+  void RequestMembership(SimNic* nic, GroupId group, bool join);
   void Transmit(const Datagram& datagram);
   void DeliverTo(SimNic* nic, const Datagram& datagram, SimTime arrival);
   void FlushZoneBatches(const Datagram& datagram);
@@ -162,6 +177,9 @@ class SimNic : public Transport {
   ~SimNic() override;
 
   NodeId node_id() const override { return node_; }
+  // Membership requests validate and record intent synchronously (double
+  // join is idempotent; leaving a never-requested group is NotFound), then
+  // take effect on fan-out after the segment's join_latency.
   Status JoinGroup(GroupId group) override;
   Status LeaveGroup(GroupId group) override;
   using Transport::SendMulticast;
@@ -172,6 +190,8 @@ class SimNic : public Transport {
                      TraceTag trace) override;
   void SetReceiveHandler(ReceiveHandler handler) override;
 
+  // Effective membership — what fan-out sees. Lags requested membership by
+  // the segment's join_latency (and, sharded, by the epoch barrier).
   bool IsJoined(GroupId group) const { return groups_.count(group) > 0; }
 
   // Receive-side accounting for experiments.
@@ -195,7 +215,12 @@ class SimNic : public Transport {
 
   EthernetSegment* segment_;
   NodeId node_;
+  // Effective membership, mutated only on the segment's home shard (where
+  // Transmit reads it). `desired_groups_` is the caller-side view, updated
+  // synchronously at request time for join/leave validation; the two sets
+  // coincide whenever join_latency is 0 on an unsharded run.
   std::set<GroupId> groups_;
+  std::set<GroupId> desired_groups_;
   ReceiveHandler handler_;
   uint64_t packets_received_ = 0;
   uint64_t bytes_received_ = 0;

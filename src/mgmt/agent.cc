@@ -196,6 +196,9 @@ Oid MibOidName() { return EspkOid({1, 1}); }
 Oid MibOidVolume() { return EspkOid({1, 2}); }
 Oid MibOidChannel() { return EspkOid({1, 3}); }
 Oid MibOidOverride() { return EspkOid({1, 4}); }
+Oid MibOidSubscriptions() { return EspkOid({1, 5}); }
+Oid MibOidSubscribe() { return EspkOid({1, 6}); }
+Oid MibOidUnsubscribe() { return EspkOid({1, 7}); }
 Oid MibOidChunksPlayed() { return EspkOid({2, 1}); }
 Oid MibOidLateDrops() { return EspkOid({2, 2}); }
 Oid MibOidPacketsReceived() { return EspkOid({2, 3}); }
@@ -280,6 +283,46 @@ void SpeakerAgent::BuildMib() {
              return speaker_->Untune();
            }
            return speaker_->Tune(previous);
+         } catch (const std::exception&) {
+           return InvalidArgumentError("not a group id: " + v);
+         }
+       }});
+  mib_.Register(MibOidSubscriptions(),
+                {"subscribed multicast groups, comma-joined",
+                 [this] {
+                   std::string joined;
+                   for (GroupId group : speaker_->subscriptions()) {
+                     if (!joined.empty()) {
+                       joined += ",";
+                     }
+                     joined += std::to_string(group);
+                   }
+                   return joined;
+                 },
+                 nullptr});
+  mib_.Register(
+      MibOidSubscribe(),
+      {"add a subscription (set a group id; get = subscription count)",
+       [this] { return std::to_string(speaker_->subscriptions().size()); },
+       [this](const std::string& v) {
+         try {
+           auto group = static_cast<GroupId>(std::stoul(v));
+           if (group == 0) {
+             return InvalidArgumentError("group 0 is reserved for unicast");
+           }
+           return speaker_->Subscribe(group);
+         } catch (const std::exception&) {
+           return InvalidArgumentError("not a group id: " + v);
+         }
+       }});
+  mib_.Register(
+      MibOidUnsubscribe(),
+      {"drop a subscription (set a group id; get = subscription count)",
+       [this] { return std::to_string(speaker_->subscriptions().size()); },
+       [this](const std::string& v) {
+         try {
+           auto group = static_cast<GroupId>(std::stoul(v));
+           return speaker_->Unsubscribe(group);
          } catch (const std::exception&) {
            return InvalidArgumentError("not a group id: " + v);
          }

@@ -182,8 +182,11 @@ class MgmtConsole {
 // OIDs of the speaker MIB (under the espk enterprise arc).
 Oid MibOidName();            // .1.1  name (ro)
 Oid MibOidVolume();          // .1.2  volume gain (rw)
-Oid MibOidChannel();         // .1.3  tuned group (rw; 0 = untuned)
+Oid MibOidChannel();         // .1.3  primary group (rw; 0 = untuned)
 Oid MibOidOverride();        // .1.4  override group (rw; 0 = restore)
+Oid MibOidSubscriptions();   // .1.5  subscribed groups, comma-joined (ro)
+Oid MibOidSubscribe();       // .1.6  set = add subscription to group
+Oid MibOidUnsubscribe();     // .1.7  set = drop subscription to group
 Oid MibOidChunksPlayed();    // .2.1  (ro)
 Oid MibOidLateDrops();       // .2.2  (ro)
 Oid MibOidPacketsReceived(); // .2.3  (ro)

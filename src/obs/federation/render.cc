@@ -126,6 +126,13 @@ std::string RenderFleetDashboard(const FleetStore& store, SimTime now,
       os << line << "\n";
     }
   }
+  for (const DashboardOptions::Section& section : options.sections) {
+    os << "## " << section.title << "\n";
+    os << section.body;
+    if (!section.body.empty() && section.body.back() != '\n') {
+      os << "\n";
+    }
+  }
   return os.str();
 }
 

@@ -24,6 +24,15 @@ std::string FederatedExposition(const FleetStore& store);
 struct DashboardOptions {
   // Queries rendered as sections under the station table, in order.
   std::vector<std::string> queries;
+  // Extra pre-rendered sections appended after the query sections: a `##
+  // title` header followed by the body verbatim. Lets callers splice in
+  // views the store doesn't hold (e.g. the subscription directory's
+  // who-hears-what) without this layer depending on theirs.
+  struct Section {
+    std::string title;
+    std::string body;
+  };
+  std::vector<Section> sections;
 };
 
 // Deterministic fleet overview: one row per station (state, data age,

@@ -73,6 +73,7 @@ SimTime ShardGroup::NextEventTime() {
 
 void ShardGroup::RunEpoch(SimTime epoch_end) {
   epoch_end_ = epoch_end;
+  in_epoch_ = true;
   const int n = shard_count();
   executor_.ParallelFor(n, [&](int s) {
     // The owner scope arms the debug-build assertion that catches unmarked
@@ -87,6 +88,7 @@ void ShardGroup::RunEpoch(SimTime epoch_end) {
     BufferOwnerScope scope(static_cast<uint32_t>(dst) + 1);
     DrainInto(dst);
   });
+  in_epoch_ = false;
   now_ = epoch_end;
   ++epochs_run_;
 }

@@ -92,6 +92,14 @@ class ShardGroup {
   // The group clock: every shard's now() equals this between epochs.
   SimTime now() const { return now_; }
 
+  // True while RunEpoch is executing shard events (run phase through drain).
+  // Lets callers holding both-mode code paths (e.g. segment membership
+  // changes) distinguish "running on a shard mid-epoch — must Post" from
+  // "setup code outside RunUntil — may mutate directly". Safe to read from
+  // shard threads: the flag flips only on the coordinating thread, and the
+  // executor's task handoff/barrier publishes it.
+  bool in_epoch() const { return in_epoch_; }
+
   // Deliver `fn` on shard `dst` at absolute time `at`. Callable only from
   // code running on shard `src` during an epoch (or from outside RunUntil
   // entirely, e.g. test setup). at must be >= the current epoch's end for
@@ -148,6 +156,7 @@ class ShardGroup {
   SimDuration lookahead_;
   SimTime now_ = 0;
   SimTime epoch_end_ = 0;  // Valid during RunEpoch; read by Post asserts.
+  bool in_epoch_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<Link>> links_;  // shards x shards, diag unused.
   Executor executor_;

@@ -1,7 +1,6 @@
 #include "src/speaker/speaker.h"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
 
 #include "src/base/logging.h"
@@ -17,61 +16,155 @@ EthernetSpeaker::EthernetSpeaker(Simulation* sim, Transport* nic,
       [this](const Datagram& datagram) { OnDatagram(datagram); });
 }
 
-Status EthernetSpeaker::Tune(GroupId group) {
-  if (group_.has_value()) {
-    ESPK_RETURN_IF_ERROR(Untune());
+EthernetSpeaker::~EthernetSpeaker() = default;
+
+Status EthernetSpeaker::Subscribe(GroupId group) {
+  if (sessions_.count(group) > 0) {
+    return AlreadyExistsError("already subscribed to group " +
+                              std::to_string(group));
   }
   ESPK_RETURN_IF_ERROR(nic_->JoinGroup(group));
-  group_ = group;
-  ResetChannelState();
+  sessions_[group] =
+      std::make_unique<StreamSession>(this, group, ++next_session_epoch_);
+  subscribe_order_.push_back(group);
   return OkStatus();
+}
+
+Status EthernetSpeaker::Unsubscribe(GroupId group) {
+  auto it = sessions_.find(group);
+  if (it == sessions_.end()) {
+    return NotFoundError("not subscribed to group " + std::to_string(group));
+  }
+  ESPK_RETURN_IF_ERROR(nic_->LeaveGroup(group));
+  // The session's share of the jitter buffer leaves with it; in-flight
+  // pipeline obligations carry its (now stale) epoch and become no-ops.
+  sessions_.erase(it);
+  subscribe_order_.erase(
+      std::find(subscribe_order_.begin(), subscribe_order_.end(), group));
+  if (sessions_.empty()) {
+    // Matches the historical Tune/Untune reset: an idle device's decode
+    // pipeline does not stay busy into its next subscription.
+    decode_busy_until_ = sim_->now();
+  }
+  return OkStatus();
+}
+
+Status EthernetSpeaker::Tune(GroupId group) {
+  while (!subscribe_order_.empty()) {
+    ESPK_RETURN_IF_ERROR(Unsubscribe(subscribe_order_.front()));
+  }
+  return Subscribe(group);
 }
 
 Status EthernetSpeaker::Untune() {
-  if (!group_.has_value()) {
+  if (subscribe_order_.empty()) {
     return FailedPreconditionError("not tuned to any channel");
   }
-  ESPK_RETURN_IF_ERROR(nic_->LeaveGroup(*group_));
-  group_.reset();
-  ResetChannelState();
+  while (!subscribe_order_.empty()) {
+    ESPK_RETURN_IF_ERROR(Unsubscribe(subscribe_order_.front()));
+  }
   return OkStatus();
 }
 
-void EthernetSpeaker::ResetChannelState() {
-  config_.reset();
-  decoder_.reset();
-  recorder_.reset();
-  control_seq_ = 0;
-  decode_busy_until_ = sim_->now();
-  queued_pcm_bytes_ = 0;
-  highest_seq_seen_ = 0;
-  any_data_seen_ = false;
-  last_play_end_ = 0;
+std::optional<GroupId> EthernetSpeaker::tuned_group() const {
+  if (subscribe_order_.empty()) {
+    return std::nullopt;
+  }
+  return subscribe_order_.front();
 }
 
-void EthernetSpeaker::NotePlay(SimTime at, size_t sample_count) {
-  if (last_play_end_ != 0 && at > last_play_end_) {
-    stats_.silence_ns += at - last_play_end_;
+StreamSession* EthernetSpeaker::FindSession(GroupId group) {
+  auto it = sessions_.find(group);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+StreamSession* EthernetSpeaker::session(GroupId group) {
+  return FindSession(group);
+}
+
+const StreamSession* EthernetSpeaker::session(GroupId group) const {
+  auto it = sessions_.find(group);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+StreamSession* EthernetSpeaker::primary() {
+  return subscribe_order_.empty()
+             ? nullptr
+             : sessions_.at(subscribe_order_.front()).get();
+}
+
+const StreamSession* EthernetSpeaker::primary() const {
+  return subscribe_order_.empty()
+             ? nullptr
+             : sessions_.at(subscribe_order_.front()).get();
+}
+
+OutputRecorder* EthernetSpeaker::output() {
+  StreamSession* p = primary();
+  return p == nullptr ? nullptr : p->output();
+}
+
+const std::optional<AudioConfig>& EthernetSpeaker::config() const {
+  const StreamSession* p = primary();
+  return p == nullptr ? no_config_ : p->config();
+}
+
+bool EthernetSpeaker::ready() const {
+  for (const auto& [group, session] : sessions_) {
+    if (session->ready()) {
+      return true;
+    }
   }
-  if (config_.has_value() && config_->sample_rate > 0 &&
-      config_->channels > 0) {
-    const int64_t frames =
-        static_cast<int64_t>(sample_count / config_->channels);
-    last_play_end_ = at + frames * 1'000'000'000 / config_->sample_rate;
-  } else {
-    last_play_end_ = at;
+  return false;
+}
+
+size_t EthernetSpeaker::queued_pcm_bytes() const {
+  size_t total = 0;
+  for (const auto& [group, session] : sessions_) {
+    total += session->queued_pcm_bytes();
   }
+  return total;
+}
+
+std::vector<float> EthernetSpeaker::RenderMix(SimTime from,
+                                              SimDuration duration) {
+  StreamSession* base = nullptr;
+  for (GroupId group : subscribe_order_) {
+    StreamSession* s = sessions_.at(group).get();
+    if (s->ready()) {
+      base = s;
+      break;
+    }
+  }
+  if (base == nullptr) {
+    return {};
+  }
+  std::vector<float> mix = base->output()->Render(from, duration);
+  for (GroupId group : subscribe_order_) {
+    StreamSession* s = sessions_.at(group).get();
+    if (s == base || !s->ready() ||
+        s->config()->sample_rate != base->config()->sample_rate ||
+        s->config()->channels != base->config()->channels) {
+      continue;
+    }
+    std::vector<float> other = s->output()->Render(from, duration);
+    const size_t n = std::min(mix.size(), other.size());
+    for (size_t i = 0; i < n; ++i) {
+      mix[i] += other[i];
+    }
+  }
+  return mix;
 }
 
 void EthernetSpeaker::OnDatagram(const Datagram& datagram) {
   Result<ParsedPacket> parsed = ParsePacket(datagram.payload);
   PendingDecode pending;
-  IngestParsed(parsed, &pending);
+  IngestParsed(parsed, datagram.group, &pending);
   CommitDecode(std::move(pending));
 }
 
 void EthernetSpeaker::IngestParsed(const Result<ParsedPacket>& parsed,
-                                   PendingDecode* out) {
+                                   GroupId group, PendingDecode* out) {
   ++stats_.packets_received;
   if (!parsed.ok()) {
     // Damaged or non-protocol datagram: integrity check failed (§5.1).
@@ -82,10 +175,16 @@ void EthernetSpeaker::IngestParsed(const Result<ParsedPacket>& parsed,
     ++stats_.auth_rejected;
     return;
   }
+  StreamSession* session = FindSession(group);
+  if (session == nullptr) {
+    // No subscription for this group. Possible transiently: packets already
+    // queued on the wire when an unsubscribe's membership change lands.
+    return;
+  }
   if (const auto* control = std::get_if<ControlPacket>(&parsed->packet)) {
-    HandleControl(*control);
+    session->HandleControl(*control);
   } else if (const auto* data = std::get_if<DataPacket>(&parsed->packet)) {
-    HandleData(*data, out);
+    session->HandleData(*data, out);
   }
   // Announce packets are handled by the catalog browser (src/mgmt), not by
   // the playback path.
@@ -113,49 +212,6 @@ void EthernetSpeaker::CommitPlay(PendingPlay play) {
   });
 }
 
-void EthernetSpeaker::HandleControl(const ControlPacket& packet) {
-  ++stats_.control_packets;
-  SimTime now = sim_->now();
-  // Adopt the producer's wall clock. Transmission latency is deliberately
-  // ignored — the §3.2 uniform-delivery assumption. With smoothing enabled
-  // (an extension), jittered control arrivals average out instead of each
-  // one yanking the timeline.
-  SimDuration sample = now - packet.producer_clock;
-  if (!config_.has_value() || options_.clock_smoothing_alpha >= 1.0) {
-    clock_offset_ = sample;
-  } else {
-    double alpha = options_.clock_smoothing_alpha;
-    clock_offset_ = static_cast<SimDuration>(
-        alpha * static_cast<double>(sample) +
-        (1.0 - alpha) * static_cast<double>(clock_offset_));
-  }
-
-  bool config_changed = !config_.has_value() || *config_ != packet.config ||
-                        codec_ != packet.codec ||
-                        control_seq_ != packet.control_seq;
-  if (!config_changed) {
-    return;
-  }
-  Result<std::unique_ptr<AudioDecoder>> decoder =
-      CreateDecoder(packet.codec, packet.config, packet.quality);
-  if (!decoder.ok()) {
-    ESPK_LOG(kWarning) << options_.name
-                       << ": unusable control packet: " << decoder.status();
-    return;
-  }
-  config_ = packet.config;
-  codec_ = packet.codec;
-  quality_ = packet.quality;
-  control_seq_ = packet.control_seq;
-  decoder_ = std::move(*decoder);
-  // A genuine config change restarts the output epoch; periodic control
-  // repeats (same control_seq) never get here.
-  recorder_ = std::make_unique<OutputRecorder>(config_->sample_rate,
-                                               config_->channels);
-  ESPK_LOG(kDebug) << options_.name << ": tuned, config "
-                   << config_->ToString();
-}
-
 void EthernetSpeaker::Trace(uint32_t stream_id, uint32_t seq,
                             TraceStage stage) {
   if (options_.tracer != nullptr) {
@@ -163,144 +219,21 @@ void EthernetSpeaker::Trace(uint32_t stream_id, uint32_t seq,
   }
 }
 
-void EthernetSpeaker::HandleData(const DataPacket& packet,
-                                 PendingDecode* out) {
-  ++stats_.data_packets;
-  Trace(packet.stream_id, packet.seq, TraceStage::kSpeakerReceive);
-  if (!config_.has_value()) {
-    // §2.3: "The Ethernet Speaker has to wait till it receives a control
-    // packet before it can start playing the audio stream."
-    ++stats_.waiting_drops;
-    return;
-  }
-  if (any_data_seen_ && packet.seq <= highest_seq_seen_ &&
-      highest_seq_seen_ - packet.seq < 1000) {
-    ++stats_.duplicate_drops;
-    return;
-  }
-  any_data_seen_ = true;
-  highest_seq_seen_ = std::max(highest_seq_seen_, packet.seq);
-
-  // Buffer accounting uses the decoded size; refuse when full (§3.1 — this
-  // is the buffer a non-rate-limited producer overflows).
-  const size_t decoded_bytes = static_cast<size_t>(packet.frame_count) *
-                               static_cast<size_t>(config_->channels) *
-                               sizeof(float);
-  if (queued_pcm_bytes_ + decoded_bytes > options_.jitter_buffer_bytes) {
-    ++stats_.overflow_drops;
-    return;
-  }
-
-  SimTime now = sim_->now();
-  SimTime local_deadline = packet.play_deadline + clock_offset_;
-
-  // Serialized decode pipeline with CPU cost proportional to audio
-  // duration (§3.4: the slow EON 4000 decode stage).
-  SimDuration audio_duration =
-      FramesToDuration(packet.frame_count, config_->sample_rate);
-  auto decode_time = static_cast<SimDuration>(
-      static_cast<double>(audio_duration) * options_.decode_speed_factor);
-  SimTime decode_start = std::max(now, decode_busy_until_);
-  SimTime decode_done = decode_start + decode_time;
-  decode_busy_until_ = decode_done;
-  if (options_.tracer != nullptr && options_.tracer->has_observer()) {
-    // Span-plane stage: separates jitter-buffer dwell (receive ->
-    // decode_start) from decode itself. decode_start may be in the future
-    // when the serialized pipeline is busy, hence RecordAt.
-    options_.tracer->RecordAt(packet.stream_id, packet.seq,
-                              TraceStage::kDecodeStart, nic_->node_id(),
-                              decode_start);
-  }
-
-  // The packet occupies the jitter buffer from arrival; the payload rides
-  // the pipeline as a slice of the arrival buffer (no copy, and the slice
-  // keeps that buffer alive) until the decode stage actually runs.
-  queued_pcm_bytes_ += decoded_bytes;
-  out->valid = true;
-  out->decode_done = decode_done;
-  out->stream_id = packet.stream_id;
-  out->seq = packet.seq;
-  out->local_deadline = local_deadline;
-  out->payload = packet.payload;
-  out->decoded_bytes = decoded_bytes;
-}
-
 void EthernetSpeaker::RunDecode(const PendingDecode& pending,
                                 PendingPlay* out_play) {
-  if (decoder_ == nullptr || recorder_ == nullptr) {
-    queued_pcm_bytes_ -= pending.decoded_bytes;
-    return;  // Channel was re-tuned while the chunk was in the pipeline.
+  StreamSession* session = FindSession(pending.group);
+  if (session == nullptr || session->epoch() != pending.session_epoch) {
+    return;  // Unsubscribed while the chunk was in the pipeline.
   }
-  Result<std::vector<float>> samples = decoder_->DecodePacket(pending.payload);
-  if (!samples.ok()) {
-    ++stats_.decode_errors;
-    queued_pcm_bytes_ -= pending.decoded_bytes;
-    return;
-  }
-  OnDecodeComplete(pending.stream_id, pending.seq, pending.local_deadline,
-                   std::move(*samples), pending.decoded_bytes, out_play);
-}
-
-void EthernetSpeaker::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
-                                       SimTime local_deadline,
-                                       std::vector<float> samples,
-                                       size_t decoded_bytes,
-                                       PendingPlay* out_play) {
-  if (recorder_ == nullptr) {
-    queued_pcm_bytes_ -= decoded_bytes;
-    return;  // Channel was re-tuned while the chunk was in the pipeline.
-  }
-  Trace(stream_id, seq, TraceStage::kDecodeDone);
-  SimTime now = sim_->now();
-  SimDuration lateness = now - local_deadline;
-  if (options_.lateness_histogram != nullptr) {
-    if (options_.tracer != nullptr && options_.tracer->has_observer()) {
-      // With the span plane on, the observation carries the packet's trace
-      // identity so the bucket's exemplar resolves to a retained span tree.
-      options_.lateness_histogram->ObserveExemplar(
-          ToMillisecondsF(lateness), PacketTraceId(stream_id, seq), now);
-    } else {
-      options_.lateness_histogram->Observe(ToMillisecondsF(lateness));
-    }
-  }
-  if (lateness > options_.sync_epsilon) {
-    // §3.2: throw away data up until the current wall time.
-    queued_pcm_bytes_ -= decoded_bytes;
-    ++stats_.late_drops;
-    Trace(stream_id, seq, TraceStage::kDeadlineMiss);
-    return;
-  }
-  if (lateness > 0) {
-    // Within epsilon: play immediately, slightly late. Without this leeway
-    // "data will be unnecessarily thrown out and skipping in playback will
-    // be noticeable" (§3.2).
-    queued_pcm_bytes_ -= decoded_bytes;
-    stats_.total_lateness_ns += lateness;
-    ++stats_.chunks_played;
-    NotePlay(now, samples.size());
-    Trace(stream_id, seq, TraceStage::kPlay);
-    recorder_->Play(now, std::move(samples), options_.gain);
-    return;
-  }
-  // Early: sleep until it is time to play. The chunk keeps occupying the
-  // jitter buffer until it leaves the speaker.
-  out_play->valid = true;
-  out_play->at = local_deadline;
-  out_play->stream_id = stream_id;
-  out_play->seq = seq;
-  out_play->samples = std::move(samples);
-  out_play->decoded_bytes = decoded_bytes;
+  session->RunDecode(pending, out_play);
 }
 
 void EthernetSpeaker::RunPlay(PendingPlay play) {
-  queued_pcm_bytes_ -= play.decoded_bytes;
-  if (recorder_ == nullptr) {
-    return;
+  StreamSession* session = FindSession(play.group);
+  if (session == nullptr || session->epoch() != play.session_epoch) {
+    return;  // Unsubscribed while the chunk was in the pipeline.
   }
-  ++stats_.chunks_played;
-  NotePlay(play.at, play.samples.size());
-  Trace(play.stream_id, play.seq, TraceStage::kPlay);
-  recorder_->Play(play.at, std::move(play.samples), options_.gain);
+  session->RunPlay(std::move(play));
 }
 
 }  // namespace espk

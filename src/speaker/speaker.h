@@ -16,12 +16,21 @@
 // the audio duration (decode_speed_factor models the 233 MHz Geode of the
 // Neoware EON 4000); large producer buffers therefore stall the pipeline
 // exactly as §3.4 describes — bench C5 sweeps that.
+//
+// Beyond the paper's one-channel radio: a speaker holds a MAP of
+// StreamSessions (src/speaker/stream_session.h), one per subscribed group,
+// and may Subscribe/Unsubscribe at runtime. Per-stream state (sync, jitter
+// accounting, decoder, output) lives in the session; the speaker keeps
+// device-wide state only — the NIC, the serialized decode CPU, the shared
+// jitter-buffer budget, and the aggregate stats. Concurrent subscriptions
+// share the output stage via RenderMix. The paper's Tune/Untune survive as
+// thin aliases over the subscription API.
 #ifndef SRC_SPEAKER_SPEAKER_H_
 #define SRC_SPEAKER_SPEAKER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -34,6 +43,7 @@
 #include "src/proto/wire.h"
 #include "src/sim/simulation.h"
 #include "src/speaker/playback.h"
+#include "src/speaker/stream_session.h"
 
 namespace espk {
 
@@ -45,8 +55,9 @@ struct SpeakerOptions {
   std::string name = "es";
   // §3.2 leeway: how late a chunk may be and still be played.
   SimDuration sync_epsilon = Milliseconds(20);
-  // Cap on decoded-but-not-yet-played PCM. When a producer floods the LAN
-  // (rate limiter off), this is the buffer that overflows (§3.1).
+  // Cap on decoded-but-not-yet-played PCM, shared across every
+  // subscription. When a producer floods the LAN (rate limiter off), this
+  // is the buffer that overflows (§3.1).
   size_t jitter_buffer_bytes = 2 * 1024 * 1024;
   // Decode time as a fraction of audio duration. ~0.25 models the EON
   // 4000's 233 MHz Geode on compressed CD audio; ~0.02 a workstation.
@@ -76,9 +87,14 @@ struct SpeakerOptions {
 // (src/speaker/speaker_zone.h) groups the whole zone's same-instant decodes
 // into ONE event — that batching is where the fleet runtime's per-speaker
 // cost collapses. `valid` is false when the packet was dropped at admission.
+// `group`/`session_epoch` route the obligation back to the session that
+// issued it; a stale epoch (the group was unsubscribed mid-flight) makes
+// the obligation a no-op.
 struct PendingDecode {
   bool valid = false;
   SimTime decode_done = 0;
+  GroupId group = 0;
+  uint64_t session_epoch = 0;
   uint32_t stream_id = 0;
   uint32_t seq = 0;
   SimTime local_deadline = 0;
@@ -87,10 +103,13 @@ struct PendingDecode {
 };
 
 // A decoded chunk that arrived early and owes the pipeline a playout at
-// `at` (its local deadline). Same batching story as PendingDecode.
+// `at` (its local deadline). Same batching and routing story as
+// PendingDecode.
 struct PendingPlay {
   bool valid = false;
   SimTime at = 0;
+  GroupId group = 0;
+  uint64_t session_epoch = 0;
   uint32_t stream_id = 0;
   uint32_t seq = 0;
   std::vector<float> samples;
@@ -112,9 +131,9 @@ struct SpeakerStats {
   // How late (ns) chunks that played within epsilon actually were.
   int64_t total_lateness_ns = 0;
   // Dead air: total gap (ns) between the end of one played chunk and the
-  // start of the next within a tune. Grows whenever a drop or starvation
-  // leaves a hole in the playout timeline — the user-audible failure the
-  // health layer alerts on.
+  // start of the next within a subscription. Grows whenever a drop or
+  // starvation leaves a hole in the playout timeline — the user-audible
+  // failure the health layer alerts on.
   int64_t silence_ns = 0;
 };
 
@@ -122,28 +141,59 @@ class EthernetSpeaker {
  public:
   EthernetSpeaker(Simulation* sim, Transport* nic,
                   const SpeakerOptions& options);
+  ~EthernetSpeaker();
 
-  // Joins a channel group and starts listening ("tunes in", §2.3). Any
-  // previous channel is left and playback state reset.
+  // ------------------------------------------------- subscription surface --
+  // Joins `group` and opens a fresh StreamSession for it. Fails if already
+  // subscribed. Membership takes effect per the segment's join-latency knob
+  // (SegmentConfig::join_latency); the session exists immediately.
+  Status Subscribe(GroupId group);
+  // Leaves `group` and tears the session down; in-flight pipeline
+  // obligations for it become no-ops. Fails if not subscribed.
+  Status Unsubscribe(GroupId group);
+  // The paper's one-channel radio dial, kept as thin aliases: Tune drops
+  // every current subscription, then subscribes to `group` alone.
   Status Tune(GroupId group);
   Status Untune();
-  std::optional<GroupId> tuned_group() const { return group_; }
+
+  // Subscribed groups in subscription order. The first is the "primary"
+  // whose stream the legacy single-channel accessors below expose.
+  const std::vector<GroupId>& subscriptions() const {
+    return subscribe_order_;
+  }
+  // Null when not subscribed to `group`.
+  StreamSession* session(GroupId group);
+  const StreamSession* session(GroupId group) const;
+  // The primary subscription's group; empty when unsubscribed. (Historical
+  // name: with several subscriptions this is the earliest-subscribed one.)
+  std::optional<GroupId> tuned_group() const;
 
   const SpeakerStats& stats() const { return stats_; }
   const SpeakerOptions& options() const { return options_; }
   const std::string& name() const { return options_.name; }
 
-  // Null until the first control packet of the current tune.
-  OutputRecorder* output() { return recorder_.get(); }
-  const std::optional<AudioConfig>& config() const { return config_; }
-  bool ready() const { return config_.has_value(); }
+  // Legacy single-stream accessors, delegating to the primary session.
+  // Null / empty until the first control packet of the primary stream.
+  OutputRecorder* output();
+  const std::optional<AudioConfig>& config() const;
+  // True once any session has seen its control packet.
+  bool ready() const;
 
-  // Volume control (§5.2 auto-volume adjusts this).
+  // Volume control (§5.2 auto-volume adjusts this). Device-wide: applied to
+  // every subscription at play time.
   void set_gain(float gain) { options_.gain = gain; }
   float gain() const { return options_.gain; }
 
-  // Decoded-but-unplayed PCM currently occupying the jitter buffer.
-  size_t queued_pcm_bytes() const { return queued_pcm_bytes_; }
+  // Decoded-but-unplayed PCM currently occupying the jitter buffer, summed
+  // over every subscription (the capacity in options().jitter_buffer_bytes
+  // is a shared device budget).
+  size_t queued_pcm_bytes() const;
+
+  // Mixes every ready session over [from, from+duration] into one PCM
+  // window: concurrently subscribed streams sum at the output stage, the
+  // way a real device feeds one DAC. Sessions whose format differs from the
+  // primary's are skipped (no resampler). Empty when nothing is ready.
+  std::vector<float> RenderMix(SimTime from, SimDuration duration);
 
   Simulation* sim() { return sim_; }
 
@@ -160,10 +210,12 @@ class EthernetSpeaker {
   // stages, so the two are behaviorally identical by construction — the
   // property the 1-shard-vs-N-shard determinism test pins.
 
-  // Stage 1, at arrival time: admission (stats, auth, control handling,
-  // dedup/overflow checks). Fills `*out` with the decode obligation for an
-  // admitted data packet; out->valid stays false otherwise.
-  void IngestParsed(const Result<ParsedPacket>& parsed, PendingDecode* out);
+  // Stage 1, at arrival time: admission (stats, auth, session routing by
+  // the datagram's `group`, control handling, dedup/overflow checks). Fills
+  // `*out` with the decode obligation for an admitted data packet;
+  // out->valid stays false otherwise.
+  void IngestParsed(const Result<ParsedPacket>& parsed, GroupId group,
+                    PendingDecode* out);
   // Stage 2, at pending.decode_done: decode + deadline triage. An
   // early-arriving chunk becomes a playout obligation in `*out_play`;
   // on-time chunks play here, late ones drop here.
@@ -172,50 +224,34 @@ class EthernetSpeaker {
   void RunPlay(PendingPlay play);
 
  private:
+  friend class StreamSession;
+
   void OnDatagram(const Datagram& datagram);
-  void HandleControl(const ControlPacket& packet);
-  void HandleData(const DataPacket& packet, PendingDecode* out);
   // Classic-path continuations: wrap a pending obligation in its own
   // scheduled event (the zone path groups instead).
   void CommitDecode(PendingDecode pending);
   void CommitPlay(PendingPlay play);
-  void OnDecodeComplete(uint32_t stream_id, uint32_t seq,
-                        SimTime local_deadline, std::vector<float> samples,
-                        size_t decoded_bytes, PendingPlay* out_play);
   void Trace(uint32_t stream_id, uint32_t seq, TraceStage stage);
-  // Accounts playout-timeline gaps: a chunk of `sample_count` samples
-  // started rendering at `at`.
-  void NotePlay(SimTime at, size_t sample_count);
-  void ResetChannelState();
+  StreamSession* FindSession(GroupId group);
+  StreamSession* primary();
+  const StreamSession* primary() const;
 
   Simulation* sim_;
   Transport* nic_;
   SpeakerOptions options_;
-  std::optional<GroupId> group_;
 
-  // Channel state, valid once a control packet has arrived.
-  std::optional<AudioConfig> config_;
-  CodecId codec_ = CodecId::kRaw;
-  uint8_t quality_ = 10;
-  std::unique_ptr<AudioDecoder> decoder_;
-  std::unique_ptr<OutputRecorder> recorder_;
-  uint32_t control_seq_ = 0;
+  // Active subscriptions: group -> session, plus subscription order (the
+  // front is the primary the legacy accessors expose).
+  std::map<GroupId, std::unique_ptr<StreamSession>> sessions_;
+  std::vector<GroupId> subscribe_order_;
+  uint64_t next_session_epoch_ = 0;
 
-  // Producer-clock to local-clock offset: local = producer + offset. The
-  // protocol assumes uniform multicast delivery, so the offset is taken
-  // directly from the latest control packet (§3.2).
-  SimDuration clock_offset_ = 0;
-
-  // Decode pipeline: serialized, busy until this instant.
+  // Decode pipeline: ONE decode CPU per device, shared by every session —
+  // serialized, busy until this instant.
   SimTime decode_busy_until_ = 0;
 
-  // Decoded PCM scheduled for playback but not yet played, in bytes.
-  size_t queued_pcm_bytes_ = 0;
-  uint32_t highest_seq_seen_ = 0;
-  bool any_data_seen_ = false;
-  // When the previously played chunk finishes rendering; 0 until the first
-  // play of the current tune.
-  SimTime last_play_end_ = 0;
+  // Returned by config() when no session is ready; always empty.
+  std::optional<AudioConfig> no_config_;
 
   SpeakerStats stats_;
 };

@@ -44,7 +44,7 @@ void SpeakerZone::Ingest(const Member& member, const Datagram& datagram,
                          std::vector<DecodeJob>* jobs) {
   member.nic->NoteZoneDelivery(datagram.payload.size());
   PendingDecode pending;
-  member.speaker->IngestParsed(parsed, &pending);
+  member.speaker->IngestParsed(parsed, datagram.group, &pending);
   if (pending.valid) {
     jobs->push_back(DecodeJob{member.speaker, std::move(pending)});
   }

@@ -14,6 +14,13 @@
 // (IngestParsed / RunDecode / RunPlay — src/speaker/speaker.h), the same
 // stages the classic path wraps one-per-event, so zone playback is
 // behaviorally identical to classic playback by construction.
+//
+// A zone is NOT one stream: the segment filters each transmission by group
+// membership before batching, so a batch's entry list is exactly the
+// (group -> member-speaker subset) of this zone subscribed to the packet's
+// group, and each member routes the parse result to its own per-group
+// StreamSession. Zones with members on several channels ride the same
+// batched path with no extra events.
 #ifndef SRC_SPEAKER_SPEAKER_ZONE_H_
 #define SRC_SPEAKER_SPEAKER_ZONE_H_
 

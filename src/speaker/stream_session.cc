@@ -1,0 +1,230 @@
+#include "src/speaker/stream_session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/speaker/speaker.h"
+
+namespace espk {
+
+StreamSession::StreamSession(EthernetSpeaker* speaker, GroupId group,
+                             uint64_t epoch)
+    : speaker_(speaker), group_(group), epoch_(epoch) {}
+
+StreamSession::~StreamSession() = default;
+
+void StreamSession::NotePlay(SimTime at, size_t sample_count) {
+  if (last_play_end_ != 0 && at > last_play_end_) {
+    speaker_->stats_.silence_ns += at - last_play_end_;
+  }
+  if (config_.has_value() && config_->sample_rate > 0 &&
+      config_->channels > 0) {
+    const int64_t frames =
+        static_cast<int64_t>(sample_count / config_->channels);
+    last_play_end_ = at + frames * 1'000'000'000 / config_->sample_rate;
+  } else {
+    last_play_end_ = at;
+  }
+}
+
+void StreamSession::HandleControl(const ControlPacket& packet) {
+  ++speaker_->stats_.control_packets;
+  SimTime now = speaker_->sim_->now();
+  // Adopt the producer's wall clock. Transmission latency is deliberately
+  // ignored — the §3.2 uniform-delivery assumption. With smoothing enabled
+  // (an extension), jittered control arrivals average out instead of each
+  // one yanking the timeline.
+  SimDuration sample = now - packet.producer_clock;
+  if (!config_.has_value() ||
+      speaker_->options_.clock_smoothing_alpha >= 1.0) {
+    clock_offset_ = sample;
+  } else {
+    double alpha = speaker_->options_.clock_smoothing_alpha;
+    clock_offset_ = static_cast<SimDuration>(
+        alpha * static_cast<double>(sample) +
+        (1.0 - alpha) * static_cast<double>(clock_offset_));
+  }
+
+  bool config_changed = !config_.has_value() || *config_ != packet.config ||
+                        codec_ != packet.codec ||
+                        control_seq_ != packet.control_seq;
+  if (!config_changed) {
+    return;
+  }
+  Result<std::unique_ptr<AudioDecoder>> decoder =
+      CreateDecoder(packet.codec, packet.config, packet.quality);
+  if (!decoder.ok()) {
+    ESPK_LOG(kWarning) << speaker_->options_.name
+                       << ": unusable control packet: " << decoder.status();
+    return;
+  }
+  config_ = packet.config;
+  codec_ = packet.codec;
+  quality_ = packet.quality;
+  control_seq_ = packet.control_seq;
+  decoder_ = std::move(*decoder);
+  // A genuine config change restarts the output epoch; periodic control
+  // repeats (same control_seq) never get here.
+  recorder_ = std::make_unique<OutputRecorder>(config_->sample_rate,
+                                               config_->channels);
+  ESPK_LOG(kDebug) << speaker_->options_.name << ": tuned group " << group_
+                   << ", config " << config_->ToString();
+}
+
+void StreamSession::HandleData(const DataPacket& packet, PendingDecode* out) {
+  ++speaker_->stats_.data_packets;
+  ++stats_.data_packets;
+  speaker_->Trace(packet.stream_id, packet.seq, TraceStage::kSpeakerReceive);
+  if (!config_.has_value()) {
+    // §2.3: "The Ethernet Speaker has to wait till it receives a control
+    // packet before it can start playing the audio stream."
+    ++speaker_->stats_.waiting_drops;
+    return;
+  }
+  if (any_data_seen_ && packet.seq <= highest_seq_seen_ &&
+      highest_seq_seen_ - packet.seq < 1000) {
+    ++speaker_->stats_.duplicate_drops;
+    return;
+  }
+  any_data_seen_ = true;
+  highest_seq_seen_ = std::max(highest_seq_seen_, packet.seq);
+
+  // Buffer accounting uses the decoded size; refuse when full (§3.1 — this
+  // is the buffer a non-rate-limited producer overflows). The capacity is a
+  // device budget shared by every subscription, so the check runs against
+  // the speaker-wide total, not this session's share.
+  const size_t decoded_bytes = static_cast<size_t>(packet.frame_count) *
+                               static_cast<size_t>(config_->channels) *
+                               sizeof(float);
+  if (speaker_->queued_pcm_bytes() + decoded_bytes >
+      speaker_->options_.jitter_buffer_bytes) {
+    ++speaker_->stats_.overflow_drops;
+    return;
+  }
+
+  SimTime now = speaker_->sim_->now();
+  SimTime local_deadline = packet.play_deadline + clock_offset_;
+
+  // Serialized decode pipeline with CPU cost proportional to audio
+  // duration (§3.4: the slow EON 4000 decode stage). The decode CPU is the
+  // device's, shared across subscriptions, so the busy horizon lives on
+  // the speaker.
+  SimDuration audio_duration =
+      FramesToDuration(packet.frame_count, config_->sample_rate);
+  auto decode_time = static_cast<SimDuration>(
+      static_cast<double>(audio_duration) *
+      speaker_->options_.decode_speed_factor);
+  SimTime decode_start = std::max(now, speaker_->decode_busy_until_);
+  SimTime decode_done = decode_start + decode_time;
+  speaker_->decode_busy_until_ = decode_done;
+  if (speaker_->options_.tracer != nullptr &&
+      speaker_->options_.tracer->has_observer()) {
+    // Span-plane stage: separates jitter-buffer dwell (receive ->
+    // decode_start) from decode itself. decode_start may be in the future
+    // when the serialized pipeline is busy, hence RecordAt.
+    speaker_->options_.tracer->RecordAt(packet.stream_id, packet.seq,
+                                        TraceStage::kDecodeStart,
+                                        speaker_->nic_->node_id(),
+                                        decode_start);
+  }
+
+  // The packet occupies the jitter buffer from arrival; the payload rides
+  // the pipeline as a slice of the arrival buffer (no copy, and the slice
+  // keeps that buffer alive) until the decode stage actually runs.
+  queued_pcm_bytes_ += decoded_bytes;
+  out->valid = true;
+  out->decode_done = decode_done;
+  out->group = group_;
+  out->session_epoch = epoch_;
+  out->stream_id = packet.stream_id;
+  out->seq = packet.seq;
+  out->local_deadline = local_deadline;
+  out->payload = packet.payload;
+  out->decoded_bytes = decoded_bytes;
+}
+
+void StreamSession::RunDecode(const PendingDecode& pending,
+                              PendingPlay* out_play) {
+  if (decoder_ == nullptr || recorder_ == nullptr) {
+    queued_pcm_bytes_ -= pending.decoded_bytes;
+    return;  // Cannot happen after admission; kept as a defensive mirror.
+  }
+  Result<std::vector<float>> samples = decoder_->DecodePacket(pending.payload);
+  if (!samples.ok()) {
+    ++speaker_->stats_.decode_errors;
+    queued_pcm_bytes_ -= pending.decoded_bytes;
+    return;
+  }
+  OnDecodeComplete(pending.stream_id, pending.seq, pending.local_deadline,
+                   std::move(*samples), pending.decoded_bytes, out_play);
+}
+
+void StreamSession::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
+                                     SimTime local_deadline,
+                                     std::vector<float> samples,
+                                     size_t decoded_bytes,
+                                     PendingPlay* out_play) {
+  speaker_->Trace(stream_id, seq, TraceStage::kDecodeDone);
+  SimTime now = speaker_->sim_->now();
+  SimDuration lateness = now - local_deadline;
+  if (speaker_->options_.lateness_histogram != nullptr) {
+    if (speaker_->options_.tracer != nullptr &&
+        speaker_->options_.tracer->has_observer()) {
+      // With the span plane on, the observation carries the packet's trace
+      // identity so the bucket's exemplar resolves to a retained span tree.
+      speaker_->options_.lateness_histogram->ObserveExemplar(
+          ToMillisecondsF(lateness), PacketTraceId(stream_id, seq), now);
+    } else {
+      speaker_->options_.lateness_histogram->Observe(
+          ToMillisecondsF(lateness));
+    }
+  }
+  if (lateness > speaker_->options_.sync_epsilon) {
+    // §3.2: throw away data up until the current wall time.
+    queued_pcm_bytes_ -= decoded_bytes;
+    ++speaker_->stats_.late_drops;
+    ++stats_.late_drops;
+    speaker_->Trace(stream_id, seq, TraceStage::kDeadlineMiss);
+    return;
+  }
+  if (lateness > 0) {
+    // Within epsilon: play immediately, slightly late. Without this leeway
+    // "data will be unnecessarily thrown out and skipping in playback will
+    // be noticeable" (§3.2).
+    queued_pcm_bytes_ -= decoded_bytes;
+    speaker_->stats_.total_lateness_ns += lateness;
+    ++speaker_->stats_.chunks_played;
+    ++stats_.chunks_played;
+    NotePlay(now, samples.size());
+    speaker_->Trace(stream_id, seq, TraceStage::kPlay);
+    recorder_->Play(now, std::move(samples), speaker_->options_.gain);
+    return;
+  }
+  // Early: sleep until it is time to play. The chunk keeps occupying the
+  // jitter buffer until it leaves the speaker.
+  out_play->valid = true;
+  out_play->at = local_deadline;
+  out_play->group = group_;
+  out_play->session_epoch = epoch_;
+  out_play->stream_id = stream_id;
+  out_play->seq = seq;
+  out_play->samples = std::move(samples);
+  out_play->decoded_bytes = decoded_bytes;
+}
+
+void StreamSession::RunPlay(PendingPlay play) {
+  queued_pcm_bytes_ -= play.decoded_bytes;
+  if (recorder_ == nullptr) {
+    return;
+  }
+  ++speaker_->stats_.chunks_played;
+  ++stats_.chunks_played;
+  NotePlay(play.at, play.samples.size());
+  speaker_->Trace(play.stream_id, play.seq, TraceStage::kPlay);
+  recorder_->Play(play.at, std::move(play.samples), speaker_->options_.gain);
+}
+
+}  // namespace espk

@@ -135,7 +135,7 @@ TEST(ClockSmoothingTest, ReducesJitterInducedSkew) {
 TEST(SystemTest, NicOfKnownAndUnknownSpeakers) {
   EthernetSpeakerSystem system;
   SpeakerOptions so;
-  EthernetSpeaker* speaker = *system.AddSpeaker(so, 0);
+  EthernetSpeaker* speaker = *system.AddSpeaker(so);
   EXPECT_NE(system.NicOf(speaker), nullptr);
   EthernetSpeaker other(system.sim(), system.NicOf(speaker), so);
   EXPECT_EQ(system.NicOf(&other), nullptr);

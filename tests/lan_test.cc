@@ -55,6 +55,80 @@ TEST(SegmentTest, LeaveGroupStopsDelivery) {
   EXPECT_FALSE(member->LeaveGroup(42).ok());  // Already left.
 }
 
+TEST(SegmentTest, MembershipChurnMidStream) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto sender = segment.CreateNic();
+  auto member = segment.CreateNic();
+  int got = 0;
+  member->SetReceiveHandler([&](const Datagram&) { ++got; });
+
+  ASSERT_TRUE(member->JoinGroup(42).ok());
+  EXPECT_EQ(segment.GroupMemberCount(42), 1u);
+  ASSERT_TRUE(sender->SendMulticast(42, {1}).ok());
+  sim.Run();
+  EXPECT_EQ(got, 1);
+
+  ASSERT_TRUE(member->LeaveGroup(42).ok());
+  EXPECT_EQ(segment.GroupMemberCount(42), 0u);
+  ASSERT_TRUE(sender->SendMulticast(42, {2}).ok());
+  sim.Run();
+  EXPECT_EQ(got, 1);  // Missed while out.
+
+  ASSERT_TRUE(member->JoinGroup(42).ok());  // Re-join mid-stream.
+  EXPECT_EQ(segment.GroupMemberCount(42), 1u);
+  ASSERT_TRUE(sender->SendMulticast(42, {3}).ok());
+  sim.Run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(SegmentTest, DoubleJoinIsIdempotent) {
+  Simulation sim;
+  EthernetSegment segment(&sim, SegmentConfig{});
+  auto nic = segment.CreateNic();
+  ASSERT_TRUE(nic->JoinGroup(9).ok());
+  ASSERT_TRUE(nic->JoinGroup(9).ok());
+  EXPECT_EQ(segment.GroupMemberCount(9), 1u);
+  ASSERT_TRUE(nic->LeaveGroup(9).ok());
+  EXPECT_EQ(segment.GroupMemberCount(9), 0u);
+  EXPECT_FALSE(nic->LeaveGroup(9).ok());
+}
+
+TEST(SegmentTest, JoinLatencyDefersMembership) {
+  Simulation sim;
+  SegmentConfig config;
+  config.join_latency = Milliseconds(5);
+  EthernetSegment segment(&sim, config);
+  auto sender = segment.CreateNic();
+  auto member = segment.CreateNic();
+  int got = 0;
+  member->SetReceiveHandler([&](const Datagram&) { ++got; });
+
+  // A join takes effect join_latency later; traffic sent before that fans
+  // out past the not-yet-member.
+  ASSERT_TRUE(member->JoinGroup(42).ok());
+  EXPECT_FALSE(member->IsJoined(42));
+  ASSERT_TRUE(sender->SendMulticast(42, {1}).ok());
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_TRUE(member->IsJoined(42));
+  EXPECT_EQ(got, 0);
+  ASSERT_TRUE(sender->SendMulticast(42, {2}).ok());
+  sim.RunUntil(Milliseconds(20));
+  EXPECT_EQ(got, 1);
+
+  // Leaving is deferred the same way: the NIC keeps hearing the group until
+  // the latency elapses.
+  ASSERT_TRUE(member->LeaveGroup(42).ok());
+  EXPECT_TRUE(member->IsJoined(42));
+  ASSERT_TRUE(sender->SendMulticast(42, {3}).ok());
+  sim.RunUntil(Milliseconds(30));
+  EXPECT_FALSE(member->IsJoined(42));
+  EXPECT_EQ(got, 2);
+  ASSERT_TRUE(sender->SendMulticast(42, {4}).ok());
+  sim.Run();
+  EXPECT_EQ(got, 2);
+}
+
 TEST(SegmentTest, UnicastReachesOnlyDestination) {
   Simulation sim;
   EthernetSegment segment(&sim, SegmentConfig{});

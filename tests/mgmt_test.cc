@@ -168,6 +168,60 @@ TEST_F(MgmtFixture, RemoteChannelSwitch) {
   EXPECT_EQ(speaker_->config()->sample_rate, 8000);
 }
 
+TEST_F(MgmtFixture, RemoteSubscribeAndUnsubscribe) {
+  Channel* voice = *system_.CreateChannel("voice");
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::PhoneQuality();
+  opts.chunk_frames = 800;
+  ASSERT_TRUE(system_
+                  .StartPlayer(voice,
+                               std::make_unique<SpeechLikeGenerator>(4), opts)
+                  .ok());
+  system_.sim()->RunUntil(Seconds(1));
+
+  // Add the voice stream on top of music via .1.6.
+  bool ok = false;
+  console_->Set(0, MibOidSubscribe(), std::to_string(voice->group),
+                [&](const MgmtResponse& r) { ok = r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(speaker_->subscriptions().size(), 2u);
+
+  // .1.5 reports both groups, comma-joined in subscription order.
+  std::vector<MgmtResponse> responses;
+  console_->Get(0, MibOidSubscriptions(),
+                [&](const MgmtResponse& r) { responses.push_back(r); });
+  system_.sim()->RunFor(Milliseconds(100));
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].value, std::to_string(channel_->group) + "," +
+                                    std::to_string(voice->group));
+
+  // Double subscribe and the reserved group 0 are both rejected.
+  bool rejected = false;
+  console_->Set(0, MibOidSubscribe(), std::to_string(voice->group),
+                [&](const MgmtResponse& r) { rejected = !r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(rejected);
+  rejected = false;
+  console_->Set(0, MibOidSubscribe(), "0",
+                [&](const MgmtResponse& r) { rejected = !r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(rejected);
+
+  // Drop the original music subscription via .1.7: only voice remains, and
+  // the speaker starts playing it once its next control packet lands.
+  ok = false;
+  console_->Set(0, MibOidUnsubscribe(), std::to_string(channel_->group),
+                [&](const MgmtResponse& r) { ok = r.ok; });
+  system_.sim()->RunFor(Milliseconds(100));
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(speaker_->subscriptions().size(), 1u);
+  EXPECT_EQ(speaker_->subscriptions()[0], voice->group);
+  system_.sim()->RunFor(Seconds(2));
+  ASSERT_TRUE(speaker_->ready());
+  EXPECT_EQ(speaker_->config()->sample_rate, 8000);
+}
+
 TEST_F(MgmtFixture, OverrideAndRestore) {
   // §5.3: "movies shown on TV sets on airplane seats can be overridden by
   // crew announcements".
@@ -205,7 +259,71 @@ TEST_F(MgmtFixture, WalkTheWholeMib) {
   };
   step({});
   system_.sim()->RunFor(Seconds(1));
-  EXPECT_EQ(walked.size(), 7u);  // All registered speaker OIDs.
+  EXPECT_EQ(walked.size(), 10u);  // All registered speaker OIDs.
+}
+
+// ------------------------------------------------ Subscription directory --
+
+TEST(DirectoryTest, RegisterAllocatesGroupsAndRejectsDuplicates) {
+  SubscriptionDirectory directory;
+  Result<const StreamRecord*> music =
+      directory.RegisterStream("music", 1, CodecId::kVorbix);
+  ASSERT_TRUE(music.ok());
+  EXPECT_EQ((*music)->group, kFirstChannelGroup);
+  Result<const StreamRecord*> voice =
+      directory.RegisterStream("voice", 2, CodecId::kRaw);
+  ASSERT_TRUE(voice.ok());
+  EXPECT_EQ((*voice)->group, kFirstChannelGroup + 1);
+  EXPECT_EQ(directory.RegisterStream("music", 3, CodecId::kRaw)
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(directory.stream_count(), 2u);
+  EXPECT_EQ(directory.FindByName("voice"), *voice);
+  EXPECT_EQ(directory.FindByGroup(kFirstChannelGroup), *music);
+  EXPECT_EQ(directory.FindByStreamId(2), *voice);
+  EXPECT_EQ(directory.FindByName("nope"), nullptr);
+}
+
+TEST(DirectoryTest, ZonePolicyGatesSubscriptions) {
+  SubscriptionDirectory directory;
+  ASSERT_TRUE(directory.RegisterStream("music", 1, CodecId::kRaw).ok());
+  EXPECT_TRUE(directory.CheckSubscription("music", 1).ok());  // Empty = any.
+  ASSERT_TRUE(directory.SetZonePolicy("music", {0, 2}).ok());
+  EXPECT_TRUE(directory.CheckSubscription("music", 0).ok());
+  EXPECT_EQ(directory.CheckSubscription("music", 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(directory.CheckSubscription("music", 2).ok());
+  EXPECT_EQ(directory.CheckSubscription("nope", 0).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(directory.SetZonePolicy("nope", {1}).ok());
+}
+
+TEST(DirectoryTest, WhoHearsWhatListsStreamsSubscribersAndForeignGroups) {
+  SubscriptionDirectory directory;
+  ASSERT_TRUE(directory.RegisterStream("music", 1, CodecId::kVorbix).ok());
+  ASSERT_TRUE(directory.RegisterStream("voice", 2, CodecId::kRaw).ok());
+  directory.UpdateBindings({
+      {"es-0", /*zone=*/-1, {{kFirstChannelGroup, 120, 2}}},
+      {"es-1",
+       /*zone=*/1,
+       {{kFirstChannelGroup, 80, 0}, {kFirstChannelGroup + 1, 40, 1}}},
+      {"es-2", /*zone=*/2, {{999, 7, 0}}},  // Hand-tuned foreign group.
+  });
+  std::string view = directory.RenderWhoHearsWhat();
+  EXPECT_NE(view.find("subscription directory: 2 streams, 3 speakers"),
+            std::string::npos);
+  EXPECT_NE(view.find("music (stream 1, group 16, codec vorbix"),
+            std::string::npos);
+  EXPECT_NE(view.find("es-0: chunks=120 late=2"), std::string::npos);
+  EXPECT_NE(view.find("es-1 [zone 1]: chunks=80 late=0"), std::string::npos);
+  EXPECT_NE(view.find("unregistered group 999"), std::string::npos);
+  EXPECT_NE(view.find("es-2 [zone 2]: chunks=7 late=0"), std::string::npos);
+  // Streams with nobody listening say so.
+  SubscriptionDirectory empty;
+  ASSERT_TRUE(empty.RegisterStream("lonely", 9, CodecId::kRaw).ok());
+  EXPECT_NE(empty.RenderWhoHearsWhat().find("(no subscribers)"),
+            std::string::npos);
 }
 
 // -------------------------------------------------- Metrics -> MIB bridge --

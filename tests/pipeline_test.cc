@@ -342,6 +342,85 @@ TEST(PipelineTest, SpeakerSwitchesChannels) {
   EXPECT_GT(speaker->stats().chunks_played, music_chunks);
 }
 
+TEST(PipelineTest, TwoChannelsDisjointAndOverlappingSubscribers) {
+  EthernetSpeakerSystem system;
+  Channel* music = *system.CreateChannel("music");
+  Channel* voice = *system.CreateChannel("voice");
+  // es-0 hears music only, es-1 voice only, es-2 both at once.
+  EthernetSpeaker* s0 = *system.AddSpeaker(FastSpeaker("es0"), music->group);
+  EthernetSpeaker* s1 = *system.AddSpeaker(FastSpeaker("es1"), voice->group);
+  EthernetSpeaker* s2 = *system.AddSpeaker(FastSpeaker("es2"), music->group);
+  ASSERT_TRUE(system.SubscribeSpeaker(2, "voice").ok());
+
+  PlayerAppOptions music_opts;
+  music_opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(music, std::make_unique<MusicLikeGenerator>(21),
+                               music_opts)
+                  .ok());
+  PlayerAppOptions voice_opts;
+  voice_opts.config = AudioConfig::PhoneQuality();
+  voice_opts.chunk_frames = 800;
+  ASSERT_TRUE(system
+                  .StartPlayer(voice,
+                               std::make_unique<SpeechLikeGenerator>(22),
+                               voice_opts)
+                  .ok());
+  system.RunUntil(Seconds(5));
+
+  // Disjoint speakers each hear exactly their own stream.
+  ASSERT_NE(s0->session(music->group), nullptr);
+  EXPECT_GT(s0->session(music->group)->stats().chunks_played, 10u);
+  EXPECT_EQ(s0->session(voice->group), nullptr);
+  ASSERT_NE(s1->session(voice->group), nullptr);
+  EXPECT_GE(s1->session(voice->group)->stats().chunks_played, 10u);
+  EXPECT_EQ(s1->session(music->group), nullptr);
+  // The overlapping speaker decodes and plays both streams concurrently on
+  // its one shared decode CPU.
+  ASSERT_NE(s2->session(music->group), nullptr);
+  ASSERT_NE(s2->session(voice->group), nullptr);
+  EXPECT_GT(s2->session(music->group)->stats().chunks_played, 10u);
+  EXPECT_GE(s2->session(voice->group)->stats().chunks_played, 10u);
+  EXPECT_EQ(s2->stats().late_drops, 0u);
+
+  // The directory's who-hears-what view reflects all three bindings.
+  system.RefreshDirectory();
+  std::string view = system.directory()->RenderWhoHearsWhat();
+  EXPECT_NE(view.find("music"), std::string::npos);
+  EXPECT_NE(view.find("voice"), std::string::npos);
+  EXPECT_NE(view.find("es-2"), std::string::npos);
+}
+
+TEST(PipelineTest, RuntimeSubscribeAndUnsubscribeByStreamName) {
+  EthernetSpeakerSystem system;
+  Channel* music = *system.CreateChannel("music");
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  ASSERT_TRUE(system
+                  .StartPlayer(music, std::make_unique<MusicLikeGenerator>(23),
+                               opts)
+                  .ok());
+  // Born unsubscribed: hears nothing.
+  EthernetSpeaker* speaker = *system.AddSpeaker(FastSpeaker("es"));
+  system.RunUntil(Seconds(2));
+  EXPECT_TRUE(speaker->subscriptions().empty());
+  EXPECT_EQ(speaker->stats().chunks_played, 0u);
+
+  // Unknown stream names and out-of-range speaker indices are rejected.
+  EXPECT_FALSE(system.SubscribeSpeaker(0, "no-such-stream").ok());
+  EXPECT_FALSE(system.SubscribeSpeaker(7, "music").ok());
+
+  ASSERT_TRUE(system.SubscribeSpeaker(0, "music").ok());
+  system.RunUntil(Seconds(6));
+  uint64_t played = speaker->stats().chunks_played;
+  EXPECT_GT(played, 10u);
+
+  ASSERT_TRUE(system.UnsubscribeSpeaker(0, "music").ok());
+  system.RunUntil(Seconds(10));
+  EXPECT_EQ(speaker->stats().chunks_played, played);
+  EXPECT_FALSE(speaker->ready());
+}
+
 TEST(PipelineTest, EightSimultaneousStreams) {
   // Figure 4's setup: eight separate CD-quality stereo streams through one
   // producer machine, all compressed, all played correctly.

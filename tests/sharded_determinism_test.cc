@@ -43,6 +43,31 @@ bool operator==(const SpeakerStats& a, const SpeakerStats& b) {
          a.silence_ns == b.silence_ns;
 }
 
+FleetResult CollectResult(EthernetSpeakerSystem& system) {
+  FleetResult result;
+  for (const auto& speaker : system.speakers()) {
+    result.stats.push_back(speaker->stats());
+    // A speaker whose every subscription was dropped has no output to
+    // render; an empty window still participates in the comparison.
+    result.rendered.push_back(
+        speaker->ready() ? speaker->output()->Render(Seconds(1), Seconds(2))
+                         : std::vector<float>());
+  }
+  result.lan = system.lan()->stats();
+  result.messages_posted = system.shards()->messages_posted();
+  for (int z = 0; z < system.zones(); ++z) {
+    const PacketTracer* tracer = system.zone_tracer(z);
+    EXPECT_EQ(tracer->dropped(), 0u) << "ring evictions would break the "
+                                        "trace comparison; raise capacity";
+    for (const TraceEvent& e : tracer->events()) {
+      result.trace_events.push_back({e.at, e.stream_id, e.seq,
+                                     static_cast<uint8_t>(e.stage), e.node});
+    }
+  }
+  std::sort(result.trace_events.begin(), result.trace_events.end());
+  return result;
+}
+
 FleetResult RunFleet(int zones, int threads, SimDuration jitter = 0) {
   SystemOptions options;
   options.sharded.zones = zones;
@@ -66,26 +91,52 @@ FleetResult RunFleet(int zones, int threads, SimDuration jitter = 0) {
                   .ok());
   system.RunUntil(Seconds(4));
 
-  FleetResult result;
   for (const auto& speaker : system.speakers()) {
-    result.stats.push_back(speaker->stats());
     EXPECT_TRUE(speaker->ready()) << speaker->name() << " zones=" << zones;
-    result.rendered.push_back(
-        speaker->output()->Render(Seconds(1), Seconds(2)));
   }
-  result.lan = system.lan()->stats();
-  result.messages_posted = system.shards()->messages_posted();
-  for (int z = 0; z < system.zones(); ++z) {
-    const PacketTracer* tracer = system.zone_tracer(z);
-    EXPECT_EQ(tracer->dropped(), 0u) << "ring evictions would break the "
-                                        "trace comparison; raise capacity";
-    for (const TraceEvent& e : tracer->events()) {
-      result.trace_events.push_back({e.at, e.stream_id, e.seq,
-                                     static_cast<uint8_t>(e.stage), e.node});
-    }
+  return CollectResult(system);
+}
+
+// Same fleet, but with subscription churn between runs: two speakers pick
+// up a second stream mid-run and one drops its only one. join_latency >=
+// lookahead is the documented contract that makes membership changes land
+// on the same virtual instant whether the requesting speaker shares the
+// segment's shard or posts across the epoch barrier.
+FleetResult RunChurnFleet(int zones, int threads) {
+  SystemOptions options;
+  options.sharded.zones = zones;
+  options.sharded.threads = threads;
+  options.lan.join_latency = Milliseconds(1);
+  EthernetSpeakerSystem system(options);
+  Channel* music = *system.CreateChannel("music");
+  Channel* voice = *system.CreateChannel("voice");
+  constexpr int kSpeakers = 5;
+  for (int i = 0; i < kSpeakers; ++i) {
+    SpeakerOptions speaker_options;
+    speaker_options.name = "es" + std::to_string(i);
+    speaker_options.decode_speed_factor = 0.05;
+    (void)*system.AddSpeaker(speaker_options, music->group);
   }
-  std::sort(result.trace_events.begin(), result.trace_events.end());
-  return result;
+  PlayerAppOptions music_options;
+  music_options.config = AudioConfig::CdQuality();
+  EXPECT_TRUE(system
+                  .StartPlayer(music, std::make_unique<MusicLikeGenerator>(11),
+                               music_options)
+                  .ok());
+  PlayerAppOptions voice_options;
+  voice_options.config = AudioConfig::PhoneQuality();
+  voice_options.chunk_frames = 800;
+  EXPECT_TRUE(system
+                  .StartPlayer(voice,
+                               std::make_unique<SpeechLikeGenerator>(12),
+                               voice_options)
+                  .ok());
+  system.RunUntil(Seconds(2));
+  EXPECT_TRUE(system.SubscribeSpeaker(1, "voice").ok());
+  EXPECT_TRUE(system.SubscribeSpeaker(3, "voice").ok());
+  EXPECT_TRUE(system.UnsubscribeSpeaker(2, "music").ok());
+  system.RunUntil(Seconds(4));
+  return CollectResult(system);
 }
 
 void ExpectIdentical(const FleetResult& a, const FleetResult& b) {
@@ -127,6 +178,17 @@ TEST(ShardedDeterminismTest, JitteredDeliveriesStayBitIdentical) {
   FleetResult classic = RunFleet(1, 1, jitter);
   FleetResult sharded = RunFleet(4, 2, jitter);
   ASSERT_GT(classic.stats[0].chunks_played, 25u);
+  ExpectIdentical(classic, sharded);
+}
+
+TEST(ShardedDeterminismTest, SubscriptionChurnStaysBitIdentical) {
+  FleetResult classic = RunChurnFleet(/*zones=*/1, /*threads=*/1);
+  FleetResult sharded = RunChurnFleet(/*zones=*/4, /*threads=*/2);
+  // The churn actually happened: es-1 heard both streams, es-2 went silent
+  // after 2 s but kept what it had played.
+  ASSERT_GT(classic.stats[1].chunks_played, classic.stats[0].chunks_played);
+  ASSERT_GT(classic.stats[2].chunks_played, 0u);
+  ASSERT_LT(classic.stats[2].chunks_played, classic.stats[0].chunks_played);
   ExpectIdentical(classic, sharded);
 }
 

@@ -85,15 +85,19 @@ class SpeakerHarness {
   }
 
   void Deliver(const Packet& packet, const Bytes& auth = {}) {
+    DeliverTo(kFirstChannelGroup, packet, auth);
+  }
+
+  void DeliverTo(GroupId group, const Packet& packet, const Bytes& auth = {}) {
     Datagram d;
-    d.group = kFirstChannelGroup;
+    d.group = group;
     d.payload = SerializePacket(packet, auth);
     speaker_.HandleDatagram(d);
   }
 
-  ControlPacket MakeControl(SimTime producer_clock) {
+  ControlPacket MakeControl(SimTime producer_clock, uint32_t stream_id = 1) {
     ControlPacket control;
-    control.stream_id = 1;
+    control.stream_id = stream_id;
     control.control_seq = 1;
     control.producer_clock = producer_clock;
     control.config = config_;
@@ -101,9 +105,10 @@ class SpeakerHarness {
     return control;
   }
 
-  DataPacket MakeData(uint32_t seq, SimTime deadline, int64_t frames) {
+  DataPacket MakeData(uint32_t seq, SimTime deadline, int64_t frames,
+                      uint32_t stream_id = 1) {
     DataPacket data;
-    data.stream_id = 1;
+    data.stream_id = stream_id;
     data.seq = seq;
     data.play_deadline = deadline;
     data.frame_count = static_cast<uint32_t>(frames);
@@ -265,6 +270,110 @@ TEST(SpeakerTest, ConfigChangeMidStreamSwitchesDecoder) {
   EXPECT_EQ(h.speaker_.config()->sample_rate, 16000);
   // Output epoch restarted.
   EXPECT_EQ(h.speaker_.output()->segments().size(), 0u);
+}
+
+// ------------------------------------------- Multi-stream subscriptions --
+
+TEST(SpeakerTest, SubscribeTwiceFails) {
+  SpeakerHarness h;  // The harness ctor already tuned to kFirstChannelGroup.
+  Status s = h.speaker_.Subscribe(kFirstChannelGroup);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SpeakerTest, UnsubscribeWithoutSubscriptionFails) {
+  SpeakerHarness h;
+  Status s = h.speaker_.Unsubscribe(kFirstChannelGroup + 9);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(SpeakerTest, ConcurrentSubscriptionsKeepStreamsSeparate) {
+  SpeakerHarness h;
+  const GroupId g2 = kFirstChannelGroup + 1;
+  ASSERT_TRUE(h.speaker_.Subscribe(g2).ok());
+  EXPECT_TRUE(h.nic_->IsJoined(kFirstChannelGroup));
+  EXPECT_TRUE(h.nic_->IsJoined(g2));
+  // Two producers, one per group, each with its own stream id.
+  h.Deliver(h.MakeControl(0));
+  h.DeliverTo(g2, h.MakeControl(0, /*stream_id=*/2));
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  h.DeliverTo(g2, h.MakeData(0, Milliseconds(100), 800, /*stream_id=*/2));
+  h.sim_.RunUntil(Milliseconds(200));
+  // Aggregate stats sum across sessions; per-session stats stay separate.
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 2u);
+  ASSERT_NE(h.speaker_.session(kFirstChannelGroup), nullptr);
+  ASSERT_NE(h.speaker_.session(g2), nullptr);
+  EXPECT_EQ(h.speaker_.session(kFirstChannelGroup)->stats().chunks_played,
+            1u);
+  EXPECT_EQ(h.speaker_.session(g2)->stats().chunks_played, 1u);
+  // The legacy single-stream accessors keep exposing the first subscription.
+  EXPECT_EQ(h.speaker_.tuned_group(), kFirstChannelGroup);
+  EXPECT_EQ(h.speaker_.output(),
+            h.speaker_.session(kFirstChannelGroup)->output());
+}
+
+TEST(SpeakerTest, RenderMixSumsConcurrentStreams) {
+  SpeakerHarness h;
+  const GroupId g2 = kFirstChannelGroup + 1;
+  ASSERT_TRUE(h.speaker_.Subscribe(g2).ok());
+  h.Deliver(h.MakeControl(0));
+  h.DeliverTo(g2, h.MakeControl(0, /*stream_id=*/2));
+  // Identical sine chunks with identical deadlines: the mix is exactly 2x.
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  h.DeliverTo(g2, h.MakeData(0, Milliseconds(100), 800, /*stream_id=*/2));
+  h.sim_.RunUntil(Milliseconds(250));
+  std::vector<float> solo = h.speaker_.session(kFirstChannelGroup)
+                                ->output()
+                                ->Render(Milliseconds(100), Milliseconds(100));
+  std::vector<float> mix =
+      h.speaker_.RenderMix(Milliseconds(100), Milliseconds(100));
+  ASSERT_EQ(mix.size(), solo.size());
+  ASSERT_GT(Peak(solo), 0.0);
+  EXPECT_NEAR(Peak(mix), 2.0 * Peak(solo), 1e-4);
+}
+
+TEST(SpeakerTest, UnsubscribeMidFlightDropsPipelineObligations) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(0));
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));  // Decode in flight.
+  ASSERT_TRUE(h.speaker_.Unsubscribe(kFirstChannelGroup).ok());
+  EXPECT_TRUE(h.speaker_.subscriptions().empty());
+  h.sim_.Run();  // The orphaned decode completes as a no-op.
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 0u);
+  EXPECT_EQ(h.speaker_.queued_pcm_bytes(), 0u);
+}
+
+TEST(SpeakerTest, ResubscribeStartsAFreshSession) {
+  SpeakerHarness h;
+  h.Deliver(h.MakeControl(0));
+  h.Deliver(h.MakeData(0, Milliseconds(100), 800));
+  ASSERT_TRUE(h.speaker_.Unsubscribe(kFirstChannelGroup).ok());
+  ASSERT_TRUE(h.speaker_.Subscribe(kFirstChannelGroup).ok());
+  // The reincarnated session has not seen a control packet, and the stale
+  // in-flight decode belongs to the dead epoch.
+  EXPECT_FALSE(h.speaker_.ready());
+  h.sim_.Run();
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 0u);
+}
+
+TEST(SpeakerTest, TuneDropsEveryCurrentSubscription) {
+  SpeakerHarness h;
+  ASSERT_TRUE(h.speaker_.Subscribe(kFirstChannelGroup + 1).ok());
+  ASSERT_TRUE(h.speaker_.Tune(kFirstChannelGroup + 2).ok());
+  ASSERT_EQ(h.speaker_.subscriptions().size(), 1u);
+  EXPECT_EQ(h.speaker_.subscriptions()[0], kFirstChannelGroup + 2);
+  EXPECT_FALSE(h.nic_->IsJoined(kFirstChannelGroup));
+  EXPECT_FALSE(h.nic_->IsJoined(kFirstChannelGroup + 1));
+  EXPECT_TRUE(h.nic_->IsJoined(kFirstChannelGroup + 2));
+}
+
+TEST(SpeakerTest, TrafficOnUnsubscribedGroupIsIgnored) {
+  SpeakerHarness h;
+  const GroupId stray = kFirstChannelGroup + 7;
+  h.DeliverTo(stray, h.MakeControl(0, /*stream_id=*/9));
+  EXPECT_FALSE(h.speaker_.ready());
+  h.DeliverTo(stray, h.MakeData(0, Milliseconds(100), 800, /*stream_id=*/9));
+  h.sim_.Run();
+  EXPECT_EQ(h.speaker_.stats().chunks_played, 0u);
 }
 
 // ------------------------------------------------------------ AutoVolume --
