@@ -31,9 +31,13 @@
 //   2. the tail sampler really sampled: sampling retained fewer traces
 //      than full retention did, and discarded at least one (hard —
 //      machine-independent structure, not timing);
-//   3. spans-off, sampling, and full ns/packet each stay within
-//      (1 + max_regress) of baseline — spans-off is the one that guards
-//      the "no cost when disabled" claim against the pre-span baseline.
+//   3. the sharded tier delivered IDENTICAL packet and full-retention
+//      counts to the classic tiers — the merged-mirror observability
+//      bit-identity contract, gated structurally (hard);
+//   4. spans-off, sampling, full, and both sharded ns/packet numbers each
+//      stay within (1 + max_regress) of baseline — spans-off is the one
+//      that guards the "no cost when disabled" claim against the pre-span
+//      baseline.
 //
 // bench "fleet" (BENCH_fleet.json):
 //   1. every required numeric field present (schema_version 1);
@@ -184,6 +188,11 @@ const char* const kTraceNumericFields[] = {
     "sampling_retained",
     "sampling_discarded",
     "full_retained",
+    "sharded_zones",
+    "sharded_packets",
+    "sharded_spans_off_ns_per_packet",
+    "sharded_full_ns_per_packet",
+    "sharded_full_retained",
 };
 
 using JsonObject = std::map<std::string, JsonValue>;
@@ -327,11 +336,31 @@ void CheckTrace(Gate* gate, const JsonObject& current,
   if (g.Number(current, current_path, "sampling_discarded") <= 0.0) {
     g.Fail("tail sampler discarded nothing; sampling is not sampling");
   }
+  // The sharded tier's determinism contract is exact: same packets as the
+  // classic run, same traces retained through the barrier-merged mirror.
+  const double packets = g.Number(current, current_path, "packets");
+  const double sharded_packets =
+      g.Number(current, current_path, "sharded_packets");
+  if (sharded_packets != packets) {
+    g.Fail("sharded tier sent " + std::to_string(sharded_packets) +
+           " packets vs classic " + std::to_string(packets) +
+           "; sharding changed simulation behaviour");
+  }
+  const double sharded_full_retained =
+      g.Number(current, current_path, "sharded_full_retained");
+  if (sharded_full_retained != full_retained) {
+    g.Fail("sharded full retention kept " +
+           std::to_string(sharded_full_retained) + " traces vs classic " +
+           std::to_string(full_retained) +
+           "; the barrier merge lost or duplicated spans");
+  }
   // Timing gates get the shared-machine noise margin. spans_off is the one
   // that matters most: it compares today's untraced packet path against
   // the baseline recorded before/without the span plane.
   for (const char* key : {"spans_off_ns_per_packet", "sampling_ns_per_packet",
-                          "full_ns_per_packet"}) {
+                          "full_ns_per_packet",
+                          "sharded_spans_off_ns_per_packet",
+                          "sharded_full_ns_per_packet"}) {
     const double cur = g.Number(current, current_path, key);
     const double base = g.Number(baseline, baseline_path, key);
     const double limit = base * (1.0 + max_regress);
@@ -348,12 +377,15 @@ void CheckTrace(Gate* gate, const JsonObject& current,
   if (g.failures == 0) {
     std::printf(
         "PASS: spans off %.1f ns/pkt (baseline %.1f), sampling %.1f, "
-        "full %.1f; retained sampling=%g full=%g\n",
+        "full %.1f, sharded off %.1f, sharded full %.1f; retained "
+        "sampling=%g full=%g sharded=%g\n",
         g.Number(current, current_path, "spans_off_ns_per_packet"),
         g.Number(baseline, baseline_path, "spans_off_ns_per_packet"),
         g.Number(current, current_path, "sampling_ns_per_packet"),
         g.Number(current, current_path, "full_ns_per_packet"),
-        sampling_retained, full_retained);
+        g.Number(current, current_path, "sharded_spans_off_ns_per_packet"),
+        g.Number(current, current_path, "sharded_full_ns_per_packet"),
+        sampling_retained, full_retained, sharded_full_retained);
   }
 }
 

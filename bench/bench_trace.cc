@@ -12,12 +12,19 @@
 //   full     - span plane on retaining every trace. Upper bound; what an
 //              exhaustive debugging session pays.
 //
+// A fourth tier repeats the off/full pair on the sharded runtime (4 zones,
+// 4 executor threads): the span plane there records into per-zone tracers
+// merged at the epoch barrier, so this measures what barrier-time merging
+// adds on top of sharding itself. Because merged-mirror observability is
+// bit-identical to the classic plane, the sharded packet and retained
+// counts must EQUAL the classic ones — a structural gate, not a tolerance.
+//
 // The emitted BENCH_trace.json is validated by bench_gate against
 // bench/baselines/BENCH_trace_baseline.json: the structural fields
-// (sampling retained <= full retained, sampler actually discarding) are
-// hard gates; the three ns/packet numbers get the shared-machine noise
-// margin. `--quick` (used by the espk_bench_smoke ctest) shortens the
-// simulated window.
+// (sampling retained <= full retained, sampler actually discarding,
+// sharded counts equal to classic) are hard gates; the ns/packet numbers
+// get the shared-machine noise margin. `--quick` (used by the
+// espk_bench_smoke ctest) shortens the simulated window.
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -33,6 +40,7 @@ namespace {
 
 constexpr int kSchemaVersion = 1;
 constexpr int kSpeakers = 5;
+constexpr int kShardedZones = 4;
 
 enum class SpanMode { kOff, kSampling, kFull };
 
@@ -43,9 +51,14 @@ struct TraceMeasurement {
   uint64_t discarded = 0;
 };
 
-TraceMeasurement MeasureMode(SpanMode mode, int sim_seconds) {
+TraceMeasurement MeasureMode(SpanMode mode, int sim_seconds, int zones = 1) {
   using Clock = std::chrono::steady_clock;
-  EthernetSpeakerSystem system;
+  SystemOptions sys_options;
+  if (zones > 1) {
+    sys_options.sharded.zones = zones;
+    sys_options.sharded.threads = zones;
+  }
+  EthernetSpeakerSystem system(sys_options);
   RebroadcasterOptions rb;
   rb.codec_override = CodecId::kRaw;
   Channel* channel = *system.CreateChannel("music", rb);
@@ -78,7 +91,13 @@ TraceMeasurement MeasureMode(SpanMode mode, int sim_seconds) {
   }
 
   const auto t0 = Clock::now();
-  system.sim()->RunUntil(Seconds(sim_seconds));
+  // The sharded runtime advances through the group's epoch loop; classic
+  // keeps driving the Simulation directly as the pre-sharding bench did.
+  if (zones > 1) {
+    system.RunUntil(Seconds(sim_seconds));
+  } else {
+    system.sim()->RunUntil(Seconds(sim_seconds));
+  }
   if (spans != nullptr) {
     spans->Drain();
   }
@@ -113,10 +132,10 @@ int RunTraceBench(int sim_seconds) {
   // a single sample is at the mercy of the host scheduler. The minimum is
   // the run with the least interference — that is the number the gate
   // compares, and the one that converges across machines.
-  auto best_of = [sim_seconds](SpanMode mode) {
-    TraceMeasurement best = MeasureMode(mode, sim_seconds);
+  auto best_of = [sim_seconds](SpanMode mode, int zones = 1) {
+    TraceMeasurement best = MeasureMode(mode, sim_seconds, zones);
     for (int rep = 1; rep < 3; ++rep) {
-      TraceMeasurement m = MeasureMode(mode, sim_seconds);
+      TraceMeasurement m = MeasureMode(mode, sim_seconds, zones);
       if (m.ns_per_packet < best.ns_per_packet) {
         best = m;
       }
@@ -126,6 +145,8 @@ int RunTraceBench(int sim_seconds) {
   TraceMeasurement off = best_of(SpanMode::kOff);
   TraceMeasurement sampling = best_of(SpanMode::kSampling);
   TraceMeasurement full = best_of(SpanMode::kFull);
+  TraceMeasurement sharded_off = best_of(SpanMode::kOff, kShardedZones);
+  TraceMeasurement sharded_full = best_of(SpanMode::kFull, kShardedZones);
 
   Table table({"mode", "packets", "us/pkt", "retained", "discarded"});
   table.Row({"off", std::to_string(off.packets),
@@ -137,10 +158,22 @@ int RunTraceBench(int sim_seconds) {
   table.Row({"full", std::to_string(full.packets),
              Fmt(full.ns_per_packet / 1000.0), std::to_string(full.retained),
              std::to_string(full.discarded)});
+  table.Row({"shard-off", std::to_string(sharded_off.packets),
+             Fmt(sharded_off.ns_per_packet / 1000.0), "-", "-"});
+  table.Row({"shard-full", std::to_string(sharded_full.packets),
+             Fmt(sharded_full.ns_per_packet / 1000.0),
+             std::to_string(sharded_full.retained),
+             std::to_string(sharded_full.discarded)});
   if (off.ns_per_packet > 0.0) {
     std::printf("sampling overhead %+.1f%%, full overhead %+.1f%%\n",
                 (sampling.ns_per_packet / off.ns_per_packet - 1.0) * 100.0,
                 (full.ns_per_packet / off.ns_per_packet - 1.0) * 100.0);
+  }
+  if (sharded_off.ns_per_packet > 0.0) {
+    std::printf("sharded (%d zones) full-trace overhead %+.1f%%\n",
+                kShardedZones,
+                (sharded_full.ns_per_packet / sharded_off.ns_per_packet -
+                 1.0) * 100.0);
   }
 
   if (off.packets == 0 || sampling.packets != off.packets ||
@@ -157,6 +190,27 @@ int RunTraceBench(int sim_seconds) {
     std::fprintf(stderr, "FAIL: span plane retained nothing; harness broken\n");
     return 1;
   }
+  // The sharded runtime's bit-identity contract, checked in-process: the
+  // same workload over 4 zones must send the same packets and (via the
+  // barrier-merged mirror) retain the same traces as the classic run.
+  if (sharded_off.packets != off.packets ||
+      sharded_full.packets != off.packets) {
+    std::fprintf(stderr,
+                 "FAIL: sharded runs sent %llu/%llu packets vs classic %llu; "
+                 "sharding changed simulation behaviour\n",
+                 static_cast<unsigned long long>(sharded_off.packets),
+                 static_cast<unsigned long long>(sharded_full.packets),
+                 static_cast<unsigned long long>(off.packets));
+    return 1;
+  }
+  if (sharded_full.retained != full.retained) {
+    std::fprintf(stderr,
+                 "FAIL: sharded full retention kept %llu traces vs classic "
+                 "%llu; the barrier merge lost or duplicated spans\n",
+                 static_cast<unsigned long long>(sharded_full.retained),
+                 static_cast<unsigned long long>(full.retained));
+    return 1;
+  }
 
   JsonWriter json;
   json.Str("bench", "trace");
@@ -170,6 +224,11 @@ int RunTraceBench(int sim_seconds) {
   json.Int("sampling_retained", sampling.retained);
   json.Int("sampling_discarded", sampling.discarded);
   json.Int("full_retained", full.retained);
+  json.Int("sharded_zones", kShardedZones);
+  json.Int("sharded_packets", sharded_off.packets);
+  json.Num("sharded_spans_off_ns_per_packet", sharded_off.ns_per_packet);
+  json.Num("sharded_full_ns_per_packet", sharded_full.ns_per_packet);
+  json.Int("sharded_full_retained", sharded_full.retained);
   if (!json.WriteFile("BENCH_trace.json")) {
     return 1;
   }

@@ -6,8 +6,10 @@
 #      (refcount mistakes, slices outliving buffers) fail here loudly.
 #   2. TSan build of the sharded-runtime suite — the executor, SPSC ring,
 #      timer wheel, and the width-N determinism test all run under
-#      ThreadSanitizer. The sharded runtime's bit-identity claim rests on
-#      the executor barrier giving happens-before between epochs; TSan is
+#      ThreadSanitizer, plus the span and health suites whose sharded cases
+#      read zone state from barrier hooks (the merged-mirror observability
+#      path). The sharded runtime's bit-identity claim rests on the
+#      executor barrier giving happens-before between epochs; TSan is
 #      the check that actually exercises it (a startup race in the executor
 #      once made shards share a thread slice and fire events an epoch late —
 #      exactly the class of bug this stage exists to catch).
@@ -51,9 +53,10 @@ cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DESPK_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target \
-  spsc_queue_test timer_wheel_test shard_test sharded_determinism_test
+  spsc_queue_test timer_wheel_test shard_test sharded_determinism_test \
+  span_test health_test
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'spsc_queue_test|timer_wheel_test|shard_test|sharded_determinism_test'
+  -R 'spsc_queue_test|timer_wheel_test|shard_test|sharded_determinism_test|span_test|health_test'
 
 echo "==> [3/7] Release: configure, build, bench smoke gate"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -66,7 +69,7 @@ SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 for example in quickstart building_pa internet_radio netboot_demo \
                secure_stream health_monitor fleet_dashboard \
-               latency_budget subscriptions; do
+               latency_budget subscriptions sharded_observability; do
   echo "--> examples/$example"
   (cd "$SCRATCH" && "$EXAMPLES_DIR/$example" > "$example.out")
 done

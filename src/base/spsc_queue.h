@@ -117,6 +117,16 @@ class SpscQueue {
   }
   bool EmptyApprox() const { return SizeApprox() == 0; }
 
+  // Producer-side occupancy. The consumer may be mid-pop, so in general this
+  // is an upper bound; under the sharded runtime's phase discipline (the
+  // consumer pops only between epochs) the head is stationary for the whole
+  // run phase and the value is exact — which is what makes the per-link
+  // high-watermark counters deterministic.
+  size_t OccupancyFromProducer() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_relaxed) -
+                               head_.load(std::memory_order_acquire));
+  }
+
  private:
   struct Slot {
     alignas(alignof(T)) unsigned char storage[sizeof(T)];

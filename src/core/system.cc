@@ -33,21 +33,30 @@ EthernetSpeakerSystem::EthernetSpeakerSystem(const SystemOptions& options)
   if (options_.background_daemon_rate > 0.0) {
     kernel_.StartBackgroundDaemons(options_.background_daemon_rate);
   }
-  lan_.set_tracer(&tracer_);
-  RegisterLanMetrics();
-  RegisterTracerMetrics(&tracer_, &metrics_);
   if (shards_.shard_count() > 1) {
     lan_.EnableSharding(&shards_, /*home_shard=*/0);
     zone_tracers_.resize(static_cast<size_t>(shards_.shard_count()));
     for (int z = 0; z < shards_.shard_count(); ++z) {
-      if (z > 0) {
-        zone_tracers_[static_cast<size_t>(z)] =
-            std::make_unique<PacketTracer>(shards_.sim(z));
-      }
+      zone_tracers_[static_cast<size_t>(z)] =
+          std::make_unique<PacketTracer>(shards_.sim(z));
       speaker_zones_.push_back(
           std::make_unique<SpeakerZone>(shards_.sim(z)));
       lan_.RegisterZoneSink(z, speaker_zones_.back().get());
     }
+  }
+  lan_.set_tracer(home_tracer());
+  RegisterLanMetrics();
+  if (shards_.shard_count() > 1) {
+    // The zone tracers hold the ground truth (tracer_ is a mirror the
+    // ZoneCollector feeds at barriers); aggregate them so trace.* reads the
+    // same as the classic single-tracer values.
+    std::vector<const PacketTracer*> tracers;
+    for (const auto& tracer : zone_tracers_) {
+      tracers.push_back(tracer.get());
+    }
+    RegisterTracerMetrics(std::move(tracers), &metrics_);
+  } else {
+    RegisterTracerMetrics(&tracer_, &metrics_);
   }
 }
 
@@ -177,13 +186,13 @@ Result<Channel*> EthernetSpeakerSystem::CreateChannel(
     return vad.status();
   }
   channel->vad = *vad;
-  channel->vad.master->SetTrace(&tracer_, channel->stream_id);
+  channel->vad.master->SetTrace(home_tracer(), channel->stream_id);
   channel->producer_nic = lan_.CreateNic();
 
   rb_options.stream_id = channel->stream_id;
   rb_options.group = channel->group;
   rb_options.channel_name = name;
-  rb_options.tracer = &tracer_;
+  rb_options.tracer = home_tracer();
   // The channel's metrics live on its own station registry ("rb-<sid>",
   // scraped by the fleet collector) under local names; the system registry
   // aliases them back under the flat legacy prefix.
@@ -278,8 +287,7 @@ Result<EthernetSpeaker*> EthernetSpeakerSystem::AddSpeaker(
                : static_cast<int>(index) % shards_.shard_count();
     zone_sim = shards_.sim(zone);
   }
-  options.tracer =
-      zone > 0 ? zone_tracers_[static_cast<size_t>(zone)].get() : &tracer_;
+  options.tracer = zone_tracer(zone);
   // Same per-station ownership as channels: the speaker's metrics live on
   // station "es-<i>" under local names, aliased into the system registry
   // under the flat "speaker.<i>." prefix the health rules watch.
@@ -356,20 +364,50 @@ void EthernetSpeakerSystem::AttachSpeakerSpans(size_t index) {
                      station != nullptr ? station->registry.get() : nullptr);
 }
 
-SpanPlane* EthernetSpeakerSystem::EnableSpanTracing(
-    const SpanPlaneOptions& options) {
-  if (shards_.shard_count() > 1) {
-    // The span plane stitches cross-station trees on one tracer/clock; the
-    // sharded fleet runtime has one tracer per zone. Cross-shard span
-    // assembly is future work (ROADMAP).
-    ESPK_LOG(kWarning)
-        << "span tracing is not supported on a sharded system (zones > 1)";
+ZoneCollector* EthernetSpeakerSystem::EnableZoneTelemetry() {
+  if (shards_.shard_count() <= 1) {
     return nullptr;
   }
+  if (zone_collector_ != nullptr) {
+    return zone_collector_.get();
+  }
+  std::vector<PacketTracer*> tracers;
+  for (const auto& tracer : zone_tracers_) {
+    tracers.push_back(tracer.get());
+  }
+  zone_collector_ =
+      std::make_unique<ZoneCollector>(&shards_, &tracer_, std::move(tracers));
+  for (int z = 0; z < shards_.shard_count(); ++z) {
+    MetricsRegistry* station = AddStation("zone-" + std::to_string(z));
+    zone_collector_->RegisterZoneStation(z, station);
+  }
+  return zone_collector_.get();
+}
+
+SpanPlane* EthernetSpeakerSystem::EnableSpanTracing(
+    const SpanPlaneOptions& options) {
   if (spans_ != nullptr) {
     return spans_.get();
   }
+  // Sharded: spans assemble over the barrier-merged mirror. The collector
+  // replays every zone's events into tracer_ in (recorded, zone, position)
+  // order at each epoch barrier, so the exporter sees the same stream a
+  // classic run produces — and the plane's flush runs at aligned barriers
+  // instead of on a periodic task that could fire mid-merge.
+  if (shards_.shard_count() > 1) {
+    EnableZoneTelemetry();
+  }
   spans_ = std::make_unique<SpanPlane>(&sim_, &tracer_, &metrics_, options);
+  if (shards_.shard_count() > 1) {
+    spans_->SetExternalFlush(true);
+    SpanPlane* plane = spans_.get();
+    zone_collector_->Drive(
+        options.flush_period, [plane] { plane->Flush(); },
+        [] { return true; });
+    for (auto& tracer : zone_tracers_) {
+      tracer->set_span_stages(true);
+    }
+  }
   for (auto& channel : channels_) {
     AttachChannelSpans(channel.get());
   }
@@ -386,17 +424,16 @@ HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
 
 HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
     const HealthOptions& options, const HealthRuleDefaults& rules) {
-  if (shards_.shard_count() > 1) {
-    // The sampler's periodic task would run on shard 0's loop while
-    // sampling gauges that read other zones' state mid-epoch. Scrape
-    // between runs instead (metrics()->TextExposition()).
-    ESPK_LOG(kWarning)
-        << "health monitoring is not supported on a sharded system "
-           "(zones > 1)";
-    return nullptr;
-  }
   if (health_ != nullptr) {
     return health_.get();
+  }
+  // Sharded: the sampler ticks at epoch barriers instead of on shard 0's
+  // loop. The ZoneCollector clamps epochs to land exactly on the sampler's
+  // period grid and fires SampleNow() there — every gauge it reads is a
+  // barrier-time snapshot, and the tick instants match the classic
+  // periodic task's, so alert logs compare bit-for-bit.
+  if (shards_.shard_count() > 1) {
+    EnableZoneTelemetry();
   }
   health_ = std::make_unique<HealthMonitor>(&sim_, &metrics_, &tracer_,
                                             options);
@@ -465,7 +502,52 @@ HealthMonitor* EthernetSpeakerSystem::EnableHealthMonitoring(
          .help = "Audible dead air is being inserted between chunks"});
   }
 
-  health_->Start();
+  if (shards_.shard_count() > 1 && rules.runtime_rules) {
+    // Runtime self-telemetry rules. Ring spills are deterministic counters;
+    // barrier stall is wall-clock and will vary run to run (disable
+    // runtime_rules when comparing alert logs across runs).
+    ShardGroup* sh = &shards_;
+    health_->WatchReader("runtime.ring_spills", [sh] {
+      return static_cast<double>(sh->ring_spills());
+    });
+    health_->AddRule(
+        {.name = "runtime.ring_spill_rate",
+         .series = "runtime.ring_spills",
+         .aggregate = AlertAggregate::kRatePerSec,
+         .comparison = AlertComparison::kAbove,
+         .threshold = rules.ring_spill_rate_per_sec,
+         .window = rules.window,
+         .for_duration = rules.for_duration,
+         .clear_duration = rules.clear_duration,
+         .help = "Cross-shard inboxes are overflowing into the spill vector "
+                 "(raise sharded.inbox_capacity)"});
+    ZoneCollector* zc = zone_collector_.get();
+    health_->WatchReader("runtime.barrier_wait_ms", [zc] {
+      return zc->last_barrier_wait_ms();
+    });
+    health_->AddRule(
+        {.name = "runtime.barrier_stall",
+         .series = "runtime.barrier_wait_ms",
+         .aggregate = AlertAggregate::kMax,
+         .comparison = AlertComparison::kAbove,
+         .threshold = rules.barrier_stall_ms,
+         .window = rules.window,
+         .for_duration = rules.for_duration,
+         .clear_duration = rules.clear_duration,
+         .help = "A zone is waiting on the epoch barrier for wall-clock "
+                 "milliseconds (load imbalance or an overloaded host)"});
+  }
+
+  if (shards_.shard_count() > 1) {
+    health_->sampler()->set_external_drive(true);
+    health_->Start();
+    TimeSeriesSampler* sampler = health_->sampler();
+    zone_collector_->Drive(
+        sampler->period(), [sampler] { sampler->SampleNow(); },
+        [sampler] { return sampler->running(); });
+  } else {
+    health_->Start();
+  }
   return health_.get();
 }
 

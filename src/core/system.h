@@ -20,6 +20,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/spans/plane.h"
 #include "src/obs/trace.h"
+#include "src/obs/zone_collector.h"
 #include "src/rebroadcast/player_app.h"
 #include "src/rebroadcast/rebroadcaster.h"
 #include "src/sim/shard.h"
@@ -100,10 +101,12 @@ class EthernetSpeakerSystem {
   // for every speaker.
   int ZoneOf(size_t speaker_index) const;
   Simulation* zone_sim(int zone) { return shards_.sim(zone); }
-  // Zone 0 records into the system tracer; other zones into their own.
+  // Sharded: every zone (including zone 0) records into its own tracer, and
+  // tracer() is a mirror the ZoneCollector merges them into at barriers.
+  // Classic: there is one tracer, full stop.
   PacketTracer* zone_tracer(int zone) {
-    return zone > 0 ? zone_tracers_[static_cast<size_t>(zone)].get()
-                    : &tracer_;
+    return is_sharded() ? zone_tracers_[static_cast<size_t>(zone)].get()
+                        : &tracer_;
   }
 
   // Run the whole system — every zone — to/for the given virtual time.
@@ -143,6 +146,14 @@ class EthernetSpeakerSystem {
     SimDuration window = Seconds(1);
     SimDuration for_duration = Milliseconds(200);
     SimDuration clear_duration = Milliseconds(300);
+    // Sharded-runtime self-telemetry rules, installed only on a sharded
+    // system. The ring-spill rule watches a deterministic counter; the
+    // barrier-stall rule watches *wall-clock* barrier waits, which vary run
+    // to run — set runtime_rules = false when comparing alert logs across
+    // runs (the bit-identity tests do).
+    bool runtime_rules = true;
+    double ring_spill_rate_per_sec = 1.0;   // runtime.ring_spill_rate
+    double barrier_stall_ms = 250.0;        // runtime.barrier_stall
   };
 
   // Builds the health layer (sampler + SLO alert engine + flight recorder)
@@ -162,6 +173,14 @@ class EthernetSpeakerSystem {
   // lateness observations from this call on. Call once; idempotent.
   SpanPlane* EnableSpanTracing(const SpanPlaneOptions& options = {});
   SpanPlane* spans() { return spans_.get(); }
+
+  // Sharded only (null on a classic system; idempotent): builds the
+  // ZoneCollector that merges zone tracers into the mirror at every epoch
+  // barrier and creates the "zone-<z>" runtime-telemetry stations. Both
+  // Enable* planes call this themselves on a sharded system; call it
+  // directly to get runtime stations without spans or health.
+  ZoneCollector* EnableZoneTelemetry();
+  ZoneCollector* zone_collector() { return zone_collector_.get(); }
 
   // Allocates a fresh simulated process id.
   Pid NewPid() { return next_pid_++; }
@@ -239,6 +258,12 @@ class EthernetSpeakerSystem {
   void AttachChannelSpans(Channel* channel);
   void AttachSpeakerSpans(size_t index);
 
+  // Where shard-0 components (segment, VADs, rebroadcasters) record traces:
+  // the zone-0 tracer when sharded, the one-and-only tracer when classic.
+  PacketTracer* home_tracer() {
+    return is_sharded() ? zone_tracers_[0].get() : &tracer_;
+  }
+
   // Creates the station and returns its registry (owned by stations_).
   MetricsRegistry* AddStation(const std::string& name);
   // Aliases every entry of `station_registry` into the system registry,
@@ -270,14 +295,20 @@ class EthernetSpeakerSystem {
   // aliases in metrics_) point into; declared before the component vectors
   // so every instrumented component unwinds first.
   std::vector<std::unique_ptr<Station>> stations_;
-  // Sharded-mode plumbing, empty when zones = 1. Per-zone tracers (zone 0
-  // reuses tracer_, so index 0 is null) and the per-zone batch sinks.
-  // Declared before the speakers: a speaker's options_.tracer points at its
-  // zone tracer, and zones hold borrowed speaker/NIC pointers — nothing
-  // here touches them at destruction, but keep the conservative order.
+  // Sharded-mode plumbing, empty when zones = 1. Per-zone tracers (every
+  // zone, including zone 0, records into its own; tracer_ becomes the
+  // barrier-merged mirror) and the per-zone batch sinks. Declared before
+  // the speakers: a speaker's options_.tracer points at its zone tracer,
+  // and zones hold borrowed speaker/NIC pointers — nothing here touches
+  // them at destruction, but keep the conservative order.
   std::vector<std::unique_ptr<PacketTracer>> zone_tracers_;
   std::vector<std::unique_ptr<SpeakerZone>> speaker_zones_;
   std::vector<int> speaker_zone_index_;  // Speaker index -> zone.
+  // Barrier hook merging zone tracers into the mirror and snapshotting
+  // runtime telemetry. Declared after shards_ / zone_tracers_ (it
+  // unregisters from shards_ on destruction) and before spans_ / health_
+  // (their lambdas read it).
+  std::unique_ptr<ZoneCollector> zone_collector_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::unique_ptr<PlayerApp>> players_;
   std::vector<std::unique_ptr<SimNic>> speaker_nics_;

@@ -106,7 +106,8 @@ void EthernetSegment::Transmit(const Datagram& datagram) {
     }
     return;
   }
-  if (tracer_ != nullptr && datagram.trace.valid && tracer_->has_observer()) {
+  if (tracer_ != nullptr && datagram.trace.valid &&
+      tracer_->span_stages_enabled()) {
     // Span-plane stage: the instant the frame actually wins the medium.
     // start - now is the tx-queue wait the critical-path analyzer
     // attributes to the sending station. Recorded only for the span

@@ -126,12 +126,53 @@ std::string RenderFleetDashboard(const FleetStore& store, SimTime now,
       os << line << "\n";
     }
   }
+  const std::string runtime = RenderRuntimeSection(store);
+  if (!runtime.empty()) {
+    os << "## runtime\n" << runtime;
+  }
   for (const DashboardOptions::Section& section : options.sections) {
     os << "## " << section.title << "\n";
     os << section.body;
     if (!section.body.empty() && section.body.back() != '\n') {
       os << "\n";
     }
+  }
+  return os.str();
+}
+
+std::string RenderRuntimeSection(const FleetStore& store) {
+  std::ostringstream os;
+  char line[192];
+  bool any = false;
+  for (const std::string& station : store.Stations()) {
+    if (!GlobMatch("zone-*", station)) {
+      continue;
+    }
+    if (!any) {
+      std::snprintf(line, sizeof(line), "%-8s %8s %10s %10s %10s %9s %7s %9s",
+                    "zone", "epochs", "run_p50us", "run_p99us", "wait_p99us",
+                    "drained", "spills", "inbox_hwm");
+      os << line << "\n";
+      any = true;
+    }
+    auto value = [&store, &station](const std::string& metric) {
+      const MetricSample* sample = store.FindLatest(station, metric);
+      return sample == nullptr ? 0.0 : sample->value;
+    };
+    auto quantile = [&store, &station](const std::string& metric, double q) {
+      const MetricSample* sample = store.FindLatest(station, metric);
+      return sample == nullptr ? 0.0 : sample->histogram.Percentile(q);
+    };
+    std::snprintf(line, sizeof(line),
+                  "%-8s %8.0f %10.1f %10.1f %10.1f %9.0f %7.0f %9.0f",
+                  station.c_str(), value("runtime.epochs"),
+                  quantile("runtime.epoch_run_us", 0.5),
+                  quantile("runtime.epoch_run_us", 0.99),
+                  quantile("runtime.barrier_wait_us", 0.99),
+                  value("runtime.drained_messages"),
+                  value("runtime.ring_spills"),
+                  value("runtime.inbox_high_watermark"));
+    os << line << "\n";
   }
   return os.str();
 }

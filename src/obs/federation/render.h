@@ -37,8 +37,17 @@ struct DashboardOptions {
 
 // Deterministic fleet overview: one row per station (state, data age,
 // metric count, ingest count), then one section per configured query.
+// A sharded runtime's "zone-*" stations additionally render as a
+// "runtime" section (see RenderRuntimeSection); classic fleets have no
+// zone stations and render exactly as before.
 std::string RenderFleetDashboard(const FleetStore& store, SimTime now,
                                  const DashboardOptions& options = {});
+
+// One row per "zone-<z>" station with the sharded runtime's
+// self-telemetry: epochs run, run-phase p50/p99 and barrier-wait p99 (us,
+// wall clock), cross-shard messages drained, ring spills, and the inbox
+// high-watermark. Empty string when the store has no zone stations.
+std::string RenderRuntimeSection(const FleetStore& store);
 
 }  // namespace espk
 

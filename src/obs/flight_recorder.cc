@@ -1,7 +1,9 @@
 #include "src/obs/flight_recorder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
+#include <vector>
 
 #include "bench/json_lite.h"
 #include "src/base/logging.h"
@@ -104,9 +106,25 @@ std::string FlightRecorder::BuildPostmortem(
     doc.Raw("series", series_json);
   }
 
-  // Last N packet-trace events, oldest first.
+  // Last N packet-trace events, oldest first, in canonical (at, stream,
+  // seq, stage, node) order. The ring itself is in record order, which on
+  // the sharded mirror can interleave same-instant events from different
+  // zones differently than a classic run; sorting the WHOLE ring before
+  // slicing the tail keeps the document identical either way (sorting only
+  // the tail would cut same-instant tie groups at different points).
   if (tracer_ != nullptr) {
-    const auto& events = tracer_->events();
+    std::vector<TraceEvent> events(tracer_->events().begin(),
+                                   tracer_->events().end());
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.stream_id != b.stream_id) {
+                  return a.stream_id < b.stream_id;
+                }
+                if (a.seq != b.seq) return a.seq < b.seq;
+                if (a.stage != b.stage) return a.stage < b.stage;
+                return a.node < b.node;
+              });
     const size_t count =
         events.size() < options_.trace_events ? events.size()
                                               : options_.trace_events;

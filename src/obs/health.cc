@@ -26,6 +26,11 @@ TimeSeries* HealthMonitor::WatchPercentile(const std::string& metric_name,
   return sampler_->WatchPercentile(metric_name, q);
 }
 
+TimeSeries* HealthMonitor::WatchReader(const std::string& series_name,
+                                       std::function<double()> read) {
+  return sampler_->WatchReader(series_name, std::move(read));
+}
+
 void HealthMonitor::AddRule(SloRule rule) { engine_->AddRule(std::move(rule)); }
 
 void HealthMonitor::Start() { sampler_->Start(); }

@@ -42,6 +42,8 @@ class HealthMonitor {
   // Forwarders so wiring code reads as one fluent block.
   TimeSeries* Watch(const std::string& metric_name);
   TimeSeries* WatchPercentile(const std::string& metric_name, double q);
+  TimeSeries* WatchReader(const std::string& series_name,
+                          std::function<double()> read);
   void AddRule(SloRule rule);
 
   void Start();

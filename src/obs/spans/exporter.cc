@@ -94,7 +94,9 @@ void SpanExporter::OnTraceEvent(const TraceEvent& event) {
   // kWireTx may carry a timestamp in the future (the reserved wire slot of
   // a queued packet); the journey is not idle until that slot has passed,
   // or a deep transmit queue would get its traces TTL-split mid-flight.
-  p.last_activity = std::max(sim_->now(), event.at);
+  // `recorded` is the tracer-side now() — on the sharded mirror that is the
+  // original zone record instant, not the (later) barrier replay instant.
+  p.last_activity = std::max(event.recorded, event.at);
 
   const SimTime at = event.at;
   switch (event.stage) {

@@ -38,6 +38,11 @@ const char* FateName(uint8_t flags) {
 }  // namespace
 
 std::string PerfettoSpanJson(const SpanAssembler& assembler) {
+  return PerfettoSpanJson(assembler, std::string());
+}
+
+std::string PerfettoSpanJson(const SpanAssembler& assembler,
+                             const std::string& extra_events) {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   auto comma = [&out, &first] {
@@ -90,6 +95,10 @@ std::string PerfettoSpanJson(const SpanAssembler& assembler) {
               ", \"ts\": %.3f, \"pid\": %u, \"tid\": %u}",
               s.trace_id, TraceTs(s.start), s.stream_id, s.station);
     }
+  }
+  if (!extra_events.empty()) {
+    comma();
+    out += extra_events;
   }
   out += "\n]}\n";
   return out;

@@ -18,6 +18,13 @@ class SpanAssembler;
 // retention order. Deterministic for a given assembler state.
 std::string PerfettoSpanJson(const SpanAssembler& assembler);
 
+// Same, with extra pre-rendered Trace Event Format objects (comma-joined,
+// no enclosing array — e.g. RuntimePerfettoEvents()) spliced into the
+// traceEvents array, so runtime epoch slices land in the same timeline as
+// the span trees.
+std::string PerfettoSpanJson(const SpanAssembler& assembler,
+                             const std::string& extra_events);
+
 }  // namespace espk
 
 #endif  // SRC_OBS_SPANS_PERFETTO_H_

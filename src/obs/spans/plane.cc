@@ -65,6 +65,14 @@ void SpanPlane::Flush() {
   assembler_.Flush(now);
 }
 
+void SpanPlane::SetExternalFlush(bool external) {
+  if (external) {
+    flush_task_.Stop();
+  } else if (!flush_task_.running()) {
+    flush_task_.Start();
+  }
+}
+
 void SpanPlane::Drain() {
   exporter_.FlushAll();
   CollectLocal();

@@ -64,6 +64,12 @@ class SpanPlane {
   // task calls this; tests can force it).
   void Flush();
 
+  // External-flush mode: stops the periodic flush task; whoever drives the
+  // plane calls Flush() at flush_period boundaries. The sharded system uses
+  // this — the ZoneCollector flushes at aligned epoch barriers, so the
+  // exporter never runs FlushIdle against a half-merged mirror mid-epoch.
+  void SetExternalFlush(bool external);
+
   // End-of-run: finalize every in-flight trace, collect all buffers, and
   // decide every pending trace.
   void Drain();

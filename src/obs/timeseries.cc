@@ -153,6 +153,11 @@ TimeSeries* TimeSeriesSampler::WatchPercentile(const std::string& metric_name,
   });
 }
 
+TimeSeries* TimeSeriesSampler::WatchReader(const std::string& series_name,
+                                           std::function<double()> read) {
+  return AddSeries(series_name, std::move(read));
+}
+
 TimeSeries* TimeSeriesSampler::FindSeries(const std::string& series_name) {
   auto it = by_name_.find(series_name);
   return it == by_name_.end() ? nullptr : it->second;
@@ -181,6 +186,10 @@ void TimeSeriesSampler::SampleNow() {
 }
 
 void TimeSeriesSampler::Start() {
+  if (external_) {
+    external_running_ = true;
+    return;
+  }
   if (task_ == nullptr) {
     task_ = std::make_unique<PeriodicTask>(
         sim_, options_.period, [this](SimTime) { SampleNow(); });
@@ -191,6 +200,10 @@ void TimeSeriesSampler::Start() {
 }
 
 void TimeSeriesSampler::Stop() {
+  if (external_) {
+    external_running_ = false;
+    return;
+  }
   if (task_ != nullptr) {
     task_->Stop();
   }

@@ -95,6 +95,12 @@ class TimeSeriesSampler {
   // histogram.
   TimeSeries* WatchPercentile(const std::string& metric_name, double q);
 
+  // Samples an arbitrary reader under `series_name` — for signals that live
+  // outside any metrics registry, like the sharded runtime's ring-spill and
+  // barrier-wait readings from the ZoneCollector.
+  TimeSeries* WatchReader(const std::string& series_name,
+                          std::function<double()> read);
+
   // Null if nothing is watched under that series name.
   TimeSeries* FindSeries(const std::string& series_name);
   const TimeSeries* FindSeries(const std::string& series_name) const;
@@ -106,9 +112,21 @@ class TimeSeriesSampler {
   // Fired after every tick's sampling pass, in registration order.
   void AddTickListener(std::function<void(SimTime)> listener);
 
+  // External-drive mode: no periodic task is created; whoever drives the
+  // sampler calls SampleNow() itself at period boundaries. The sharded
+  // system uses this — the ZoneCollector fires ticks at epoch barriers
+  // aligned to the period, so samples see fully-merged state and land at
+  // the same instants a classic run's periodic task would. Set before
+  // Start().
+  void set_external_drive(bool external) { external_ = external; }
+  bool external_drive() const { return external_; }
+
   void Start();
   void Stop();
-  bool running() const { return task_ != nullptr && task_->running(); }
+  bool running() const {
+    return external_ ? external_running_
+                     : task_ != nullptr && task_->running();
+  }
 
   // One sampling pass at the current sim time (what the periodic task runs;
   // tests may call it directly).
@@ -134,6 +152,8 @@ class TimeSeriesSampler {
   std::vector<std::function<void(SimTime)>> tick_listeners_;
   std::unique_ptr<PeriodicTask> task_;
   uint64_t ticks_ = 0;
+  bool external_ = false;
+  bool external_running_ = false;
 };
 
 }  // namespace espk

@@ -47,6 +47,11 @@ PacketTracer::PacketTracer(Simulation* sim, size_t capacity)
     : sim_(sim), capacity_(capacity > 0 ? capacity : 1) {}
 
 void PacketTracer::Push(TraceEvent event) {
+  event.recorded = sim_->now();
+  Ingest(event);
+}
+
+void PacketTracer::Ingest(const TraceEvent& event) {
   if (ring_.size() >= capacity_) {
     ring_.pop_front();
     ++dropped_;
@@ -148,19 +153,32 @@ RunningStats PacketTracer::StageLatencyMs(TraceStage from,
 
 void RegisterTracerMetrics(const PacketTracer* tracer,
                            MetricsRegistry* registry) {
+  RegisterTracerMetrics(std::vector<const PacketTracer*>{tracer}, registry);
+}
+
+void RegisterTracerMetrics(std::vector<const PacketTracer*> tracers,
+                           MetricsRegistry* registry) {
   registry->GetGauge(
-      "trace.events_recorded", [tracer] {
-        return static_cast<double>(tracer->recorded());
+      "trace.events_recorded", [tracers] {
+        uint64_t total = 0;
+        for (const PacketTracer* tracer : tracers) total += tracer->recorded();
+        return static_cast<double>(total);
       },
       "Packet-trace events recorded since start");
   registry->GetGauge(
-      "trace.events_dropped", [tracer] {
-        return static_cast<double>(tracer->dropped());
+      "trace.events_dropped", [tracers] {
+        uint64_t total = 0;
+        for (const PacketTracer* tracer : tracers) total += tracer->dropped();
+        return static_cast<double>(total);
       },
       "Packet-trace events evicted from the ring (overrun)");
   registry->GetGauge(
-      "trace.ring_size", [tracer] {
-        return static_cast<double>(tracer->events().size());
+      "trace.ring_size", [tracers] {
+        size_t total = 0;
+        for (const PacketTracer* tracer : tracers) {
+          total += tracer->events().size();
+        }
+        return static_cast<double>(total);
       },
       "Packet-trace events currently retained");
 }

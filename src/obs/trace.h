@@ -65,14 +65,22 @@ struct TraceEvent {
   // the kernel-side VAD write).
   uint32_t node = 0;
   SimTime at = 0;
+  // Sim time the event was recorded. Equal to `at` except for the RecordAt
+  // stages (kWireTx, kDecodeStart), whose `at` lies in the future. The
+  // sharded runtime's ZoneCollector merges zone rings in (recorded, zone,
+  // ring position) order — a strict total order, since per-ring positions
+  // are unique — so the merged mirror is deterministic.
+  SimTime recorded = 0;
 };
 
 // Receives every event the tracer records, at record time. The span
 // exporter implements this to derive duration spans from the instant
-// stream; components consult PacketTracer::has_observer() to decide whether
-// the extra span-plane stages (kWireTx, kDecodeStart, exemplars) are worth
-// recording at all, which keeps the spans-off fast path identical to a
-// tracer-only build.
+// stream; components consult PacketTracer::span_stages_enabled() to decide
+// whether the extra span-plane stages (kWireTx, kDecodeStart, exemplars)
+// are worth recording at all, which keeps the spans-off fast path identical
+// to a tracer-only build. (Sharded zone tracers have no observer — the
+// merged mirror does — so span_stages_enabled() also honors an explicit
+// flag the system sets on them when the span plane turns on.)
 class TraceObserver {
  public:
   virtual ~TraceObserver() = default;
@@ -104,6 +112,21 @@ class PacketTracer {
   // detach.
   void SetObserver(TraceObserver* observer) { observer_ = observer; }
   bool has_observer() const { return observer_ != nullptr; }
+
+  // Pushes an already-stamped event verbatim — same evict/observer path as
+  // Record, but `recorded` is preserved instead of restamped. The sharded
+  // mirror tracer is fed exclusively through this.
+  void Ingest(const TraceEvent& event);
+
+  // Span-plane stages (kWireTx, kDecodeStart, exemplars) are recorded when
+  // an observer is attached OR when this flag is set. Sharded zone tracers
+  // have no observer of their own — the span exporter observes the merged
+  // mirror — so the system sets the flag on every zone tracer when span
+  // tracing is enabled.
+  void set_span_stages(bool enabled) { span_stages_ = enabled; }
+  bool span_stages_enabled() const {
+    return observer_ != nullptr || span_stages_;
+  }
 
   // Byte-stream stages: `bytes` more bytes passed `stage` now.
   void NoteBytes(uint32_t stream_id, TraceStage stage, size_t bytes);
@@ -153,6 +176,7 @@ class PacketTracer {
   Simulation* sim_;
   size_t capacity_;
   TraceObserver* observer_ = nullptr;
+  bool span_stages_ = false;
   std::deque<TraceEvent> ring_;
   uint64_t recorded_ = 0;
   uint64_t dropped_ = 0;
@@ -165,6 +189,14 @@ class MetricsRegistry;
 // "trace.events_dropped", "trace.ring_size") so ring overruns are visible in
 // the exposition instead of silently truncating postmortems.
 void RegisterTracerMetrics(const PacketTracer* tracer,
+                           MetricsRegistry* registry);
+
+// Aggregate form for the sharded system: the same three gauges, each summing
+// over every zone tracer, so an overrun in any zone is visible fleet-wide
+// instead of only on the home shard's tracer. Gauge names and help strings
+// match the single-tracer form exactly — the flat exposition of a sharded
+// system stays byte-identical to a classic run's.
+void RegisterTracerMetrics(std::vector<const PacketTracer*> tracers,
                            MetricsRegistry* registry);
 
 }  // namespace espk

@@ -27,7 +27,8 @@ void PinToCore(std::thread& t, int core) {
 }  // namespace
 
 Executor::Executor(int threads, bool pin_threads)
-    : participants_(std::max(1, threads)) {
+    : participants_(std::max(1, threads)),
+      stats_(static_cast<size_t>(std::max(1, threads))) {
   const int extra = std::max(0, threads - 1);
   workers_.reserve(static_cast<size_t>(extra));
   for (int i = 0; i < extra; ++i) {
@@ -51,9 +52,16 @@ Executor::~Executor() {
 
 void Executor::RunSlice(int participant, int participants, int n,
                         const std::function<void(int)>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
   for (int i = participant; i < n; i += participants) {
     fn(i);
   }
+  WorkerStats& stats = stats_[static_cast<size_t>(participant)];
+  stats.busy_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  ++stats.slices;
 }
 
 void Executor::ParallelFor(int n, const std::function<void(int)>& fn) {

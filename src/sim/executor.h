@@ -21,6 +21,7 @@
 #ifndef SRC_SIM_EXECUTOR_H_
 #define SRC_SIM_EXECUTOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -49,6 +50,16 @@ class Executor {
   // be callable concurrently for distinct i. Not reentrant.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
+  // Cumulative wall time each participant spent running slices (participant
+  // 0 is the calling thread). Each entry is written only by its own thread
+  // inside ParallelFor; read after a ParallelFor returned — the barrier
+  // handshake publishes it.
+  struct WorkerStats {
+    uint64_t busy_ns = 0;
+    uint64_t slices = 0;
+  };
+  const std::vector<WorkerStats>& worker_stats() const { return stats_; }
+
  private:
   void WorkerLoop(int worker_index);
   void RunSlice(int participant, int participants, int n,
@@ -60,6 +71,7 @@ class Executor {
   // stride for its ParallelFor slice, and collide with another worker's
   // shards — two threads then run one shard's event loop concurrently.
   const int participants_;
+  std::vector<WorkerStats> stats_;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

@@ -37,6 +37,9 @@ ShardGroup::ShardGroup(const Options& options)
     }
   }
   drain_scratch_.resize(n);
+  epoch_stats_.resize(n);
+  run_finish_tp_.resize(n);
+  drained_total_.assign(n, 0);
 }
 
 ShardGroup::~ShardGroup() = default;
@@ -61,6 +64,14 @@ void ShardGroup::Post(int src, int dst, SimTime at, std::function<void()> fn) {
     ++link.spilled;
     link.spill.push_back(std::move(m));
   }
+  // Exact and deterministic despite the concurrent consumer side: the
+  // consumer only pops at the drain barrier, so head is stationary for the
+  // whole run phase.
+  const size_t occupancy =
+      link.ring.OccupancyFromProducer() + link.spill.size();
+  if (occupancy > link.high_watermark) {
+    link.high_watermark = occupancy;
+  }
 }
 
 SimTime ShardGroup::NextEventTime() {
@@ -72,16 +83,41 @@ SimTime ShardGroup::NextEventTime() {
 }
 
 void ShardGroup::RunEpoch(SimTime epoch_end) {
+  const SimTime epoch_start = now_;
   epoch_end_ = epoch_end;
   in_epoch_ = true;
   const int n = shard_count();
+  const bool measured = !hooks_.empty();
   executor_.ParallelFor(n, [&](int s) {
     // The owner scope arms the debug-build assertion that catches unmarked
     // Buffers leaking across shards (src/base/buffer.h) — it works even
     // when every shard runs on this one thread.
     BufferOwnerScope scope(static_cast<uint32_t>(s) + 1);
-    shards_[static_cast<size_t>(s)]->sim()->RunUntil(epoch_end);
+    if (measured) {
+      const auto t0 = std::chrono::steady_clock::now();
+      shards_[static_cast<size_t>(s)]->sim()->RunUntil(epoch_end);
+      const auto t1 = std::chrono::steady_clock::now();
+      epoch_stats_[static_cast<size_t>(s)].run_wall_ns =
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count());
+      run_finish_tp_[static_cast<size_t>(s)] = t1;
+    } else {
+      shards_[static_cast<size_t>(s)]->sim()->RunUntil(epoch_end);
+    }
   });
+  if (measured) {
+    // Barrier wait = zone finished -> last zone finished (the run barrier
+    // closing); measured from the coordinator right after it.
+    const auto barrier_tp = std::chrono::steady_clock::now();
+    for (int s = 0; s < n; ++s) {
+      epoch_stats_[static_cast<size_t>(s)].barrier_wait_ns =
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  barrier_tp - run_finish_tp_[static_cast<size_t>(s)])
+                  .count());
+    }
+  }
   // Barrier passed: every shard is parked at epoch_end and nobody is
   // producing. Drain and schedule the messages each shard received.
   executor_.ParallelFor(n, [&](int dst) {
@@ -91,11 +127,22 @@ void ShardGroup::RunEpoch(SimTime epoch_end) {
   in_epoch_ = false;
   now_ = epoch_end;
   ++epochs_run_;
+  if (!hooks_.empty()) {
+    EpochRecord record;
+    record.start = epoch_start;
+    record.end = epoch_end;
+    record.index = epochs_run_ - 1;
+    record.zones = epoch_stats_.data();
+    for (BarrierHook* hook : hooks_) {
+      hook->OnBarrier(record);
+    }
+  }
 }
 
 void ShardGroup::DrainInto(int dst) {
   std::vector<Message>& scratch = drain_scratch_[static_cast<size_t>(dst)];
   scratch.clear();
+  epoch_stats_[static_cast<size_t>(dst)].drained = 0;
   const int n = shard_count();
   for (int src = 0; src < n; ++src) {
     if (src == dst) {
@@ -114,6 +161,8 @@ void ShardGroup::DrainInto(int dst) {
   if (scratch.empty()) {
     return;
   }
+  epoch_stats_[static_cast<size_t>(dst)].drained = scratch.size();
+  drained_total_[static_cast<size_t>(dst)] += scratch.size();
   // (at, src, per-link seq) is a total order independent of thread timing —
   // the whole determinism story rests on sorting by it before scheduling.
   std::sort(scratch.begin(), scratch.end(),
@@ -141,7 +190,14 @@ void ShardGroup::RunUntil(SimTime t) {
     if (next != Simulation::kNoPendingEvent && next <= t - lookahead_) {
       epoch_end = std::max(next + lookahead_, now_ + lookahead_);
     }
-    RunEpoch(std::min(epoch_end, t));
+    epoch_end = std::min(epoch_end, t);
+    // Land a barrier exactly on the earliest hook alignment (sampler tick,
+    // plane flush); a shorter epoch is always conservative.
+    const SimTime align = HookAlignment();
+    if (align > now_ && align < epoch_end) {
+      epoch_end = align;
+    }
+    RunEpoch(epoch_end);
   }
 }
 
@@ -152,8 +208,31 @@ void ShardGroup::RunUntilIdle() {
       return;  // No events anywhere and every inbox drained at the barrier.
     }
     assert(next <= std::numeric_limits<SimTime>::max() - lookahead_);
-    RunEpoch(std::max(next, now_) + lookahead_);
+    SimTime epoch_end = std::max(next, now_) + lookahead_;
+    const SimTime align = HookAlignment();
+    if (align > now_ && align < epoch_end) {
+      epoch_end = align;
+    }
+    RunEpoch(epoch_end);
   }
+}
+
+SimTime ShardGroup::HookAlignment() const {
+  SimTime align = Simulation::kNoPendingEvent;
+  for (const BarrierHook* hook : hooks_) {
+    align = std::min(align, hook->NextAlignment());
+  }
+  return align;
+}
+
+void ShardGroup::AddBarrierHook(BarrierHook* hook) {
+  assert(!in_epoch_);
+  hooks_.push_back(hook);
+}
+
+void ShardGroup::RemoveBarrierHook(BarrierHook* hook) {
+  assert(!in_epoch_);
+  hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hook), hooks_.end());
 }
 
 uint64_t ShardGroup::ring_spills() const {
@@ -174,6 +253,46 @@ uint64_t ShardGroup::messages_posted() const {
     }
   }
   return total;
+}
+
+uint64_t ShardGroup::zone_messages_posted(int dst) const {
+  const size_t n = shards_.size();
+  uint64_t total = 0;
+  for (size_t src = 0; src < n; ++src) {
+    const auto& link = links_[src * n + static_cast<size_t>(dst)];
+    if (link) {
+      total += link->posted;
+    }
+  }
+  return total;
+}
+
+uint64_t ShardGroup::zone_ring_spills(int dst) const {
+  const size_t n = shards_.size();
+  uint64_t total = 0;
+  for (size_t src = 0; src < n; ++src) {
+    const auto& link = links_[src * n + static_cast<size_t>(dst)];
+    if (link) {
+      total += link->spilled;
+    }
+  }
+  return total;
+}
+
+uint64_t ShardGroup::zone_messages_drained(int dst) const {
+  return drained_total_[static_cast<size_t>(dst)];
+}
+
+size_t ShardGroup::zone_inbox_high_watermark(int dst) const {
+  const size_t n = shards_.size();
+  size_t high = 0;
+  for (size_t src = 0; src < n; ++src) {
+    const auto& link = links_[src * n + static_cast<size_t>(dst)];
+    if (link && link->high_watermark > high) {
+      high = link->high_watermark;
+    }
+  }
+  return high;
 }
 
 }  // namespace espk

@@ -33,6 +33,7 @@
 #ifndef SRC_SIM_SHARD_H_
 #define SRC_SIM_SHARD_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -76,6 +77,39 @@ class ShardGroup {
     QueueEngine engine = QueueEngine::kTimerWheel;
     // Per-link SPSC ring capacity (messages); overflow spills to a vector.
     size_t inbox_capacity = 1024;
+  };
+
+  // Wall-clock cost of one zone's last epoch, measured only while at least
+  // one BarrierHook is registered (the measurement itself costs two clock
+  // reads per zone per epoch).
+  struct ZoneEpochStats {
+    uint64_t run_wall_ns = 0;      // Wall time inside the run phase.
+    uint64_t barrier_wait_ns = 0;  // Zone finished -> run barrier closed.
+    uint64_t drained = 0;          // Messages drained into the zone.
+  };
+
+  struct EpochRecord {
+    SimTime start = 0;
+    SimTime end = 0;
+    uint64_t index = 0;                    // epochs_run() - 1 for this epoch.
+    const ZoneEpochStats* zones = nullptr;  // shard_count() entries.
+  };
+
+  // Runs on the coordinating thread at every epoch barrier, after the drain
+  // phase, with every shard parked at record.end — a single-threaded safe
+  // point where all shard state may be read. The ZoneCollector
+  // (src/obs/zone_collector.h) merges traces and snapshots runtime stats
+  // here.
+  class BarrierHook {
+   public:
+    virtual ~BarrierHook() = default;
+    // Earliest sim time this hook needs a barrier to land exactly on (e.g.
+    // a sampler tick). The epoch planner clamps epochs so it does; shorter
+    // epochs are always conservative. kNoPendingEvent means no constraint.
+    virtual SimTime NextAlignment() const {
+      return Simulation::kNoPendingEvent;
+    }
+    virtual void OnBarrier(const EpochRecord& record) = 0;
   };
 
   explicit ShardGroup(const Options& options);
@@ -122,6 +156,23 @@ class ShardGroup {
   uint64_t ring_spills() const;
   uint64_t messages_posted() const;
 
+  // Per-zone inbound accounting, summed over every link into `dst`. Same
+  // phase discipline as the totals above: call between epochs (the fields
+  // are producer-owned during one), or from a BarrierHook.
+  uint64_t zone_messages_posted(int dst) const;
+  uint64_t zone_ring_spills(int dst) const;
+  uint64_t zone_messages_drained(int dst) const;
+  // Highest combined inbox occupancy (ring + spill vector) any single link
+  // into `dst` ever reached at post time.
+  size_t zone_inbox_high_watermark(int dst) const;
+
+  // Hooks are fired in registration order at every barrier; RemoveBarrierHook
+  // is a no-op for an unregistered hook. Register only between epochs.
+  void AddBarrierHook(BarrierHook* hook);
+  void RemoveBarrierHook(BarrierHook* hook);
+
+  const Executor& executor() const { return executor_; }
+
  private:
   struct Message {
     SimTime at = 0;
@@ -141,6 +192,7 @@ class ShardGroup {
     uint64_t next_seq = 0;
     uint64_t posted = 0;
     uint64_t spilled = 0;
+    size_t high_watermark = 0;  // Peak ring + spill occupancy at post time.
   };
 
   Link& LinkFor(int src, int dst) {
@@ -152,6 +204,8 @@ class ShardGroup {
   void DrainInto(int dst);
   // Earliest pending event across shards, kNoPendingEvent when none.
   SimTime NextEventTime();
+  // Earliest NextAlignment() over registered hooks.
+  SimTime HookAlignment() const;
 
   SimDuration lookahead_;
   SimTime now_ = 0;
@@ -164,6 +218,13 @@ class ShardGroup {
   // Per-destination merge buffer, reused across epochs (drain of shard d
   // touches only drain_scratch_[d]).
   std::vector<std::vector<Message>> drain_scratch_;
+  std::vector<BarrierHook*> hooks_;
+  // Per-zone wall-clock stats for the epoch in flight. Each entry is written
+  // by the thread running that zone during the run/drain phases and read by
+  // the coordinator after the barrier.
+  std::vector<ZoneEpochStats> epoch_stats_;
+  std::vector<std::chrono::steady_clock::time_point> run_finish_tp_;
+  std::vector<uint64_t> drained_total_;
 };
 
 }  // namespace espk

@@ -83,6 +83,10 @@ class Simulation {
   size_t pending_events() const { return callbacks_.size(); }
   uint64_t events_processed() const { return events_processed_; }
 
+  // Timer-wheel cascade count (0 under the kBinaryHeap engine, which has no
+  // wheel to cascade). Part of the sharded runtime's self-telemetry.
+  uint64_t timer_cascades() const { return wheel_.cascades(); }
+
   // Lower bound on the time of the next live event: the earliest queued
   // stub, which may belong to an already-cancelled event (so the true next
   // event can only be later, never earlier). kNoPendingEvent when nothing

@@ -124,6 +124,7 @@ bool TimerWheel::Settle() {
       // Cascade: with the cursor now inside this slot's span, each entry
       // re-files at a strictly lower level (its highest differing bit is
       // below this level by construction).
+      cascades_ += bucket.size();
       for (const TimerEntry& e : bucket) {
         File(e);
       }

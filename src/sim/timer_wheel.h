@@ -69,6 +69,12 @@ class TimerWheel {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Entries re-filed from a higher level when the cursor reached their slot
+  // — each cascade is a re-hash plus a vector append, so the count is the
+  // wheel's self-telemetry for "how much filing work the horizon shape
+  // causes" (far-future timers cascade once per level they descend).
+  uint64_t cascades() const { return cascades_; }
+
  private:
   static constexpr int kTickBits = 10;  // 1 tick = 1.024 us.
   static constexpr int kSlotBits = 6;   // 64 slots per level.
@@ -90,6 +96,7 @@ class TimerWheel {
 
   uint64_t cursor_ = 0;  // Tick the wheel has advanced to.
   size_t size_ = 0;
+  uint64_t cascades_ = 0;
   // due_ is kept as a std::push_heap/pop_heap min-heap on (time, seq).
   std::vector<TimerEntry> due_;
   std::vector<TimerEntry> slots_[kLevels][kSlots];

@@ -121,7 +121,7 @@ void StreamSession::HandleData(const DataPacket& packet, PendingDecode* out) {
   SimTime decode_done = decode_start + decode_time;
   speaker_->decode_busy_until_ = decode_done;
   if (speaker_->options_.tracer != nullptr &&
-      speaker_->options_.tracer->has_observer()) {
+      speaker_->options_.tracer->span_stages_enabled()) {
     // Span-plane stage: separates jitter-buffer dwell (receive ->
     // decode_start) from decode itself. decode_start may be in the future
     // when the serialized pipeline is busy, hence RecordAt.
@@ -172,7 +172,7 @@ void StreamSession::OnDecodeComplete(uint32_t stream_id, uint32_t seq,
   SimDuration lateness = now - local_deadline;
   if (speaker_->options_.lateness_histogram != nullptr) {
     if (speaker_->options_.tracer != nullptr &&
-        speaker_->options_.tracer->has_observer()) {
+        speaker_->options_.tracer->span_stages_enabled()) {
       // With the span plane on, the observation carries the packet's trace
       // identity so the bucket's exemplar resolves to a retained span tree.
       speaker_->options_.lateness_histogram->ObserveExemplar(

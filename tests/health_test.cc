@@ -628,6 +628,63 @@ TEST(HealthEndToEndTest, FaultScenarioIsBitIdenticalAcrossRuns) {
   EXPECT_EQ(a.chrome_trace, b.chrome_trace);
 }
 
+// Health monitoring over a 4-zone, 4-thread sharded system: the sampler
+// ticks at epoch barriers (the TSan CI path for barrier-time gauge reads),
+// the default runtime rules install, and postmortems stay valid JSON. A
+// mid-run bandwidth squeeze drives the queue-drop rule through a real fire.
+TEST(HealthEndToEndTest, ShardedMonitorTicksAtBarriers) {
+  SystemOptions sys_options;
+  sys_options.sharded.zones = 4;
+  sys_options.sharded.threads = 4;
+  sys_options.lan.tx_queue_limit = 64 * 1024;
+  EthernetSpeakerSystem system(sys_options);
+  RebroadcasterOptions rb;
+  rb.codec_override = CodecId::kRaw;
+  Channel* channel = *system.CreateChannel("music", rb);
+  for (int i = 0; i < 4; ++i) {
+    SpeakerOptions so;
+    so.name = "es-" + std::to_string(i);
+    so.decode_speed_factor = 0.05;
+    (void)*system.AddSpeaker(so, channel->group);
+  }
+  EthernetSpeakerSystem::HealthRuleDefaults rules;
+  rules.queue_drop_rate_per_sec = 1.0;
+  HealthMonitor* health = system.EnableHealthMonitoring({}, rules);
+  ASSERT_NE(health, nullptr);
+  EXPECT_TRUE(health->running());
+  ASSERT_NE(system.zone_collector(), nullptr);
+
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  EXPECT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(21), opts)
+                  .ok());
+  system.RunUntil(Seconds(2));
+  system.lan()->set_bandwidth_bps(1e6);
+  system.RunUntil(Seconds(4));
+  system.lan()->set_bandwidth_bps(100e6);
+  system.RunUntil(Seconds(6));
+
+  // Barrier-driven ticks land exactly on the classic 100 ms grid.
+  EXPECT_EQ(health->sampler()->ticks(), 60u);
+  bool queue_drop_fired = false;
+  for (const AlertTransition& transition : health->engine()->log()) {
+    queue_drop_fired = queue_drop_fired ||
+                       (transition.firing &&
+                        transition.rule == "lan.queue_drop_rate");
+  }
+  EXPECT_TRUE(queue_drop_fired);
+  // The default runtime self-telemetry rules are installed and evaluated.
+  const std::string status = health->StatusText();
+  EXPECT_NE(status.find("runtime.ring_spill_rate"), std::string::npos);
+  EXPECT_NE(status.find("runtime.barrier_stall"), std::string::npos);
+  ASSERT_FALSE(health->recorder()->postmortems().empty());
+  for (const Postmortem& postmortem : health->recorder()->postmortems()) {
+    EXPECT_TRUE(CheckJsonSyntax(postmortem.json).ok());
+  }
+}
+
 TEST(HealthEndToEndTest, HealthySystemStaysQuiet) {
   // The default rules must not flap on a perfectly healthy run.
   EthernetSpeakerSystem system;

@@ -184,5 +184,116 @@ TEST(ShardGroupTest, MessagesInFlightKeepRunUntilIdleAlive) {
   EXPECT_TRUE(ran);
 }
 
+// Records every barrier and pins barriers to a fixed grid, mirroring how
+// the ZoneCollector drives sampler ticks from the epoch barrier.
+class RecordingHook : public ShardGroup::BarrierHook {
+ public:
+  RecordingHook(SimDuration period, int shards)
+      : period_(period), next_(period), shards_(shards) {}
+
+  SimTime NextAlignment() const override { return next_; }
+
+  void OnBarrier(const ShardGroup::EpochRecord& record) override {
+    ++barriers_;
+    last_index_ = record.index;
+    zones_always_present_ =
+        zones_always_present_ && record.zones != nullptr;
+    if (record.zones != nullptr) {
+      for (int z = 0; z < shards_; ++z) {
+        drained_seen_ += record.zones[z].drained;
+      }
+    }
+    if (record.end == next_) {
+      ++aligned_;
+    }
+    while (next_ <= record.end) {
+      next_ += period_;
+    }
+  }
+
+  uint64_t barriers() const { return barriers_; }
+  uint64_t aligned() const { return aligned_; }
+  uint64_t last_index() const { return last_index_; }
+  uint64_t drained_seen() const { return drained_seen_; }
+  bool zones_always_present() const { return zones_always_present_; }
+
+ private:
+  SimDuration period_;
+  SimTime next_;
+  int shards_;
+  uint64_t barriers_ = 0;
+  uint64_t aligned_ = 0;
+  uint64_t last_index_ = 0;
+  uint64_t drained_seen_ = 0;
+  bool zones_always_present_ = true;
+};
+
+TEST(ShardGroupTest, BarrierHooksAlignEpochsToRequestedGrid) {
+  ShardGroup::Options options;
+  options.shards = 2;
+  options.lookahead = Microseconds(50);
+  ShardGroup group(options);
+  RecordingHook hook(Microseconds(300), 2);
+  group.AddBarrierHook(&hook);
+  // Sparse events either side of the grid points: without the hook's
+  // alignment the planner would jump the dead air past them entirely.
+  int ran = 0;
+  group.sim(0)->ScheduleAt(Microseconds(10), [&] { ++ran; });
+  group.sim(1)->ScheduleAt(Milliseconds(2), [&] { ++ran; });
+  group.RunUntil(Milliseconds(3));
+  EXPECT_EQ(ran, 2);
+  // Every 300 us grid point in (0, 3 ms] got a barrier landing exactly on
+  // it, and the hook saw every barrier (index is contiguous with the total).
+  EXPECT_EQ(hook.aligned(), 10u);
+  EXPECT_GE(hook.barriers(), 10u);
+  EXPECT_EQ(hook.last_index() + 1, group.epochs_run());
+  EXPECT_TRUE(hook.zones_always_present());
+  // Removal really detaches: further epochs don't reach the hook.
+  group.RemoveBarrierHook(&hook);
+  const uint64_t barriers_before = hook.barriers();
+  group.RunFor(Milliseconds(1));
+  EXPECT_EQ(hook.barriers(), barriers_before);
+}
+
+TEST(ShardGroupTest, PerZoneCountersSumToGroupTotals) {
+  // Each shard showers its right neighbor through a 2-slot ring, so the
+  // per-zone posted/drained/spill counters and the inbox high watermark all
+  // see real traffic — and their sums must match the group-wide totals.
+  ShardGroup::Options options;
+  options.shards = 3;
+  options.lookahead = Microseconds(50);
+  options.inbox_capacity = 2;
+  ShardGroup group(options);
+  RecordingHook hook(Milliseconds(1), 3);  // Also checks drained plumbing.
+  group.AddBarrierHook(&hook);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 40; ++i) {
+      group.sim(s)->ScheduleAt(Microseconds(i), [&group, s] {
+        const int dst = (s + 1) % 3;
+        group.Post(s, dst, group.sim(s)->now() + Microseconds(60), [] {});
+      });
+    }
+  }
+  group.RunUntilIdle();
+  uint64_t posted = 0;
+  uint64_t spilled = 0;
+  uint64_t drained = 0;
+  size_t high_watermark = 0;
+  for (int z = 0; z < 3; ++z) {
+    posted += group.zone_messages_posted(z);
+    spilled += group.zone_ring_spills(z);
+    drained += group.zone_messages_drained(z);
+    high_watermark =
+        std::max(high_watermark, group.zone_inbox_high_watermark(z));
+  }
+  EXPECT_EQ(posted, 120u);
+  EXPECT_EQ(posted, group.messages_posted());
+  EXPECT_EQ(drained, posted);
+  EXPECT_EQ(spilled, group.ring_spills());
+  EXPECT_GT(spilled, 0u);
+  EXPECT_GT(high_watermark, 2u);  // Spill occupancy counts, not just ring.
+  EXPECT_EQ(hook.drained_seen(), posted);
+}
+
 }  // namespace
 }  // namespace espk

@@ -192,14 +192,237 @@ TEST(ShardedDeterminismTest, SubscriptionChurnStaysBitIdentical) {
   ExpectIdentical(classic, sharded);
 }
 
-TEST(ShardedDeterminismTest, ShardedSystemRefusesSingleLoopPlanes) {
+// The single-loop observability planes USED to refuse zones > 1; they now
+// enable through the ZoneCollector. This is the enablement counterpart of
+// the old refusal test.
+TEST(ShardedDeterminismTest, ShardedSystemEnablesSingleLoopPlanes) {
   SystemOptions options;
   options.sharded.zones = 2;
   EthernetSpeakerSystem system(options);
-  EXPECT_EQ(system.EnableHealthMonitoring(), nullptr);
-  EXPECT_EQ(system.EnableSpanTracing(), nullptr);
   EXPECT_TRUE(system.is_sharded());
-  EXPECT_EQ(system.zones(), 2);
+  EXPECT_EQ(system.zone_collector(), nullptr);  // Built lazily by Enable*.
+  Channel* channel = *system.CreateChannel("music");
+  for (int i = 0; i < 2; ++i) {
+    (void)*system.AddSpeaker(SpeakerOptions{}, channel->group);
+  }
+  SpanPlane* spans = system.EnableSpanTracing();
+  HealthMonitor* health = system.EnableHealthMonitoring();
+  ASSERT_NE(spans, nullptr);
+  ASSERT_NE(health, nullptr);
+  EXPECT_TRUE(health->running());
+  ASSERT_NE(system.zone_collector(), nullptr);
+  EXPECT_EQ(system.EnableSpanTracing(), spans);          // Idempotent.
+  EXPECT_EQ(system.EnableHealthMonitoring(), health);    // Idempotent.
+  EXPECT_NE(system.FindStation("zone-0"), nullptr);
+  EXPECT_NE(system.FindStation("zone-1"), nullptr);
+
+  PlayerAppOptions player_options;
+  player_options.config = AudioConfig::CdQuality();
+  EXPECT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(11),
+                               player_options)
+                  .ok());
+  system.RunUntil(Seconds(1));
+
+  ZoneCollector* collector = system.zone_collector();
+  EXPECT_GT(collector->barriers_seen(), 0u);
+  EXPECT_GT(collector->events_merged(), 0u);
+  EXPECT_EQ(collector->merge_lost(), 0u);
+  // The sampler ticked at barriers (10 aligned ticks in 1 s at the default
+  // 100 ms period) and spans assembled over the merged mirror.
+  EXPECT_EQ(health->sampler()->ticks(), 10u);
+  uint64_t appended = 0;
+  for (const SpanRecorder* recorder : spans->recorders()) {
+    appended += recorder->appended();
+  }
+  EXPECT_GT(appended, 0u);
+  // The runtime stations carry the self-telemetry catalog.
+  const std::string exposition =
+      system.FindStation("zone-1")->registry->TextExposition();
+  EXPECT_NE(exposition.find("runtime_epochs"), std::string::npos);
+  EXPECT_NE(exposition.find("runtime_barrier_wait_us"), std::string::npos);
+}
+
+// Observability bit-identity: the same fleet, with the span plane and
+// health monitor on, produces identical spans, alert logs, postmortem
+// documents, and merged trace streams whether it runs on one shard or
+// four. Speaker 4 decodes slower than realtime (deadline misses) and the
+// segment is squeezed to 1 Mb/s mid-run (queue drops), so alerts actually
+// fire and clear and the flight recorder writes postmortems.
+struct ObsResult {
+  FleetResult base;
+  // (station, appended, dropped) per span recorder, creation order.
+  std::vector<std::tuple<std::string, uint64_t, uint64_t>> recorders;
+  // Sorted span tuples across all recorders.
+  std::vector<std::tuple<uint64_t, uint32_t, uint32_t, uint8_t, uint8_t,
+                         uint32_t, SimTime, SimTime>>
+      spans;
+  // The alert log verbatim: rule evaluation order is fixed, so fire/clear
+  // sequences must match tuple for tuple.
+  std::vector<std::tuple<std::string, bool, double, double, SimTime>> alerts;
+  std::string status;
+  // (rule, json) per postmortem, capture order.
+  std::vector<std::pair<std::string, std::string>> postmortems;
+  uint64_t ticks = 0;
+  // The merged mirror ring (classic: the one tracer) with record stamps.
+  std::vector<std::tuple<SimTime, SimTime, uint32_t, uint32_t, uint8_t,
+                         uint32_t>>
+      mirror;
+};
+
+// Postmortems embed the full metrics exposition, which includes HOST-CPU
+// measurements (the codec's encode cost) — those can never be bit-identical,
+// not even between two classic runs. Scrub their lines (the exposition is
+// one JSON string, lines separated by the two-character escape `\n`) and
+// compare everything else exactly.
+std::string ScrubHostMetrics(const std::string& json) {
+  std::string out;
+  size_t pos = 0;
+  bool first = true;
+  while (true) {
+    const size_t next = json.find("\\n", pos);
+    const std::string line =
+        json.substr(pos, next == std::string::npos ? std::string::npos
+                                                   : next - pos);
+    if (line.find("encode_ms") == std::string::npos &&
+        line.find("encode_cpu_seconds") == std::string::npos) {
+      if (!first) {
+        out += "\\n";
+      }
+      first = false;
+      out += line;
+    }
+    if (next == std::string::npos) {
+      break;
+    }
+    pos = next + 2;
+  }
+  return out;
+}
+
+ObsResult RunObsFleet(int zones, int threads, SimDuration jitter = 0,
+                      double loss = 0.0) {
+  SystemOptions options;
+  options.sharded.zones = zones;
+  options.sharded.threads = threads;
+  options.lan.jitter = jitter;
+  options.lan.loss_probability = loss;
+  EthernetSpeakerSystem system(options);
+  Channel* channel = *system.CreateChannel("music");
+  constexpr int kSpeakers = 5;
+  for (int i = 0; i < kSpeakers; ++i) {
+    SpeakerOptions speaker_options;
+    speaker_options.name = "es" + std::to_string(i);
+    // Speaker 4 cannot decode in realtime: lateness grows without bound
+    // and its deadline-miss alert eventually fires.
+    speaker_options.decode_speed_factor = i == kSpeakers - 1 ? 1.25 : 0.05;
+    (void)*system.AddSpeaker(speaker_options, channel->group);
+  }
+  // Tick at 101 ms and flush at 251 ms — off the kernel's 100 ms
+  // audio-block grid. At a collision instant the classic in-queue task
+  // runs before same-instant events armed after it, while the
+  // barrier-driven sharded tick observes the fully settled instant; both
+  // are deterministic, but they are different conventions. Off-grid
+  // periods never collide within the run, making the comparison exact
+  // (see DESIGN.md, "Sharded observability").
+  SpanPlaneOptions span_options;
+  span_options.flush_period = Milliseconds(251);
+  HealthOptions health_options;
+  health_options.sampler.period = Milliseconds(101);
+  // Spans before health: at coincident flush/sample instants the classic
+  // event queue runs the (earlier-armed) flush first, and the collector
+  // fires driven callbacks in registration order — keep the two aligned.
+  SpanPlane* spans = system.EnableSpanTracing(span_options);
+  EthernetSpeakerSystem::HealthRuleDefaults rules;
+  // The barrier-stall rule watches wall-clock waits — not comparable
+  // across runs. Everything else stays on.
+  rules.runtime_rules = false;
+  HealthMonitor* health = system.EnableHealthMonitoring(health_options, rules);
+  EXPECT_NE(spans, nullptr);
+  EXPECT_NE(health, nullptr);
+  PlayerAppOptions player_options;
+  player_options.config = AudioConfig::CdQuality();
+  EXPECT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(11),
+                               player_options)
+                  .ok());
+  system.RunUntil(Milliseconds(1500));
+  system.lan()->set_bandwidth_bps(1e6);
+  system.RunUntil(Milliseconds(2500));
+  system.lan()->set_bandwidth_bps(100e6);
+  system.RunUntil(Seconds(3));
+  spans->Drain();
+
+  ObsResult result;
+  result.base = CollectResult(system);
+  for (const SpanRecorder* recorder : spans->recorders()) {
+    result.recorders.push_back(
+        {recorder->station(), recorder->appended(), recorder->dropped()});
+    for (const Span& span : recorder->spans()) {
+      result.spans.push_back({span.trace_id, span.stream_id, span.seq,
+                              static_cast<uint8_t>(span.stage), span.flags,
+                              span.station, span.start, span.end});
+    }
+  }
+  std::sort(result.spans.begin(), result.spans.end());
+  for (const AlertTransition& t : health->engine()->log()) {
+    result.alerts.push_back(
+        {t.rule, t.firing, t.observed, t.threshold, t.at});
+  }
+  result.status = health->StatusText();
+  for (const Postmortem& p : health->recorder()->postmortems()) {
+    result.postmortems.push_back({p.rule, ScrubHostMetrics(p.json)});
+  }
+  result.ticks = health->sampler()->ticks();
+  for (const TraceEvent& e : system.tracer()->events()) {
+    result.mirror.push_back({e.recorded, e.at, e.stream_id, e.seq,
+                             static_cast<uint8_t>(e.stage), e.node});
+  }
+  std::sort(result.mirror.begin(), result.mirror.end());
+  EXPECT_EQ(system.tracer()->dropped(), 0u);
+  if (system.is_sharded()) {
+    EXPECT_EQ(system.zone_collector()->merge_lost(), 0u);
+  }
+  return result;
+}
+
+void ExpectObsIdentical(const ObsResult& a, const ObsResult& b) {
+  ExpectIdentical(a.base, b.base);
+  EXPECT_EQ(a.recorders, b.recorders);
+  EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.mirror, b.mirror);
+  ASSERT_EQ(a.postmortems.size(), b.postmortems.size());
+  for (size_t i = 0; i < a.postmortems.size(); ++i) {
+    EXPECT_EQ(a.postmortems[i].first, b.postmortems[i].first);
+    EXPECT_EQ(a.postmortems[i].second, b.postmortems[i].second)
+        << "postmortem " << i << " (" << a.postmortems[i].first
+        << ") diverged";
+  }
+}
+
+TEST(ShardedDeterminismTest, ObservabilityPlanesAreBitIdentical) {
+  ObsResult classic = RunObsFleet(/*zones=*/1, /*threads=*/1);
+  ObsResult sharded = RunObsFleet(/*zones=*/4, /*threads=*/2);
+  // The scenario produced real observability output to compare.
+  EXPECT_GT(classic.spans.size(), 0u);
+  EXPECT_GT(classic.alerts.size(), 0u);
+  EXPECT_GT(classic.postmortems.size(), 0u);
+  EXPECT_GT(classic.ticks, 0u);
+  ExpectObsIdentical(classic, sharded);
+}
+
+TEST(ShardedDeterminismTest, ObservabilityStaysBitIdenticalUnderJitterLoss) {
+  const SimDuration jitter = Microseconds(200);
+  const double loss = 0.01;
+  ObsResult classic = RunObsFleet(1, 1, jitter, loss);
+  ObsResult sharded = RunObsFleet(4, 2, jitter, loss);
+  EXPECT_GT(classic.base.lan.deliveries_lost, 0u);  // Loss actually drew.
+  ExpectObsIdentical(classic, sharded);
 }
 
 TEST(ShardedDeterminismTest, ZonePlacementRoundRobinsAndBlocks) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/json_lite.h"
 #include "src/core/system.h"
 #include "src/obs/federation/fleet.h"
 #include "src/obs/metrics.h"
@@ -541,6 +542,65 @@ TEST(SpanEndToEndTest, ReportsAreBitIdenticalAcrossRuns) {
   EXPECT_EQ(a.sampler_discarded, b.sampler_discarded);
   EXPECT_EQ(a.ingested, b.ingested);
   EXPECT_EQ(a.squeeze_dominant, b.squeeze_dominant);
+}
+
+// ------------------------------------------------------- Sharded runtime --
+
+// The span plane over a 4-zone, 4-thread sharded system: spans assemble
+// from the barrier-merged mirror under a real multi-threaded executor (the
+// TSan CI stage runs this), and the Perfetto export splices the collector's
+// runtime epoch slices into the same timeline as the span trees.
+TEST(SpanEndToEndTest, ShardedPlaneAssemblesOverMergedMirror) {
+  SystemOptions sys_options;
+  sys_options.sharded.zones = 4;
+  sys_options.sharded.threads = 4;
+  EthernetSpeakerSystem system(sys_options);
+  RebroadcasterOptions rb;
+  rb.codec_override = CodecId::kRaw;
+  Channel* channel = *system.CreateChannel("music", rb);
+  for (int i = 0; i < 8; ++i) {
+    SpeakerOptions so;
+    so.name = "es-" + std::to_string(i);
+    so.decode_speed_factor = 0.05;
+    (void)*system.AddSpeaker(so, channel->group);
+  }
+  SpanPlane* spans = system.EnableSpanTracing();
+  ASSERT_NE(spans, nullptr);
+  PlayerAppOptions opts;
+  opts.config = AudioConfig::CdQuality();
+  EXPECT_TRUE(system
+                  .StartPlayer(channel,
+                               std::make_unique<MusicLikeGenerator>(21), opts)
+                  .ok());
+  system.RunUntil(Seconds(2));
+  spans->Drain();
+
+  const SpanAssembler* assembler = spans->assembler();
+  EXPECT_GT(assembler->ingested(), 0u);
+  ASSERT_GT(assembler->RetainedTraces().size(), 0u);
+  // Trees cross stations exactly as in a classic run: a producer span plus
+  // receiver spans from speakers homed on different zones.
+  bool cross_station = false;
+  for (const SpanTree* tree : assembler->RetainedTraces()) {
+    std::set<std::string> producers;
+    std::set<std::string> receivers;
+    for (const std::string& name : tree->stations) {
+      (name.rfind("rb-", 0) == 0 ? producers : receivers).insert(name);
+    }
+    cross_station =
+        cross_station || (!producers.empty() && !receivers.empty());
+  }
+  EXPECT_TRUE(cross_station);
+
+  ZoneCollector* collector = system.zone_collector();
+  ASSERT_NE(collector, nullptr);
+  EXPECT_GT(collector->barriers_seen(), 0u);
+  EXPECT_EQ(collector->merge_lost(), 0u);
+  EXPECT_FALSE(collector->epoch_slices().empty());
+  const std::string json =
+      PerfettoSpanJson(*assembler, RuntimePerfettoEvents(*collector));
+  EXPECT_TRUE(CheckJsonSyntax(json).ok());
+  EXPECT_NE(json.find("\"cat\": \"runtime\""), std::string::npos);
 }
 
 }  // namespace

@@ -99,6 +99,24 @@ TEST(SpscQueueTest, DestructorDrainsRemainingElements) {
   EXPECT_EQ(token.use_count(), 1);
 }
 
+TEST(SpscQueueTest, OccupancyFromProducerTracksRingFill) {
+  SpscQueue<int> q(4);
+  EXPECT_EQ(q.OccupancyFromProducer(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.TryPush(int{i}));
+    EXPECT_EQ(q.OccupancyFromProducer(), static_cast<size_t>(i) + 1);
+  }
+  int out = 0;
+  ASSERT_TRUE(q.TryPop(&out));
+  ASSERT_TRUE(q.TryPop(&out));
+  // Single-threaded, the head is settled, so the "upper bound" is exact —
+  // the same condition the sharded runtime's phase discipline guarantees
+  // when the high-watermark counters read it at post time.
+  EXPECT_EQ(q.OccupancyFromProducer(), 1u);
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(q.OccupancyFromProducer(), 0u);
+}
+
 // The TSan target: one producer thread, one consumer thread, a ring small
 // enough to hit full and empty constantly. The consumer checks the payload
 // sequence, which fails (or races under TSan) if the release/acquire pair

@@ -115,6 +115,28 @@ TEST(TimerWheelTest, EntriesAtOrBeforeCursorJoinTheDueHeap) {
   EXPECT_EQ(out.id, 3u);
 }
 
+TEST(TimerWheelTest, CascadeCounterCountsRefilingWork) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.cascades(), 0u);
+  // A near-term timer files at level 0 and pops without any re-filing.
+  wheel.Schedule({100, 0, 1});
+  TimerEntry out;
+  ASSERT_TRUE(wheel.PopEarliest(INT64_MAX, &out));
+  EXPECT_EQ(wheel.cascades(), 0u);
+  // A far-future timer files high and descends a level at a time as the
+  // cursor approaches — each descent is one cascade.
+  wheel.Schedule({Seconds(90), 1, 2});
+  ASSERT_TRUE(wheel.PopEarliest(INT64_MAX, &out));
+  EXPECT_EQ(out.id, 2u);
+  const uint64_t far_cascades = wheel.cascades();
+  EXPECT_GT(far_cascades, 0u);
+  // The counter is cumulative across pops (runtime telemetry reads it as a
+  // monotone counter).
+  wheel.Schedule({Seconds(180), 2, 3});
+  ASSERT_TRUE(wheel.PopEarliest(INT64_MAX, &out));
+  EXPECT_GT(wheel.cascades(), far_cascades);
+}
+
 TEST(TimerWheelTest, RandomizedAgainstSortOracle) {
   Prng prng(20260808);
   for (int round = 0; round < 20; ++round) {
